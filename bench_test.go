@@ -1,0 +1,338 @@
+package smvx
+
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation as testing.B benchmarks, one per artifact, plus ablation
+// benches for the design choices DESIGN.md calls out. Reported metrics are
+// simulated quantities (overhead percentages, microseconds, counts) —
+// ns/op measures only harness time.
+//
+// Run: go test -bench=. -benchmem
+
+import (
+	"testing"
+
+	"smvx/internal/apps/nginx"
+	"smvx/internal/boot"
+	"smvx/internal/core"
+	"smvx/internal/experiments"
+	"smvx/internal/libc"
+	"smvx/internal/sim/kernel"
+	"smvx/internal/workload"
+)
+
+// BenchmarkTable1_LibcEmulationCategories regenerates Table 1: the libc
+// calls in each emulation category.
+func BenchmarkTable1_LibcEmulationCategories(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := experiments.Table1()
+		if len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+	counts := map[libc.Category]int{}
+	for _, n := range libc.Names() {
+		counts[libc.CategoryOf(n)]++
+	}
+	b.ReportMetric(float64(counts[libc.CatRetOnly]), "ret-only")
+	b.ReportMetric(float64(counts[libc.CatRetBuf]), "ret+buf")
+	b.ReportMetric(float64(counts[libc.CatSpecial]), "special")
+	b.ReportMetric(float64(len(libc.Names())), "total-libc")
+}
+
+// BenchmarkFigure6_NbenchOverhead regenerates Figure 6: nbench normalized
+// performance under sMVX (paper: ~7% mean, Neural Net highest at ~16%).
+func BenchmarkFigure6_NbenchOverhead(b *testing.B) {
+	var res *experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Figure6(1_500_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Mean*100, "mean-overhead-%")
+	for _, row := range res.Rows {
+		if row.Name == "Neural Net" {
+			b.ReportMetric(row.Overhead*100, "neuralnet-overhead-%")
+		}
+	}
+}
+
+// BenchmarkFigure7_ServerThroughput regenerates Figure 7: nginx and
+// lighttpd under sMVX vs ReMon (paper: 266% and 223%; libc:syscall ratios
+// 5.4 and 7.8).
+func BenchmarkFigure7_ServerThroughput(b *testing.B) {
+	var res *experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Figure7(30)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Nginx.SMVXOverhead*100, "nginx-smvx-%")
+	b.ReportMetric(res.Lighttpd.SMVXOverhead*100, "lighttpd-smvx-%")
+	b.ReportMetric(res.Nginx.ReMonOverhead*100, "nginx-remon-%")
+	b.ReportMetric(res.Lighttpd.ReMonOverhead*100, "lighttpd-remon-%")
+	b.ReportMetric(res.Nginx.LibcSyscallRatio, "nginx-libc/sys")
+	b.ReportMetric(res.Lighttpd.LibcSyscallRatio, "lighttpd-libc/sys")
+}
+
+// BenchmarkFigure8_LibcCallsPerRegion regenerates Figure 8: libc calls
+// within the protected region as the root function shrinks.
+func BenchmarkFigure8_LibcCallsPerRegion(b *testing.B) {
+	var res *experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Figure8(60)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Rows[0].LibcCalls), "main-libc-calls")
+	b.ReportMetric(float64(res.Rows[len(res.Rows)-1].LibcCalls), "leaf-libc-calls")
+}
+
+// BenchmarkFigure9_TaintedFunctions regenerates Figure 9: sensitive
+// functions found by taint analysis under ab then fuzzing (paper: 16→30).
+func BenchmarkFigure9_TaintedFunctions(b *testing.B) {
+	var res *experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Figure9(15, []int{10, 30, 60, 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Points[0].Functions), "ab-functions")
+	b.ReportMetric(float64(res.Points[len(res.Points)-1].Functions), "fuzz-functions")
+}
+
+// BenchmarkTable2_VariantCreation regenerates Table 2: the mvx_start()
+// latency breakdown on lighttpd plus the clone/fork baselines.
+func BenchmarkTable2_VariantCreation(b *testing.B) {
+	var res *experiments.Table2Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.DupUS, "dup-us")
+	b.ReportMetric(res.DataScanUS, "data-scan-us")
+	b.ReportMetric(res.HeapScanUS, "heap-scan-us")
+	b.ReportMetric(res.CloneUS, "clone-us")
+	b.ReportMetric(res.ForkUS, "fork-us")
+	b.ReportMetric(res.ForkInitUS, "fork-init-us")
+}
+
+// BenchmarkCPUCyclesSaved regenerates the Section 4.1 CPU experiment:
+// protected-subtree share and sMVX CPU vs traditional MVX's 200%.
+func BenchmarkCPUCyclesSaved(b *testing.B) {
+	var res *experiments.CPUResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.CPUCycles(25)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Nginx.SubtreePercent, "nginx-subtree-%")
+	b.ReportMetric(res.Nginx.AnalyticPercent, "nginx-smvx-cpu-%")
+	b.ReportMetric(res.Lighttpd.SubtreePercent, "lighttpd-subtree-%")
+	b.ReportMetric(res.Lighttpd.AnalyticPercent, "lighttpd-smvx-cpu-%")
+}
+
+// BenchmarkMemorySaved regenerates the Section 4.1 memory experiment: RSS
+// under sMVX vs two vanilla instances (paper: ~49% saved).
+func BenchmarkMemorySaved(b *testing.B) {
+	var res *experiments.MemResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Memory(10)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Nginx.SMVXKB), "nginx-smvx-KB")
+	b.ReportMetric(float64(res.Nginx.TradKB), "nginx-2x-KB")
+	b.ReportMetric(res.Nginx.SavedPercent, "nginx-saved-%")
+	b.ReportMetric(res.Lighttpd.SavedPercent, "lighttpd-saved-%")
+}
+
+// BenchmarkCVEDetection regenerates the Section 4.2 security experiment:
+// CVE-2013-2028 end to end.
+func BenchmarkCVEDetection(b *testing.B) {
+	var res *experiments.CVEResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.CVE()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.VanillaPwned || !res.SMVXDetected || !res.FixedSurvives {
+			b.Fatalf("security outcomes wrong: %+v", res)
+		}
+	}
+	b.ReportMetric(boolMetric(res.VanillaPwned), "vanilla-pwned")
+	b.ReportMetric(boolMetric(res.SMVXDetected), "smvx-detected")
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// --- ablation benches (DESIGN.md section 5) ---
+
+// BenchmarkAblationLockstepGranularity contrasts libc-granularity lockstep
+// (sMVX) with syscall-granularity (ReMon) on the same nginx workload: the
+// design choice behind the Figure 7 crossover.
+func BenchmarkAblationLockstepGranularity(b *testing.B) {
+	var res *experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Figure7(20)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Nginx.SMVXOverhead*100, "libc-granularity-%")
+	b.ReportMetric(res.Nginx.ReMonOverhead*100, "syscall-granularity-%")
+}
+
+// BenchmarkAblationPointerScan contrasts the strawman full .data/.bss scan
+// with the static-hint-narrowed scan (Section 3.4's alias analysis).
+func BenchmarkAblationPointerScan(b *testing.B) {
+	var hinted, unhinted float64
+	for i := 0; i < b.N; i++ {
+		var err error
+		hinted, unhinted, err = experiments.Table2WithHints()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(unhinted, "full-scan-us")
+	b.ReportMetric(hinted, "hinted-scan-us")
+}
+
+// BenchmarkAblationTrampoline measures the trampoline's stack pivot cost:
+// the per-libc-call price of the MPK-safe call gate (Section 3.4).
+func BenchmarkAblationTrampoline(b *testing.B) {
+	run := func(disablePivot bool) Cycles {
+		img := NewImage("abl", 0x400000).
+			AddFunc("main", 64).
+			AddFunc("loop", 128).
+			AddBSS("g", 256).
+			NeedLibc("gettimeofday", "malloc", "free").
+			Build()
+		prog := NewProgram(img)
+		prog.MustDefine("loop", func(t *Thread, args []uint64) uint64 {
+			g := t.Global("g")
+			for i := 0; i < 200; i++ {
+				t.Libc("gettimeofday", uint64(g), 0)
+			}
+			return 0
+		})
+		opts := []MonitorOption{WithSeed(1)}
+		if disablePivot {
+			opts = append(opts, WithoutSafeStack())
+		}
+		sys, err := NewSystem(NewKernel(1), prog, WithBootSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sys.Protect(opts...)
+		before := sys.Env.Wall.Cycles()
+		if _, err := sys.RunProtected("loop"); err != nil {
+			b.Fatal(err)
+		}
+		return sys.Env.Wall.Cycles() - before
+	}
+	var with, without Cycles
+	for i := 0; i < b.N; i++ {
+		with = run(false)
+		without = run(true)
+	}
+	b.ReportMetric(float64(with), "pivot-on-cycles")
+	b.ReportMetric(float64(without), "pivot-off-cycles")
+}
+
+// BenchmarkAblationVariantReuse measures the Section 5 mitigation:
+// persistent follower mappings refreshed off the critical path versus
+// fresh creation per region, on per-request nginx protection.
+func BenchmarkAblationVariantReuse(b *testing.B) {
+	var fresh, reuse Cycles
+	for i := 0; i < b.N; i++ {
+		fresh = runNginxProtected(b, false)
+		reuse = runNginxProtected(b, true)
+	}
+	b.ReportMetric(float64(fresh), "fresh-wall-cycles")
+	b.ReportMetric(float64(reuse), "reuse-wall-cycles")
+	if reuse >= fresh {
+		b.Fatalf("reuse (%d) should undercut fresh creation (%d)", reuse, fresh)
+	}
+}
+
+// BenchmarkAblationRegionChoice sweeps the protected root over nginx's call
+// graph (the Figure 8 generalization): smaller regions, fewer monitored
+// calls.
+func BenchmarkAblationRegionChoice(b *testing.B) {
+	var res *experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = experiments.Figure8(40)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		if row.Fn == "main" || row.Fn == "ngx_http_process_request_line" || row.Fn == "ngx_http_header_filter" {
+			b.ReportMetric(float64(row.LibcCalls), row.Fn)
+		}
+	}
+}
+
+// runNginxProtected serves a small ab workload with per-request protection
+// and returns the wall cycles — the helper behind the reuse ablation.
+func runNginxProtected(b *testing.B, reuse bool) Cycles {
+	b.Helper()
+	k := kernel.New(DefaultCosts(), 42)
+	srv := nginx.NewServer(nginx.Config{
+		Port: 8080, MaxRequests: 10, Protect: "ngx_http_process_request_line",
+	})
+	env, err := boot.NewEnv(k, srv.Program(), boot.WithSeed(42))
+	if err != nil {
+		b.Fatal(err)
+	}
+	k.FS().WriteFile("/var/www/index.html", experiments.Page4K)
+	client := k.NewProcess(nil)
+
+	opts := []MonitorOption{WithSeed(42)}
+	if reuse {
+		opts = append(opts, core.WithVariantReuse())
+	}
+	mon := core.New(env.Machine, env.LibC, opts...)
+	srv.SetMVX(mon)
+
+	th, err := env.MainThread()
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(th) }()
+	res := workload.RunAB(client, 8080, "/index.html", 10)
+	if err := <-done; err != nil {
+		b.Fatal(err)
+	}
+	if res.Completed != 10 {
+		b.Fatalf("served %d/10", res.Completed)
+	}
+	if alarms := mon.Alarms(); len(alarms) != 0 {
+		b.Fatalf("alarms: %v", alarms)
+	}
+	return env.Wall.Cycles()
+}

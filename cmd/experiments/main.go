@@ -1,0 +1,113 @@
+// Command experiments regenerates the paper's evaluation (Section 4):
+// every table and figure, printed in paper-style form.
+//
+// Usage:
+//
+//	experiments              # run everything
+//	experiments -run fig7    # one artifact: table1 table2 fig6 fig7 fig8
+//	                         # fig9 cpu mem cve
+//	experiments -requests 60 # heavier server workloads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smvx/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		which    = flag.String("run", "all", "artifact: all | table1 | table2 | fig6 | fig7 | fig8 | fig9 | cpu | mem | cve")
+		requests = flag.Int("requests", 40, "server workload size")
+		target   = flag.Uint64("nbench-cycles", 1_500_000, "nbench per-kernel cycle target")
+	)
+	flag.Parse()
+
+	want := func(name string) bool { return *which == "all" || *which == name }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		fmt.Println(experiments.Table1())
+	}
+	if want("fig6") {
+		ran = true
+		res, err := experiments.Figure6(*target)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if want("fig7") {
+		ran = true
+		res, err := experiments.Figure7(*requests)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if want("cpu") {
+		ran = true
+		res, err := experiments.CPUCycles(*requests)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		fmt.Println(res.FlameNginx)
+	}
+	if want("mem") {
+		ran = true
+		res, err := experiments.Memory(10)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if want("fig8") {
+		ran = true
+		res, err := experiments.Figure8(*requests)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if want("table2") {
+		ran = true
+		res, err := experiments.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if want("fig9") {
+		ran = true
+		res, err := experiments.Figure9(15, []int{10, 30, 60, 20})
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if want("cve") {
+		ran = true
+		res, err := experiments.CVE()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if !ran {
+		return fmt.Errorf("unknown artifact %q; want one of %s", *which,
+			strings.Join([]string{"all", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "cpu", "mem", "cve"}, " "))
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+// Command smvx-profile is the paper's profile-extraction script
+// (Section 3.2): it analyzes a binary image and emits the profile file —
+// the start offsets and sizes of the .text, .data, .bss, .plt and .got.plt
+// sections plus the symbol table — that the sMVX monitor reads from /tmp
+// before running the application.
+//
+// Usage:
+//
+//	smvx-profile -app nginx          # print nginx's profile
+//	smvx-profile -app lighttpd
+//	smvx-profile -app nbench -symbols  # append a symbol count summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smvx/internal/apps/lighttpd"
+	"smvx/internal/apps/nbench"
+	"smvx/internal/apps/nginx"
+	"smvx/internal/sim/image"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "smvx-profile:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		app     = flag.String("app", "nginx", "binary to profile: nginx | lighttpd | nbench")
+		symbols = flag.Bool("symbols", false, "print a symbol summary after the profile")
+	)
+	flag.Parse()
+
+	var img *image.Image
+	switch *app {
+	case "nginx":
+		img = nginx.BuildImage()
+	case "lighttpd":
+		img = lighttpd.BuildImage()
+	case "nbench":
+		img = nbench.BuildImage()
+	default:
+		return fmt.Errorf("unknown app %q", *app)
+	}
+
+	os.Stdout.Write(img.WriteProfile())
+	fmt.Printf("# profile path inside the simulation: %s\n", image.ProfilePath(img.Name))
+	if *symbols {
+		syms := img.Symbols()
+		fmt.Printf("# %d symbols, %d PLT slots\n", len(syms), len(img.PLTSlots()))
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+// Command smvx runs one of the evaluation applications under vanilla
+// execution, the sMVX monitor, or the ReMon-style whole-program baseline,
+// and prints cycle, syscall, alarm, and memory summaries.
+//
+// Usage:
+//
+//	smvx -app nginx -mode smvx -protect ngx_worker_process_cycle -requests 50
+//	smvx -app lighttpd -mode remon -requests 50
+//	smvx -app nbench -bench neural_net -iters 10 -mode smvx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"smvx/internal/apps/lighttpd"
+	"smvx/internal/apps/nbench"
+	"smvx/internal/apps/nginx"
+	"smvx/internal/boot"
+	"smvx/internal/core"
+	"smvx/internal/experiments"
+	"smvx/internal/mvx/remon"
+	"smvx/internal/sim/clock"
+	"smvx/internal/sim/kernel"
+	"smvx/internal/sim/machine"
+	"smvx/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "smvx:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		app      = flag.String("app", "nginx", "application: nginx | lighttpd | nbench")
+		mode     = flag.String("mode", "smvx", "execution mode: vanilla | smvx | remon")
+		protect  = flag.String("protect", "", "protected root function (smvx mode; default: app-specific)")
+		requests = flag.Int("requests", 20, "HTTP requests to drive (servers)")
+		bench    = flag.String("bench", "numeric_sort", "nbench kernel (nbench app)")
+		iters    = flag.Int("iters", 5, "nbench iterations")
+		version  = flag.String("version", nginx.VersionFixed, "nginx version (1.3.9 = vulnerable)")
+		seed     = flag.Int64("seed", 42, "determinism seed")
+	)
+	flag.Parse()
+
+	switch *app {
+	case "nbench":
+		return runNbench(*bench, *iters, *mode, *seed)
+	case "nginx":
+		if *protect == "" {
+			*protect = "ngx_worker_process_cycle"
+		}
+		return runNginx(*mode, *protect, *requests, *version, *seed)
+	case "lighttpd":
+		if *protect == "" {
+			*protect = "server_main_loop"
+		}
+		return runLighttpd(*mode, *protect, *requests, *seed)
+	default:
+		return fmt.Errorf("unknown app %q", *app)
+	}
+}
+
+func runNbench(name string, iters int, mode string, seed int64) error {
+	env, err := boot.NewEnv(kernel.New(clock.DefaultCosts(), seed), nbench.Program(), boot.WithSeed(seed))
+	if err != nil {
+		return err
+	}
+	nbench.SetupFS(env)
+	var mon *core.Monitor
+	var mvx machine.MVX
+	if mode == "smvx" {
+		mon = core.New(env.Machine, env.LibC, core.WithSeed(seed))
+		mvx = mon
+	}
+	cycles, err := nbench.RunOne(env, mvx, name, iters)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s x%d under %s: %s wall, %s total CPU\n",
+		name, iters, mode, cycles, env.Counter.Cycles())
+	printAlarms(mon)
+	return nil
+}
+
+func runNginx(mode, protect string, requests int, version string, seed int64) error {
+	k := kernel.New(clock.DefaultCosts(), seed)
+	cfg := nginx.Config{Port: 8080, MaxRequests: requests, AccessLog: true, Version: version}
+	if mode == "smvx" {
+		cfg.Protect = protect
+	}
+	srv := nginx.NewServer(cfg)
+	env, err := boot.NewEnv(k, srv.Program(), boot.WithSeed(seed))
+	if err != nil {
+		return err
+	}
+	k.FS().WriteFile("/var/www/index.html", experiments.Page4K)
+	client := k.NewProcess(clock.NewCounter())
+
+	var mon *core.Monitor
+	var rem *remon.Runner
+	done := make(chan error, 1)
+	switch mode {
+	case "vanilla":
+		th, err := env.MainThread()
+		if err != nil {
+			return err
+		}
+		go func() { done <- srv.Run(th) }()
+	case "smvx":
+		mon = core.New(env.Machine, env.LibC, core.WithSeed(seed))
+		srv.SetMVX(mon)
+		th, err := env.MainThread()
+		if err != nil {
+			return err
+		}
+		go func() { done <- srv.Run(th) }()
+	case "remon":
+		rem = remon.New(env.Machine, env.LibC)
+		go func() { done <- rem.Run("main") }()
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	res := workload.RunAB(client, 8080, "/index.html", requests)
+	if err := <-done; err != nil {
+		fmt.Printf("server exited with: %v\n", err)
+	}
+	fmt.Printf("nginx (%s) under %s: %d/%d requests, %d bytes\n",
+		version, mode, res.Completed, requests, res.BytesRead)
+	fmt.Printf("wall: %s   total CPU: %s   RSS: %dKB\n",
+		env.Wall.Cycles(), env.Counter.Cycles(), env.ResidentKB())
+	fmt.Printf("libc calls: %d   syscalls: %d   ratio: %.2f\n",
+		env.LibC.TotalCalls(), env.Proc.SyscallTotal(),
+		float64(env.LibC.TotalCalls())/float64(env.Proc.SyscallTotal()))
+	printAlarms(mon)
+	if rem != nil && rem.Diverged() {
+		fmt.Printf("remon alarms: %v\n", rem.Alarms())
+	}
+	return nil
+}
+
+func runLighttpd(mode, protect string, requests int, seed int64) error {
+	k := kernel.New(clock.DefaultCosts(), seed)
+	cfg := lighttpd.Config{Port: 8080, MaxRequests: requests}
+	if mode == "smvx" {
+		cfg.Protect = protect
+	}
+	srv := lighttpd.NewServer(cfg)
+	env, err := boot.NewEnv(k, srv.Program(), boot.WithSeed(seed))
+	if err != nil {
+		return err
+	}
+	k.FS().WriteFile("/srv/www/index.html", experiments.Page4K)
+	client := k.NewProcess(clock.NewCounter())
+
+	var mon *core.Monitor
+	done := make(chan error, 1)
+	switch mode {
+	case "vanilla":
+	case "smvx":
+		mon = core.New(env.Machine, env.LibC, core.WithSeed(seed))
+		srv.SetMVX(mon)
+	case "remon":
+		rem := remon.New(env.Machine, env.LibC)
+		go func() { done <- rem.Run("main") }()
+		res := workload.RunAB(client, 8080, "/index.html", requests)
+		if err := <-done; err != nil {
+			fmt.Printf("server exited with: %v\n", err)
+		}
+		fmt.Printf("lighttpd under remon: %d/%d requests; wall %s; diverged=%v\n",
+			res.Completed, requests, env.Wall.Cycles(), rem.Diverged())
+		return nil
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	th, err := env.MainThread()
+	if err != nil {
+		return err
+	}
+	go func() { done <- srv.Run(th) }()
+	res := workload.RunAB(client, 8080, "/index.html", requests)
+	if err := <-done; err != nil {
+		fmt.Printf("server exited with: %v\n", err)
+	}
+	fmt.Printf("lighttpd under %s: %d/%d requests, %d bytes\n", mode, res.Completed, requests, res.BytesRead)
+	fmt.Printf("wall: %s   total CPU: %s   RSS: %dKB\n",
+		env.Wall.Cycles(), env.Counter.Cycles(), env.ResidentKB())
+	printAlarms(mon)
+	return nil
+}
+
+func printAlarms(mon *core.Monitor) {
+	if mon == nil {
+		return
+	}
+	alarms := mon.Alarms()
+	if len(alarms) == 0 {
+		fmt.Println("alarms: none")
+		return
+	}
+	fmt.Printf("ALARMS (%d):\n", len(alarms))
+	for _, a := range alarms {
+		fmt.Printf("  [%s] call #%d: %s\n", a.Reason, a.CallIndex, a.Detail)
+	}
+}

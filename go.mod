@@ -1,0 +1,3 @@
+module smvx
+
+go 1.22

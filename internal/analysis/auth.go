@@ -1,0 +1,108 @@
+// Package analysis implements the authentication-code discovery of
+// Section 3.2: collect one execution trace from a successful login and one
+// from a failed login, diff the two basic-block logs, and report the first
+// divergent block — "the first divergent basic block is likely to be
+// authentication-related, and functions containing these basic blocks are
+// likely used for authentication."
+package analysis
+
+import (
+	"sort"
+
+	"smvx/internal/sim/machine"
+)
+
+// Divergence describes where two traces first part ways.
+type Divergence struct {
+	// Index is the position of the first differing event.
+	Index int
+	// Success is the success-trace event at that position (zero value if
+	// the success trace ended first).
+	Success machine.TraceEvent
+	// Fail is the fail-trace event at that position (zero value if the
+	// fail trace ended first).
+	Fail machine.TraceEvent
+}
+
+// FirstDivergence diffs two basic-block traces and returns where they
+// split, or ok=false when they are identical.
+func FirstDivergence(success, fail []machine.TraceEvent) (Divergence, bool) {
+	n := len(success)
+	if len(fail) < n {
+		n = len(fail)
+	}
+	for i := 0; i < n; i++ {
+		if success[i] != fail[i] {
+			return Divergence{Index: i, Success: success[i], Fail: fail[i]}, true
+		}
+	}
+	if len(success) != len(fail) {
+		d := Divergence{Index: n}
+		if n < len(success) {
+			d.Success = success[n]
+		}
+		if n < len(fail) {
+			d.Fail = fail[n]
+		}
+		return d, true
+	}
+	return Divergence{}, false
+}
+
+// AuthFunctions returns the candidate authentication functions: the
+// functions containing the first divergent block of each trace, ordered
+// with the first-divergence functions first (the paper's heuristic), then
+// any remaining functions whose block sequences differ.
+func AuthFunctions(success, fail []machine.TraceEvent) []string {
+	div, ok := FirstDivergence(success, fail)
+	if !ok {
+		return nil
+	}
+	var out []string
+	seen := make(map[string]bool)
+	add := func(fn string) {
+		if fn != "" && !seen[fn] {
+			seen[fn] = true
+			out = append(out, fn)
+		}
+	}
+	add(div.Success.Fn)
+	add(div.Fail.Fn)
+
+	// Secondary candidates: functions whose block multisets differ between
+	// the traces.
+	diffFns := make(map[string]bool)
+	sCount := blockCounts(success)
+	fCount := blockCounts(fail)
+	for key, c := range sCount {
+		if fCount[key] != c {
+			diffFns[key.fn] = true
+		}
+	}
+	for key, c := range fCount {
+		if sCount[key] != c {
+			diffFns[key.fn] = true
+		}
+	}
+	rest := make([]string, 0, len(diffFns))
+	for fn := range diffFns {
+		if !seen[fn] {
+			rest = append(rest, fn)
+		}
+	}
+	sort.Strings(rest)
+	for _, fn := range rest {
+		add(fn)
+	}
+	return out
+}
+
+type blockKey struct{ fn, block string }
+
+func blockCounts(trace []machine.TraceEvent) map[blockKey]int {
+	out := make(map[blockKey]int)
+	for _, ev := range trace {
+		out[blockKey{fn: ev.Fn, block: ev.Block}]++
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"testing"
+
+	"smvx/internal/sim/machine"
+)
+
+func ev(fn, block string) machine.TraceEvent {
+	return machine.TraceEvent{Fn: fn, Block: block}
+}
+
+func TestFirstDivergenceFindsSplit(t *testing.T) {
+	success := []machine.TraceEvent{
+		ev("parse", "entry"), ev("auth", "check"), ev("auth", "ok"), ev("serve", "body"),
+	}
+	fail := []machine.TraceEvent{
+		ev("parse", "entry"), ev("auth", "check"), ev("auth", "fail"), ev("deny", "401"),
+	}
+	d, ok := FirstDivergence(success, fail)
+	if !ok {
+		t.Fatal("divergence not found")
+	}
+	if d.Index != 2 || d.Success.Block != "ok" || d.Fail.Block != "fail" {
+		t.Errorf("divergence = %+v", d)
+	}
+}
+
+func TestIdenticalTracesNoDivergence(t *testing.T) {
+	tr := []machine.TraceEvent{ev("a", "1"), ev("b", "2")}
+	if _, ok := FirstDivergence(tr, tr); ok {
+		t.Error("identical traces should not diverge")
+	}
+}
+
+func TestPrefixTraceDivergesAtEnd(t *testing.T) {
+	longer := []machine.TraceEvent{ev("a", "1"), ev("b", "2")}
+	shorter := longer[:1]
+	d, ok := FirstDivergence(longer, shorter)
+	if !ok || d.Index != 1 || d.Success.Fn != "b" || d.Fail.Fn != "" {
+		t.Errorf("prefix divergence = %+v ok=%v", d, ok)
+	}
+}
+
+func TestAuthFunctionsHeuristic(t *testing.T) {
+	// The first divergent block sits in the auth function — the paper's
+	// "first divergent basic block is likely authentication-related".
+	success := []machine.TraceEvent{
+		ev("parse", "entry"), ev("auth_basic", "check"), ev("auth_basic", "ok"),
+		ev("session", "create"), ev("serve", "body"),
+	}
+	fail := []machine.TraceEvent{
+		ev("parse", "entry"), ev("auth_basic", "check"), ev("auth_basic", "fail"),
+		ev("error_page", "401"),
+	}
+	fns := AuthFunctions(success, fail)
+	if len(fns) == 0 || fns[0] != "auth_basic" {
+		t.Fatalf("AuthFunctions = %v, want auth_basic first", fns)
+	}
+	// Secondary candidates: functions whose block sets differ.
+	found := map[string]bool{}
+	for _, f := range fns {
+		found[f] = true
+	}
+	for _, want := range []string{"session", "serve", "error_page"} {
+		if !found[want] {
+			t.Errorf("missing secondary candidate %s in %v", want, fns)
+		}
+	}
+	if found["parse"] {
+		t.Errorf("parse executes identically and should not be a candidate: %v", fns)
+	}
+}
+
+func TestAuthFunctionsIdentical(t *testing.T) {
+	tr := []machine.TraceEvent{ev("a", "1")}
+	if fns := AuthFunctions(tr, tr); fns != nil {
+		t.Errorf("identical traces: %v", fns)
+	}
+}

@@ -1,0 +1,19 @@
+// Package apputil holds helpers shared by the evaluation applications.
+package apputil
+
+import "smvx/internal/sim/machine"
+
+// CallProtected invokes fn(args) on t, wrapping the call in
+// mvx_start()/mvx_end() when fn is the configured protected root — the
+// three-line instrumentation of Listing 1. With mvx nil or a different
+// protected root, it is a plain call.
+func CallProtected(t *machine.Thread, mvx machine.MVX, protect, fn string, args ...uint64) uint64 {
+	if mvx != nil && protect == fn {
+		if err := mvx.Start(t, fn, args...); err == nil {
+			ret := t.Call(fn, args...)
+			_ = mvx.End(t)
+			return ret
+		}
+	}
+	return t.Call(fn, args...)
+}

@@ -1,0 +1,96 @@
+package apputil
+
+import (
+	"errors"
+	"testing"
+
+	"smvx/internal/sim/machine"
+)
+
+// recordingMVX records the hook sequence.
+type recordingMVX struct {
+	calls    []string
+	startErr error
+}
+
+func (r *recordingMVX) Init(*machine.Thread) error { r.calls = append(r.calls, "init"); return nil }
+func (r *recordingMVX) Start(_ *machine.Thread, fn string, _ ...uint64) error {
+	r.calls = append(r.calls, "start:"+fn)
+	return r.startErr
+}
+func (r *recordingMVX) End(*machine.Thread) error { r.calls = append(r.calls, "end"); return nil }
+
+func TestCallProtectedWrapsMatchingRoot(t *testing.T) {
+	th, prog := testThread(t)
+	prog.MustDefine("target", func(*machine.Thread, []uint64) uint64 { return 7 })
+	mvx := &recordingMVX{}
+	var got uint64
+	_ = th.Run(func(tt *machine.Thread) {
+		got = CallProtected(tt, mvx, "target", "target", 1, 2)
+	})
+	if got != 7 {
+		t.Errorf("ret = %d", got)
+	}
+	if len(mvx.calls) != 2 || mvx.calls[0] != "start:target" || mvx.calls[1] != "end" {
+		t.Errorf("hook sequence = %v", mvx.calls)
+	}
+}
+
+func TestCallProtectedSkipsOtherFunctions(t *testing.T) {
+	th, prog := testThread(t)
+	prog.MustDefine("target", func(*machine.Thread, []uint64) uint64 { return 1 })
+	mvx := &recordingMVX{}
+	_ = th.Run(func(tt *machine.Thread) {
+		CallProtected(tt, mvx, "something_else", "target")
+	})
+	if len(mvx.calls) != 0 {
+		t.Errorf("hooks fired for unprotected call: %v", mvx.calls)
+	}
+}
+
+func TestCallProtectedNilMVXPlainCall(t *testing.T) {
+	th, prog := testThread(t)
+	prog.MustDefine("target", func(*machine.Thread, []uint64) uint64 { return 3 })
+	var got uint64
+	_ = th.Run(func(tt *machine.Thread) {
+		got = CallProtected(tt, nil, "target", "target")
+	})
+	if got != 3 {
+		t.Errorf("ret = %d", got)
+	}
+}
+
+func TestCallProtectedStartFailureFallsBack(t *testing.T) {
+	th, prog := testThread(t)
+	prog.MustDefine("target", func(*machine.Thread, []uint64) uint64 { return 9 })
+	mvx := &recordingMVX{startErr: errors.New("variant creation failed")}
+	var got uint64
+	_ = th.Run(func(tt *machine.Thread) {
+		got = CallProtected(tt, mvx, "target", "target")
+	})
+	if got != 9 {
+		t.Error("failed Start must still execute the function unprotected")
+	}
+	for _, c := range mvx.calls {
+		if c == "end" {
+			t.Error("End must not run when Start failed")
+		}
+	}
+}
+
+func testThread(t *testing.T) (*machine.Thread, *machine.Program) {
+	t.Helper()
+	// Minimal rig without libc.
+	img := imageFor(t)
+	prog := machine.NewProgram(img)
+	as := memSpace(t)
+	if err := img.MapInto(as, ""); err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(prog, as, kernelProc(t), nil, nil, costs())
+	th, err := m.NewThread("t", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return th, prog
+}

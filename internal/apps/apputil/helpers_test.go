@@ -1,0 +1,27 @@
+package apputil
+
+import (
+	"testing"
+
+	"smvx/internal/sim/clock"
+	"smvx/internal/sim/image"
+	"smvx/internal/sim/kernel"
+	"smvx/internal/sim/mem"
+)
+
+func imageFor(t *testing.T) *image.Image {
+	t.Helper()
+	return image.NewBuilder("apputil", 0x400000).AddFunc("target", 64).Build()
+}
+
+func memSpace(t *testing.T) *mem.AddressSpace {
+	t.Helper()
+	return mem.NewAddressSpace(nil, costs())
+}
+
+func kernelProc(t *testing.T) *kernel.Process {
+	t.Helper()
+	return kernel.New(costs(), 1).NewProcess(nil)
+}
+
+func costs() clock.CostTable { return clock.DefaultCosts() }

@@ -1,0 +1,575 @@
+// Package lighttpd is the simulation's Lighttpd: the paper's second server
+// workload. Its call graph is rooted at server_main_loop() — the function
+// the CPU-cycles experiment protects (70% of total cycles, Section 4.1).
+//
+// Architectural differences from the nginx model that drive the paper's
+// numbers: lighttpd here serves content from an in-memory file cache
+// (fewer syscalls per request — no stat/open/fstat/sendfile on the hot
+// path) while doing comparable string processing, which pushes its
+// libc:syscall ratio to ~7.8 versus nginx's ~5.4 (Figure 7), and it has a
+// smaller resident set (~1.4MB vs nginx's ~3.2MB under MVX, Section 4.1).
+package lighttpd
+
+import (
+	"smvx/internal/sim/image"
+	"smvx/internal/sim/machine"
+	"smvx/internal/sim/mem"
+)
+
+// Config parameterizes a server run.
+type Config struct {
+	// Port is the listen port.
+	Port uint16
+	// DocRoot is the filesystem prefix of cached files.
+	DocRoot string
+	// MaxRequests stops the server after that many requests.
+	MaxRequests int
+	// Protect names the mvx-protected root function ("" = none).
+	Protect string
+	// MVX is the protection engine (nil = vanilla).
+	MVX machine.MVX
+	// ForkInInit runs a fork() during initialization — the Table 2 row
+	// measuring fork overhead during lighttpd initialization.
+	ForkInInit bool
+	// PoolKB is the buffer-pool volume preallocated at startup (lighttpd
+	// keeps chunkqueue/buffer pools hot); it dominates the heap that
+	// variant creation must scan (Table 2). Default 1024.
+	PoolKB int
+}
+
+// Candidate protected roots.
+var Roots = []string{
+	"main",
+	"server_main_loop",
+	"connection_state_machine",
+	"http_request_parse",
+	"http_response_write",
+}
+
+const (
+	connSlotSize = 32
+	connMax      = 64
+	connOffFD    = 0
+	connOffBuf   = 8
+	connOffLen   = 16
+
+	recvBufSize = 1024
+	// cacheSlots bounds the in-memory file cache.
+	cacheSlots = 8
+	// cacheSlotBytes is the per-file cache capacity.
+	cacheSlotBytes = 8192
+)
+
+// BuildImage lays out the lighttpd binary image.
+func BuildImage() *image.Image {
+	return image.NewBuilder("lighttpd", 0x400000).
+		AddFunc("main", 192).
+		AddFunc("server_init", 384).
+		AddFunc("server_main_loop", 512).
+		AddFunc("fdevent_poll", 384).
+		AddFunc("connection_accept", 256).
+		AddFunc("connection_state_machine", 512).
+		AddFunc("http_request_parse", 1024).
+		AddFunc("http_request_headers_process", 768).
+		AddFunc("stat_cache_get_entry", 512).
+		AddFunc("http_response_prepare", 384).
+		AddFunc("http_response_write", 512).
+		AddFunc("connection_close", 128).
+		AddData("srv_listen_fd", 8, nil).
+		AddData("srv_epoll_fd", 8, nil).
+		AddData("srv_request_count", 8, nil).
+		AddData("srv_stop_flag", 8, nil).
+		AddData("srv_max_requests", 8, nil).
+		AddData("srv_docroot", 64, nil).
+		AddBSS("srv_connections", connMax*connSlotSize).
+		AddBSS("srv_events_buf", 16*16).
+		AddBSS("srv_uri_buf", 256).
+		AddBSS("srv_method_buf", 16).
+		AddBSS("srv_header_name_buf", 64).
+		AddBSS("srv_header_val_buf", 256).
+		AddBSS("srv_resp_buf", 512).
+		AddBSS("srv_cache_paths", cacheSlots*64).
+		AddBSS("srv_cache_data", cacheSlots*cacheSlotBytes).
+		AddBSS("srv_cache_sizes", cacheSlots*8).
+		AddBSS("srv_scratch", 1024).
+		NeedLibc(
+			"open", "close", "read", "write", "writev", "recv", "send",
+			"socket", "bind", "listen", "accept4", "shutdown",
+			"setsockopt", "getsockopt", "ioctl",
+			"epoll_create", "epoll_ctl", "epoll_wait", "epoll_pwait",
+			"stat", "fstat", "sendfile", "mkdir",
+			"gettimeofday", "time", "localtime_r", "random",
+			"malloc", "free", "calloc", "realloc",
+			"memcpy", "memset", "strlen", "strcmp", "strncmp", "atoi",
+			"snprintf",
+		).
+		Build()
+}
+
+// Server is one configured lighttpd instance.
+type Server struct {
+	cfg  Config
+	prog *machine.Program
+}
+
+// NewServer builds a configured server and its program.
+func NewServer(cfg Config) *Server {
+	if cfg.DocRoot == "" {
+		cfg.DocRoot = "/srv/www"
+	}
+	if cfg.PoolKB == 0 {
+		cfg.PoolKB = 96
+	}
+	s := &Server{cfg: cfg}
+	s.prog = machine.NewProgram(BuildImage())
+	s.define()
+	return s
+}
+
+// Program returns the server's program.
+func (s *Server) Program() *machine.Program { return s.prog }
+
+// Config returns the server's configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// SetMVX installs the protection engine after construction.
+func (s *Server) SetMVX(m machine.MVX) { s.cfg.MVX = m }
+
+func (s *Server) protectCall(t *machine.Thread, name string, args ...uint64) uint64 {
+	if s.cfg.MVX != nil && s.cfg.Protect == name {
+		if err := s.cfg.MVX.Start(t, name, args...); err == nil {
+			ret := t.Call(name, args...)
+			_ = s.cfg.MVX.End(t)
+			return ret
+		}
+	}
+	return t.Call(name, args...)
+}
+
+func (s *Server) define() {
+	s.prog.MustDefine("main", s.fnMain)
+	s.prog.MustDefine("server_init", s.fnServerInit)
+	s.prog.MustDefine("server_main_loop", s.fnMainLoop)
+	s.prog.MustDefine("fdevent_poll", s.fnFdeventPoll)
+	s.prog.MustDefine("connection_accept", s.fnAccept)
+	s.prog.MustDefine("connection_state_machine", s.fnStateMachine)
+	s.prog.MustDefine("http_request_parse", s.fnRequestParse)
+	s.prog.MustDefine("http_request_headers_process", s.fnHeadersProcess)
+	s.prog.MustDefine("stat_cache_get_entry", s.fnStatCache)
+	s.prog.MustDefine("http_response_prepare", s.fnResponsePrepare)
+	s.prog.MustDefine("http_response_write", s.fnResponseWrite)
+	s.prog.MustDefine("connection_close", s.fnConnectionClose)
+}
+
+// Run executes the server's main() on the given thread.
+func (s *Server) Run(t *machine.Thread) error {
+	if s.cfg.MVX != nil {
+		if err := s.cfg.MVX.Init(t); err != nil {
+			return err
+		}
+	}
+	return t.Run(func(t *machine.Thread) {
+		s.protectCall(t, "main")
+	})
+}
+
+func (s *Server) fnMain(t *machine.Thread, _ []uint64) uint64 {
+	t.Block("init")
+	t.WriteCString(t.Global("srv_docroot"), s.cfg.DocRoot)
+	t.Store64(t.Global("srv_max_requests"), uint64(s.cfg.MaxRequests))
+	t.Store64(t.Global("srv_stop_flag"), 0)
+	t.Store64(t.Global("srv_request_count"), 0)
+	t.Compute(1500)
+	if rc := t.Call("server_init"); rc != 0 {
+		return rc
+	}
+	return s.protectCall(t, "server_main_loop")
+}
+
+func (s *Server) fnServerInit(t *machine.Thread, _ []uint64) uint64 {
+	t.Block("server-init")
+	if s.cfg.ForkInInit {
+		// Daemonize: the Table 2 fork-during-initialization measurement.
+		resident := t.Machine().AddressSpace().ResidentPages()
+		t.Machine().Process().Fork(resident)
+	}
+	lfd := t.Libc("socket")
+	t.Libc("setsockopt", lfd, 2, 1)
+	if int64(t.Libc("bind", lfd, uint64(s.cfg.Port))) < 0 {
+		return 1
+	}
+	t.Libc("listen", lfd, 128)
+	epfd := t.Libc("epoll_create")
+	scratch := t.Global("srv_scratch")
+	t.Store64(scratch, 1)
+	t.Store64(scratch+8, lfd)
+	t.Libc("epoll_ctl", epfd, 1, lfd, uint64(scratch))
+	t.Store64(t.Global("srv_listen_fd"), lfd)
+	t.Store64(t.Global("srv_epoll_fd"), epfd)
+	t.Memset(t.Global("srv_connections"), 0, connMax*connSlotSize)
+
+	// Pre-load the document cache: lighttpd's stat-cache keeps hot files
+	// in memory, so the request path needs no filesystem syscalls.
+	t.Memset(t.Global("srv_cache_sizes"), 0, cacheSlots*8)
+
+	// Preallocate the buffer pools (chunkqueues, read buffers). Touching
+	// them makes the pages resident: this heap is what mvx_start's
+	// pointer scan must walk (Table 2's dominant cost).
+	chunk := uint64(16 * 1024)
+	for allocated := uint64(0); allocated < uint64(s.cfg.PoolKB)*1024; allocated += chunk {
+		p := t.Libc("malloc", chunk)
+		if p == 0 {
+			break
+		}
+		t.Libc("memset", p, 0, chunk)
+	}
+	return 0
+}
+
+func (s *Server) fnMainLoop(t *machine.Thread, _ []uint64) uint64 {
+	t.Block("main-loop")
+	for t.Load64(t.Global("srv_stop_flag")) == 0 {
+		s.protectCall(t, "fdevent_poll")
+	}
+	t.Block("main-loop-exit")
+	t.Libc("close", t.Load64(t.Global("srv_epoll_fd")))
+	t.Libc("close", t.Load64(t.Global("srv_listen_fd")))
+	return 0
+}
+
+func (s *Server) fnFdeventPoll(t *machine.Thread, _ []uint64) uint64 {
+	epfd := t.Load64(t.Global("srv_epoll_fd"))
+	lfd := t.Load64(t.Global("srv_listen_fd"))
+	evBuf := t.Global("srv_events_buf")
+	n := t.Libc("epoll_wait", epfd, uint64(evBuf), 16, ^uint64(0))
+	if int64(n) <= 0 {
+		t.Store64(t.Global("srv_stop_flag"), 1)
+		return 0
+	}
+	for i := uint64(0); i < n; i++ {
+		events := t.Load64(evBuf + mem.Addr(i*16))
+		data := t.Load64(evBuf + mem.Addr(i*16+8))
+		if data == lfd {
+			t.Block("accept-ready")
+			s.protectCall(t, "connection_accept")
+			continue
+		}
+		if events&0x1 == 0 && events&0x10 != 0 {
+			t.Block("conn-hup")
+			t.Call("connection_close", data)
+			continue
+		}
+		t.Block("conn-ready")
+		s.protectCall(t, "connection_state_machine", data)
+		if t.Load64(t.Global("srv_stop_flag")) != 0 {
+			break
+		}
+	}
+	return n
+}
+
+func (s *Server) fnAccept(t *machine.Thread, _ []uint64) uint64 {
+	lfd := t.Load64(t.Global("srv_listen_fd"))
+	fd := t.Libc("accept4", lfd)
+	if int64(fd) < 0 {
+		t.Store64(t.Global("srv_stop_flag"), 1)
+		return 0
+	}
+	conns := t.Global("srv_connections")
+	var slot mem.Addr
+	for i := 0; i < connMax; i++ {
+		addr := conns + mem.Addr(i*connSlotSize)
+		if t.Load64(addr+connOffFD) == 0 {
+			slot = addr
+			break
+		}
+	}
+	if slot == 0 {
+		t.Libc("close", fd)
+		return 0
+	}
+	buf := t.Libc("malloc", recvBufSize)
+	t.Store64(slot+connOffFD, fd)
+	t.Store64(slot+connOffBuf, buf)
+	t.Store64(slot+connOffLen, 0)
+	scratch := t.Global("srv_scratch")
+	t.Store64(scratch, 1|0x10)
+	t.Store64(scratch+8, uint64(slot))
+	t.Libc("epoll_ctl", t.Load64(t.Global("srv_epoll_fd")), 1, fd, uint64(scratch))
+	return fd
+}
+
+func (s *Server) fnStateMachine(t *machine.Thread, args []uint64) uint64 {
+	conn := mem.Addr(args[0])
+	fd := t.Load64(conn + connOffFD)
+	buf := mem.Addr(t.Load64(conn + connOffBuf))
+	t.Block("state-machine")
+	n := t.Libc("recv", fd, uint64(buf), recvBufSize-1)
+	if int64(n) <= 0 {
+		t.Call("connection_close", uint64(conn))
+		return 0
+	}
+	t.Store64(conn+connOffLen, n)
+	t.Store8(buf+mem.Addr(n), 0)
+	t.Block("request")
+	// Connection bookkeeping: joblist, timestamps, state transitions.
+	t.Compute(15000)
+	t.Call("http_request_parse", uint64(conn))
+
+	cnt := t.Load64(t.Global("srv_request_count")) + 1
+	t.Store64(t.Global("srv_request_count"), cnt)
+	if max := t.Load64(t.Global("srv_max_requests")); max > 0 && cnt >= max {
+		t.Store64(t.Global("srv_stop_flag"), 1)
+	}
+	return n
+}
+
+// lighttpd's known request headers, scanned per header.
+var headerNames = []string{
+	"Host", "User-Agent", "Accept", "Connection", "Content-Length",
+	"If-Modified-Since", "Range", "Accept-Encoding",
+}
+
+func (s *Server) fnRequestParse(t *machine.Thread, args []uint64) uint64 {
+	conn := mem.Addr(args[0])
+	buf := mem.Addr(t.Load64(conn + connOffBuf))
+	t.Block("parse")
+	t.At(0x20)
+
+	method := t.Global("srv_method_buf")
+	i := 0
+	for ; i < 15; i++ {
+		c := t.Load8(buf + mem.Addr(i))
+		if c == ' ' || c == 0 {
+			break
+		}
+		t.Store8(method+mem.Addr(i), c)
+	}
+	t.Store8(method+mem.Addr(i), 0)
+	i++
+
+	uri := t.Global("srv_uri_buf")
+	j := 0
+	for ; j < 255; j++ {
+		c := t.Load8(buf + mem.Addr(i+j))
+		if c == ' ' || c == '\r' || c == 0 {
+			break
+		}
+		t.Store8(uri+mem.Addr(j), c)
+	}
+	t.Store8(uri+mem.Addr(j), 0)
+	t.Compute(500)
+
+	// buffer_copy/buffer_path_simplify string churn.
+	scratch := t.Global("srv_scratch")
+	ulen := t.Libc("strlen", uint64(uri))
+	t.Libc("memcpy", uint64(scratch+128), uint64(uri), ulen+1)
+	t.WriteCString(scratch+256, "..")
+	t.Libc("strncmp", uint64(uri), uint64(scratch+256), 2)
+	t.WriteCString(scratch+256, "//")
+	t.Libc("strncmp", uint64(uri), uint64(scratch+256), 2)
+
+	t.Call("http_request_headers_process", uint64(conn), uint64(i+j))
+	return t.Call("http_response_prepare", uint64(conn))
+}
+
+func (s *Server) fnHeadersProcess(t *machine.Thread, args []uint64) uint64 {
+	conn := mem.Addr(args[0])
+	off := int(args[1])
+	buf := mem.Addr(t.Load64(conn + connOffBuf))
+	total := int(t.Load64(conn + connOffLen))
+	t.Block("headers")
+	t.At(0x30)
+
+	nameBuf := t.Global("srv_header_name_buf")
+	valBuf := t.Global("srv_header_val_buf")
+	scratch := t.Global("srv_scratch")
+
+	// Skip to the end of the request line.
+	for off < total {
+		c := t.Load8(buf + mem.Addr(off))
+		off++
+		if c == '\n' {
+			break
+		}
+	}
+	for off < total {
+		if c := t.Load8(buf + mem.Addr(off)); c == '\r' || c == '\n' {
+			break
+		}
+		n := 0
+		for off+n < total && n < 63 {
+			c := t.Load8(buf + mem.Addr(off+n))
+			if c == ':' {
+				break
+			}
+			t.Store8(nameBuf+mem.Addr(n), c)
+			n++
+		}
+		t.Store8(nameBuf+mem.Addr(n), 0)
+		off += n + 1
+		for off < total && t.Load8(buf+mem.Addr(off)) == ' ' {
+			off++
+		}
+		v := 0
+		for off+v < total && v < 255 {
+			c := t.Load8(buf + mem.Addr(off+v))
+			if c == '\r' || c == '\n' {
+				break
+			}
+			t.Store8(valBuf+mem.Addr(v), c)
+			v++
+		}
+		t.Store8(valBuf+mem.Addr(v), 0)
+		off += v
+		for off < total {
+			c := t.Load8(buf + mem.Addr(off))
+			off++
+			if c == '\n' {
+				break
+			}
+		}
+
+		// lighttpd compares each header against its full keyvalue table
+		// and buffer_copy()s name and value — heavier string traffic than
+		// nginx's hash lookup, which is what lifts the libc:syscall ratio
+		// to ~7.8 (Figure 7).
+		nameLen := t.Libc("strlen", uint64(nameBuf))
+		valLen := t.Libc("strlen", uint64(valBuf))
+		for _, hn := range headerNames {
+			t.WriteCString(scratch+384, hn)
+			t.Libc("strncmp", uint64(nameBuf), uint64(scratch+384), nameLen+1)
+		}
+		t.Libc("memcpy", uint64(scratch+448), uint64(nameBuf), nameLen+1)
+		t.Libc("memcpy", uint64(scratch+512), uint64(valBuf), valLen+1)
+	}
+	return uint64(off)
+}
+
+// fnStatCache looks a path up in the in-memory stat cache, loading it from
+// the filesystem on first miss.
+func (s *Server) fnStatCache(t *machine.Thread, args []uint64) uint64 {
+	path := mem.Addr(args[0])
+	t.Block("stat-cache")
+	t.At(0x40)
+	paths := t.Global("srv_cache_paths")
+	sizes := t.Global("srv_cache_sizes")
+	data := t.Global("srv_cache_data")
+
+	for i := 0; i < cacheSlots; i++ {
+		entry := paths + mem.Addr(i*64)
+		if t.Load8(entry) == 0 {
+			continue
+		}
+		if t.Libc("strcmp", uint64(path), uint64(entry)) == 0 {
+			t.Block("cache-hit")
+			return uint64(i)
+		}
+	}
+	// Miss: load through the filesystem into a free slot.
+	t.Block("cache-miss")
+	for i := 0; i < cacheSlots; i++ {
+		entry := paths + mem.Addr(i*64)
+		if t.Load8(entry) != 0 {
+			continue
+		}
+		statBuf := t.Global("srv_scratch") + 640
+		if int64(t.Libc("stat", uint64(path), uint64(statBuf))) < 0 {
+			return ^uint64(0)
+		}
+		size := t.Load64(statBuf)
+		if size > cacheSlotBytes {
+			size = cacheSlotBytes
+		}
+		fd := t.Libc("open", uint64(path), 0)
+		if int64(fd) < 0 {
+			return ^uint64(0)
+		}
+		t.Libc("read", fd, uint64(data+mem.Addr(i*cacheSlotBytes)), size)
+		t.Libc("close", fd)
+		plen := t.Libc("strlen", uint64(path))
+		t.Libc("memcpy", uint64(entry), uint64(path), plen+1)
+		t.Store64(sizes+mem.Addr(i*8), size)
+		return uint64(i)
+	}
+	return ^uint64(0)
+}
+
+func (s *Server) fnResponsePrepare(t *machine.Thread, args []uint64) uint64 {
+	conn := args[0]
+	t.Block("response-prepare")
+	t.At(0x50)
+	uri := t.Global("srv_uri_buf")
+	scratch := t.Global("srv_scratch")
+
+	// path = docroot + uri (default /index.html).
+	t.WriteCString(scratch+704, "%s%s")
+	target := uint64(uri)
+	if t.Libc("strlen", uint64(uri)) == 1 && t.Load8(uri) == '/' {
+		t.WriteCString(scratch+768, "/index.html")
+		target = uint64(scratch + 768)
+	}
+	pathBuf := scratch + 832
+	t.Libc("snprintf", uint64(pathBuf), 180, uint64(scratch+704), uint64(t.Global("srv_docroot")), target)
+
+	slot := t.Call("stat_cache_get_entry", uint64(pathBuf))
+	return t.Call("http_response_write", conn, slot)
+}
+
+func (s *Server) fnResponseWrite(t *machine.Thread, args []uint64) uint64 {
+	conn := mem.Addr(args[0])
+	slot := args[1]
+	fd := t.Load64(conn + connOffFD)
+	t.Block("response-write")
+	t.At(0x60)
+	resp := t.Global("srv_resp_buf")
+	scratch := t.Global("srv_scratch")
+
+	if int64(slot) < 0 {
+		t.WriteCString(scratch+960, "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n")
+		n := t.Libc("strlen", uint64(scratch+960))
+		t.Libc("memcpy", uint64(resp), uint64(scratch+960), n+1)
+		t.Libc("send", fd, uint64(resp), n)
+		return t.Call("connection_close", uint64(conn))
+	}
+	size := t.Load64(t.Global("srv_cache_sizes") + mem.Addr(slot*8))
+	// Compute the ETag over the cached body (lighttpd hashes the entry)
+	// and resolve content-type/mtime/Expires formatting.
+	body0 := t.Global("srv_cache_data") + mem.Addr(slot*cacheSlotBytes)
+	var etag uint64
+	for off := uint64(0); off+8 <= size; off += 64 {
+		etag = etag*31 + t.Load64(body0+mem.Addr(off))
+	}
+	t.Store64(t.Global("srv_scratch")+96, etag)
+	t.Compute(12000)
+	t.WriteCString(scratch+960, "HTTP/1.1 200 OK\r\nServer: lighttpd/1.4\r\nContent-Length: %d\r\nConnection: close\r\n\r\n")
+	n := t.Libc("snprintf", uint64(resp), 511, uint64(scratch+960), size)
+	// writev headers, then write the cached body (no sendfile: the bytes
+	// live in user memory).
+	iov := scratch + 896
+	t.Store64(iov, uint64(resp))
+	t.Store64(iov+8, n)
+	t.Libc("writev", fd, uint64(iov), 1)
+	body := t.Global("srv_cache_data") + mem.Addr(slot*cacheSlotBytes)
+	t.Libc("write", fd, uint64(body), size)
+	return t.Call("connection_close", uint64(conn))
+}
+
+func (s *Server) fnConnectionClose(t *machine.Thread, args []uint64) uint64 {
+	conn := mem.Addr(args[0])
+	fd := t.Load64(conn + connOffFD)
+	if fd == 0 {
+		return 0
+	}
+	buf := t.Load64(conn + connOffBuf)
+	t.Block("close-conn")
+	t.Libc("epoll_ctl", t.Load64(t.Global("srv_epoll_fd")), 2, fd, 0)
+	t.Libc("close", fd)
+	if buf != 0 {
+		t.Libc("free", buf)
+	}
+	t.Store64(conn+connOffFD, 0)
+	t.Store64(conn+connOffBuf, 0)
+	t.Store64(conn+connOffLen, 0)
+	return 0
+}

@@ -1,0 +1,545 @@
+// Package nbench reproduces the Linux/Unix BYTEmark (nbench) suite the
+// paper uses for its CPU-bound evaluation (Figure 6): ten single-threaded
+// kernels — Numeric Sort, String Sort, Bitfield, FP Emulation, Fourier,
+// Assignment, IDEA, Huffman, Neural Net, LU Decomposition — each enclosed
+// in mvx_start()/mvx_end() when run under sMVX.
+//
+// The kernels do real algorithmic work against simulated memory. Their
+// libc-call density is what the paper's Figure 6 turns on: the inner loops
+// of the CPU-bound kernels touch memory directly (no PLT calls), so the
+// lockstep monitor has almost nothing to intercept and overhead stays near
+// native; Neural Net re-reads its model file every epoch, so it pays the
+// most (the paper reports ~16%, attributing it to "relatively high I/O
+// usage of reading the model file").
+package nbench
+
+import (
+	"fmt"
+
+	"smvx/internal/boot"
+	"smvx/internal/sim/clock"
+	"smvx/internal/sim/image"
+	"smvx/internal/sim/machine"
+	"smvx/internal/sim/mem"
+)
+
+// Names lists the ten benchmarks in the suite's canonical order.
+var Names = []string{
+	"numeric_sort",
+	"string_sort",
+	"bitfield",
+	"fp_emulation",
+	"fourier",
+	"assignment",
+	"idea",
+	"huffman",
+	"neural_net",
+	"lu_decomposition",
+}
+
+// DisplayNames maps kernel symbols to BYTEmark's display names.
+var DisplayNames = map[string]string{
+	"numeric_sort":     "Numeric Sort",
+	"string_sort":      "String Sort",
+	"bitfield":         "Bitfield",
+	"fp_emulation":     "FP Emulation",
+	"fourier":          "Fourier",
+	"assignment":       "Assignment",
+	"idea":             "IDEA",
+	"huffman":          "Huffman",
+	"neural_net":       "Neural Net",
+	"lu_decomposition": "LU Decomposition",
+}
+
+// ModelPath is the neural-net model file the NeuralNet kernel reads.
+const ModelPath = "/nbench/nnet.dat"
+
+// array sizes (scaled down from BYTEmark for simulation speed; the
+// compute/IO ratio, not the absolute size, drives the results).
+const (
+	numSortN   = 256
+	strSortN   = 96
+	strLen     = 16
+	bitfieldN  = 2048 // bytes
+	assignN    = 32
+	ideaBlockN = 512
+	huffN      = 1536
+	luN        = 16
+	nnInputs   = 16
+	nnHidden   = 8
+)
+
+// BuildImage lays out the nbench binary image.
+func BuildImage() *image.Image {
+	return image.NewBuilder("nbench", 0x400000).
+		AddFunc("main", 128).
+		AddFunc("numeric_sort", 512).
+		AddFunc("string_sort", 512).
+		AddFunc("bitfield", 384).
+		AddFunc("fp_emulation", 512).
+		AddFunc("fourier", 384).
+		AddFunc("assignment", 512).
+		AddFunc("idea", 512).
+		AddFunc("huffman", 512).
+		AddFunc("neural_net", 768).
+		AddFunc("lu_decomposition", 512).
+		AddBSS("ns_array", numSortN*8).
+		AddBSS("ss_strings", strSortN*strLen).
+		AddBSS("ss_index", strSortN*8).
+		AddBSS("bf_map", bitfieldN).
+		AddBSS("as_matrix", assignN*assignN*8).
+		AddBSS("as_assign", assignN*8).
+		AddBSS("idea_buf", ideaBlockN*8).
+		AddBSS("idea_key", 64).
+		AddBSS("huff_text", huffN).
+		AddBSS("huff_freq", 256*8).
+		AddBSS("huff_out", huffN*2).
+		AddBSS("nn_weights", (nnInputs*nnHidden+nnHidden)*8).
+		AddBSS("nn_file_buf", 4096).
+		AddBSS("lu_matrix", luN*luN*8).
+		AddBSS("bench_scratch", 512).
+		NeedLibc(
+			"open", "close", "read", "write",
+			"malloc", "free", "memcpy", "memset",
+			"gettimeofday", "random", "strlen", "strcmp", "snprintf",
+		).
+		Build()
+}
+
+// Program builds the suite's program.
+func Program() *machine.Program {
+	prog := machine.NewProgram(BuildImage())
+	prog.MustDefine("main", fnMain)
+	prog.MustDefine("numeric_sort", fnNumericSort)
+	prog.MustDefine("string_sort", fnStringSort)
+	prog.MustDefine("bitfield", fnBitfield)
+	prog.MustDefine("fp_emulation", fnFPEmulation)
+	prog.MustDefine("fourier", fnFourier)
+	prog.MustDefine("assignment", fnAssignment)
+	prog.MustDefine("idea", fnIDEA)
+	prog.MustDefine("huffman", fnHuffman)
+	prog.MustDefine("neural_net", fnNeuralNet)
+	prog.MustDefine("lu_decomposition", fnLUDecomposition)
+	return prog
+}
+
+// SetupFS writes the files the suite needs (the neural-net model).
+func SetupFS(env *boot.Env) {
+	model := make([]byte, 4096)
+	x := uint64(0x9E3779B97F4A7C15)
+	for i := range model {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		model[i] = byte(x)
+	}
+	env.Kernel.FS().WriteFile(ModelPath, model)
+}
+
+// RunOne executes one named benchmark for iters iterations under the given
+// MVX engine (nil for vanilla), returning the elapsed wall cycles.
+func RunOne(env *boot.Env, mvx machine.MVX, name string, iters int) (clock.Cycles, error) {
+	found := false
+	for _, n := range Names {
+		if n == name {
+			found = true
+		}
+	}
+	if !found {
+		return 0, fmt.Errorf("nbench: unknown benchmark %q", name)
+	}
+	th, err := env.Machine.NewThread("nbench-"+name, 0)
+	if err != nil {
+		return 0, err
+	}
+	if mvx != nil {
+		if err := mvx.Init(th); err != nil {
+			return 0, err
+		}
+	}
+	start := env.Wall.Cycles()
+	runErr := th.Run(func(t *machine.Thread) {
+		if mvx != nil {
+			if err := mvx.Start(t, name, uint64(iters)); err != nil {
+				t.Compute(0)
+			}
+			t.Call(name, uint64(iters))
+			_ = mvx.End(t)
+			return
+		}
+		t.Call(name, uint64(iters))
+	})
+	return env.Wall.Cycles() - start, runErr
+}
+
+func fnMain(t *machine.Thread, args []uint64) uint64 {
+	iters := args[0]
+	for _, name := range Names {
+		t.Call(name, iters)
+	}
+	return 0
+}
+
+// lcg is the deterministic pseudo-random generator the kernels seed their
+// working sets with (computed in registers, stored to simulated memory).
+type lcg uint64
+
+func (r *lcg) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r)
+}
+
+// fnNumericSort: BYTEmark's numeric sort — in-place insertion sort of a
+// pseudo-random int array. Pure loads/stores and compute; no libc in the
+// loop.
+func fnNumericSort(t *machine.Thread, args []uint64) uint64 {
+	iters := int(args[0])
+	arr := t.Global("ns_array")
+	var checksum uint64
+	for it := 0; it < iters; it++ {
+		rng := lcg(it + 1)
+		for i := 0; i < numSortN; i++ {
+			t.Store64(arr+mem.Addr(i*8), rng.next()%100000)
+		}
+		for i := 1; i < numSortN; i++ {
+			key := t.Load64(arr + mem.Addr(i*8))
+			j := i - 1
+			for j >= 0 {
+				v := t.Load64(arr + mem.Addr(j*8))
+				if v <= key {
+					break
+				}
+				t.Store64(arr+mem.Addr((j+1)*8), v)
+				j--
+			}
+			t.Store64(arr+mem.Addr((j+1)*8), key)
+			t.Compute(4)
+		}
+		checksum += t.Load64(arr)
+	}
+	return checksum
+}
+
+// fnStringSort: sort an array of fixed-width strings via an index table,
+// comparing bytes in simulated memory.
+func fnStringSort(t *machine.Thread, args []uint64) uint64 {
+	iters := int(args[0])
+	strs := t.Global("ss_strings")
+	idx := t.Global("ss_index")
+	for it := 0; it < iters; it++ {
+		// BYTEmark allocates the string workspace per run.
+		work := t.Libc("malloc", strSortN*strLen)
+		rng := lcg(it + 7)
+		for i := 0; i < strSortN; i++ {
+			for j := 0; j < strLen-1; j++ {
+				t.Store8(strs+mem.Addr(i*strLen+j), byte('a'+rng.next()%26))
+			}
+			t.Store8(strs+mem.Addr(i*strLen+strLen-1), 0)
+			t.Store64(idx+mem.Addr(i*8), uint64(strs)+uint64(i*strLen))
+		}
+		cmp := func(a, b mem.Addr) int {
+			for k := 0; k < strLen; k++ {
+				ca := t.Load8(a + mem.Addr(k))
+				cb := t.Load8(b + mem.Addr(k))
+				if ca != cb {
+					return int(ca) - int(cb)
+				}
+				if ca == 0 {
+					return 0
+				}
+			}
+			return 0
+		}
+		for i := 1; i < strSortN; i++ {
+			key := t.Load64(idx + mem.Addr(i*8))
+			j := i - 1
+			for j >= 0 {
+				v := t.Load64(idx + mem.Addr(j*8))
+				if cmp(mem.Addr(v), mem.Addr(key)) <= 0 {
+					break
+				}
+				t.Store64(idx+mem.Addr((j+1)*8), v)
+				j--
+			}
+			t.Store64(idx+mem.Addr((j+1)*8), key)
+			t.Compute(6)
+		}
+		t.Libc("free", work)
+	}
+	return 0
+}
+
+// fnBitfield: BYTEmark's bitfield operations — set/clear/complement runs of
+// bits in a bitmap.
+func fnBitfield(t *machine.Thread, args []uint64) uint64 {
+	iters := int(args[0])
+	bmap := t.Global("bf_map")
+	var ops uint64
+	for it := 0; it < iters; it++ {
+		rng := lcg(it + 13)
+		t.Memset(bmap, 0, bitfieldN)
+		for op := 0; op < 512; op++ {
+			start := rng.next() % (bitfieldN * 8)
+			length := rng.next() % 64
+			kind := rng.next() % 3
+			for b := start; b < start+length && b < bitfieldN*8; b++ {
+				byteAddr := bmap + mem.Addr(b/8)
+				bit := byte(1 << (b % 8))
+				v := t.Load8(byteAddr)
+				switch kind {
+				case 0:
+					v |= bit
+				case 1:
+					v &^= bit
+				default:
+					v ^= bit
+				}
+				t.Store8(byteAddr, v)
+				ops++
+			}
+			t.Compute(8)
+		}
+	}
+	return ops
+}
+
+// fnFPEmulation: software floating point — fixed-point mantissa arithmetic
+// loops, compute-dominated.
+func fnFPEmulation(t *machine.Thread, args []uint64) uint64 {
+	iters := int(args[0])
+	var acc uint64
+	for it := 0; it < iters; it++ {
+		rng := lcg(it + 17)
+		for op := 0; op < 2000; op++ {
+			a := rng.next() | 1
+			b := rng.next() | 1
+			// emulated multiply: shift/add over 16 mantissa digits
+			var m uint64
+			for d := 0; d < 16; d++ {
+				if b&(1<<d) != 0 {
+					m += a << d
+				}
+			}
+			acc ^= m
+			t.Compute(24)
+		}
+	}
+	return acc
+}
+
+// fnFourier: numerical integration of Fourier coefficients (trapezoid
+// rule), pure compute via fixed-point math.
+func fnFourier(t *machine.Thread, args []uint64) uint64 {
+	iters := int(args[0])
+	var acc uint64
+	for it := 0; it < iters; it++ {
+		for coef := 1; coef <= 24; coef++ {
+			var sum int64
+			for step := 0; step < 100; step++ {
+				x := int64(step) * 314159 / 100
+				term := (x * int64(coef)) % 628318
+				if term > 314159 {
+					term = 628318 - term
+				}
+				sum += term
+				t.Compute(12)
+			}
+			acc ^= uint64(sum)
+		}
+	}
+	return acc
+}
+
+// fnAssignment: BYTEmark's assignment-problem kernel — greedy row
+// minimization over a cost matrix in simulated memory.
+func fnAssignment(t *machine.Thread, args []uint64) uint64 {
+	iters := int(args[0])
+	mat := t.Global("as_matrix")
+	asn := t.Global("as_assign")
+	var total uint64
+	for it := 0; it < iters; it++ {
+		rng := lcg(it + 29)
+		for i := 0; i < assignN*assignN; i++ {
+			t.Store64(mat+mem.Addr(i*8), rng.next()%1000)
+		}
+		var usedCols uint64
+		for row := 0; row < assignN; row++ {
+			best := uint64(1 << 62)
+			bestCol := -1
+			for col := 0; col < assignN; col++ {
+				if usedCols&(1<<col) != 0 {
+					continue
+				}
+				v := t.Load64(mat + mem.Addr((row*assignN+col)*8))
+				if v < best {
+					best = v
+					bestCol = col
+				}
+				t.Compute(3)
+			}
+			usedCols |= 1 << bestCol
+			t.Store64(asn+mem.Addr(row*8), uint64(bestCol))
+			total += best
+		}
+	}
+	return total
+}
+
+// fnIDEA: IDEA-style block cipher rounds over a buffer, key loaded from
+// /dev/urandom once per run (one libc open/read/close triple).
+func fnIDEA(t *machine.Thread, args []uint64) uint64 {
+	iters := int(args[0])
+	buf := t.Global("idea_buf")
+	key := t.Global("idea_key")
+	scratch := t.Global("bench_scratch")
+	t.WriteCString(scratch, "/dev/urandom")
+	fd := t.Libc("open", uint64(scratch), 0)
+	t.Libc("read", fd, uint64(key), 64)
+	t.Libc("close", fd)
+
+	k0 := t.Load64(key)
+	k1 := t.Load64(key + 8)
+	var acc uint64
+	for it := 0; it < iters; it++ {
+		for blk := 0; blk < ideaBlockN; blk++ {
+			addr := buf + mem.Addr(blk*8)
+			v := t.Load64(addr)
+			for round := 0; round < 8; round++ {
+				v = (v * (k0 | 1)) ^ (v >> 16) ^ k1
+				v = v<<13 | v>>51
+			}
+			t.Store64(addr, v)
+			acc ^= v
+			t.Compute(32)
+		}
+	}
+	return acc
+}
+
+// fnHuffman: frequency count, code assignment, and compression of a text
+// buffer.
+func fnHuffman(t *machine.Thread, args []uint64) uint64 {
+	iters := int(args[0])
+	text := t.Global("huff_text")
+	freq := t.Global("huff_freq")
+	out := t.Global("huff_out")
+	var bits uint64
+	for it := 0; it < iters; it++ {
+		comp := t.Libc("malloc", huffN)
+		rng := lcg(it + 41)
+		for i := 0; i < huffN; i++ {
+			t.Store8(text+mem.Addr(i), byte('a'+rng.next()%16))
+		}
+		t.Memset(freq, 0, 256*8)
+		for i := 0; i < huffN; i++ {
+			c := t.Load8(text + mem.Addr(i))
+			addr := freq + mem.Addr(int(c)*8)
+			t.Store64(addr, t.Load64(addr)+1)
+		}
+		// Approximate code lengths by frequency rank.
+		outOff := 0
+		for i := 0; i < huffN; i++ {
+			c := t.Load8(text + mem.Addr(i))
+			f := t.Load64(freq + mem.Addr(int(c)*8))
+			codeLen := 1
+			for threshold := uint64(huffN / 2); f < threshold && codeLen < 8; threshold /= 2 {
+				codeLen++
+			}
+			bits += uint64(codeLen)
+			t.Store8(out+mem.Addr(outOff), byte(codeLen))
+			outOff = (outOff + 1) % (huffN * 2)
+			t.Compute(10)
+		}
+		t.Libc("free", comp)
+	}
+	return bits
+}
+
+// fnNeuralNet: back-propagation training. Every epoch re-reads the model
+// file — the I/O that makes this the worst case of Figure 6.
+func fnNeuralNet(t *machine.Thread, args []uint64) uint64 {
+	iters := int(args[0])
+	weights := t.Global("nn_weights")
+	fileBuf := t.Global("nn_file_buf")
+	scratch := t.Global("bench_scratch")
+	t.WriteCString(scratch, ModelPath)
+	var acc uint64
+	for it := 0; it < iters; it++ {
+		// Load the model: open + chunked reads + close (the paper calls
+		// out "reading the model file" as Neural Net's overhead source).
+		fd := t.Libc("open", uint64(scratch), 0)
+		if int64(fd) < 0 {
+			return ^uint64(0)
+		}
+		for c := 0; c < 4; c++ {
+			t.Libc("read", fd, uint64(fileBuf), 1024)
+		}
+		t.Libc("close", fd)
+
+		// Initialize weights from the file bytes.
+		for i := 0; i < nnInputs*nnHidden+nnHidden; i++ {
+			t.Store64(weights+mem.Addr(i*8), t.Load64(fileBuf+mem.Addr((i%32)*8)))
+		}
+		// Forward + backward passes.
+		for epoch := 0; epoch < 60; epoch++ {
+			for h := 0; h < nnHidden; h++ {
+				var sum uint64
+				for i := 0; i < nnInputs; i++ {
+					w := t.Load64(weights + mem.Addr((h*nnInputs+i)*8))
+					sum += w >> 32
+					t.Compute(6)
+				}
+				bias := weights + mem.Addr((nnInputs*nnHidden+h)*8)
+				t.Store64(bias, t.Load64(bias)+sum%1000)
+				acc ^= sum
+			}
+		}
+	}
+	return acc
+}
+
+// fnLUDecomposition: Gaussian elimination with partial pivoting over a
+// fixed-point matrix.
+func fnLUDecomposition(t *machine.Thread, args []uint64) uint64 {
+	iters := int(args[0])
+	mat := t.Global("lu_matrix")
+	var acc uint64
+	at := func(r, c int) mem.Addr { return mat + mem.Addr((r*luN+c)*8) }
+	for it := 0; it < iters; it++ {
+		rng := lcg(it + 53)
+		for i := 0; i < luN*luN; i++ {
+			t.Store64(mat+mem.Addr(i*8), rng.next()%10000+1)
+		}
+		for k := 0; k < luN-1; k++ {
+			// partial pivot
+			maxRow := k
+			maxVal := t.Load64(at(k, k))
+			for r := k + 1; r < luN; r++ {
+				if v := t.Load64(at(r, k)); v > maxVal {
+					maxVal = v
+					maxRow = r
+				}
+			}
+			if maxRow != k {
+				for c := 0; c < luN; c++ {
+					a := t.Load64(at(k, c))
+					b := t.Load64(at(maxRow, c))
+					t.Store64(at(k, c), b)
+					t.Store64(at(maxRow, c), a)
+				}
+			}
+			pivot := t.Load64(at(k, k)) | 1
+			for r := k + 1; r < luN; r++ {
+				factor := (t.Load64(at(r, k)) << 16) / pivot
+				for c := k; c < luN; c++ {
+					v := t.Load64(at(r, c))
+					sub := (factor * t.Load64(at(k, c))) >> 16
+					t.Store64(at(r, c), v-sub)
+					t.Compute(8)
+				}
+			}
+		}
+		acc ^= t.Load64(at(luN-1, luN-1))
+	}
+	return acc
+}

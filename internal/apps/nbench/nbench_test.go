@@ -1,0 +1,142 @@
+package nbench
+
+import (
+	"testing"
+
+	"smvx/internal/boot"
+	"smvx/internal/core"
+	"smvx/internal/sim/clock"
+	"smvx/internal/sim/kernel"
+	"smvx/internal/sim/machine"
+	"smvx/internal/sim/mem"
+)
+
+func newEnv(t *testing.T) *boot.Env {
+	t.Helper()
+	env, err := boot.NewEnv(kernel.New(clock.DefaultCosts(), 3), Program(), boot.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetupFS(env)
+	return env
+}
+
+func TestAllKernelsRunVanilla(t *testing.T) {
+	env := newEnv(t)
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cycles, err := RunOne(env, nil, name, 2)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if cycles == 0 {
+				t.Errorf("%s consumed no cycles", name)
+			}
+		})
+	}
+}
+
+func TestUnknownBenchmarkRejected(t *testing.T) {
+	env := newEnv(t)
+	if _, err := RunOne(env, nil, "quicksort3000", 1); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+}
+
+func TestKernelsDeterministic(t *testing.T) {
+	// Same seed, same program: identical result values.
+	run := func() uint64 {
+		env := newEnv(t)
+		th, _ := env.Machine.NewThread("t", 0)
+		var out uint64
+		_ = th.Run(func(t *machine.Thread) { out = t.Call("numeric_sort", 2) })
+		return out
+	}
+	if run() != run() {
+		t.Error("numeric_sort is nondeterministic")
+	}
+}
+
+func TestNumericSortActuallySorts(t *testing.T) {
+	env := newEnv(t)
+	th, _ := env.Machine.NewThread("t", 0)
+	err := th.Run(func(tt *machine.Thread) {
+		tt.Call("numeric_sort", 1)
+		arr := tt.Global("ns_array")
+		prev := uint64(0)
+		for i := 0; i < numSortN; i++ {
+			v := tt.Load64(arr + mem.Addr(i*8))
+			if v < prev {
+				t.Errorf("array not sorted at %d: %d < %d", i, v, prev)
+				return
+			}
+			prev = v
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringSortActuallySorts(t *testing.T) {
+	env := newEnv(t)
+	th, _ := env.Machine.NewThread("t", 0)
+	err := th.Run(func(tt *machine.Thread) {
+		tt.Call("string_sort", 1)
+		idx := tt.Global("ss_index")
+		prev := ""
+		for i := 0; i < strSortN; i++ {
+			p := tt.Load64(idx + mem.Addr(i*8))
+			s := tt.CString(mem.Addr(p), strLen)
+			if s < prev {
+				t.Errorf("strings not sorted at %d: %q < %q", i, s, prev)
+				return
+			}
+			prev = s
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnderSMVXNoAlarms(t *testing.T) {
+	// Every kernel must run identically in both variants: no alarms.
+	for _, name := range Names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			env := newEnv(t)
+			mon := core.New(env.Machine, env.LibC, core.WithSeed(3))
+			if _, err := RunOne(env, mon, name, 2); err != nil {
+				t.Fatalf("%s under sMVX: %v", name, err)
+			}
+			if alarms := mon.Alarms(); len(alarms) != 0 {
+				t.Fatalf("%s alarms: %v", name, alarms)
+			}
+		})
+	}
+}
+
+func TestNeuralNetHasHighestLibcDensity(t *testing.T) {
+	// The Figure 6 shape: Neural Net's per-cycle libc-call density tops
+	// the suite (model-file I/O), while Numeric Sort, Bitfield and
+	// Assignment are almost pure compute.
+	density := make(map[string]float64)
+	for _, name := range Names {
+		env := newEnv(t)
+		before := env.LibC.TotalCalls()
+		cycles, err := RunOne(env, nil, name, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls := env.LibC.TotalCalls() - before
+		density[name] = float64(calls) / float64(cycles) * 1e6
+	}
+	for _, low := range []string{"numeric_sort", "bitfield", "assignment"} {
+		if density[low] >= density["neural_net"] {
+			t.Errorf("density(%s)=%.2f should be far below neural_net=%.2f",
+				low, density[low], density["neural_net"])
+		}
+	}
+}

@@ -1,0 +1,317 @@
+package nginx
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"smvx/internal/boot"
+	"smvx/internal/core"
+	"smvx/internal/sim/clock"
+	"smvx/internal/sim/kernel"
+	"smvx/internal/sim/mem"
+	"smvx/internal/workload"
+)
+
+// serveEnv boots a server env and a client process on one kernel.
+func serveEnv(t *testing.T, cfg Config, opts ...boot.Option) (*Server, *boot.Env, *kernel.Process) {
+	t.Helper()
+	k := kernel.New(clock.DefaultCosts(), 42)
+	srv := NewServer(cfg)
+	env, err := boot.NewEnv(k, srv.Program(), append([]boot.Option{boot.WithSeed(42)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.FS().WriteFile("/var/www/index.html", bytes.Repeat([]byte("x"), 4096))
+	k.FS().WriteFile("/var/www/page.html", bytes.Repeat([]byte("y"), 4096))
+	client := k.NewProcess(clock.NewCounter())
+	return srv, env, client
+}
+
+// runServer starts the server on its own goroutine.
+func runServer(t *testing.T, srv *Server, env *boot.Env) chan error {
+	t.Helper()
+	done := make(chan error, 1)
+	th, err := env.MainThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { done <- srv.Run(th) }()
+	return done
+}
+
+func TestVanillaServes4KBPage(t *testing.T) {
+	srv, env, client := serveEnv(t, Config{Port: 8080, MaxRequests: 3, AccessLog: true})
+	done := runServer(t, srv, env)
+
+	res := workload.RunAB(client, 8080, "/index.html", 3)
+	if err := <-done; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	if res.Completed != 3 || res.Failed != 0 {
+		t.Fatalf("ab result: %+v", res)
+	}
+	// Each response: headers + 4096-byte body.
+	if res.BytesRead < 3*4096 {
+		t.Errorf("BytesRead = %d, want >= %d", res.BytesRead, 3*4096)
+	}
+	// The access log recorded each request.
+	logData, e := env.Kernel.FS().ReadFile("/var/log/nginx/access.log")
+	if e != kernel.OK {
+		t.Fatalf("no access log: %v", e)
+	}
+	if got := strings.Count(string(logData), "GET /index.html"); got != 3 {
+		t.Errorf("access log entries = %d, want 3\n%s", got, logData)
+	}
+}
+
+func TestRootPathServesIndex(t *testing.T) {
+	srv, env, client := serveEnv(t, Config{Port: 8080, MaxRequests: 1})
+	done := runServer(t, srv, env)
+	resp, err := workload.RequestPath(client, 8080, workload.GetRequest("/"))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	<-done
+	if !strings.HasPrefix(string(resp), "HTTP/1.1 200 OK") {
+		t.Errorf("response: %.80s", resp)
+	}
+	if !strings.Contains(string(resp), "Content-Length: 4096") {
+		t.Errorf("missing content length: %.200s", resp)
+	}
+}
+
+func TestMissingFileGets404(t *testing.T) {
+	srv, env, client := serveEnv(t, Config{Port: 8080, MaxRequests: 1})
+	done := runServer(t, srv, env)
+	resp, err := workload.RequestPath(client, 8080, workload.GetRequest("/nope.html"))
+	if err != nil {
+		t.Fatalf("request: %v", err)
+	}
+	<-done
+	if !strings.HasPrefix(string(resp), "HTTP/1.1 404") {
+		t.Errorf("response: %.80s", resp)
+	}
+}
+
+func TestBasicAuth(t *testing.T) {
+	srv, env, client := serveEnv(t, Config{
+		Port: 8080, MaxRequests: 2, AuthUser: "admin", AuthPass: "s3cret",
+	})
+	done := runServer(t, srv, env)
+
+	authReq := func(cred string) []byte {
+		var b strings.Builder
+		b.WriteString("GET /private HTTP/1.1\r\n")
+		b.WriteString("Host: localhost\r\n")
+		if cred != "" {
+			b.WriteString("Authorization: " + cred + "\r\n")
+		}
+		b.WriteString("Connection: close\r\n\r\n")
+		return []byte(b.String())
+	}
+	resp, err := workload.RequestPath(client, 8080, authReq("nobody:wrong"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(resp), "HTTP/1.1 401") {
+		t.Errorf("bad credentials response: %.80s", resp)
+	}
+	resp, err = workload.RequestPath(client, 8080, authReq("admin:s3cret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	// /private has no file, but auth passed: static handler 404s.
+	if !strings.HasPrefix(string(resp), "HTTP/1.1 404") {
+		t.Errorf("good credentials response: %.80s", resp)
+	}
+}
+
+func TestChunkedBodyDiscardedOnFixedVersion(t *testing.T) {
+	srv, env, client := serveEnv(t, Config{Port: 8080, MaxRequests: 1, Version: VersionFixed})
+	done := runServer(t, srv, env)
+
+	ex, err := workload.BuildCVE2013_2028(env.Img, "/pwned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ex.DeliverAndRead(client, 8080)
+	if err != nil {
+		t.Fatalf("exploit send: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("fixed server must survive the exploit: %v", err)
+	}
+	if env.Kernel.FS().DirExists("/pwned") {
+		t.Error("fixed version executed the ROP chain")
+	}
+	if !strings.HasPrefix(string(resp), "HTTP/1.1 200") {
+		t.Errorf("fixed version should answer 200: %.80s", resp)
+	}
+}
+
+func TestCVEExploitHijacksVulnerableVanilla(t *testing.T) {
+	srv, env, client := serveEnv(t, Config{Port: 8080, MaxRequests: 1, Version: VersionVulnerable})
+	done := runServer(t, srv, env)
+
+	ex, err := workload.BuildCVE2013_2028(env.Img, "/pwned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Chain) != 3 {
+		t.Errorf("chain = %v, want 3 gadgets", ex.Chain)
+	}
+	if err := ex.Deliver(client, 8080); err != nil {
+		t.Fatalf("exploit send: %v", err)
+	}
+	// The hijacked worker crashes after the chain runs.
+	if err := <-done; err == nil {
+		t.Error("vulnerable worker should crash after the ROP chain")
+	}
+	if !env.Kernel.FS().DirExists("/pwned") {
+		t.Error("ROP chain did not execute mkdir — exploit failed on vanilla")
+	}
+}
+
+func TestServesUnderSMVXFullProtection(t *testing.T) {
+	// Protect the whole worker loop (the "full protection" configuration
+	// of Figure 7) and verify requests still complete with no alarms.
+	k := kernel.New(clock.DefaultCosts(), 42)
+	cfg := Config{Port: 8080, MaxRequests: 3, Protect: "ngx_worker_process_cycle", AccessLog: true}
+	srv := NewServer(cfg)
+	env, err := boot.NewEnv(k, srv.Program(), boot.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.FS().WriteFile("/var/www/index.html", bytes.Repeat([]byte("x"), 4096))
+	client := k.NewProcess(clock.NewCounter())
+
+	mon := core.New(env.Machine, env.LibC, core.WithSeed(42))
+	srv.SetMVX(mon)
+
+	done := runServer(t, srv, env)
+	res := workload.RunAB(client, 8080, "/index.html", 3)
+	if err := <-done; err != nil {
+		t.Fatalf("server under sMVX: %v", err)
+	}
+	if res.Completed != 3 {
+		t.Fatalf("ab under sMVX: %+v", res)
+	}
+	if alarms := mon.Alarms(); len(alarms) != 0 {
+		t.Fatalf("false-positive alarms under benign load: %v", alarms)
+	}
+	reports := mon.Reports()
+	if len(reports) != 1 || reports[0].Diverged {
+		t.Fatalf("reports: %+v", reports)
+	}
+	if reports[0].LibcCalls == 0 {
+		t.Error("no libc calls recorded in the protected region")
+	}
+}
+
+func TestSMVXDetectsCVEExploit(t *testing.T) {
+	// The paper's security experiment: vulnerable nginx protected at the
+	// outermost tainted function; the exploit hijacks the leader but the
+	// follower faults at gadget addresses unmapped in its view.
+	k := kernel.New(clock.DefaultCosts(), 42)
+	cfg := Config{
+		Port: 8080, MaxRequests: 1,
+		Version: VersionVulnerable,
+		Protect: "ngx_http_process_request_line",
+	}
+	srv := NewServer(cfg)
+	env, err := boot.NewEnv(k, srv.Program(), boot.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.FS().WriteFile("/var/www/index.html", bytes.Repeat([]byte("x"), 4096))
+	client := k.NewProcess(clock.NewCounter())
+
+	mon := core.New(env.Machine, env.LibC, core.WithSeed(42))
+	srv.SetMVX(mon)
+
+	done := runServer(t, srv, env)
+	ex, err := workload.BuildCVE2013_2028(env.Img, "/pwned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Deliver(client, 8080); err != nil {
+		t.Fatalf("exploit send: %v", err)
+	}
+	<-done // leader worker crashes after its chain
+
+	var followerFault bool
+	for _, a := range mon.Alarms() {
+		if a.Reason == core.AlarmFollowerFault {
+			followerFault = true
+		}
+	}
+	if !followerFault {
+		t.Errorf("sMVX did not detect the exploit; alarms = %v", mon.Alarms())
+	}
+}
+
+func TestLibcSyscallRatioNearPaper(t *testing.T) {
+	// Figure 7 reports ~5.4 libc calls per syscall for nginx.
+	srv, env, client := serveEnv(t, Config{Port: 8080, MaxRequests: 20, AccessLog: true})
+	done := runServer(t, srv, env)
+	_ = workload.RunAB(client, 8080, "/index.html", 20)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	libcCalls := env.LibC.TotalCalls()
+	syscalls := env.Proc.SyscallTotal()
+	ratio := float64(libcCalls) / float64(syscalls)
+	if ratio < 4.0 || ratio > 7.0 {
+		t.Errorf("libc:syscall ratio = %.2f (libc=%d sys=%d), want ~5.4", ratio, libcCalls, syscalls)
+	}
+}
+
+func TestTaintAnalysisFlagsRequestPath(t *testing.T) {
+	// ab traffic through the taint engine must flag the tainted functions
+	// of Section 3.2, including ngx_http_process_request_line.
+	k := kernel.New(clock.DefaultCosts(), 42)
+	srv := NewServer(Config{Port: 8080, MaxRequests: 2})
+	env, err := boot.NewEnv(k, srv.Program(), boot.WithSeed(42), boot.WithTaint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.FS().WriteFile("/var/www/index.html", bytes.Repeat([]byte("x"), 4096))
+	client := k.NewProcess(clock.NewCounter())
+
+	sink := &recordingSink{}
+	env.Machine.SetTaintSink(sink)
+
+	done := runServer(t, srv, env)
+	_ = workload.RunAB(client, 8080, "/index.html", 2)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.ips) == 0 {
+		t.Fatal("no tainted accesses recorded")
+	}
+	fns := make(map[string]bool)
+	for _, ip := range sink.ips {
+		if sym, ok := env.Img.SymbolAt(ip); ok {
+			fns[sym.Name] = true
+		}
+	}
+	for _, want := range []string{"ngx_http_process_request_line", "ngx_http_process_request_headers"} {
+		if !fns[want] {
+			t.Errorf("taint analysis missed %s; got %v", want, fns)
+		}
+	}
+}
+
+type recordingSink struct {
+	mu  sync.Mutex
+	ips []mem.Addr
+}
+
+func (r *recordingSink) OnTaintedAccess(ip, addr mem.Addr) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ips = append(r.ips, ip)
+}

@@ -1,0 +1,94 @@
+package boot
+
+import (
+	"testing"
+
+	"smvx/internal/sim/clock"
+	"smvx/internal/sim/image"
+	"smvx/internal/sim/kernel"
+	"smvx/internal/sim/machine"
+)
+
+func testProg() *machine.Program {
+	img := image.NewBuilder("bootapp", 0x400000).
+		AddFunc("main", 64).
+		NeedLibc("malloc", "free", "gettimeofday").
+		Build()
+	prog := machine.NewProgram(img)
+	prog.MustDefine("main", func(t *machine.Thread, args []uint64) uint64 {
+		p := t.Libc("malloc", 64)
+		t.Libc("free", p)
+		return p
+	})
+	return prog
+}
+
+func TestNewEnvWiresEverything(t *testing.T) {
+	k := kernel.New(clock.DefaultCosts(), 1)
+	env, err := NewEnv(k, testProg(), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Kernel != k || env.Machine == nil || env.LibC == nil {
+		t.Fatal("env incomplete")
+	}
+	// Heap mapped and registered.
+	if base, size := env.LibC.HeapBounds(0); base != DefaultHeapBase || size == 0 {
+		t.Errorf("heap bounds = %v %v", base, size)
+	}
+	// Profile written to /tmp.
+	if !k.FS().Exists(image.ProfilePath("bootapp")) {
+		t.Error("profile file not written")
+	}
+	// Shared libraries resident (the RSS floor of a real process).
+	if env.ResidentKB() < 1000 {
+		t.Errorf("ResidentKB = %d, want >= ~1.2MB of library pages", env.ResidentKB())
+	}
+}
+
+func TestRunMainExecutes(t *testing.T) {
+	env, err := NewEnv(kernel.New(clock.DefaultCosts(), 1), testProg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ret uint64
+	if err := env.RunMain(func(th *machine.Thread) { ret = th.Call("main") }); err != nil {
+		t.Fatal(err)
+	}
+	if ret == 0 {
+		t.Error("malloc in main returned NULL")
+	}
+	if env.Counter.Cycles() == 0 || env.Wall.Cycles() == 0 {
+		t.Error("counters not charged")
+	}
+}
+
+func TestWithoutProfileSkipsWrite(t *testing.T) {
+	k := kernel.New(clock.DefaultCosts(), 1)
+	if _, err := NewEnv(k, testProg(), WithoutProfile()); err != nil {
+		t.Fatal(err)
+	}
+	if k.FS().Exists(image.ProfilePath("bootapp")) {
+		t.Error("profile should not be written")
+	}
+}
+
+func TestWithTaintEnables(t *testing.T) {
+	env, err := NewEnv(kernel.New(clock.DefaultCosts(), 1), testProg(), WithTaint())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !env.AS.TaintEnabled() {
+		t.Error("taint not enabled")
+	}
+}
+
+func TestWithHeapPages(t *testing.T) {
+	env, err := NewEnv(kernel.New(clock.DefaultCosts(), 1), testProg(), WithHeapPages(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.HeapSize != 8*4096 {
+		t.Errorf("HeapSize = %d", env.HeapSize)
+	}
+}

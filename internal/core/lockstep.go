@@ -1,0 +1,364 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"smvx/internal/libc"
+	"smvx/internal/sim/clock"
+	"smvx/internal/sim/kernel"
+	"smvx/internal/sim/machine"
+	"smvx/internal/sim/mem"
+)
+
+// callResult modes.
+const (
+	modeEmulated = iota + 1
+	modeLocal
+	modeAbort
+)
+
+// callRecord is the follower's half of one lockstep rendezvous, sent to the
+// leader over the (simulated shared-memory) IPC channel.
+type callRecord struct {
+	name string
+	args []uint64
+	resp chan callResult
+}
+
+// callResult is the leader's reply: either the emulated result, an
+// instruction to execute locally (user-space calls), or an abort.
+type callResult struct {
+	mode  int
+	ret   uint64
+	errno kernel.Errno
+}
+
+// session is one active protected region: the leader/follower lockstep
+// state. Channels model the shared-memory IPC ring with its mutexes and
+// condition variables (Section 3.2).
+type session struct {
+	mon   *Monitor
+	fn    string
+	delta int64
+
+	leaderTID   int
+	followerTID int
+
+	req        chan *callRecord
+	leaderDone chan struct{}
+	thread     *kernel.Thread
+
+	deadOnce     sync.Once
+	followerDead chan struct{}
+	followerErr  error
+
+	calls         atomic.Uint64
+	emulatedBytes atomic.Uint64
+	diverged      atomic.Bool
+}
+
+func newSession(mon *Monitor, fn string, delta int64, leaderTID int) *session {
+	return &session{
+		mon:          mon,
+		fn:           fn,
+		delta:        delta,
+		leaderTID:    leaderTID,
+		req:          make(chan *callRecord),
+		leaderDone:   make(chan struct{}),
+		followerDead: make(chan struct{}),
+	}
+}
+
+// markDead records the follower's termination (normal or crash) and wakes
+// the leader if it is blocked on a rendezvous.
+func (s *session) markDead(err error) {
+	s.deadOnce.Do(func() {
+		s.followerErr = err
+		close(s.followerDead)
+	})
+}
+
+// abortFollower replies abort to a pending follower call.
+func abortFollower(rec *callRecord) {
+	rec.resp <- callResult{mode: modeAbort}
+}
+
+// leaderCall runs the leader's side of one lockstep libc call: wait for the
+// follower to arrive at its own call, compare, execute (leader-only for
+// kernel-facing calls), emulate results to the follower, and reply.
+func (s *session) leaderCall(t *machine.Thread, name string, args []uint64) uint64 {
+	idx := s.calls.Add(1)
+	s.mon.m.ChargeThread(t, s.mon.m.Costs().LockstepRendezvous)
+
+	select {
+	case rec := <-s.req:
+		return s.leaderPaired(t, name, args, rec, idx)
+	case <-s.followerDead:
+		// The follower died mid-region (e.g. faulted on a gadget
+		// address). The alarm is raised by the variant waiter; the leader
+		// continues un-replicated so the region can wind down.
+		s.diverged.Store(true)
+		return s.mon.lib.Call(t, name, args)
+	}
+}
+
+// leaderPaired handles a rendezvous where both variants arrived.
+func (s *session) leaderPaired(t *machine.Thread, name string, args []uint64, rec *callRecord, idx uint64) uint64 {
+	// Lockstep check 1: same libc function name (Section 3.3).
+	if rec.name != name {
+		s.mon.raiseAlarm(AlarmCallMismatch, idx,
+			fmt.Sprintf("leader called %s, follower called %s", name, rec.name))
+		s.diverged.Store(true)
+		abortFollower(rec)
+		return s.mon.lib.Call(t, name, args)
+	}
+	// Lockstep check 2: same non-pointer argument values.
+	if bad, li, fi := scalarMismatch(name, args, rec.args); bad {
+		s.mon.raiseAlarm(AlarmArgMismatch, idx,
+			fmt.Sprintf("%s arg mismatch: leader %#x vs follower %#x", name, li, fi))
+		s.diverged.Store(true)
+		abortFollower(rec)
+		return s.mon.lib.Call(t, name, args)
+	}
+
+	switch libc.CategoryOf(name) {
+	case libc.CatLocal:
+		// User-space call: each variant executes in its own space.
+		ret := s.mon.lib.Call(t, name, args)
+		rec.resp <- callResult{mode: modeLocal}
+		return ret
+	default:
+		// Leader-only execution; follower receives return value, errno,
+		// and any output buffers over the IPC.
+		ret := s.mon.lib.Call(t, name, args)
+		errno := t.Errno()
+		copied := s.emulate(name, args, rec.args, ret)
+		s.emulatedBytes.Add(uint64(copied))
+		rec.resp <- callResult{mode: modeEmulated, ret: ret, errno: errno}
+		return ret
+	}
+}
+
+// followerCall runs the follower's side: publish the call, wait for the
+// leader's verdict.
+func (s *session) followerCall(t *machine.Thread, name string, args []uint64) uint64 {
+	rec := &callRecord{name: name, args: args, resp: make(chan callResult, 1)}
+	select {
+	case s.req <- rec:
+		res := <-rec.resp
+		switch res.mode {
+		case modeLocal:
+			return s.mon.lib.Call(t, name, args)
+		case modeEmulated:
+			t.SetErrno(res.errno)
+			return res.ret
+		default:
+			panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDivergence})
+		}
+	case <-s.leaderDone:
+		// The leader already left the region: the follower is executing
+		// calls the leader never made.
+		s.mon.raiseAlarm(AlarmSequenceLength, s.calls.Load(),
+			fmt.Sprintf("follower issued %s after leader finished the region", name))
+		s.diverged.Store(true)
+		panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDivergence})
+	}
+}
+
+// emulate copies the leader's output buffers into the follower's
+// corresponding buffers, translating embedded pointers for the special
+// category, and returns bytes copied. Copies run with monitor privileges
+// (raw address-space access — the monitor's PKRU has every key enabled).
+func (s *session) emulate(name string, leaderArgs, followerArgs []uint64, ret uint64) int {
+	as := s.mon.m.AddressSpace()
+	costs := s.mon.m.Costs()
+	arg := func(a []uint64, i int) uint64 {
+		if i < len(a) {
+			return a[i]
+		}
+		return 0
+	}
+	copyBuf := func(argIdx, n int) int {
+		if n <= 0 {
+			return 0
+		}
+		src := mem.Addr(arg(leaderArgs, argIdx))
+		dst := mem.Addr(arg(followerArgs, argIdx))
+		if src == 0 || dst == 0 {
+			return 0
+		}
+		buf := make([]byte, n)
+		if err := as.ReadAt(src, buf); err != nil {
+			return 0
+		}
+		if err := as.WriteAt(dst, buf); err != nil {
+			// The follower's buffer is bad — surface as divergence by
+			// leaving the follower with stale data; the next check will
+			// catch it. This mirrors the paper's "extra bounds checks on
+			// sensitive calls" future-work remark.
+			return 0
+		}
+		_ = as.CopyTaint(dst, src, n)
+		s.mon.m.ChargeThread(nil, costs.LockstepCopyPerByte*cyclesOf(n))
+		return n
+	}
+
+	retN := 0
+	if int64(ret) > 0 {
+		retN = int(int64(ret))
+	}
+	switch name {
+	case "read", "recv":
+		return copyBuf(1, retN)
+	case "stat", "fstat":
+		return copyBuf(1, 24)
+	case "gettimeofday":
+		return copyBuf(0, 16)
+	case "time":
+		return copyBuf(0, 8)
+	case "localtime_r":
+		return copyBuf(1, 64)
+	case "getsockopt":
+		return copyBuf(2, 8)
+	case "ioctl":
+		// Special: the third argument is emulated only when it looks like
+		// a pointer into the process's address space (Section 3.3).
+		if s.inLeaderSpace(mem.Addr(arg(leaderArgs, 2))) {
+			return copyBuf(2, 8)
+		}
+		return 0
+	case "epoll_wait", "epoll_pwait":
+		// Special: copy the events array; epoll_data entries that are
+		// pointers into the leader's space must be rebased into the
+		// follower's window (Section 3.3).
+		n := retN
+		src := mem.Addr(arg(leaderArgs, 1))
+		dst := mem.Addr(arg(followerArgs, 1))
+		total := 0
+		for i := 0; i < n; i++ {
+			var entry [16]byte
+			if err := as.ReadAt(src+mem.Addr(i*16), entry[:]); err != nil {
+				break
+			}
+			data := fromLE(entry[8:])
+			if s.inLeaderSpace(mem.Addr(data)) {
+				data = uint64(int64(data) + s.delta)
+				toLE(entry[8:], data)
+			}
+			if err := as.WriteAt(dst+mem.Addr(i*16), entry[:]); err != nil {
+				break
+			}
+			total += 16
+		}
+		s.mon.m.ChargeThread(nil, costs.LockstepCopyPerByte*cyclesOf(total))
+		return total
+	default:
+		return 0
+	}
+}
+
+// inLeaderSpace reports whether v falls inside the leader's image or heap —
+// the "falls within the process's address space" test for special-category
+// emulation.
+func (s *session) inLeaderSpace(v mem.Addr) bool {
+	img := s.mon.img
+	if v >= img.Base && v < img.End() {
+		return true
+	}
+	if h := s.mon.lib.Heap(0); h != nil {
+		if v >= s.mon.leaderHeapBase() && v < s.mon.lib.HeapWatermark(0) {
+			return true
+		}
+	}
+	return false
+}
+
+// scalarMismatch compares the non-pointer arguments of a libc call between
+// variants, returning the first differing pair.
+func scalarMismatch(name string, leader, follower []uint64) (bad bool, l, f uint64) {
+	mask := scalarArgMask(name)
+	n := len(leader)
+	if len(follower) < n {
+		n = len(follower)
+	}
+	if len(leader) != len(follower) {
+		return true, uint64(len(leader)), uint64(len(follower))
+	}
+	for i := 0; i < n && i < len(mask); i++ {
+		if mask[i] && leader[i] != follower[i] {
+			return true, leader[i], follower[i]
+		}
+	}
+	return false, 0, 0
+}
+
+// scalarArgMask returns, per argument position, whether the value is a
+// scalar (comparable across variants) as opposed to a pointer (whose value
+// legitimately differs between non-overlapping address spaces).
+func scalarArgMask(name string) []bool {
+	switch name {
+	case "open", "mkdir":
+		return []bool{false, true}
+	case "stat":
+		return []bool{false, false} // path and stat buffer: both pointers
+	case "close", "epoll_create", "socket", "random", "time", "free",
+		"strlen", "atoi", "localtime_r":
+		return []bool{false, false}
+	case "read", "recv", "write", "send", "writev":
+		return []bool{true, false, true}
+	case "fstat":
+		return []bool{true, false}
+	case "gettimeofday":
+		return []bool{false, true}
+	case "sendfile":
+		return []bool{true, true, false, true}
+	case "bind", "listen", "connect", "shutdown":
+		return []bool{true, true}
+	case "setsockopt":
+		return []bool{true, true, true}
+	case "getsockopt", "ioctl":
+		return []bool{true, true, false}
+	case "epoll_ctl":
+		return []bool{true, true, true, false}
+	case "epoll_wait":
+		return []bool{true, false, true, true}
+	case "epoll_pwait":
+		return []bool{true, false, true, true, true}
+	case "malloc":
+		return []bool{true}
+	case "calloc":
+		return []bool{true, true}
+	case "realloc":
+		return []bool{false, true}
+	case "memcpy", "memset":
+		return []bool{false, false, true}
+	case "strcmp":
+		return []bool{false, false}
+	case "strncmp":
+		return []bool{false, false, true}
+	case "snprintf":
+		return []bool{false, true, false}
+	default:
+		return nil
+	}
+}
+
+func cyclesOf(n int) clock.Cycles {
+	if n < 0 {
+		return 0
+	}
+	return clock.Cycles(n)
+}
+
+func fromLE(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func toLE(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -1,0 +1,443 @@
+// Package core implements the sMVX monitor — the paper's primary
+// contribution: multi-variant execution on selected code paths, driven by
+// an in-process monitor isolated with Intel MPK.
+//
+// The monitor is "loaded" into the target process the way the paper's
+// LD_PRELOAD constructor is: Setup (the setup_mvx() equivalent) reads the
+// binary's profile file from the /tmp filesystem, maps the trampoline
+// (execute-only, at a randomized address) and the monitor's MPK-protected
+// data and safe-stack regions, and patches every .got.plt slot so all libc
+// calls detour through the trampoline (Section 3.4, Figure 4).
+//
+// mvx_start() clones the protected image into a non-overlapping address
+// window (shift-and-clone, Figure 5), relocates stale pointers by combining
+// static hints with an 8-byte-aligned memory scan, and launches the
+// follower variant on a cloned thread. Until mvx_end(), leader and follower
+// run in lockstep at libc-call granularity over a shared-memory IPC
+// channel, with the three emulation categories of Table 1. Any divergence —
+// different call names, different scalar arguments, a follower fault —
+// raises an alarm (Section 3.3, Section 4.2).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"smvx/internal/libc"
+	"smvx/internal/sim/clock"
+	"smvx/internal/sim/image"
+	"smvx/internal/sim/kernel"
+	"smvx/internal/sim/machine"
+	"smvx/internal/sim/mem"
+	"smvx/internal/sim/mpk"
+)
+
+// Sentinel errors callers match with errors.Is.
+var (
+	// ErrNoProfile is returned by Setup when the binary's profile file is
+	// missing from /tmp (the paper requires running the profile script
+	// before launching the application under sMVX).
+	ErrNoProfile = errors.New("smvx: profile file not found; run the profile extraction first")
+	// ErrNotSetup is returned by Start before Setup/Init have run.
+	ErrNotSetup = errors.New("smvx: monitor not set up")
+	// ErrRegionActive is returned by Start when a protected region is
+	// already executing.
+	ErrRegionActive = errors.New("smvx: protected region already active")
+	// ErrNoRegion is returned by End without a matching Start.
+	ErrNoRegion = errors.New("smvx: no active protected region")
+	// ErrDivergence is the abort delivered to a variant when lockstep
+	// comparison fails.
+	ErrDivergence = errors.New("smvx: variant execution diverged")
+)
+
+// FollowerDelta is the default shift between the leader's and the
+// follower's address windows — large enough that no leader region can
+// collide with its clone.
+const FollowerDelta int64 = 0x2000_0000_0000
+
+// followerStackPages is the follower variant's stack size.
+const followerStackPages = 16
+
+// safeStackPages is the per-thread trampoline safe-stack size.
+const safeStackPages = 4
+
+// AlarmReason classifies a raised alarm.
+type AlarmReason int
+
+// Alarm reasons.
+const (
+	// AlarmCallMismatch: the variants issued different libc calls at the
+	// same lockstep index.
+	AlarmCallMismatch AlarmReason = iota + 1
+	// AlarmArgMismatch: same call, different non-pointer argument values.
+	AlarmArgMismatch
+	// AlarmFollowerFault: the follower variant crashed (e.g. jumped to a
+	// gadget address that is unmapped in its view).
+	AlarmFollowerFault
+	// AlarmSequenceLength: one variant issued more libc calls than the
+	// other inside the region.
+	AlarmSequenceLength
+)
+
+// String names the alarm reason.
+func (r AlarmReason) String() string {
+	switch r {
+	case AlarmCallMismatch:
+		return "libc call sequence mismatch"
+	case AlarmArgMismatch:
+		return "libc argument mismatch"
+	case AlarmFollowerFault:
+		return "follower variant fault"
+	case AlarmSequenceLength:
+		return "libc call count mismatch"
+	default:
+		return fmt.Sprintf("alarm(%d)", int(r))
+	}
+}
+
+// Alarm is one detected divergence — the MVX engine "throwing a fault and
+// alarming the monitor system" (Section 4.2).
+type Alarm struct {
+	// Reason classifies the divergence.
+	Reason AlarmReason
+	// CallIndex is the lockstep call index at which it was detected.
+	CallIndex uint64
+	// Detail is a human-readable description.
+	Detail string
+}
+
+// CreationStats is the Table 2 breakdown of one mvx_start() invocation.
+type CreationStats struct {
+	// DupCycles is process duplication (copy+move of resident pages).
+	DupCycles clock.Cycles
+	// DataScanCycles is the .data/.bss pointer scan.
+	DataScanCycles clock.Cycles
+	// HeapScanCycles is the heap pointer scan.
+	HeapScanCycles clock.Cycles
+	// CloneCycles is the clone() thread-creation cost.
+	CloneCycles clock.Cycles
+	// PointersRelocated counts patched pointer slots.
+	PointersRelocated int
+}
+
+// Total returns the full mvx_start cost.
+func (s CreationStats) Total() clock.Cycles {
+	return s.DupCycles + s.DataScanCycles + s.HeapScanCycles + s.CloneCycles
+}
+
+// RegionReport summarizes one protected-region execution, returned by End.
+type RegionReport struct {
+	// Function is the protected root function.
+	Function string
+	// LibcCalls is the number of libc calls the leader issued inside the
+	// region (the Figure 8 metric).
+	LibcCalls uint64
+	// EmulatedBytes is the volume copied leader→follower over the IPC.
+	EmulatedBytes uint64
+	// Diverged reports whether any alarm fired in this region.
+	Diverged bool
+	// FollowerErr is the follower's crash, if it crashed.
+	FollowerErr error
+	// Creation is the variant-creation breakdown.
+	Creation CreationStats
+}
+
+// Options configures the monitor.
+type Options struct {
+	// Delta is the follower window shift (default FollowerDelta).
+	Delta int64
+	// Seed drives trampoline address randomization.
+	Seed int64
+	// ScanHints, when non-nil, narrows the .data/.bss pointer scan to the
+	// named globals — the static (alias) analysis of Section 3.4. Nil
+	// means scan everything (the strawman); the ablation benchmark
+	// compares both.
+	ScanHints []string
+	// DisableSafeStack turns off the trampoline stack pivot (ablation;
+	// the paper's design always pivots).
+	DisableSafeStack bool
+	// ReuseVariant keeps the follower's mappings across protected regions
+	// and refreshes their contents off the critical path — the
+	// "pre-scanning and pre-updating" mitigation the paper's Section 5
+	// proposes for variant creation inside control loops.
+	ReuseVariant bool
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// WithDelta overrides the follower window shift.
+func WithDelta(d int64) Option { return func(o *Options) { o.Delta = d } }
+
+// WithSeed sets the randomization seed.
+func WithSeed(s int64) Option { return func(o *Options) { o.Seed = s } }
+
+// WithScanHints narrows the data-section pointer scan to named globals.
+func WithScanHints(names ...string) Option {
+	return func(o *Options) { o.ScanHints = names }
+}
+
+// WithoutSafeStack disables the trampoline stack pivot (ablation only).
+func WithoutSafeStack() Option {
+	return func(o *Options) { o.DisableSafeStack = true }
+}
+
+// WithVariantReuse keeps follower mappings across regions and refreshes
+// them off the critical path (the paper's Section 5 pre-scan mitigation).
+func WithVariantReuse() Option {
+	return func(o *Options) { o.ReuseVariant = true }
+}
+
+// Monitor is the in-process sMVX monitor.
+type Monitor struct {
+	m    *machine.Machine
+	img  *image.Image
+	lib  *libc.LibC
+	opts Options
+
+	profile *image.Profile
+
+	pkeyMonitor  mpk.Key
+	pkeyLeader   mpk.Key
+	pkeyFollower mpk.Key
+
+	trampolineBase mem.Addr
+	monDataBase    mem.Addr
+
+	mu         sync.Mutex
+	setup      bool
+	safeStacks map[int]mem.Addr // tid -> safe stack top (TLS)
+	nextStack  mem.Addr
+
+	session *session
+
+	alarms         []Alarm
+	alarmHandler   func(Alarm)
+	lastCreation   CreationStats
+	regionCalls    map[string]uint64 // protected fn -> libc calls (Figure 8)
+	followerBases  []mem.Addr        // cloned section/heap regions
+	followerStacks []mem.Addr        // follower stack regions
+	variantReady   bool              // clones exist and can be refreshed
+	reports        []RegionReport
+}
+
+var _ machine.MVX = (*Monitor)(nil)
+var _ machine.Interposer = (*Monitor)(nil)
+
+// New creates a monitor for the machine's program. The monitor installs
+// itself as the machine's PLT interposer during Setup.
+func New(m *machine.Machine, lib *libc.LibC, opts ...Option) *Monitor {
+	o := Options{Delta: FollowerDelta, Seed: 1}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return &Monitor{
+		m:           m,
+		img:         m.Program().Image(),
+		lib:         lib,
+		opts:        o,
+		safeStacks:  make(map[int]mem.Addr),
+		regionCalls: make(map[string]uint64),
+	}
+}
+
+// Setup is the setup_mvx() constructor: it loads the profile file, maps and
+// protects the monitor's regions, and patches the PLT. It must run before
+// any protected region is entered.
+func (mo *Monitor) Setup() error {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	if mo.setup {
+		return nil
+	}
+	as := mo.m.AddressSpace()
+	proc := mo.m.Process()
+
+	// Read the binary profile the extraction script wrote to /tmp.
+	data, e := proc.Kernel().FS().ReadFile(image.ProfilePath(mo.img.Name))
+	if e != kernel.OK {
+		return fmt.Errorf("%w: %s", ErrNoProfile, image.ProfilePath(mo.img.Name))
+	}
+	prof, err := image.ParseProfile(data)
+	if err != nil {
+		return fmt.Errorf("smvx: parse profile: %w", err)
+	}
+	mo.profile = prof
+
+	// Allocate protection keys: one hides the monitor, two separate the
+	// variants' data views.
+	alloc := mpk.NewAllocator()
+	for _, dst := range []*mpk.Key{&mo.pkeyMonitor, &mo.pkeyLeader, &mo.pkeyFollower} {
+		k, err := alloc.Alloc()
+		if err != nil {
+			return fmt.Errorf("smvx: pkey_alloc: %w", err)
+		}
+		*dst = k
+	}
+
+	// Map the trampoline at a randomized address (code location
+	// randomization, MonGuard-style) and mark it execute-only: the
+	// application can jump through it but never read it to find the
+	// monitor (XoM, Section 3.4).
+	rng := rand.New(rand.NewSource(mo.opts.Seed))
+	slot := mem.Addr(0x5500_0000_0000 + uint64(rng.Intn(1<<20))*mem.PageSize)
+	tramp, err := as.Map(mem.Region{Name: "smvx:trampoline", Base: slot, Size: mem.PageSize, Perm: mem.PermRWX})
+	if err != nil {
+		return fmt.Errorf("smvx: map trampoline: %w", err)
+	}
+	// Fill with trampoline stub bytes, then flip to execute-only.
+	stub := image.GenFuncBody("smvx", "trampoline", mem.PageSize)
+	if err := as.WriteAt(tramp.Base, stub); err != nil {
+		return err
+	}
+	if err := as.SetRegionPerm(tramp.Base, mem.PermExec); err != nil {
+		return err
+	}
+	mo.trampolineBase = tramp.Base
+
+	// Monitor data (IPC ring, bookkeeping) under the monitor key.
+	monData, err := as.Map(mem.Region{
+		Name: "smvx:data",
+		Base: slot + 16*mem.PageSize,
+		Size: 16 * mem.PageSize,
+		Perm: mem.PermRW,
+		Key:  mo.pkeyMonitor,
+	})
+	if err != nil {
+		return fmt.Errorf("smvx: map monitor data: %w", err)
+	}
+	if err := as.Touch(monData.Base, monData.Size); err != nil {
+		return err
+	}
+	mo.monDataBase = monData.Base
+	mo.nextStack = slot + 64*mem.PageSize
+
+	// Patch every .got.plt slot to the trampoline: from now on all libc
+	// calls are under the monitor's interception.
+	for i := range mo.img.PLTSlots() {
+		target := mo.trampolineBase + mem.Addr(i)
+		if err := as.Write64(mo.img.GOTSlotAddr(i), uint64(target)); err != nil {
+			return fmt.Errorf("smvx: patch got slot %d: %w", i, err)
+		}
+	}
+	mo.m.SetInterposer(mo)
+	mo.setup = true
+	return nil
+}
+
+// Init implements machine.MVX: the mvx_init() call. It runs Setup if
+// needed and restricts the calling thread's PKRU so application code cannot
+// touch monitor memory.
+func (mo *Monitor) Init(t *machine.Thread) error {
+	if err := mo.Setup(); err != nil {
+		return err
+	}
+	t.WRPKRU(mo.appPKRU(t))
+	return nil
+}
+
+// appPKRU computes the PKRU application code runs under: monitor key
+// disabled, plus the other variant's key disabled once variants exist.
+func (mo *Monitor) appPKRU(t *machine.Thread) mpk.PKRU {
+	p := mpk.AllowAll.WithAccessDisabled(mo.pkeyMonitor, true)
+	if t.Bias() == 0 {
+		return p.WithAccessDisabled(mo.pkeyFollower, true)
+	}
+	return p.WithAccessDisabled(mo.pkeyLeader, true)
+}
+
+// monPKRU is the PKRU inside the trampoline/monitor: everything enabled.
+func (mo *Monitor) monPKRU() mpk.PKRU { return mpk.AllowAll }
+
+// Alarms returns the divergences detected so far.
+func (mo *Monitor) Alarms() []Alarm {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	return append([]Alarm(nil), mo.alarms...)
+}
+
+// LastCreation returns the Table 2 breakdown of the most recent
+// mvx_start().
+func (mo *Monitor) LastCreation() CreationStats {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	return mo.lastCreation
+}
+
+// RegionLibcCalls returns the libc calls observed inside protected regions,
+// per protected root function (Figure 8).
+func (mo *Monitor) RegionLibcCalls() map[string]uint64 {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	out := make(map[string]uint64, len(mo.regionCalls))
+	for k, v := range mo.regionCalls {
+		out[k] = v
+	}
+	return out
+}
+
+// Reports returns the per-region reports in order.
+func (mo *Monitor) Reports() []RegionReport {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	return append([]RegionReport(nil), mo.reports...)
+}
+
+// TrampolineBase exposes the randomized trampoline address (tests verify
+// randomization and XoM).
+func (mo *Monitor) TrampolineBase() mem.Addr { return mo.trampolineBase }
+
+// MonitorKey returns the monitor's protection key.
+func (mo *Monitor) MonitorKey() mpk.Key { return mo.pkeyMonitor }
+
+// SetAlarmHandler installs a callback invoked on every raised alarm — the
+// hook a deployment wires to its intrusion-response path ("it may trigger
+// an alarm if the execution outcomes of the variants diverge, signaling a
+// potential attack", Section 3.2). The handler runs on the detecting
+// goroutine and must not block.
+func (mo *Monitor) SetAlarmHandler(fn func(Alarm)) {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	mo.alarmHandler = fn
+}
+
+// raiseAlarm records a divergence and notifies the handler.
+func (mo *Monitor) raiseAlarm(reason AlarmReason, callIndex uint64, detail string) {
+	a := Alarm{Reason: reason, CallIndex: callIndex, Detail: detail}
+	mo.mu.Lock()
+	mo.alarms = append(mo.alarms, a)
+	handler := mo.alarmHandler
+	mo.mu.Unlock()
+	if handler != nil {
+		handler(a)
+	}
+}
+
+// safeStackFor returns (allocating on demand) the thread's trampoline safe
+// stack top. Safe stacks are per-thread TLS in the monitor's address range,
+// protected by the monitor key (Section 3.4).
+func (mo *Monitor) safeStackFor(t *machine.Thread) mem.Addr {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	if top, ok := mo.safeStacks[t.TID()]; ok {
+		return top
+	}
+	base := mo.nextStack
+	mo.nextStack += mem.Addr((safeStackPages + 1) * mem.PageSize) // +1 guard
+	as := mo.m.AddressSpace()
+	if _, err := as.Map(mem.Region{
+		Name: fmt.Sprintf("smvx:safestack:%d", t.TID()),
+		Base: base,
+		Size: safeStackPages * mem.PageSize,
+		Perm: mem.PermRW,
+		Key:  mo.pkeyMonitor,
+	}); err != nil {
+		// Safe-stack exhaustion is a monitor bug; crash the thread.
+		panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: err})
+	}
+	top := base + safeStackPages*mem.PageSize
+	mo.safeStacks[t.TID()] = top
+	return top
+}

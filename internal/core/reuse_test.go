@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"smvx/internal/sim/machine"
+)
+
+// TestVariantReuseCorrectness runs repeated protected regions under the
+// Section 5 pre-scan mitigation and checks lockstep still holds.
+func TestVariantReuseCorrectness(t *testing.T) {
+	env, _ := testApp(t)
+	mon := New(env.Machine, env.LibC, WithSeed(11), WithVariantReuse())
+	defineProtected(t, env)
+	th, _ := env.Machine.NewThread("main", 0)
+	if err := mon.Init(th); err != nil {
+		t.Fatal(err)
+	}
+	err := th.Run(func(tt *machine.Thread) {
+		for i := 0; i < 4; i++ {
+			if err := mon.Start(tt, "protected_func"); err != nil {
+				t.Errorf("Start #%d: %v", i, err)
+				return
+			}
+			tt.Call("protected_func")
+			if err := mon.End(tt); err != nil {
+				t.Errorf("End #%d: %v", i, err)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alarms := mon.Alarms(); len(alarms) != 0 {
+		t.Fatalf("alarms under reuse: %v", alarms)
+	}
+	if got := len(mon.Reports()); got != 4 {
+		t.Errorf("reports = %d", got)
+	}
+}
+
+// TestVariantReuseMovesCreationOffWallPath compares the wall-time cost of
+// the second region's creation with and without reuse: refresh runs off
+// the critical path.
+func TestVariantReuseMovesCreationOffWallPath(t *testing.T) {
+	run := func(reuse bool) (secondRegionWall uint64) {
+		env, _ := testApp(t)
+		opts := []Option{WithSeed(11)}
+		if reuse {
+			opts = append(opts, WithVariantReuse())
+		}
+		mon := New(env.Machine, env.LibC, opts...)
+		defineProtected(t, env)
+		th, _ := env.Machine.NewThread("main", 0)
+		if err := mon.Init(th); err != nil {
+			t.Fatal(err)
+		}
+		var wall uint64
+		err := th.Run(func(tt *machine.Thread) {
+			// First region: both modes pay full creation.
+			_ = mon.Start(tt, "protected_func")
+			tt.Call("protected_func")
+			_ = mon.End(tt)
+			// Second region: reuse refreshes off the wall path.
+			before := env.Wall.Cycles()
+			_ = mon.Start(tt, "protected_func")
+			tt.Call("protected_func")
+			_ = mon.End(tt)
+			wall = uint64(env.Wall.Cycles() - before)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alarms := mon.Alarms(); len(alarms) != 0 {
+			t.Fatalf("alarms (reuse=%v): %v", reuse, alarms)
+		}
+		return wall
+	}
+	withReuse := run(true)
+	without := run(false)
+	if withReuse >= without {
+		t.Errorf("reuse second-region wall (%d) should undercut fresh creation (%d)", withReuse, without)
+	}
+}
+
+// TestVariantReuseStillDetectsAttack ensures the security property
+// survives the optimization: a hijack in a reused region is still caught.
+func TestVariantReuseStillDetectsAttack(t *testing.T) {
+	env, _ := testApp(t)
+	mon := New(env.Machine, env.LibC, WithSeed(11), WithVariantReuse())
+	defineProtected(t, env)
+
+	// A benign region first (populates the reusable variant)...
+	vulnSym, _ := env.Img.Lookup("hijack_func")
+	gadget := findGadget(t, env, vulnSym, 0x5F /* pop rdi */)
+	env.Prog.MustDefine("hijack_func", func(th *machine.Thread, args []uint64) uint64 {
+		buf := th.Alloca(16)
+		payload := make([]byte, 0, 40)
+		payload = append(payload, le(1)...)
+		payload = append(payload, le(2)...)
+		payload = append(payload, le(uint64(gadget))...)
+		payload = append(payload, le(3)...)
+		payload = append(payload, le(0)...)
+		th.WriteBytes(buf, payload)
+		return 0
+	})
+	th, _ := env.Machine.NewThread("main", 0)
+	if err := mon.Init(th); err != nil {
+		t.Fatal(err)
+	}
+	_ = th.Run(func(tt *machine.Thread) {
+		_ = mon.Start(tt, "protected_func")
+		tt.Call("protected_func")
+		_ = mon.End(tt)
+		// ...then the attacked region reuses the variant. The leader's
+		// own gadget chain crashes it, unwinding out of this Run.
+		_ = mon.Start(tt, "hijack_func")
+		tt.Call("hijack_func")
+	})
+	// Join the follower (what a crash handler around mvx_end would do).
+	_ = mon.End(th)
+	var sawFault bool
+	for _, a := range mon.Alarms() {
+		if a.Reason == AlarmFollowerFault {
+			sawFault = true
+		}
+	}
+	if !sawFault {
+		t.Errorf("reused variant failed to detect hijack; alarms = %v", mon.Alarms())
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"smvx/internal/sim/kernel"
+	"smvx/internal/sim/machine"
+)
+
+// TestUnrelatedThreadPassesThroughDuringRegion: a second application
+// thread (outside the variant pair) keeps making libc calls while a
+// protected region is active; the trampoline passes it straight through
+// (Section 3.4's multi-threading support via per-thread TLS safe stacks).
+func TestUnrelatedThreadPassesThroughDuringRegion(t *testing.T) {
+	env, mon := testApp(t)
+	defineProtected(t, env)
+
+	// The protected function blocks until the side thread has proven it
+	// can make calls mid-region: synchronize via Go channels standing in
+	// for app-level synchronization. Both variants run this closure, so
+	// the region-entry signal closes once and the completion gate is a
+	// closed-channel broadcast.
+	enterRegion := make(chan struct{})
+	var enterOnce sync.Once
+	sideFinished := make(chan struct{})
+	sideDone := make(chan error, 1)
+	env.Prog.MustDefine("diverge_call", func(th *machine.Thread, args []uint64) uint64 {
+		enterOnce.Do(func() { close(enterRegion) })
+		<-sideFinished // wait for the side thread's work
+		g := th.Global("g_buf")
+		th.Libc("gettimeofday", uint64(g), 0)
+		return 0
+	})
+
+	th, _ := env.Machine.NewThread("main", 0)
+	if err := mon.Init(th); err != nil {
+		t.Fatal(err)
+	}
+
+	// Side thread: issues libc calls once the region is active.
+	side, err := env.Machine.NewThread("side", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Init(side); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		<-enterRegion
+		sideDone <- side.Run(func(tt *machine.Thread) {
+			g := tt.Global("g_buf")
+			p := tt.Libc("malloc", 32)
+			tt.Libc("free", p)
+			tt.WriteCString(g+512, "/side.txt")
+			fd := tt.Libc("open", uint64(g+512), uint64(kernel.OCreat|kernel.OWronly))
+			tt.Libc("close", fd)
+		})
+		close(sideFinished)
+	}()
+
+	runErr := th.Run(func(tt *machine.Thread) {
+		if err := mon.Start(tt, "diverge_call"); err != nil {
+			t.Errorf("Start: %v", err)
+			return
+		}
+		tt.Call("diverge_call")
+		_ = mon.End(tt)
+	})
+	if runErr != nil {
+		t.Fatalf("leader: %v", runErr)
+	}
+	if err := <-sideDone; err != nil {
+		t.Fatalf("side thread: %v", err)
+	}
+	if alarms := mon.Alarms(); len(alarms) != 0 {
+		t.Fatalf("side-thread traffic caused alarms: %v", alarms)
+	}
+	if !env.Kernel.FS().Exists("/side.txt") {
+		t.Error("side thread's passthrough write missing")
+	}
+}
+
+// TestVariadicManyArgsUnderLockstep pushes a 7-argument snprintf (stack
+// arguments + variadic %rax convention) through the trampoline in a
+// protected region — the exact case the paper's stack-rebuild supports
+// (Section 3.4: "variadic libc calls and libc calls with more than six
+// parameters").
+func TestVariadicManyArgsUnderLockstep(t *testing.T) {
+	env, mon := testApp(t)
+	env.Prog.MustDefine("protected_func", func(th *machine.Thread, args []uint64) uint64 {
+		g := th.Global("g_buf")
+		fmtAddr := g + 512
+		th.WriteCString(fmtAddr, "%d-%d-%d-%d")
+		// snprintf(dst, size, fmt, a, b, c, d): 7 arguments.
+		th.Libc("snprintf", uint64(g), 64, uint64(fmtAddr), 1, 2, 3, 4)
+		if th.CString(g, 64) != "1-2-3-4" {
+			return 1
+		}
+		return 0
+	})
+	th, _ := env.Machine.NewThread("main", 0)
+	if err := mon.Init(th); err != nil {
+		t.Fatal(err)
+	}
+	var rc uint64
+	err := th.Run(func(tt *machine.Thread) {
+		_ = mon.Start(tt, "protected_func")
+		rc = tt.Call("protected_func")
+		_ = mon.End(tt)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc != 0 {
+		t.Error("7-arg snprintf mangled its output under lockstep")
+	}
+	if alarms := mon.Alarms(); len(alarms) != 0 {
+		t.Fatalf("alarms: %v", alarms)
+	}
+}

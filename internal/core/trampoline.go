@@ -1,0 +1,62 @@
+package core
+
+import (
+	"smvx/internal/sim/machine"
+	"smvx/internal/sim/mem"
+)
+
+// Intercept implements machine.Interposer: the MPK trampoline of Figure 4.
+//
+// Every patched PLT call lands here. The trampoline (1) disables MPK
+// protection for the monitor's pages (WRPKRU), (2) pivots from the unsafe
+// application stack to the thread's TLS safe stack so untrusted code cannot
+// attack the monitor's frames, (3) runs the reference-monitor logic —
+// passthrough outside a protected region, lockstep inside one — and
+// (4) restores the stack and re-arms MPK on the way out. The two WRPKRU
+// executions and the fixed pivot cost are charged per interception, which
+// is what makes sMVX's per-libc-call overhead visible in Figure 7.
+func (mo *Monitor) Intercept(t *machine.Thread, slot int, name string, args []uint64) uint64 {
+	costs := mo.m.Costs()
+	mo.m.ChargeThread(t, costs.TrampolineEntry)
+
+	// DEACTIVATE_MPK_PROT(): open the monitor's pages for this thread.
+	oldPKRU := t.PKRU()
+	t.WRPKRU(mo.monPKRU())
+
+	// Switch stacks: the reference monitor and the actual libc call run on
+	// the MPK-protected safe stack.
+	var oldSP mem.Addr
+	pivoted := false
+	if !mo.opts.DisableSafeStack {
+		mo.m.ChargeThread(t, costs.StackPivot)
+		oldSP = t.SP()
+		t.SetSP(mo.safeStackFor(t))
+		pivoted = true
+	}
+	defer func() {
+		// On the way out — including a simulated crash unwinding through
+		// here — restore the unsafe stack and ACTIVATE_MPK_PROT().
+		if pivoted {
+			t.SetSP(oldSP)
+		}
+		t.WRPKRU(oldPKRU)
+	}()
+
+	mo.mu.Lock()
+	s := mo.session
+	mo.mu.Unlock()
+
+	if s == nil {
+		// Outside any protected region: plain interception, direct libc.
+		return mo.lib.Call(t, name, args)
+	}
+	switch t.TID() {
+	case s.leaderTID:
+		return s.leaderCall(t, name, args)
+	case s.followerTID:
+		return s.followerCall(t, name, args)
+	default:
+		// Unrelated thread (e.g. another worker): passthrough.
+		return mo.lib.Call(t, name, args)
+	}
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"fmt"
+
+	"smvx/internal/sim/image"
+	"smvx/internal/sim/machine"
+	"smvx/internal/sim/mem"
+)
+
+// clonedSections lists the image sections replicated into the follower
+// window (Figure 5: shift and clone).
+var clonedSections = []string{
+	image.SecText, image.SecRodata, image.SecData, image.SecBSS,
+	image.SecPLT, image.SecGotPLT,
+}
+
+// leaderHeapBase returns the base of the leader's heap region.
+func (mo *Monitor) leaderHeapBase() mem.Addr {
+	base, _ := mo.lib.HeapBounds(0)
+	return base
+}
+
+// Start implements machine.MVX: the mvx_start() call. It resolves the
+// protected function from the profile, tears down any previous follower,
+// clones the image and heap into the follower window, relocates pointers,
+// and launches the follower variant thread.
+func (mo *Monitor) Start(t *machine.Thread, fn string, args ...uint64) error {
+	mo.mu.Lock()
+	if !mo.setup {
+		mo.mu.Unlock()
+		return ErrNotSetup
+	}
+	if mo.session != nil {
+		mo.mu.Unlock()
+		return ErrRegionActive
+	}
+	mo.mu.Unlock()
+
+	// Resolve the protected function name through the profile's symbol
+	// table, as mvx_start does with the /tmp profile file (Section 3.2).
+	if _, ok := mo.profile.Lookup(fn); !ok {
+		return fmt.Errorf("smvx: mvx_start: function %q not in profile", fn)
+	}
+	if _, ok := mo.img.Lookup(fn); !ok {
+		return fmt.Errorf("smvx: mvx_start: function %q not in image", fn)
+	}
+
+	delta := mo.opts.Delta
+	as := mo.m.AddressSpace()
+	ctr := mo.m.Counter()
+	var stats CreationStats
+
+	mo.mu.Lock()
+	reuse := mo.opts.ReuseVariant && mo.variantReady
+	mo.mu.Unlock()
+
+	var newBases []mem.Addr
+	if reuse {
+		// Section 5 mitigation: the follower's mappings persist across
+		// regions; only their contents are refreshed and re-scanned, off
+		// the critical path (charged to total CPU, not wall time). Fresh
+		// stacks are still needed per region.
+		mo.destroyStacks()
+		mo.mu.Lock()
+		newBases = append([]mem.Addr{}, mo.followerBases...)
+		mo.mu.Unlock()
+
+		wall := as.GetWallCounter()
+		as.SetWallCounter(nil)
+		err := mo.refreshVariant(delta, &stats)
+		as.SetWallCounter(wall)
+		if err != nil {
+			return err
+		}
+	} else {
+		// Reclaim any previous mappings before recreating from scratch.
+		mo.destroyFollower()
+
+		// Step 1 — process duplication: clone every image section plus
+		// the heap into the shifted window ("copy+move" in Table 2).
+		mark := ctr.Cycles()
+		for _, secName := range clonedSections {
+			sec, ok := mo.img.Section(secName)
+			if !ok {
+				continue
+			}
+			clone, err := as.CloneRegionShifted(sec.Addr, delta, "v2:"+secName)
+			if err != nil {
+				return fmt.Errorf("smvx: clone %s: %w", secName, err)
+			}
+			newBases = append(newBases, clone.Base)
+			// Variant separation: follower regions carry the follower key.
+			if sec.Perm&mem.PermWrite != 0 {
+				if err := as.SetRegionKey(clone.Base, mo.pkeyFollower); err != nil {
+					return err
+				}
+			}
+		}
+		heapBase, heapSize := mo.lib.HeapBounds(0)
+		if heapSize > 0 {
+			clone, err := as.CloneRegionShifted(heapBase, delta, "v2:heap")
+			if err != nil {
+				return fmt.Errorf("smvx: clone heap: %w", err)
+			}
+			newBases = append(newBases, clone.Base)
+			if err := as.SetRegionKey(clone.Base, mo.pkeyFollower); err != nil {
+				return err
+			}
+			if err := mo.lib.CloneHeap(0, delta, delta); err != nil {
+				return fmt.Errorf("smvx: clone heap metadata: %w", err)
+			}
+		}
+		// Tag the leader's writable regions with the leader key so a
+		// follower access through a stale pointer faults.
+		for _, secName := range []string{image.SecData, image.SecBSS, image.SecGotPLT} {
+			if sec, ok := mo.img.Section(secName); ok {
+				if err := as.SetRegionKey(sec.Addr, mo.pkeyLeader); err != nil {
+					return err
+				}
+			}
+		}
+		if heapSize > 0 {
+			if err := as.SetRegionKey(heapBase, mo.pkeyLeader); err != nil {
+				return err
+			}
+		}
+		stats.DupCycles = ctr.Cycles() - mark
+
+		// Step 2 — .data/.bss pointer relocation. With static hints (the
+		// alias-analysis narrowing of Section 3.4) only the hinted
+		// globals' slots are scanned; otherwise the whole sections are.
+		mark = ctr.Cycles()
+		relocated, err := mo.relocateDataPointers(delta)
+		if err != nil {
+			return err
+		}
+		stats.DataScanCycles = ctr.Cycles() - mark
+		stats.PointersRelocated += relocated
+
+		// Step 3 — heap pointer scan: every 8-byte-aligned slot up to the
+		// allocation watermark (the dominant cost in Table 2).
+		mark = ctr.Cycles()
+		if heapSize > 0 {
+			lo := mem.Addr(int64(heapBase) + delta)
+			hi := mem.Addr(int64(mo.lib.HeapWatermark(0)) + delta)
+			n, err := mo.relocateRange(lo, hi, delta)
+			if err != nil {
+				return err
+			}
+			stats.PointersRelocated += n
+		}
+		stats.HeapScanCycles = ctr.Cycles() - mark
+	}
+
+	// Step 4 — clone() the follower thread and redirect it to the
+	// protected function.
+	s := newSession(mo, fn, delta, t.TID())
+	ftid := mo.m.AllocTID()
+	s.followerTID = ftid
+	fStackBase := mem.Addr(int64(mo.img.End())+delta) + 0x100_0000
+
+	mo.mu.Lock()
+	mo.session = s
+	mo.lastCreation = stats // clone cycles patched below
+	mo.followerBases = append([]mem.Addr{}, newBases...)
+	mo.variantReady = true
+	mo.mu.Unlock()
+
+	// The leader's PKRU now excludes the follower's key.
+	t.WRPKRU(mo.appPKRU(t))
+
+	// Rebase pointer-looking arguments into the follower's window: the
+	// protected function's argument variables (Listing 1) may point into
+	// the leader's image or heap, and the follower must see its own copy
+	// — the same address-range treatment the special emulation category
+	// applies to epoll_data (Section 3.3).
+	fargs := make([]uint64, len(args))
+	heapLo := mo.leaderHeapBase()
+	heapHi := mo.lib.HeapWatermark(0)
+	for i, a := range args {
+		v := mem.Addr(a)
+		if (v >= mo.img.Base && v < mo.img.End()) ||
+			(heapLo != 0 && v >= heapLo && v < heapHi) {
+			fargs[i] = uint64(int64(a) + delta)
+		} else {
+			fargs[i] = a
+		}
+	}
+
+	cloneMark := ctr.Cycles()
+	imgLo := mem.Addr(int64(mo.img.Base) + delta)
+	imgHi := mem.Addr(int64(mo.img.End()) + delta)
+	th := mo.m.Process().CloneThread(func() error {
+		ft, err := mo.m.NewThreadAt("smvx-follower", ftid, fStackBase, followerStackPages, delta)
+		if err != nil {
+			err = fmt.Errorf("smvx: follower thread: %w", err)
+			mo.raiseAlarm(AlarmFollowerFault, 0, err.Error())
+			s.markDead(err)
+			return err
+		}
+		mo.mu.Lock()
+		mo.followerStacks = append(mo.followerStacks, ft.StackBase())
+		mo.mu.Unlock()
+		if err := mo.m.AddressSpace().SetRegionKey(ft.StackBase(), mo.pkeyFollower); err != nil {
+			s.markDead(err)
+			return err
+		}
+		// The follower's view: only its own window is executable. The
+		// leader's gadget addresses are "otherwise unmapped" here
+		// (Section 4.2).
+		ft.SetBackground(true)
+		ft.SetExecWindow([2]mem.Addr{imgLo, imgHi})
+		ft.WRPKRU(mo.appPKRU(ft))
+		runErr := ft.Run(func(t *machine.Thread) { t.Call(fn, fargs...) })
+		if runErr != nil {
+			mo.raiseAlarm(AlarmFollowerFault, s.calls.Load(), runErr.Error())
+		}
+		s.markDead(runErr)
+		return runErr
+	})
+	s.thread = th
+	cloneCost := ctr.Cycles() - cloneMark
+	if cloneCost < mo.m.Costs().ThreadClone {
+		cloneCost = mo.m.Costs().ThreadClone
+	}
+
+	mo.mu.Lock()
+	mo.lastCreation.CloneCycles = cloneCost
+	mo.mu.Unlock()
+	return nil
+}
+
+// relocateDataPointers scans the follower's .data and .bss clones and
+// rebases pointers into leader ranges.
+func (mo *Monitor) relocateDataPointers(delta int64) (int, error) {
+	total := 0
+	if len(mo.opts.ScanHints) > 0 {
+		// Static-analysis narrowing: scan only the hinted globals.
+		for _, name := range mo.opts.ScanHints {
+			sym, ok := mo.img.Lookup(name)
+			if !ok {
+				continue
+			}
+			lo := mem.Addr(int64(sym.Addr) + delta)
+			hi := lo + mem.Addr(sym.Size)
+			n, err := mo.relocateRange(lo, hi, delta)
+			if err != nil {
+				return total, err
+			}
+			total += n
+		}
+		return total, nil
+	}
+	for _, secName := range []string{image.SecData, image.SecBSS} {
+		sec, ok := mo.img.Section(secName)
+		if !ok {
+			continue
+		}
+		lo := mem.Addr(int64(sec.Addr) + delta)
+		hi := lo + mem.Addr(sec.Size)
+		n, err := mo.relocateRange(lo, hi, delta)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// relocateRange rebases every pointer-looking slot in [lo, hi) whose value
+// falls inside the leader's image or heap.
+func (mo *Monitor) relocateRange(lo, hi mem.Addr, delta int64) (int, error) {
+	as := mo.m.AddressSpace()
+	imgLo, imgHi := mo.img.Base, mo.img.End()
+	heapLo := mo.leaderHeapBase()
+	heapHi := mo.lib.HeapWatermark(0)
+	hits := as.ScanPointers(lo, hi, func(v mem.Addr) bool {
+		if v >= imgLo && v < imgHi {
+			return true
+		}
+		return heapLo != 0 && v >= heapLo && v < heapHi
+	})
+	for _, h := range hits {
+		nv := uint64(int64(h.Value) + delta)
+		if err := as.Write64(h.Slot, nv); err != nil {
+			return 0, fmt.Errorf("smvx: relocate %s: %w", h.Slot, err)
+		}
+	}
+	return len(hits), nil
+}
+
+// End implements machine.MVX: the mvx_end() call. It waits for the
+// follower via the wait() syscall, merges the variants, records the region
+// report, and leaves the follower's mappings in place (they are reclaimed
+// by the next Start or by DestroyFollower).
+func (mo *Monitor) End(t *machine.Thread) error {
+	mo.mu.Lock()
+	s := mo.session
+	mo.mu.Unlock()
+	if s == nil {
+		return ErrNoRegion
+	}
+	close(s.leaderDone)
+	_ = mo.m.Process().WaitThread(s.thread)
+
+	report := RegionReport{
+		Function:      s.fn,
+		LibcCalls:     s.calls.Load(),
+		EmulatedBytes: s.emulatedBytes.Load(),
+		Diverged:      s.diverged.Load() || s.followerErr != nil,
+		FollowerErr:   s.followerErr,
+	}
+
+	mo.mu.Lock()
+	report.Creation = mo.lastCreation
+	mo.regionCalls[s.fn] += report.LibcCalls
+	mo.reports = append(mo.reports, report)
+	mo.session = nil
+	mo.mu.Unlock()
+	return nil
+}
+
+// DestroyFollower unmaps the follower variant's regions and drops its heap,
+// releasing the replicated RSS.
+func (mo *Monitor) DestroyFollower() {
+	mo.destroyFollower()
+}
+
+func (mo *Monitor) destroyFollower() {
+	mo.destroyStacks()
+	mo.mu.Lock()
+	bases := mo.followerBases
+	mo.followerBases = nil
+	mo.variantReady = false
+	mo.mu.Unlock()
+	as := mo.m.AddressSpace()
+	for _, b := range bases {
+		_ = as.Unmap(b)
+	}
+	mo.lib.DropHeap(mo.opts.Delta)
+}
+
+// destroyStacks unmaps the follower's stack regions (a fresh stack is
+// created per region even under variant reuse).
+func (mo *Monitor) destroyStacks() {
+	mo.mu.Lock()
+	stacks := mo.followerStacks
+	mo.followerStacks = nil
+	mo.mu.Unlock()
+	as := mo.m.AddressSpace()
+	for _, b := range stacks {
+		_ = as.Unmap(b)
+	}
+}
+
+// refreshVariant re-copies the leader's current state into the persistent
+// follower mappings and re-relocates pointers — the reuse path.
+func (mo *Monitor) refreshVariant(delta int64, stats *CreationStats) error {
+	as := mo.m.AddressSpace()
+	ctr := mo.m.Counter()
+
+	mark := ctr.Cycles()
+	for _, secName := range clonedSections {
+		sec, ok := mo.img.Section(secName)
+		if !ok {
+			continue
+		}
+		if err := as.RefreshClone(sec.Addr, delta); err != nil {
+			return fmt.Errorf("smvx: refresh %s: %w", secName, err)
+		}
+	}
+	heapBase, heapSize := mo.lib.HeapBounds(0)
+	if heapSize > 0 {
+		if err := as.RefreshClone(heapBase, delta); err != nil {
+			return fmt.Errorf("smvx: refresh heap: %w", err)
+		}
+		if err := mo.lib.CloneHeap(0, delta, delta); err != nil {
+			return err
+		}
+	}
+	stats.DupCycles = ctr.Cycles() - mark
+
+	mark = ctr.Cycles()
+	relocated, err := mo.relocateDataPointers(delta)
+	if err != nil {
+		return err
+	}
+	stats.DataScanCycles = ctr.Cycles() - mark
+	stats.PointersRelocated += relocated
+
+	mark = ctr.Cycles()
+	if heapSize > 0 {
+		lo := mem.Addr(int64(heapBase) + delta)
+		hi := mem.Addr(int64(mo.lib.HeapWatermark(0)) + delta)
+		n, err := mo.relocateRange(lo, hi, delta)
+		if err != nil {
+			return err
+		}
+		stats.PointersRelocated += n
+	}
+	stats.HeapScanCycles = ctr.Cycles() - mark
+	return nil
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"smvx/internal/apps/nginx"
+	"smvx/internal/core"
+	"smvx/internal/workload"
+)
+
+// CVEResult reproduces the Section 4.2 security experiment on nginx 1.3.9
+// (CVE-2013-2028).
+type CVEResult struct {
+	// Chain documents the ROP gadgets the exploit uses.
+	Chain []string
+	// VanillaPwned reports whether the exploit succeeded on unprotected
+	// nginx (it must: the bug is real).
+	VanillaPwned bool
+	// VanillaCrashed reports the hijacked worker's crash.
+	VanillaCrashed bool
+	// SMVXDetected reports whether the follower variant faulted at a
+	// leader-layout gadget address under sMVX.
+	SMVXDetected bool
+	// SMVXAlarm is the alarm's description.
+	SMVXAlarm string
+	// FixedSurvives reports that the patched version (1.4.1 behavior)
+	// discards the body and answers normally.
+	FixedSurvives bool
+}
+
+// CVE runs the CVE-2013-2028 exploit three ways: against vulnerable vanilla
+// nginx (the ROP chain executes mkdir and the worker crashes), against
+// vulnerable nginx under sMVX protecting the outermost tainted function
+// (the follower faults at gadget addresses "otherwise unmapped" in its
+// view, raising the alarm), and against the fixed version (no effect).
+func CVE() (*CVEResult, error) {
+	res := &CVEResult{}
+
+	// 1. Vulnerable, unprotected.
+	h, err := startNginx(nginx.Config{Port: 8080, MaxRequests: 1, Version: nginx.VersionVulnerable}, false)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := workload.BuildCVE2013_2028(h.env.Img, "/pwned")
+	if err != nil {
+		return nil, err
+	}
+	res.Chain = ex.Chain
+	if err := ex.Deliver(h.client, 8080); err != nil {
+		return nil, fmt.Errorf("cve deliver: %w", err)
+	}
+	res.VanillaCrashed = <-h.done != nil
+	res.VanillaPwned = h.env.Kernel.FS().DirExists("/pwned")
+
+	// 2. Vulnerable under sMVX.
+	h, err = startNginx(nginx.Config{
+		Port: 8080, MaxRequests: 1,
+		Version: nginx.VersionVulnerable,
+		Protect: "ngx_http_process_request_line",
+	}, true)
+	if err != nil {
+		return nil, err
+	}
+	ex2, err := workload.BuildCVE2013_2028(h.env.Img, "/pwned")
+	if err != nil {
+		return nil, err
+	}
+	if err := ex2.Deliver(h.client, 8080); err != nil {
+		return nil, fmt.Errorf("cve smvx deliver: %w", err)
+	}
+	<-h.done
+	for _, a := range h.mon.Alarms() {
+		if a.Reason == core.AlarmFollowerFault {
+			res.SMVXDetected = true
+			res.SMVXAlarm = a.Detail
+		}
+	}
+
+	// 3. Fixed version: the discard read is bounded.
+	h, err = startNginx(nginx.Config{Port: 8080, MaxRequests: 1, Version: nginx.VersionFixed}, false)
+	if err != nil {
+		return nil, err
+	}
+	ex3, err := workload.BuildCVE2013_2028(h.env.Img, "/pwned")
+	if err != nil {
+		return nil, err
+	}
+	resp, err := ex3.DeliverAndRead(h.client, 8080)
+	if err != nil {
+		return nil, err
+	}
+	if err := <-h.done; err == nil && strings.HasPrefix(string(resp), "HTTP/1.1 200") &&
+		!h.env.Kernel.FS().DirExists("/pwned") {
+		res.FixedSurvives = true
+	}
+	return res, nil
+}
+
+// String renders the experiment.
+func (r *CVEResult) String() string {
+	var b strings.Builder
+	b.WriteString("Nginx CVE-2013-2028 (Section 4.2)\n")
+	fmt.Fprintf(&b, "ROP chain: %s\n", strings.Join(r.Chain, " -> "))
+	fmt.Fprintf(&b, "vanilla 1.3.9: exploit executed mkdir=%v, worker crashed=%v\n",
+		r.VanillaPwned, r.VanillaCrashed)
+	fmt.Fprintf(&b, "under sMVX:    detected=%v (%s)\n", r.SMVXDetected, r.SMVXAlarm)
+	fmt.Fprintf(&b, "fixed 1.4.1:   survives=%v\n", r.FixedSurvives)
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"smvx/internal/apps/nbench"
+	"smvx/internal/boot"
+	"smvx/internal/core"
+	"smvx/internal/sim/clock"
+	"smvx/internal/sim/kernel"
+)
+
+// Fig6Row is one benchmark's result in Figure 6.
+type Fig6Row struct {
+	// Name is the BYTEmark display name.
+	Name string
+	// VanillaCycles and SMVXCycles are elapsed wall cycles.
+	VanillaCycles clock.Cycles
+	SMVXCycles    clock.Cycles
+	// Overhead is SMVX/vanilla - 1.
+	Overhead float64
+}
+
+// Fig6Result reproduces Figure 6: nbench normalized performance under sMVX.
+type Fig6Result struct {
+	// Rows are per-benchmark, in suite order.
+	Rows []Fig6Row
+	// Mean is the average overhead (the paper reports ~7%).
+	Mean float64
+}
+
+// Figure6 runs every nbench kernel with and without sMVX, enclosing each
+// kernel's main logic in mvx_start()/mvx_end() as the paper does, and
+// reports the normalized overhead (paper: ~7% average, Neural Net highest
+// at ~16%, Numeric Sort / Bitfield / Assignment near native).
+//
+// targetCycles drives BYTEmark-style self-calibration: each kernel's
+// iteration count is scaled so a vanilla run consumes at least that many
+// cycles, as nbench scales iterations to a minimum wall time.
+func Figure6(targetCycles uint64) (*Fig6Result, error) {
+	res := &Fig6Result{}
+	var sum float64
+	for _, name := range nbench.Names {
+		// Probe one iteration to size the run.
+		probe, err := runNbenchOnce(name, 1, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s probe: %w", name, err)
+		}
+		iters := 1
+		if uint64(probe) < targetCycles {
+			iters = int(targetCycles/uint64(probe)) + 1
+		}
+		vanilla, err := runNbenchOnce(name, iters, false)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s vanilla: %w", name, err)
+		}
+		smvx, err := runNbenchOnce(name, iters, true)
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s smvx: %w", name, err)
+		}
+		row := Fig6Row{
+			Name:          nbench.DisplayNames[name],
+			VanillaCycles: vanilla,
+			SMVXCycles:    smvx,
+			Overhead:      float64(smvx)/float64(vanilla) - 1,
+		}
+		res.Rows = append(res.Rows, row)
+		sum += row.Overhead
+	}
+	res.Mean = sum / float64(len(res.Rows))
+	return res, nil
+}
+
+func runNbenchOnce(name string, iters int, withMon bool) (clock.Cycles, error) {
+	env, err := boot.NewEnv(kernel.New(clock.DefaultCosts(), Seed), nbench.Program(), boot.WithSeed(Seed))
+	if err != nil {
+		return 0, err
+	}
+	nbench.SetupFS(env)
+	if !withMon {
+		return nbench.RunOne(env, nil, name, iters)
+	}
+	mon := core.New(env.Machine, env.LibC, core.WithSeed(Seed))
+	cycles, err := nbench.RunOne(env, mon, name, iters)
+	if err != nil {
+		return 0, err
+	}
+	if alarms := mon.Alarms(); len(alarms) != 0 {
+		return 0, fmt.Errorf("nbench %s raised alarms: %v", name, alarms)
+	}
+	return cycles, nil
+}
+
+// String renders the figure as a table.
+func (r *Fig6Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: overhead of running nbench under sMVX\n")
+	b.WriteString(fmt.Sprintf("%-18s %14s %14s %9s\n", "benchmark", "vanilla(cyc)", "sMVX(cyc)", "overhead"))
+	for _, row := range r.Rows {
+		b.WriteString(fmt.Sprintf("%-18s %14d %14d %8.1f%%\n",
+			row.Name, uint64(row.VanillaCycles), uint64(row.SMVXCycles), row.Overhead*100))
+	}
+	b.WriteString(fmt.Sprintf("%-18s %31s %8.1f%%\n", "average", "", r.Mean*100))
+	return b.String()
+}

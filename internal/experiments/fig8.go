@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"smvx/internal/apps/nginx"
+	"smvx/internal/sim/machine"
+	"smvx/internal/workload"
+)
+
+// Fig8Row is one candidate protected root in Figure 8.
+type Fig8Row struct {
+	// Fn is the candidate root function.
+	Fn string
+	// LibcCalls is the number of PLT calls issued within the function's
+	// dynamic extent over the whole workload.
+	LibcCalls uint64
+	// Tainted marks the functions the taint analysis flags (the purple
+	// triangles of Figure 8).
+	Tainted bool
+}
+
+// Fig8Result reproduces Figure 8: the number of libc calls that fall inside
+// the protected region as the protected root function shrinks from main()
+// toward the tainted leaf functions.
+type Fig8Result struct {
+	// Requests is the workload size.
+	Requests int
+	// Rows are ordered from the outermost root to the innermost.
+	Rows []Fig8Row
+}
+
+// Figure8 measures, for each candidate root in nginx's call graph, how many
+// libc (PLT) calls execute within that root's dynamic extent under an
+// ApacheBench workload. The paper runs 100k requests and observes the count
+// fall from ~8.8M under main() to ~100k under the tainted functions; the
+// monotone decrease is the reproduced shape.
+func Figure8(requests int) (*Fig8Result, error) {
+	h, err := startNginx(nginx.Config{Port: 8080, MaxRequests: requests, AccessLog: true}, false)
+	if err != nil {
+		return nil, err
+	}
+
+	var mu sync.Mutex
+	counts := make(map[string]uint64, len(nginx.Fig8Roots))
+	h.env.Machine.SetLibcObserver(func(t *machine.Thread, name string) {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, root := range nginx.Fig8Roots {
+			if root == "main" || t.InFunction(root) {
+				counts[root]++
+			}
+		}
+	})
+
+	ab := workload.RunAB(h.client, 8080, "/index.html", requests)
+	if err := <-h.done; err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+	if ab.Completed != requests {
+		return nil, fmt.Errorf("fig8: %d/%d requests", ab.Completed, requests)
+	}
+
+	tainted := make(map[string]bool, len(nginx.TaintedRoots))
+	for _, fn := range nginx.TaintedRoots {
+		tainted[fn] = true
+	}
+	res := &Fig8Result{Requests: requests}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, root := range nginx.Fig8Roots {
+		res.Rows = append(res.Rows, Fig8Row{Fn: root, LibcCalls: counts[root], Tainted: tainted[root]})
+	}
+	return res, nil
+}
+
+// String renders the figure as a table.
+func (r *Fig8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: libc calls within protected region (%d requests)\n", r.Requests)
+	for _, row := range r.Rows {
+		mark := " "
+		if row.Tainted {
+			mark = "▲" // the paper's purple triangles: tainted functions
+		}
+		fmt.Fprintf(&b, "%s %-36s %12d\n", mark, row.Fn, row.LibcCalls)
+	}
+	return b.String()
+}

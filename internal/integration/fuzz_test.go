@@ -1,0 +1,114 @@
+package integration
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"smvx/internal/apps/nginx"
+	"smvx/internal/boot"
+	"smvx/internal/core"
+	"smvx/internal/sim/clock"
+	"smvx/internal/sim/kernel"
+	"smvx/internal/workload"
+)
+
+// TestFuzzingUnderProtectionNoFalsePositives reproduces the paper's
+// robustness observation: "running these workloads on web server
+// applications does not trigger false positives of pointer relocation"
+// (Section 4.1). A fixed-version server under full protection absorbs a
+// fuzzing barrage with zero alarms.
+func TestFuzzingUnderProtectionNoFalsePositives(t *testing.T) {
+	const probes = 120
+	k := kernel.New(clock.DefaultCosts(), 42)
+	srv := nginx.NewServer(nginx.Config{
+		Port: 8080, MaxRequests: probes,
+		Protect:  "ngx_worker_process_cycle",
+		AuthUser: "admin", AuthPass: "pw",
+		Version: nginx.VersionFixed,
+	})
+	env, err := boot.NewEnv(k, srv.Program(), boot.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.FS().WriteFile("/var/www/index.html", bytes.Repeat([]byte("i"), page))
+	client := k.NewProcess(clock.NewCounter())
+
+	mon := core.New(env.Machine, env.LibC, core.WithSeed(42))
+	var mu sync.Mutex
+	var handled []core.Alarm
+	mon.SetAlarmHandler(func(a core.Alarm) {
+		mu.Lock()
+		defer mu.Unlock()
+		handled = append(handled, a)
+	})
+	srv.SetMVX(mon)
+
+	th, err := env.MainThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(th) }()
+
+	fz := workload.NewFuzzer(8080, 42)
+	responded := fz.Run(client, probes)
+	if err := <-done; err != nil {
+		t.Fatalf("server crashed under fuzzing: %v", err)
+	}
+	if responded == 0 {
+		t.Fatal("server answered no probes")
+	}
+	if alarms := mon.Alarms(); len(alarms) != 0 {
+		t.Fatalf("false positives under fuzzing: %v", alarms)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(handled) != 0 {
+		t.Fatalf("alarm handler fired on benign fuzzing: %v", handled)
+	}
+}
+
+// TestAlarmHandlerFiresOnExploit: the response hook receives the
+// follower-fault alarm during a real attack.
+func TestAlarmHandlerFiresOnExploit(t *testing.T) {
+	k := kernel.New(clock.DefaultCosts(), 42)
+	srv := nginx.NewServer(nginx.Config{
+		Port: 8080, MaxRequests: 1,
+		Version: nginx.VersionVulnerable,
+		Protect: "ngx_http_process_request_line",
+	})
+	env, err := boot.NewEnv(k, srv.Program(), boot.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.FS().WriteFile("/var/www/index.html", bytes.Repeat([]byte("i"), page))
+	client := k.NewProcess(clock.NewCounter())
+
+	mon := core.New(env.Machine, env.LibC, core.WithSeed(42))
+	alarmCh := make(chan core.Alarm, 8)
+	mon.SetAlarmHandler(func(a core.Alarm) { alarmCh <- a })
+	srv.SetMVX(mon)
+
+	th, _ := env.MainThread()
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(th) }()
+
+	ex, err := workload.BuildCVE2013_2028(env.Img, "/pwned")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Deliver(client, 8080); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+
+	select {
+	case a := <-alarmCh:
+		if a.Reason != core.AlarmFollowerFault {
+			t.Errorf("first alarm = %v, want follower fault", a)
+		}
+	default:
+		t.Fatal("alarm handler never fired during the exploit")
+	}
+}

@@ -1,0 +1,101 @@
+package libc
+
+// Category classifies a libc call by what the sMVX monitor must do to run
+// it under lockstep — Table 1 of the paper, plus the user-space-only
+// category the paper lets each variant execute independently (e.g. the
+// follower may malloc freely after creation, Section 3.4).
+type Category int
+
+// Emulation categories.
+const (
+	// CatRetOnly: the leader executes the call; the follower receives the
+	// return value and errno, nothing else ("return value emulation").
+	CatRetOnly Category = iota + 1
+	// CatRetBuf: the call writes through pointer arguments, so the leader's
+	// output buffers are copied to the follower over the IPC ring
+	// ("return value and argument buffer emulation").
+	CatRetBuf
+	// CatSpecial: emulation depends on runtime values — ioctl's
+	// request-specific third argument and epoll's epoll_data union, which
+	// must be treated as a buffer only when it falls inside the process's
+	// address space ("special emulation").
+	CatSpecial
+	// CatLocal: pure user-space calls (allocator, string/memory functions)
+	// that each variant executes against its own address range. They still
+	// pass through the trampoline and the lockstep name check, but nothing
+	// is copied.
+	CatLocal
+)
+
+// String names the category as in Table 1.
+func (c Category) String() string {
+	switch c {
+	case CatRetOnly:
+		return "return-value emulation"
+	case CatRetBuf:
+		return "return-value and argument-buffer emulation"
+	case CatSpecial:
+		return "special emulation"
+	case CatLocal:
+		return "local execution"
+	default:
+		return "unknown"
+	}
+}
+
+// Table1 maps every simulated libc call to its emulation category. The
+// first three categories reproduce Table 1 of the paper verbatim; CatLocal
+// covers the rest of the 35+ calls the monitor simulates for the follower.
+var Table1 = map[string]Category{
+	// "Libc calls only requiring return value emulation".
+	"open": CatRetOnly, "close": CatRetOnly, "shutdown": CatRetOnly,
+	"write": CatRetOnly, "writev": CatRetOnly,
+	"epoll_ctl": CatRetOnly, "setsockopt": CatRetOnly,
+	// Connection management shares the category: results are scalars.
+	"socket": CatRetOnly, "bind": CatRetOnly, "listen": CatRetOnly,
+	"connect": CatRetOnly, "send": CatRetOnly, "mkdir": CatRetOnly,
+	"epoll_create": CatRetOnly, "time": CatRetOnly, "random": CatRetOnly,
+
+	// "Libc calls requiring return value and argument buffer emulation".
+	"sendfile": CatRetBuf, "stat": CatRetBuf, "read": CatRetBuf,
+	"fstat": CatRetBuf, "gettimeofday": CatRetBuf, "accept4": CatRetBuf,
+	"recv": CatRetBuf, "getsockopt": CatRetBuf, "localtime_r": CatRetBuf,
+
+	// "Libc calls requiring special emulation".
+	"ioctl": CatSpecial, "epoll_wait": CatSpecial, "epoll_pwait": CatSpecial,
+
+	// User-space-only calls: executed by each variant in its own space.
+	"malloc": CatLocal, "free": CatLocal, "calloc": CatLocal,
+	"realloc": CatLocal, "memcpy": CatLocal, "memset": CatLocal,
+	"strlen": CatLocal, "strcmp": CatLocal, "strncmp": CatLocal,
+	"atoi": CatLocal, "snprintf": CatLocal,
+}
+
+// CategoryOf returns the emulation category for a libc call name, defaulting
+// to CatRetOnly for anything unknown (the conservative choice: leader-only
+// execution).
+func CategoryOf(name string) Category {
+	if c, ok := Table1[name]; ok {
+		return c
+	}
+	return CatRetOnly
+}
+
+// Names returns all simulated libc call names, sorted by category then name
+// — the rows of Table 1.
+func Names() []string {
+	out := make([]string, 0, len(Table1))
+	for n := range Table1 {
+		out = append(out, n)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package libc
+
+import (
+	"fmt"
+	"sync"
+
+	"smvx/internal/sim/mem"
+)
+
+// heapAlloc is a simple first-fit allocator over a simulated heap region.
+// Metadata lives on the Go side; payload bytes live in simulated memory, so
+// heap-resident pointers are visible to the variant-creation pointer scan
+// (the dominant cost in Table 2).
+type heapAlloc struct {
+	mu   sync.Mutex
+	base mem.Addr
+	size uint64
+	next mem.Addr
+
+	free      map[uint64][]mem.Addr // size class -> free blocks
+	allocated map[mem.Addr]uint64   // live block -> size
+}
+
+func newHeapAlloc(base mem.Addr, size uint64) *heapAlloc {
+	return &heapAlloc{
+		base:      base,
+		size:      size,
+		next:      base,
+		free:      make(map[uint64][]mem.Addr),
+		allocated: make(map[mem.Addr]uint64),
+	}
+}
+
+// roundClass rounds a request to its 16-byte size class.
+func roundClass(n uint64) uint64 {
+	if n == 0 {
+		n = 1
+	}
+	return (n + 15) &^ 15
+}
+
+// alloc returns the address of a block of at least n bytes, or 0 on
+// exhaustion (malloc returning NULL).
+func (h *heapAlloc) alloc(n uint64) mem.Addr {
+	class := roundClass(n)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if blocks := h.free[class]; len(blocks) > 0 {
+		addr := blocks[len(blocks)-1]
+		h.free[class] = blocks[:len(blocks)-1]
+		h.allocated[addr] = class
+		return addr
+	}
+	if uint64(h.next-h.base)+class > h.size {
+		return 0
+	}
+	addr := h.next
+	h.next += mem.Addr(class)
+	h.allocated[addr] = class
+	return addr
+}
+
+// release frees a block; freeing an unknown address is an error (heap
+// corruption would diverge variants, so we surface it loudly).
+func (h *heapAlloc) release(addr mem.Addr) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	class, ok := h.allocated[addr]
+	if !ok {
+		return fmt.Errorf("libc: free of unallocated address %s", addr)
+	}
+	delete(h.allocated, addr)
+	h.free[class] = append(h.free[class], addr)
+	return nil
+}
+
+// sizeOf returns the class size of a live block (0 if unknown).
+func (h *heapAlloc) sizeOf(addr mem.Addr) uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.allocated[addr]
+}
+
+// liveBytes returns the total bytes currently allocated.
+func (h *heapAlloc) liveBytes() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var n uint64
+	for _, sz := range h.allocated {
+		n += sz
+	}
+	return n
+}
+
+// watermark returns the highest address ever handed out.
+func (h *heapAlloc) watermark() mem.Addr {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.next
+}
+
+// cloneShifted returns a copy of the allocator with every address moved by
+// delta — the heap-metadata half of follower-variant creation. The cloned
+// heap's live blocks stay live (the follower may free them), its free lists
+// stay reusable, and fresh allocations continue from the shifted watermark.
+func (h *heapAlloc) cloneShifted(delta int64) *heapAlloc {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := &heapAlloc{
+		base:      mem.Addr(int64(h.base) + delta),
+		size:      h.size,
+		next:      mem.Addr(int64(h.next) + delta),
+		free:      make(map[uint64][]mem.Addr, len(h.free)),
+		allocated: make(map[mem.Addr]uint64, len(h.allocated)),
+	}
+	for class, blocks := range h.free {
+		shifted := make([]mem.Addr, len(blocks))
+		for i, b := range blocks {
+			shifted[i] = mem.Addr(int64(b) + delta)
+		}
+		n.free[class] = shifted
+	}
+	for addr, class := range h.allocated {
+		n.allocated[mem.Addr(int64(addr)+delta)] = class
+	}
+	return n
+}

@@ -1,0 +1,116 @@
+package libc
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"smvx/internal/sim/mem"
+)
+
+// TestHeapNoOverlapProperty: under random alloc/free interleavings, live
+// blocks never overlap and always stay inside the arena.
+func TestHeapNoOverlapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := newHeapAlloc(0x10000, 1<<20)
+		live := make(map[mem.Addr]uint64)
+		for op := 0; op < 300; op++ {
+			if rng.Intn(3) != 0 || len(live) == 0 {
+				size := uint64(1 + rng.Intn(500))
+				addr := h.alloc(size)
+				if addr == 0 {
+					continue
+				}
+				if addr < 0x10000 || uint64(addr)+roundClass(size) > 0x10000+1<<20 {
+					return false // escaped the arena
+				}
+				live[addr] = roundClass(size)
+			} else {
+				// Free a random live block.
+				keys := make([]mem.Addr, 0, len(live))
+				for k := range live {
+					keys = append(keys, k)
+				}
+				victim := keys[rng.Intn(len(keys))]
+				if err := h.release(victim); err != nil {
+					return false
+				}
+				delete(live, victim)
+			}
+		}
+		// No two live blocks overlap.
+		type blk struct {
+			a mem.Addr
+			n uint64
+		}
+		blocks := make([]blk, 0, len(live))
+		for a, n := range live {
+			blocks = append(blocks, blk{a, n})
+		}
+		sort.Slice(blocks, func(i, j int) bool { return blocks[i].a < blocks[j].a })
+		for i := 1; i < len(blocks); i++ {
+			if uint64(blocks[i-1].a)+blocks[i-1].n > uint64(blocks[i].a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHeapCloneShiftedProperty: a shifted clone preserves every block at
+// the shifted address and stays independent of the original.
+func TestHeapCloneShiftedProperty(t *testing.T) {
+	f := func(seed int64, deltaRaw uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		delta := int64(deltaRaw%1024+1) * 4096
+		h := newHeapAlloc(0x10000, 1<<20)
+		var addrs []mem.Addr
+		for i := 0; i < 50; i++ {
+			if a := h.alloc(uint64(1 + rng.Intn(200))); a != 0 {
+				addrs = append(addrs, a)
+			}
+		}
+		// Free a third.
+		for i := 0; i < len(addrs); i += 3 {
+			_ = h.release(addrs[i])
+		}
+		c := h.cloneShifted(delta)
+		if c.liveBytes() != h.liveBytes() {
+			return false
+		}
+		// Every live original block exists shifted in the clone.
+		for i, a := range addrs {
+			if i%3 == 0 {
+				continue // freed
+			}
+			want := h.sizeOf(a)
+			if c.sizeOf(mem.Addr(int64(a)+delta)) != want {
+				return false
+			}
+		}
+		// Allocating in the clone does not disturb the original.
+		before := h.watermark()
+		_ = c.alloc(64)
+		return h.watermark() == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRoundClassProperty: size classes are multiples of 16 and never
+// smaller than the request.
+func TestRoundClassProperty(t *testing.T) {
+	f := func(n uint32) bool {
+		c := roundClass(uint64(n))
+		return c%16 == 0 && c >= uint64(n) && (n == 0 || c < uint64(n)+16)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

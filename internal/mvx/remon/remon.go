@@ -1,0 +1,345 @@
+// Package remon implements the whole-program MVX baseline the paper
+// compares against: a ReMon-style monitor (Volckaert et al., USENIX ATC'16).
+//
+// Differences from sMVX (internal/core) that matter for the evaluation:
+//
+//   - Replication covers the entire program: the follower is created at
+//     startup, before main() runs, so no pointers exist yet and variant
+//     creation needs no relocation scan — but every instruction of the
+//     program is executed twice.
+//   - Lockstep is at *system call* granularity: user-space libc calls
+//     (allocator, string functions, localtime_r) run locally in each
+//     variant with no monitor rendezvous, which is why ReMon pays less per
+//     libc call than sMVX when the libc:syscall ratio is high (Figure 7).
+//   - ReMon's hybrid design routes most syscalls through the fast
+//     in-process monitor (IP-MON) and a security-sensitive subset through
+//     the ptrace-based cross-process monitor (CP-MON), which costs four
+//     context switches (Section 2.1, footnote 1).
+package remon
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"smvx/internal/libc"
+	"smvx/internal/sim/image"
+	"smvx/internal/sim/kernel"
+	"smvx/internal/sim/machine"
+	"smvx/internal/sim/mem"
+)
+
+// ErrDiverged is delivered to a variant aborted by lockstep comparison.
+var ErrDiverged = errors.New("remon: variant execution diverged")
+
+// Delta is the follower's address-window shift.
+const Delta int64 = 0x2000_0000_0000
+
+// cpMonSyscalls is the security-sensitive subset ReMon routes through the
+// ptrace-based cross-process monitor.
+var cpMonSyscalls = map[string]bool{
+	"open": true, "mkdir": true, "bind": true, "listen": true,
+	"setsockopt": true, "shutdown": true,
+}
+
+// localCalls are executed by each variant without monitor involvement —
+// they never reach the kernel, so a syscall-granularity monitor never sees
+// them.
+func localCall(name string) bool {
+	if name == "localtime_r" {
+		return true
+	}
+	return libc.CategoryOf(name) == libc.CatLocal
+}
+
+// Alarm is one detected divergence.
+type Alarm struct {
+	// CallIndex is the lockstep syscall index.
+	CallIndex uint64
+	// Detail describes the mismatch.
+	Detail string
+}
+
+// Runner executes a program under whole-program MVX.
+type Runner struct {
+	m   *machine.Machine
+	lib *libc.LibC
+	img *image.Image
+
+	mu       sync.Mutex
+	alarms   []Alarm
+	leader   int
+	follower int
+
+	req        chan *call
+	leaderDone chan struct{}
+
+	deadOnce     sync.Once
+	followerDead chan struct{}
+	followerErr  error
+
+	syncedCalls atomic.Uint64
+	diverged    atomic.Bool
+}
+
+type call struct {
+	name string
+	args []uint64
+	resp chan result
+}
+
+type result struct {
+	abort bool
+	local bool
+	ret   uint64
+	errno kernel.Errno
+}
+
+var _ machine.Interposer = (*Runner)(nil)
+
+// New creates a runner for the machine's program.
+func New(m *machine.Machine, lib *libc.LibC) *Runner {
+	return &Runner{
+		m:            m,
+		lib:          lib,
+		img:          m.Program().Image(),
+		req:          make(chan *call),
+		leaderDone:   make(chan struct{}),
+		followerDead: make(chan struct{}),
+	}
+}
+
+// Alarms returns detected divergences.
+func (r *Runner) Alarms() []Alarm {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Alarm(nil), r.alarms...)
+}
+
+// SyncedCalls returns the number of lockstep rendezvous performed (the
+// syscall count the monitor paid for).
+func (r *Runner) SyncedCalls() uint64 { return r.syncedCalls.Load() }
+
+// Diverged reports whether any divergence was detected.
+func (r *Runner) Diverged() bool { return r.diverged.Load() }
+
+func (r *Runner) raise(idx uint64, detail string) {
+	r.diverged.Store(true)
+	r.mu.Lock()
+	r.alarms = append(r.alarms, Alarm{CallIndex: idx, Detail: detail})
+	r.mu.Unlock()
+}
+
+// Run replicates the whole program: it clones the image and heap into the
+// follower window, patches the PLT, starts the follower's main(), runs the
+// leader's main() on the calling goroutine, and merges at exit.
+func (r *Runner) Run(mainFn string, args ...uint64) error {
+	as := r.m.AddressSpace()
+
+	// Patch the PLT first so the follower's cloned .got.plt carries the
+	// monitored slots too.
+	for i := range r.img.PLTSlots() {
+		if err := as.Write64(r.img.GOTSlotAddr(i), uint64(0x6600_0000_0000)+uint64(i)); err != nil {
+			return fmt.Errorf("remon: patch got: %w", err)
+		}
+	}
+	r.m.SetInterposer(r)
+
+	// Whole-program variant creation happens before main() — the address
+	// space holds no application pointers yet, so cloning is a plain copy
+	// (no relocation scan, unlike sMVX's mid-execution mvx_start).
+	for _, secName := range []string{
+		image.SecText, image.SecRodata, image.SecData, image.SecBSS,
+		image.SecPLT, image.SecGotPLT,
+	} {
+		sec, ok := r.img.Section(secName)
+		if !ok {
+			continue
+		}
+		if _, err := as.CloneRegionShifted(sec.Addr, Delta, "remon-v2:"+secName); err != nil {
+			return fmt.Errorf("remon: clone %s: %w", secName, err)
+		}
+	}
+	heapBase, heapSize := r.lib.HeapBounds(0)
+	if heapSize > 0 {
+		if _, err := as.CloneRegionShifted(heapBase, Delta, "remon-v2:heap"); err != nil {
+			return fmt.Errorf("remon: clone heap: %w", err)
+		}
+		if err := r.lib.CloneHeap(0, Delta, Delta); err != nil {
+			return err
+		}
+	}
+
+	leader, err := r.m.NewThread("remon-leader", 0)
+	if err != nil {
+		return err
+	}
+	r.leader = leader.TID()
+
+	ftid := r.m.AllocTID()
+	r.follower = ftid
+	fStack := mem.Addr(int64(r.img.End())+Delta) + 0x100_0000
+	imgLo := mem.Addr(int64(r.img.Base) + Delta)
+	imgHi := mem.Addr(int64(r.img.End()) + Delta)
+
+	th := r.m.Process().CloneThread(func() error {
+		ft, err := r.m.NewThreadAt("remon-follower", ftid, fStack, 64, Delta)
+		if err != nil {
+			r.markDead(err)
+			return err
+		}
+		ft.SetBackground(true)
+		ft.SetExecWindow([2]mem.Addr{imgLo, imgHi})
+		runErr := ft.Run(func(t *machine.Thread) { t.Call(mainFn, args...) })
+		if runErr != nil {
+			r.raise(r.syncedCalls.Load(), "follower fault: "+runErr.Error())
+		}
+		r.markDead(runErr)
+		return runErr
+	})
+
+	leaderErr := leader.Run(func(t *machine.Thread) { t.Call(mainFn, args...) })
+	close(r.leaderDone)
+	_ = r.m.Process().WaitThread(th)
+	if leaderErr != nil {
+		return leaderErr
+	}
+	return nil
+}
+
+func (r *Runner) markDead(err error) {
+	r.deadOnce.Do(func() {
+		r.followerErr = err
+		close(r.followerDead)
+	})
+}
+
+// Intercept implements the hybrid monitor: local calls run unmonitored in
+// the calling variant; kernel-facing calls synchronize at syscall
+// granularity, with the CP-MON subset paying the ptrace interception cost.
+func (r *Runner) Intercept(t *machine.Thread, slot int, name string, args []uint64) uint64 {
+	if localCall(name) {
+		// No monitor involvement at all: a syscall-granularity monitor
+		// never sees user-space calls.
+		return r.lib.Call(t, name, args)
+	}
+	costs := r.m.Costs()
+	if cpMonSyscalls[name] {
+		r.m.ChargeThread(t, costs.PtraceStop)
+	} else {
+		r.m.ChargeThread(t, costs.LockstepRendezvous)
+	}
+	switch t.TID() {
+	case r.leader:
+		return r.leaderCall(t, name, args)
+	case r.follower:
+		return r.followerCall(t, name, args)
+	default:
+		return r.lib.Call(t, name, args)
+	}
+}
+
+func (r *Runner) leaderCall(t *machine.Thread, name string, args []uint64) uint64 {
+	idx := r.syncedCalls.Add(1)
+	select {
+	case c := <-r.req:
+		if c.name != name {
+			r.raise(idx, fmt.Sprintf("leader %s vs follower %s", name, c.name))
+			c.resp <- result{abort: true}
+			return r.lib.Call(t, name, args)
+		}
+		ret := r.lib.Call(t, name, args)
+		errno := t.Errno()
+		r.emulate(name, args, c.args, ret)
+		c.resp <- result{ret: ret, errno: errno}
+		return ret
+	case <-r.followerDead:
+		r.diverged.Store(true)
+		return r.lib.Call(t, name, args)
+	}
+}
+
+func (r *Runner) followerCall(t *machine.Thread, name string, args []uint64) uint64 {
+	c := &call{name: name, args: args, resp: make(chan result, 1)}
+	select {
+	case r.req <- c:
+		res := <-c.resp
+		if res.abort {
+			panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDiverged})
+		}
+		t.SetErrno(res.errno)
+		return res.ret
+	case <-r.leaderDone:
+		r.raise(r.syncedCalls.Load(), "follower syscall after leader exit: "+name)
+		panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDiverged})
+	}
+}
+
+// emulate copies leader output buffers to the follower (same descriptors as
+// the sMVX monitor's Table 1 handling, minus the user-space calls that
+// never get here).
+func (r *Runner) emulate(name string, leaderArgs, followerArgs []uint64, ret uint64) {
+	as := r.m.AddressSpace()
+	arg := func(a []uint64, i int) uint64 {
+		if i < len(a) {
+			return a[i]
+		}
+		return 0
+	}
+	copyBuf := func(argIdx, n int) {
+		if n <= 0 {
+			return
+		}
+		src := mem.Addr(arg(leaderArgs, argIdx))
+		dst := mem.Addr(arg(followerArgs, argIdx))
+		if src == 0 || dst == 0 {
+			return
+		}
+		buf := make([]byte, n)
+		if as.ReadAt(src, buf) == nil {
+			_ = as.WriteAt(dst, buf)
+		}
+	}
+	retN := 0
+	if int64(ret) > 0 {
+		retN = int(int64(ret))
+	}
+	switch name {
+	case "read", "recv":
+		copyBuf(1, retN)
+	case "stat", "fstat":
+		copyBuf(1, 24)
+	case "gettimeofday":
+		copyBuf(0, 16)
+	case "time":
+		copyBuf(0, 8)
+	case "getsockopt", "ioctl":
+		copyBuf(2, 8)
+	case "epoll_wait", "epoll_pwait":
+		n := retN
+		src := mem.Addr(arg(leaderArgs, 1))
+		dst := mem.Addr(arg(followerArgs, 1))
+		for i := 0; i < n; i++ {
+			var entry [16]byte
+			if as.ReadAt(src+mem.Addr(i*16), entry[:]) != nil {
+				break
+			}
+			data := le64(entry[8:])
+			if mem.Addr(data) >= r.img.Base && mem.Addr(data) < r.img.End() {
+				data = uint64(int64(data) + Delta)
+				for j := 0; j < 8; j++ {
+					entry[8+j] = byte(data >> (8 * j))
+				}
+			}
+			if as.WriteAt(dst+mem.Addr(i*16), entry[:]) != nil {
+				break
+			}
+		}
+	}
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

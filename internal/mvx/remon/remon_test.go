@@ -1,0 +1,186 @@
+package remon
+
+import (
+	"strings"
+	"testing"
+
+	"smvx/internal/boot"
+	"smvx/internal/libc"
+	"smvx/internal/sim/clock"
+	"smvx/internal/sim/image"
+	"smvx/internal/sim/kernel"
+	"smvx/internal/sim/machine"
+	"smvx/internal/sim/mem"
+)
+
+func newEnv(t *testing.T) *boot.Env {
+	t.Helper()
+	img := image.NewBuilder("remonapp", 0x400000).
+		AddFunc("main", 256).
+		AddFunc("diverge", 128).
+		AddData("g_time", 8, nil).
+		AddData("g_time2", 8, nil).
+		AddBSS("g_buf", 4096).
+		NeedLibc(libc.Names()...).
+		Build()
+	prog := machine.NewProgram(img)
+	env, err := boot.NewEnv(kernel.New(clock.DefaultCosts(), 5), prog, boot.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestWholeProgramReplicationNoAlarm(t *testing.T) {
+	env := newEnv(t)
+	env.Prog.MustDefine("main", func(th *machine.Thread, args []uint64) uint64 {
+		g := th.Global("g_buf")
+		// Kernel-facing: synchronized, leader-only, emulated to follower.
+		th.Libc("gettimeofday", uint64(g), 0)
+		sec := th.Load64(g)
+		if th.Bias() == 0 {
+			th.Store64(th.Global("g_time"), sec)
+		} else {
+			th.Store64(th.Global("g_time2"), sec)
+		}
+		// User-space: executed locally in both variants, unmonitored.
+		p := th.Libc("malloc", 128)
+		th.Store64(mem.Addr(p), 1)
+		th.Libc("free", p)
+		// Leader-only file write.
+		path := g + 256
+		th.WriteCString(path, "/remon.txt")
+		fd := th.Libc("open", uint64(path), uint64(kernel.OCreat|kernel.OWronly))
+		msg := g + 512
+		th.WriteCString(msg, "one")
+		th.Libc("write", fd, uint64(msg), 3)
+		th.Libc("close", fd)
+		return sec
+	})
+	r := New(env.Machine, env.LibC)
+	if err := r.Run("main"); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Diverged() || len(r.Alarms()) != 0 {
+		t.Fatalf("alarms: %v", r.Alarms())
+	}
+	// Emulated time matches across variants.
+	t1, _ := env.AS.Read64(symAddr(t, env, "g_time"))
+	t2, _ := env.AS.Read64(mem.Addr(int64(symAddr(t, env, "g_time2")) + Delta))
+	if t1 == 0 || t1 != t2 {
+		t.Errorf("time: leader=%d follower=%d", t1, t2)
+	}
+	// File written once.
+	data, _ := env.Kernel.FS().ReadFile("/remon.txt")
+	if string(data) != "one" {
+		t.Errorf("file = %q", data)
+	}
+	// Syscall-granularity: malloc/free were NOT synchronized.
+	// Synced: gettimeofday, open, write, close = 4.
+	if got := r.SyncedCalls(); got != 4 {
+		t.Errorf("SyncedCalls = %d, want 4 (user-space calls unmonitored)", got)
+	}
+}
+
+func symAddr(t *testing.T, env *boot.Env, name string) mem.Addr {
+	t.Helper()
+	s, ok := env.Img.Lookup(name)
+	if !ok {
+		t.Fatalf("no symbol %s", name)
+	}
+	return s.Addr
+}
+
+func TestDivergenceDetected(t *testing.T) {
+	env := newEnv(t)
+	env.Prog.MustDefine("main", func(th *machine.Thread, args []uint64) uint64 {
+		g := th.Global("g_buf")
+		if th.Bias() == 0 {
+			th.Libc("gettimeofday", uint64(g), 0)
+		} else {
+			th.WriteCString(g, "/x")
+			th.Libc("open", uint64(g), 0)
+		}
+		return 0
+	})
+	r := New(env.Machine, env.LibC)
+	if err := r.Run("main"); err != nil {
+		t.Fatalf("leader should survive: %v", err)
+	}
+	if !r.Diverged() || len(r.Alarms()) == 0 {
+		t.Fatal("divergence not detected")
+	}
+}
+
+func TestFollowerFaultDetected(t *testing.T) {
+	env := newEnv(t)
+	// The follower dereferences an absolute leader-space address planted
+	// as data (attacker-style), faulting in its own view.
+	gbuf := symAddr(t, env, "g_buf")
+	env.Prog.MustDefine("main", func(th *machine.Thread, args []uint64) uint64 {
+		if th.Bias() != 0 {
+			// Jump-like access outside the follower window.
+			return th.Call("diverge")
+		}
+		g := th.Global("g_buf")
+		th.Libc("gettimeofday", uint64(g), 0)
+		return 0
+	})
+	env.Prog.MustDefine("diverge", func(th *machine.Thread, args []uint64) uint64 {
+		// Follower touches leader-space data through an absolute pointer.
+		return th.Load64(gbuf + 0x2000_0000) // far outside any mapping
+	})
+	r := New(env.Machine, env.LibC)
+	if err := r.Run("main"); err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	if !r.Diverged() {
+		t.Error("follower fault must mark divergence")
+	}
+}
+
+func TestRemonRSSIsFullDuplicate(t *testing.T) {
+	env := newEnv(t)
+	env.Prog.MustDefine("main", func(th *machine.Thread, args []uint64) uint64 {
+		g := th.Global("g_buf")
+		th.Libc("gettimeofday", uint64(g), 0)
+		return 0
+	})
+	isApp := func(region string) bool {
+		return !strings.HasPrefix(region, "lib:")
+	}
+	before := env.AS.ResidentKBIn(isApp)
+	r := New(env.Machine, env.LibC)
+	if err := r.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	after := env.AS.ResidentKBIn(isApp)
+	// Whole-program replication roughly doubles the application-resident
+	// RSS (stacks added on top); shared libraries stay single-mapped in
+	// the in-process design.
+	if after < before*2-8 {
+		t.Errorf("app RSS %dKB -> %dKB: whole-program clone should ~double residency", before, after)
+	}
+}
+
+func TestCPMonSyscallsCostMore(t *testing.T) {
+	env := newEnv(t)
+	env.Prog.MustDefine("main", func(th *machine.Thread, args []uint64) uint64 {
+		g := th.Global("g_buf")
+		th.WriteCString(g, "/f")
+		// open is CP-MON (ptrace) monitored.
+		fd := th.Libc("open", uint64(g), uint64(kernel.OCreat|kernel.OWronly))
+		th.Libc("close", fd)
+		return 0
+	})
+	r := New(env.Machine, env.LibC)
+	before := env.Counter.Cycles()
+	if err := r.Run("main"); err != nil {
+		t.Fatal(err)
+	}
+	total := env.Counter.Cycles() - before
+	// Must include at least one PtraceStop (open) on top of everything.
+	if total < env.Costs.PtraceStop {
+		t.Errorf("cycles = %d, want >= PtraceStop", total)
+	}
+}

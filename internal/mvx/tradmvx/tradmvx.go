@@ -1,0 +1,69 @@
+// Package tradmvx is the traditional whole-process MVX baseline of the
+// paper's resource experiments (Section 4.1): N fully independent program
+// instances — each with its own address space, heap, and shared libraries —
+// all fed the same workload. The paper simulates it by "replicating the
+// vanilla applications"; this package runs the instances for real and sums
+// their CPU and resident-set usage, the 200%/2× yardstick sMVX is measured
+// against.
+package tradmvx
+
+import (
+	"fmt"
+
+	"smvx/internal/boot"
+	"smvx/internal/sim/clock"
+)
+
+// Instance is one replicated program copy.
+type Instance struct {
+	// Env is the instance's booted process.
+	Env *boot.Env
+	// Run starts the program (typically a server loop) and returns when
+	// it exits. It is executed on its own goroutine.
+	Run func() error
+	// Drive feeds the instance its copy of the workload from the caller's
+	// goroutine (a traditional MVX monitor broadcasts the same input to
+	// every variant).
+	Drive func() error
+}
+
+// Result aggregates the replicated instances' resource usage.
+type Result struct {
+	// TotalCPU is the summed CPU cycles across instances.
+	TotalCPU clock.Cycles
+	// TotalRSSKB is the summed resident set size in KiB — what pmap over
+	// all variant processes reports.
+	TotalRSSKB int
+	// PerInstanceCPU and PerInstanceRSSKB break the totals down.
+	PerInstanceCPU   []clock.Cycles
+	PerInstanceRSSKB []int
+}
+
+// Measure runs every instance to completion and sums resources. Instances
+// execute sequentially with respect to their own Drive (each variant gets
+// the whole workload), mirroring how the paper measures "running two
+// copies of vanilla Nginx".
+func Measure(instances []Instance) (*Result, error) {
+	if len(instances) == 0 {
+		return nil, fmt.Errorf("tradmvx: no instances")
+	}
+	res := &Result{}
+	for i, inst := range instances {
+		done := make(chan error, 1)
+		go func() { done <- inst.Run() }()
+		if err := inst.Drive(); err != nil {
+			<-done
+			return nil, fmt.Errorf("tradmvx: drive instance %d: %w", i, err)
+		}
+		if err := <-done; err != nil {
+			return nil, fmt.Errorf("tradmvx: instance %d: %w", i, err)
+		}
+		cpu := inst.Env.Counter.Cycles()
+		rss := inst.Env.ResidentKB()
+		res.TotalCPU += cpu
+		res.TotalRSSKB += rss
+		res.PerInstanceCPU = append(res.PerInstanceCPU, cpu)
+		res.PerInstanceRSSKB = append(res.PerInstanceRSSKB, rss)
+	}
+	return res, nil
+}

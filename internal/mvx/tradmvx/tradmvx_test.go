@@ -1,0 +1,66 @@
+package tradmvx
+
+import (
+	"bytes"
+	"testing"
+
+	"smvx/internal/apps/nginx"
+	"smvx/internal/boot"
+	"smvx/internal/sim/clock"
+	"smvx/internal/sim/kernel"
+	"smvx/internal/workload"
+)
+
+func nginxInstance(t *testing.T, port uint16, requests int) Instance {
+	t.Helper()
+	k := kernel.New(clock.DefaultCosts(), 42)
+	srv := nginx.NewServer(nginx.Config{Port: port, MaxRequests: requests, AccessLog: true})
+	env, err := boot.NewEnv(k, srv.Program(), boot.WithSeed(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.FS().WriteFile("/var/www/index.html", bytes.Repeat([]byte("x"), 4096))
+	client := k.NewProcess(clock.NewCounter())
+	th, err := env.MainThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Instance{
+		Env: env,
+		Run: func() error { return srv.Run(th) },
+		Drive: func() error {
+			res := workload.RunAB(client, port, "/index.html", requests)
+			if res.Completed != requests {
+				t.Errorf("instance on port %d served %d/%d", port, res.Completed, requests)
+			}
+			return nil
+		},
+	}
+}
+
+func TestTwoInstancesDoubleResources(t *testing.T) {
+	one, err := Measure([]Instance{nginxInstance(t, 8080, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Measure([]Instance{nginxInstance(t, 8080, 5), nginxInstance(t, 8081, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both instances run the identical deterministic workload: exactly 2x.
+	if two.TotalRSSKB != 2*one.TotalRSSKB {
+		t.Errorf("RSS: 2 instances = %dKB, want 2x %dKB", two.TotalRSSKB, one.TotalRSSKB)
+	}
+	if two.TotalCPU != 2*one.TotalCPU {
+		t.Errorf("CPU: 2 instances = %d, want 2x %d", two.TotalCPU, one.TotalCPU)
+	}
+	if len(two.PerInstanceCPU) != 2 || two.PerInstanceCPU[0] != two.PerInstanceCPU[1] {
+		t.Errorf("per-instance CPU should match: %v", two.PerInstanceCPU)
+	}
+}
+
+func TestMeasureEmptyRejected(t *testing.T) {
+	if _, err := Measure(nil); err == nil {
+		t.Error("empty instance list should error")
+	}
+}

@@ -1,0 +1,109 @@
+package perfprof
+
+import (
+	"strings"
+	"testing"
+
+	"smvx/internal/sim/clock"
+)
+
+func TestInclusiveAttribution(t *testing.T) {
+	p := New()
+	// main -> worker -> handler, with inclusive cycles reported at exit.
+	p.OnEnter(1, "main")
+	p.OnEnter(1, "worker")
+	p.OnEnter(1, "handler")
+	p.OnExit(1, "handler", 100)
+	p.OnExit(1, "worker", 300)
+	p.OnExit(1, "main", 1000)
+
+	if got := p.Inclusive("main"); got != 1000 {
+		t.Errorf("main inclusive = %d", got)
+	}
+	if got := p.Inclusive("worker"); got != 300 {
+		t.Errorf("worker inclusive = %d", got)
+	}
+	if got := p.Calls("handler"); got != 1 {
+		t.Errorf("handler calls = %d", got)
+	}
+}
+
+func TestRecursionNotDoubleCounted(t *testing.T) {
+	p := New()
+	p.OnEnter(1, "f")
+	p.OnEnter(1, "f") // recursive
+	p.OnExit(1, "f", 50)
+	p.OnExit(1, "f", 200)
+	if got := p.Inclusive("f"); got != 200 {
+		t.Errorf("recursive inclusive = %d, want 200 (outermost only)", got)
+	}
+	if got := p.Calls("f"); got != 1 {
+		t.Errorf("recursive calls = %d, want 1", got)
+	}
+}
+
+func TestRepeatedCallsAccumulate(t *testing.T) {
+	p := New()
+	for i := 0; i < 3; i++ {
+		p.OnEnter(1, "req")
+		p.OnExit(1, "req", 10)
+	}
+	if got := p.Inclusive("req"); got != 30 {
+		t.Errorf("inclusive = %d", got)
+	}
+	if got := p.Calls("req"); got != 3 {
+		t.Errorf("calls = %d", got)
+	}
+}
+
+func TestThreadsIndependent(t *testing.T) {
+	p := New()
+	p.OnEnter(1, "a")
+	p.OnEnter(2, "a")
+	p.OnExit(2, "a", 5)
+	p.OnExit(1, "a", 7)
+	if got := p.Inclusive("a"); got != 12 {
+		t.Errorf("cross-thread inclusive = %d", got)
+	}
+}
+
+func TestPercentAndReport(t *testing.T) {
+	p := New()
+	p.OnEnter(1, "big")
+	p.OnExit(1, "big", 600)
+	p.OnEnter(1, "small")
+	p.OnExit(1, "small", 100)
+
+	if got := p.Percent("big", 1000); got != 60 {
+		t.Errorf("Percent = %v", got)
+	}
+	if got := p.Percent("big", 0); got != 0 {
+		t.Errorf("Percent with zero total = %v", got)
+	}
+	rep := p.Report()
+	if len(rep) != 2 || rep[0].Fn != "big" || rep[1].Fn != "small" {
+		t.Errorf("Report = %+v", rep)
+	}
+}
+
+func TestFlameTextAndReset(t *testing.T) {
+	p := New()
+	p.OnEnter(1, "hot")
+	p.OnExit(1, "hot", clock.Cycles(900))
+	out := p.FlameText(1000)
+	if !strings.Contains(out, "hot") || !strings.Contains(out, "90.0%") {
+		t.Errorf("FlameText:\n%s", out)
+	}
+	p.Reset()
+	if p.Inclusive("hot") != 0 {
+		t.Error("Reset did not clear samples")
+	}
+}
+
+func TestExitWithoutEnterIgnored(t *testing.T) {
+	p := New()
+	p.OnExit(1, "ghost", 50)
+	if p.Inclusive("ghost") != 0 {
+		t.Error("unbalanced exit should be ignored")
+	}
+}

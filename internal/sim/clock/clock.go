@@ -1,0 +1,175 @@
+// Package clock provides the virtual time base and CPU cycle cost model for
+// the simulated machine.
+//
+// Every activity in the simulation — memory accesses, function calls, libc
+// calls, system calls, context switches, MPK register writes — is charged a
+// deterministic number of CPU cycles against a Counter. The Counter converts
+// cycles to simulated wall-clock time at the frequency of the paper's
+// evaluation machine (an Intel Xeon Silver 4110 at 2.10GHz), so latency
+// results are reported in the same units as the paper.
+package clock
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// FrequencyHz is the simulated CPU frequency: 2.10GHz, matching the Intel
+// Xeon Silver 4110 used in the paper's evaluation (Section 4).
+const FrequencyHz = 2_100_000_000
+
+// Cycles counts simulated CPU cycles.
+type Cycles uint64
+
+// Duration converts a cycle count to simulated wall-clock time at
+// FrequencyHz.
+func (c Cycles) Duration() time.Duration {
+	return time.Duration(float64(c) / FrequencyHz * float64(time.Second))
+}
+
+// Micros converts a cycle count to simulated microseconds.
+func (c Cycles) Micros() float64 {
+	return float64(c) / FrequencyHz * 1e6
+}
+
+// String renders the cycle count with its time equivalent.
+func (c Cycles) String() string {
+	return fmt.Sprintf("%d cycles (%.1fus)", uint64(c), c.Micros())
+}
+
+// FromDuration converts a wall-clock duration to cycles at FrequencyHz.
+func FromDuration(d time.Duration) Cycles {
+	return Cycles(float64(d) / float64(time.Second) * FrequencyHz)
+}
+
+// Counter accumulates simulated cycles. It is safe for concurrent use:
+// leader and follower variants run on separate goroutines and both charge
+// the process-wide counter.
+type Counter struct {
+	cycles atomic.Uint64
+}
+
+// NewCounter returns a zeroed cycle counter.
+func NewCounter() *Counter {
+	return &Counter{}
+}
+
+// Charge adds n cycles to the counter.
+func (c *Counter) Charge(n Cycles) {
+	c.cycles.Add(uint64(n))
+}
+
+// Cycles returns the cycles accumulated so far.
+func (c *Counter) Cycles() Cycles {
+	return Cycles(c.cycles.Load())
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	c.cycles.Store(0)
+}
+
+// Now returns the simulated time elapsed since the counter was zero.
+func (c *Counter) Now() time.Duration {
+	return c.Cycles().Duration()
+}
+
+// CostTable holds the per-event cycle costs of the simulated machine.
+//
+// The relative magnitudes encode the performance facts the paper's results
+// depend on:
+//
+//   - A system call costs two user/kernel context switches; a ptrace-style
+//     cross-process interception costs four (Section 2.1, footnote 1).
+//   - WRPKRU is an unprivileged register write, far cheaper than a context
+//     switch (Section 2.1).
+//   - The sMVX trampoline adds a stack pivot and two PKRU updates per
+//     intercepted libc call (Section 3.4).
+//   - Lockstep rendezvous over shared-memory IPC costs less than a ptrace
+//     stop but is paid per *libc* call, whereas ReMon pays per *syscall*
+//     (Section 4.1, Figure 7 discussion).
+type CostTable struct {
+	// MemAccess is the cost of one simulated load or store (cache-hit cost).
+	MemAccess Cycles
+	// Call is the cost of a simulated function call/return pair.
+	Call Cycles
+	// Instruction is the cost of one unit of simulated computation.
+	Instruction Cycles
+	// ContextSwitch is one user/kernel mode transition.
+	ContextSwitch Cycles
+	// SyscallBase is kernel-side work for a system call, excluding the two
+	// context switches that wrap it.
+	SyscallBase Cycles
+	// LibcBase is user-space work inside a libc wrapper that does not enter
+	// the kernel (e.g. a malloc served from the freelist).
+	LibcBase Cycles
+	// WRPKRU is one protection-key rights register update.
+	WRPKRU Cycles
+	// TrampolineEntry is the fixed cost of the monitor call gate:
+	// register save and PLT index decode (excluding the WRPKRU pair and
+	// the stack pivot).
+	TrampolineEntry Cycles
+	// StackPivot is the cost of the safe-stack switch and rebuild on
+	// entering/leaving the trampoline (Section 3.4's %rbx save, return
+	// address rewrite, and %rax restore).
+	StackPivot Cycles
+	// LockstepRendezvous is one leader/follower shared-memory IPC
+	// synchronization: enqueue, futex wake, compare.
+	LockstepRendezvous Cycles
+	// LockstepCopyPerByte is the per-byte cost of copying emulated results
+	// from leader to follower through the IPC ring.
+	LockstepCopyPerByte Cycles
+	// PtraceStop is the monitor-side cost of one ptrace-style interception
+	// (four context switches plus monitor work), used by cross-process
+	// baselines.
+	PtraceStop Cycles
+	// ThreadClone is kernel work for clone() of a thread sharing the
+	// address space (Table 2 reports ~9.5us: dominated by these cycles).
+	ThreadClone Cycles
+	// ForkBase is kernel work for fork(): page-table duplication of a
+	// minimal process (Table 2 reports ~640us for an empty main()).
+	ForkBase Cycles
+	// ForkPerPage is the extra fork cost per mapped page (COW setup),
+	// responsible for the fork-during-lighttpd-init row of Table 2.
+	ForkPerPage Cycles
+	// ScanPerSlot is the cost of checking one 8-byte-aligned memory slot
+	// during pointer scanning (Section 3.4).
+	ScanPerSlot Cycles
+	// PageCopy is the per-page cost of the variant-creation "copy+move":
+	// a COW-style page-table remap, not an eager byte copy — Table 2's
+	// 14.7us duplication of a whole process only adds up with remap-cost
+	// pages.
+	PageCopy Cycles
+}
+
+// DefaultCosts returns the cost table used throughout the evaluation. The
+// values are calibrated so that the latencies of Table 2 and the overhead
+// shapes of Figures 6 and 7 fall in the paper's reported ranges.
+func DefaultCosts() CostTable {
+	return CostTable{
+		MemAccess:           4,
+		Call:                10,
+		Instruction:         1,
+		ContextSwitch:       1_400,
+		SyscallBase:         600,
+		LibcBase:            60,
+		WRPKRU:              25,
+		TrampolineEntry:     50,
+		StackPivot:          40,
+		LockstepRendezvous:  2_000,
+		LockstepCopyPerByte: 1,
+		PtraceStop:          4*1_400 + 1_200,
+		ThreadClone:         17_000,
+		ForkBase:            1_300_000,
+		ForkPerPage:         300,
+		ScanPerSlot:         6,
+		PageCopy:            100,
+	}
+}
+
+// SyscallCost is the full cost of a direct (unmonitored) system call: two
+// context switches around the kernel work.
+func (t CostTable) SyscallCost() Cycles {
+	return 2*t.ContextSwitch + t.SyscallBase
+}

@@ -1,0 +1,140 @@
+package clock
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCyclesDuration(t *testing.T) {
+	tests := []struct {
+		name   string
+		cycles Cycles
+		want   time.Duration
+	}{
+		{name: "zero", cycles: 0, want: 0},
+		{name: "one second of cycles", cycles: FrequencyHz, want: time.Second},
+		{name: "half second", cycles: FrequencyHz / 2, want: 500 * time.Millisecond},
+		{name: "one microsecond", cycles: 2100, want: time.Microsecond},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.cycles.Duration(); got != tt.want {
+				t.Errorf("Duration() = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestCyclesMicros(t *testing.T) {
+	if got := Cycles(2100).Micros(); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("Micros() = %v, want 1.0", got)
+	}
+	if got := Cycles(21000).Micros(); math.Abs(got-10.0) > 1e-9 {
+		t.Errorf("Micros() = %v, want 10.0", got)
+	}
+}
+
+func TestFromDurationRoundTrip(t *testing.T) {
+	f := func(us uint16) bool {
+		d := time.Duration(us) * time.Microsecond
+		c := FromDuration(d)
+		back := c.Duration()
+		diff := back - d
+		if diff < 0 {
+			diff = -diff
+		}
+		// Rounding error must stay under one cycle's duration plus 1ns.
+		return diff <= time.Nanosecond
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterChargeAccumulates(t *testing.T) {
+	c := NewCounter()
+	c.Charge(100)
+	c.Charge(250)
+	if got := c.Cycles(); got != 350 {
+		t.Errorf("Cycles() = %d, want 350", got)
+	}
+	c.Reset()
+	if got := c.Cycles(); got != 0 {
+		t.Errorf("after Reset, Cycles() = %d, want 0", got)
+	}
+}
+
+func TestCounterConcurrentCharge(t *testing.T) {
+	c := NewCounter()
+	const (
+		workers = 8
+		perWork = 1000
+	)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWork; j++ {
+				c.Charge(3)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Cycles(); got != workers*perWork*3 {
+		t.Errorf("Cycles() = %d, want %d", got, workers*perWork*3)
+	}
+}
+
+func TestCounterNow(t *testing.T) {
+	c := NewCounter()
+	c.Charge(FrequencyHz) // exactly one simulated second
+	if got := c.Now(); got != time.Second {
+		t.Errorf("Now() = %v, want 1s", got)
+	}
+}
+
+func TestDefaultCostsOrdering(t *testing.T) {
+	costs := DefaultCosts()
+	// The paper's performance arguments depend on these orderings.
+	if costs.WRPKRU >= costs.ContextSwitch {
+		t.Error("WRPKRU must be cheaper than a context switch (Section 2.1)")
+	}
+	if costs.SyscallCost() >= costs.PtraceStop {
+		t.Error("a direct syscall must be cheaper than a ptrace interception (4 context switches)")
+	}
+	if costs.LockstepRendezvous >= costs.PtraceStop {
+		t.Error("shared-memory lockstep must beat ptrace-based interception (Section 3.1)")
+	}
+	if costs.ThreadClone >= costs.ForkBase {
+		t.Error("clone() of a thread must be far cheaper than fork() (Table 2)")
+	}
+	if costs.LibcBase >= costs.SyscallCost() {
+		t.Error("a user-space libc call must be cheaper than a syscall (Figure 7 ratio discussion)")
+	}
+}
+
+func TestTable2LatencyCalibration(t *testing.T) {
+	costs := DefaultCosts()
+	// clone() of an empty function is reported at ~9.5us; our model charges
+	// ThreadClone cycles. Allow a generous band: 5us..20us.
+	cloneUS := costs.ThreadClone.Micros()
+	if cloneUS < 5 || cloneUS > 20 {
+		t.Errorf("ThreadClone = %.1fus, want within [5,20] (paper: 9.5us)", cloneUS)
+	}
+	// fork() of an empty main is reported at ~640us.
+	forkUS := costs.ForkBase.Micros()
+	if forkUS < 300 || forkUS > 1000 {
+		t.Errorf("ForkBase = %.1fus, want within [300,1000] (paper: 640us)", forkUS)
+	}
+}
+
+func TestCyclesString(t *testing.T) {
+	s := Cycles(2100).String()
+	if s != "2100 cycles (1.0us)" {
+		t.Errorf("String() = %q", s)
+	}
+}

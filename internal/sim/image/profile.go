@@ -1,0 +1,143 @@
+package image
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"smvx/internal/sim/mem"
+)
+
+// Profile is the parsed form of the profile file the paper's helper script
+// writes to a /tmp filesystem before running an application under sMVX
+// (Section 3.2): the start offsets and sizes of the .text, .data, .bss,
+// .plt and .got.plt sections plus the symbol table, which the monitor uses
+// to resolve the protected function name passed to mvx_start().
+type Profile struct {
+	// Binary is the application name.
+	Binary string
+	// Base is the load base address.
+	Base mem.Addr
+	// Sections maps section name to its extent.
+	Sections map[string]Section
+	// Symbols is the symbol table sorted by address.
+	Symbols []Symbol
+}
+
+// ProfilePath returns the conventional /tmp path for a binary's profile.
+func ProfilePath(binary string) string {
+	return "/tmp/smvx_" + binary + ".profile"
+}
+
+// profileSections lists the sections the paper's script records.
+var profileSections = []string{SecText, SecData, SecBSS, SecPLT, SecGotPLT}
+
+// WriteProfile serializes the image's profile in the line-oriented format:
+//
+//	binary <name>
+//	base <hex>
+//	section <name> <hex-addr> <size>
+//	symbol <name> <hex-addr> <size>
+func (img *Image) WriteProfile() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "binary %s\n", img.Name)
+	fmt.Fprintf(&b, "base 0x%x\n", uint64(img.Base))
+	for _, name := range profileSections {
+		s, ok := img.sections[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "section %s 0x%x %d\n", s.Name, uint64(s.Addr), s.Size)
+	}
+	for _, sym := range img.symbols {
+		fmt.Fprintf(&b, "symbol %s 0x%x %d\n", sym.Name, uint64(sym.Addr), sym.Size)
+	}
+	return []byte(b.String())
+}
+
+// ParseProfile parses a profile file produced by WriteProfile.
+func ParseProfile(data []byte) (*Profile, error) {
+	p := &Profile{Sections: make(map[string]Section)}
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "binary":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("profile line %d: malformed binary line", lineNo+1)
+			}
+			p.Binary = fields[1]
+		case "base":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("profile line %d: malformed base line", lineNo+1)
+			}
+			v, err := parseHex(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("profile line %d: base: %w", lineNo+1, err)
+			}
+			p.Base = mem.Addr(v)
+		case "section":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("profile line %d: malformed section line", lineNo+1)
+			}
+			addr, err := parseHex(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("profile line %d: section addr: %w", lineNo+1, err)
+			}
+			size, err := strconv.ParseUint(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("profile line %d: section size: %w", lineNo+1, err)
+			}
+			p.Sections[fields[1]] = Section{Name: fields[1], Addr: mem.Addr(addr), Size: size}
+		case "symbol":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("profile line %d: malformed symbol line", lineNo+1)
+			}
+			addr, err := parseHex(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("profile line %d: symbol addr: %w", lineNo+1, err)
+			}
+			size, err := strconv.ParseUint(fields[3], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("profile line %d: symbol size: %w", lineNo+1, err)
+			}
+			p.Symbols = append(p.Symbols, Symbol{Name: fields[1], Addr: mem.Addr(addr), Size: size})
+		default:
+			return nil, fmt.Errorf("profile line %d: unknown directive %q", lineNo+1, fields[0])
+		}
+	}
+	if p.Binary == "" {
+		return nil, fmt.Errorf("profile: missing binary line")
+	}
+	sort.Slice(p.Symbols, func(i, j int) bool { return p.Symbols[i].Addr < p.Symbols[j].Addr })
+	return p, nil
+}
+
+// Lookup resolves a symbol by name in the profile.
+func (p *Profile) Lookup(name string) (Symbol, bool) {
+	for _, s := range p.Symbols {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Symbol{}, false
+}
+
+// SymbolAt returns the profile symbol containing addr, if any.
+func (p *Profile) SymbolAt(addr mem.Addr) (Symbol, bool) {
+	i := sort.Search(len(p.Symbols), func(i int) bool {
+		return p.Symbols[i].Addr+mem.Addr(p.Symbols[i].Size) > addr
+	})
+	if i < len(p.Symbols) && p.Symbols[i].Contains(addr) {
+		return p.Symbols[i], true
+	}
+	return Symbol{}, false
+}
+
+func parseHex(s string) (uint64, error) {
+	return strconv.ParseUint(strings.TrimPrefix(s, "0x"), 16, 64)
+}

@@ -1,0 +1,106 @@
+package image
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smvx/internal/sim/mem"
+)
+
+// TestProfileRoundTripProperty: profiles survive serialization for random
+// symbol layouts.
+func TestProfileRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder("app", mem.Addr(0x400000+uint64(rng.Intn(16))*0x1000))
+		nFuncs := 1 + rng.Intn(20)
+		for i := 0; i < nFuncs; i++ {
+			b.AddFunc(fmt.Sprintf("fn_%d", i), uint64(16+rng.Intn(900)))
+		}
+		for i := 0; i < rng.Intn(10); i++ {
+			b.AddData(fmt.Sprintf("g_%d", i), uint64(8+rng.Intn(500)), nil)
+		}
+		for i := 0; i < rng.Intn(10); i++ {
+			b.AddBSS(fmt.Sprintf("z_%d", i), uint64(8+rng.Intn(5000)))
+		}
+		img := b.NeedLibc("read", "write").Build()
+
+		p, err := ParseProfile(img.WriteProfile())
+		if err != nil {
+			return false
+		}
+		if p.Binary != img.Name || p.Base != img.Base {
+			return false
+		}
+		for _, sym := range img.Symbols() {
+			got, ok := p.Lookup(sym.Name)
+			if !ok || got.Addr != sym.Addr || got.Size != sym.Size {
+				return false
+			}
+		}
+		return len(p.Symbols) == len(img.Symbols())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSymbolAtConsistencyProperty: for every symbol, SymbolAt resolves its
+// first, middle, and last byte to itself, and the byte just past it to
+// something else.
+func TestSymbolAtConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder("app", 0x400000)
+		n := 2 + rng.Intn(15)
+		for i := 0; i < n; i++ {
+			b.AddFunc(fmt.Sprintf("fn_%d", i), uint64(16+rng.Intn(300)))
+		}
+		img := b.Build()
+		for _, sym := range img.Symbols() {
+			for _, probe := range []mem.Addr{sym.Addr, sym.Addr + mem.Addr(sym.Size/2), sym.Addr + mem.Addr(sym.Size-1)} {
+				got, ok := img.SymbolAt(probe)
+				if !ok || got.Name != sym.Name {
+					return false
+				}
+			}
+			if past, ok := img.SymbolAt(sym.Addr + mem.Addr(sym.Size)); ok && past.Name == sym.Name {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSymbolsNonOverlappingProperty: builder-assigned symbols never
+// overlap within a section.
+func TestSymbolsNonOverlappingProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 30 {
+			sizes = sizes[:30]
+		}
+		b := NewBuilder("app", 0x400000)
+		for i, sz := range sizes {
+			b.AddFunc(fmt.Sprintf("fn_%d", i), uint64(sz%1000)+1)
+		}
+		img := b.Build()
+		syms := img.Symbols() // sorted by address
+		for i := 1; i < len(syms); i++ {
+			if syms[i-1].Addr+mem.Addr(syms[i-1].Size) > syms[i].Addr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package image
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+
+	"smvx/internal/sim/mem"
+)
+
+// x86-64 opcode bytes the gadget scanner recognizes. The pseudo-code
+// generator plants them with realistic frequency so a Ropper-style scan of
+// .text finds usable gadgets (Section 4.2's 3-gadget ROP chain).
+const (
+	// OpRet is the ret opcode.
+	OpRet = 0xC3
+	// OpPopRDI is pop %rdi.
+	OpPopRDI = 0x5F
+	// OpPopRSI is pop %rsi.
+	OpPopRSI = 0x5E
+	// OpPopRDX is pop %rdx.
+	OpPopRDX = 0x5A
+	// OpJmpInd is the first byte of jmp *reg (ff /4).
+	OpJmpInd = 0xFF
+)
+
+// fillText writes deterministic pseudo-code into .text (per-function,
+// seeded by image and function name) and PLT stub bytes into .plt.
+func (img *Image) fillText(as *mem.AddressSpace) error {
+	text, ok := img.sections[SecText]
+	if !ok {
+		return fmt.Errorf("image %s: no .text", img.Name)
+	}
+	// The .text pages are r-x; the loader writes them with monitor
+	// (page-table) privileges, so temporarily grant write like a loader
+	// performing relocations does.
+	if err := as.SetRegionPerm(text.Addr, mem.PermRWX); err != nil {
+		return err
+	}
+	for _, sym := range img.symbols {
+		if sym.Addr < text.Addr || sym.Addr >= text.End() {
+			continue
+		}
+		body := GenFuncBody(img.Name, sym.Name, int(sym.Size))
+		if err := as.WriteAt(sym.Addr, body); err != nil {
+			return fmt.Errorf("image %s: fill %s: %w", img.Name, sym.Name, err)
+		}
+	}
+	if err := as.SetRegionPerm(text.Addr, mem.PermRX); err != nil {
+		return err
+	}
+
+	plt, ok := img.sections[SecPLT]
+	if !ok {
+		return nil
+	}
+	if err := as.SetRegionPerm(plt.Addr, mem.PermRWX); err != nil {
+		return err
+	}
+	for i := range img.pltSlots {
+		stub := genPLTStub(i)
+		if err := as.WriteAt(img.PLTEntryAddr(i), stub); err != nil {
+			return err
+		}
+	}
+	return as.SetRegionPerm(plt.Addr, mem.PermRX)
+}
+
+// GenFuncBody generates size bytes of deterministic pseudo-code for a
+// function. The body always ends in ret, and longer functions contain
+// pop-register/ret sequences at realistic density — the raw material for
+// ROP gadget discovery.
+func GenFuncBody(imageName, funcName string, size int) []byte {
+	if size < 1 {
+		size = 1
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(imageName))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(funcName))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+
+	body := make([]byte, size)
+	for i := range body {
+		body[i] = byte(rng.Intn(256))
+		// Avoid accidental ret bytes in filler so gadgets appear only
+		// where planted, keeping gadget discovery deterministic in spirit.
+		if body[i] == OpRet {
+			body[i] = 0x90 // nop
+		}
+	}
+	// Plant pop/ret gadget pairs roughly every 96 bytes.
+	for off := 16; off+2 < size; off += 96 {
+		pos := off + rng.Intn(32)
+		if pos+2 >= size {
+			break
+		}
+		switch rng.Intn(3) {
+		case 0:
+			body[pos] = OpPopRDI
+		case 1:
+			body[pos] = OpPopRSI
+		default:
+			body[pos] = OpPopRDX
+		}
+		body[pos+1] = OpRet
+	}
+	body[size-1] = OpRet
+	return body
+}
+
+// genPLTStub generates the 16-byte PLT stub for slot i: the classic
+// push-index/jmp-GOT pattern, padded with nops.
+func genPLTStub(slot int) []byte {
+	stub := make([]byte, PLTEntrySize)
+	// ff 25 xx xx xx xx   jmp *got[slot](%rip)
+	stub[0] = 0xFF
+	stub[1] = 0x25
+	stub[2] = byte(slot)
+	stub[3] = byte(slot >> 8)
+	// 68 xx xx xx xx      push $slot
+	stub[6] = 0x68
+	stub[7] = byte(slot)
+	stub[8] = byte(slot >> 8)
+	for i := 11; i < PLTEntrySize; i++ {
+		stub[i] = 0x90
+	}
+	return stub
+}

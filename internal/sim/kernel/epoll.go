@@ -1,0 +1,236 @@
+package kernel
+
+import "sync"
+
+// Epoll event bits (subset of EPOLL*).
+const (
+	EpollIn  = 0x001
+	EpollOut = 0x004
+	EpollErr = 0x008
+	EpollHup = 0x010
+)
+
+// Epoll control ops.
+const (
+	EpollCtlAdd = 1
+	EpollCtlDel = 2
+	EpollCtlMod = 3
+)
+
+// EpollEvent is one readiness notification. Data is the epoll_data union:
+// depending on how the application registered interest it holds a file
+// descriptor, a 32/64-bit value, or a pointer into the application's
+// address space — the case that forces sMVX's address-range check when
+// emulating epoll_wait for the follower (Section 3.3).
+type EpollEvent struct {
+	// Events is the ready-event bitmask.
+	Events uint32
+	// Data is the application's epoll_data value, returned verbatim.
+	Data uint64
+}
+
+type epollInterest struct {
+	fd     int
+	events uint32
+	data   uint64
+}
+
+// Epoll is one epoll instance.
+type Epoll struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	owner    *Process
+	interest map[int]*epollInterest
+	closed   bool
+}
+
+func (ep *Epoll) wake() {
+	ep.mu.Lock()
+	ep.cond.Broadcast()
+	ep.mu.Unlock()
+}
+
+func (ep *Epoll) close() {
+	ep.mu.Lock()
+	ep.closed = true
+	interests := make([]int, 0, len(ep.interest))
+	for fd := range ep.interest {
+		interests = append(interests, fd)
+	}
+	owner := ep.owner
+	ep.mu.Unlock()
+	for _, fd := range interests {
+		if f, e := owner.lookup(fd); e == OK {
+			switch f.kind {
+			case fdConn:
+				if f.conn != nil {
+					f.conn.unwatch(ep)
+				}
+			case fdListener:
+				f.listener.unwatch(ep)
+			}
+		}
+	}
+	ep.wake()
+}
+
+// EpollCreate creates an epoll instance.
+func (p *Process) EpollCreate() (int, Errno) {
+	p.enter("epoll_create")
+	ep := &Epoll{owner: p, interest: make(map[int]*epollInterest)}
+	ep.cond = sync.NewCond(&ep.mu)
+	return p.install(&FD{kind: fdEpoll, epoll: ep})
+}
+
+// EpollCtl adds, modifies, or removes interest in fd.
+func (p *Process) EpollCtl(epfd, op, fd int, events uint32, data uint64) Errno {
+	p.enter("epoll_ctl")
+	ef, e := p.lookup(epfd)
+	if e != OK {
+		return e
+	}
+	if ef.kind != fdEpoll {
+		return EINVAL
+	}
+	target, e := p.lookup(fd)
+	if e != OK {
+		return e
+	}
+	ep := ef.epoll
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	switch op {
+	case EpollCtlAdd:
+		if _, exists := ep.interest[fd]; exists {
+			return EEXIST
+		}
+		ep.interest[fd] = &epollInterest{fd: fd, events: events, data: data}
+		switch target.kind {
+		case fdConn:
+			if target.conn != nil {
+				target.conn.watch(ep)
+			}
+		case fdListener:
+			target.listener.watch(ep)
+		}
+		return OK
+	case EpollCtlMod:
+		it, exists := ep.interest[fd]
+		if !exists {
+			return ENOENT
+		}
+		it.events = events
+		it.data = data
+		return OK
+	case EpollCtlDel:
+		if _, exists := ep.interest[fd]; !exists {
+			return ENOENT
+		}
+		delete(ep.interest, fd)
+		switch target.kind {
+		case fdConn:
+			if target.conn != nil {
+				target.conn.unwatch(ep)
+			}
+		case fdListener:
+			target.listener.unwatch(ep)
+		}
+		return OK
+	default:
+		return EINVAL
+	}
+}
+
+// ready collects currently ready events. Caller holds ep.mu.
+func (ep *Epoll) ready(p *Process, out []EpollEvent) []EpollEvent {
+	out = out[:0]
+	for fd, it := range ep.interest {
+		f, e := p.lookup(fd)
+		if e != OK {
+			out = append(out, EpollEvent{Events: EpollErr, Data: it.data})
+			continue
+		}
+		var ev uint32
+		switch f.kind {
+		case fdListener:
+			if it.events&EpollIn != 0 && f.listener.readable() {
+				ev |= EpollIn
+			}
+			f.listener.mu.Lock()
+			if f.listener.closed {
+				ev |= EpollHup
+			}
+			f.listener.mu.Unlock()
+		case fdConn:
+			if f.conn == nil {
+				ev |= EpollErr
+				break
+			}
+			if it.events&EpollIn != 0 && f.conn.readable() {
+				ev |= EpollIn
+			}
+			f.conn.mu.Lock()
+			if it.events&EpollOut != 0 && !f.conn.peerClosed && !f.conn.closed {
+				ev |= EpollOut
+			}
+			if f.conn.peerClosed {
+				ev |= EpollHup
+			}
+			f.conn.mu.Unlock()
+		default:
+			ev |= EpollIn // regular files are always ready
+		}
+		if ev != 0 {
+			out = append(out, EpollEvent{Events: ev, Data: it.data})
+		}
+	}
+	return out
+}
+
+// EpollWait blocks until at least one registered descriptor is ready or the
+// epoll instance is closed, then returns up to maxEvents events. A
+// timeoutMS of zero polls without blocking; any positive value or -1 blocks
+// until an event arrives or the instance closes (the simulation has no
+// spurious timer wakeups to deliver).
+func (p *Process) EpollWait(epfd int, maxEvents, timeoutMS int) ([]EpollEvent, Errno) {
+	p.enter("epoll_wait")
+	return p.epollWait(epfd, maxEvents, timeoutMS)
+}
+
+// EpollPwait is epoll_wait with a signal mask; the simulation has no
+// signals, so the mask is accepted and ignored.
+func (p *Process) EpollPwait(epfd int, maxEvents, timeoutMS int, sigmask uint64) ([]EpollEvent, Errno) {
+	p.enter("epoll_pwait")
+	_ = sigmask
+	return p.epollWait(epfd, maxEvents, timeoutMS)
+}
+
+func (p *Process) epollWait(epfd int, maxEvents, timeoutMS int) ([]EpollEvent, Errno) {
+	ef, e := p.lookup(epfd)
+	if e != OK {
+		return nil, e
+	}
+	if ef.kind != fdEpoll {
+		return nil, EINVAL
+	}
+	ep := ef.epoll
+	if maxEvents <= 0 {
+		return nil, EINVAL
+	}
+	buf := make([]EpollEvent, 0, maxEvents)
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	for {
+		buf = ep.ready(p, buf)
+		if len(buf) > 0 || ep.closed || timeoutMS == 0 {
+			if len(buf) > maxEvents {
+				buf = buf[:maxEvents]
+			}
+			if ep.closed && len(buf) == 0 {
+				return nil, EBADF
+			}
+			return buf, OK
+		}
+		ep.cond.Wait()
+	}
+}

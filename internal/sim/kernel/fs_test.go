@@ -1,0 +1,146 @@
+package kernel
+
+import (
+	"bytes"
+	"testing"
+
+	"smvx/internal/sim/clock"
+)
+
+func TestFSWriteReadExists(t *testing.T) {
+	k := New(clock.DefaultCosts(), 1)
+	fs := k.FS()
+	fs.WriteFile("/var/www/site/index.html", []byte("hi"))
+	if !fs.Exists("/var/www/site/index.html") {
+		t.Error("file should exist")
+	}
+	if fs.Exists("/var/www/site/other") {
+		t.Error("missing file reported present")
+	}
+	// Parent directories are implicit.
+	for _, dir := range []string{"/var", "/var/www", "/var/www/site"} {
+		if !fs.DirExists(dir) {
+			t.Errorf("implicit dir %s missing", dir)
+		}
+	}
+	if fs.DirExists("/var/ghost") {
+		t.Error("phantom directory")
+	}
+	if !fs.DirExists("/") {
+		t.Error("root must exist")
+	}
+	data, e := fs.ReadFile("/var/www/site/index.html")
+	if e != OK || string(data) != "hi" {
+		t.Errorf("ReadFile = %q, %v", data, e)
+	}
+	if _, e := fs.ReadFile("/nope"); e != ENOENT {
+		t.Errorf("ReadFile missing = %v", e)
+	}
+}
+
+func TestFSReadFileReturnsCopy(t *testing.T) {
+	k := New(clock.DefaultCosts(), 1)
+	fs := k.FS()
+	fs.WriteFile("/f", []byte("original"))
+	data, _ := fs.ReadFile("/f")
+	data[0] = 'X'
+	again, _ := fs.ReadFile("/f")
+	if string(again) != "original" {
+		t.Error("ReadFile exposed internal buffer")
+	}
+}
+
+func TestFSList(t *testing.T) {
+	k := New(clock.DefaultCosts(), 1)
+	fs := k.FS()
+	fs.WriteFile("/a/1", nil)
+	fs.WriteFile("/a/2", nil)
+	fs.WriteFile("/b/3", nil)
+	got := fs.List("/a/")
+	if len(got) != 2 || got[0] != "/a/1" || got[1] != "/a/2" {
+		t.Errorf("List = %v", got)
+	}
+	if n := len(fs.List("/zzz")); n != 0 {
+		t.Errorf("List of empty prefix = %d entries", n)
+	}
+}
+
+func TestWriteExtendsAtOffset(t *testing.T) {
+	p := New(clock.DefaultCosts(), 1).NewProcess(nil)
+	fd, _ := p.Open("/f", OCreat|ORdwr)
+	_, _ = p.Write(fd, []byte("AAAA"))
+	_, _ = p.Write(fd, []byte("BB"))
+	data, _ := p.k.FS().ReadFile("/f")
+	if string(data) != "AAAABB" {
+		t.Errorf("sequential writes = %q", data)
+	}
+	// Reopen and overwrite the prefix.
+	fd2, _ := p.Open("/f", OWronly)
+	_, _ = p.Write(fd2, []byte("xx"))
+	data, _ = p.k.FS().ReadFile("/f")
+	if string(data) != "xxAABB" {
+		t.Errorf("overwrite = %q", data)
+	}
+}
+
+func TestReadAdvancesOffsetAcrossCalls(t *testing.T) {
+	p := New(clock.DefaultCosts(), 1).NewProcess(nil)
+	p.k.FS().WriteFile("/big", bytes.Repeat([]byte("abcd"), 100))
+	fd, _ := p.Open("/big", ORdonly)
+	var total []byte
+	buf := make([]byte, 64)
+	for {
+		n, e := p.Read(fd, buf)
+		if e != OK {
+			t.Fatal(e)
+		}
+		if n == 0 {
+			break
+		}
+		total = append(total, buf[:n]...)
+	}
+	if len(total) != 400 {
+		t.Errorf("streamed %d bytes", len(total))
+	}
+}
+
+func TestDevNullSemantics(t *testing.T) {
+	p := New(clock.DefaultCosts(), 1).NewProcess(nil)
+	fd, e := p.Open("/dev/null", ORdwr)
+	if e != OK {
+		t.Fatal(e)
+	}
+	if n, e := p.Write(fd, []byte("discard")); e != OK || n != 7 {
+		t.Errorf("write to null = (%d, %v)", n, e)
+	}
+	if n, e := p.Read(fd, make([]byte, 8)); e != OK || n != 0 {
+		t.Errorf("read from null = (%d, %v)", n, e)
+	}
+	st, e := p.Fstat(fd)
+	if e != OK || st.Mode != 3 {
+		t.Errorf("fstat null = (%+v, %v)", st, e)
+	}
+}
+
+func TestCloseFreesListenerPort(t *testing.T) {
+	k := New(clock.DefaultCosts(), 1)
+	p := k.NewProcess(nil)
+	fd, _ := p.Socket()
+	if e := p.Bind(fd, 7070); e != OK {
+		t.Fatal(e)
+	}
+	_ = p.Close(fd)
+	// The port is free for rebinding after close.
+	fd2, _ := p.Socket()
+	if e := p.Bind(fd2, 7070); e != OK {
+		t.Errorf("rebind after close = %v", e)
+	}
+}
+
+func TestCloseUnconnectedSocket(t *testing.T) {
+	p := New(clock.DefaultCosts(), 1).NewProcess(nil)
+	fd, _ := p.Socket()
+	if e := p.Close(fd); e != OK {
+		t.Errorf("close of unconnected socket = %v", e)
+	}
+}

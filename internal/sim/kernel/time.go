@@ -1,0 +1,57 @@
+package kernel
+
+import "time"
+
+// TimeOfDay is the gettimeofday result: seconds and microseconds since the
+// Unix epoch in simulated time.
+type TimeOfDay struct {
+	// Sec is whole seconds since the epoch.
+	Sec int64
+	// Usec is the sub-second microsecond component.
+	Usec int64
+}
+
+// Gettimeofday returns the simulated wall-clock time: the fixed simulation
+// epoch advanced by the process's consumed cycles. Because simulated time is
+// a pure function of work done, two variants calling gettimeofday at
+// different real moments would still observe different values — exactly the
+// divergence source the paper's monitor must emulate away (Section 3.3,
+// citing Orchestra).
+func (p *Process) Gettimeofday() (TimeOfDay, Errno) {
+	p.enter("gettimeofday")
+	return p.timeOfDay(), OK
+}
+
+func (p *Process) timeOfDay() TimeOfDay {
+	elapsed := time.Duration(0)
+	if p.counter != nil {
+		elapsed = p.counter.Now()
+	}
+	now := p.k.baseTime.Add(elapsed)
+	return TimeOfDay{Sec: now.Unix(), Usec: int64(now.Nanosecond() / 1000)}
+}
+
+// BrokenDownTime is the struct tm equivalent filled by localtime_r.
+type BrokenDownTime struct {
+	Sec, Min, Hour int
+	MDay, Mon      int
+	Year           int // years since 1900, as in struct tm
+	WDay, YDay     int
+}
+
+// Localtime converts a Unix timestamp to broken-down UTC time. On a real
+// system localtime_r is a pure libc call; the paper still emulates it for
+// the follower because its result depends on when it runs (Table 1).
+func (p *Process) Localtime(sec int64) BrokenDownTime {
+	t := time.Unix(sec, 0).UTC()
+	return BrokenDownTime{
+		Sec:  t.Second(),
+		Min:  t.Minute(),
+		Hour: t.Hour(),
+		MDay: t.Day(),
+		Mon:  int(t.Month()) - 1,
+		Year: t.Year() - 1900,
+		WDay: int(t.Weekday()),
+		YDay: t.YearDay() - 1,
+	}
+}

@@ -1,0 +1,249 @@
+// Package machine is the execution engine of the simulated system.
+//
+// Application code is written as Go functions registered under their
+// simulated symbol names, but every architecturally visible effect flows
+// through the engine: function calls push real return addresses onto a call
+// stack held in simulated memory (so a buffer overflow can overwrite them),
+// libc calls dispatch through the image's PLT/GOT slots (so a monitor can
+// patch them), loads and stores move through the simulated address space
+// (so taint tags and protection keys apply), and a return to a corrupted
+// address drops into a byte-level gadget interpreter (so ROP chains really
+// execute, or really fault).
+//
+// Two threads of the same Machine can run the same registered functions
+// against disjoint address ranges: a Thread carries a Bias added to every
+// symbol resolution, which is how the sMVX follower variant executes the
+// cloned, shifted image.
+package machine
+
+import (
+	"fmt"
+	"sync"
+
+	"smvx/internal/sim/clock"
+	"smvx/internal/sim/image"
+	"smvx/internal/sim/kernel"
+	"smvx/internal/sim/mem"
+)
+
+// Body is the Go implementation of one simulated function. Its return
+// value models %rax at ret.
+type Body func(t *Thread, args []uint64) uint64
+
+// Program binds an image to the Go bodies of its functions.
+type Program struct {
+	img    *image.Image
+	bodies map[string]Body
+}
+
+// NewProgram creates a program for an image.
+func NewProgram(img *image.Image) *Program {
+	return &Program{img: img, bodies: make(map[string]Body)}
+}
+
+// Image returns the program's image.
+func (p *Program) Image() *image.Image { return p.img }
+
+// Define registers the body of a function that must exist in the image's
+// symbol table.
+func (p *Program) Define(name string, body Body) error {
+	if _, ok := p.img.Lookup(name); !ok {
+		return fmt.Errorf("machine: define %q: no such symbol in image %s", name, p.img.Name)
+	}
+	p.bodies[name] = body
+	return nil
+}
+
+// MustDefine is Define for program construction, where a missing symbol is
+// a programming error.
+func (p *Program) MustDefine(name string, body Body) *Program {
+	if err := p.Define(name, body); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// LibcDispatcher executes a libc call on behalf of a thread. The libc
+// package implements it; the monitor wraps it.
+type LibcDispatcher interface {
+	// Call runs the named libc function with the given arguments
+	// (pointers are simulated addresses) and returns the result value.
+	// Errors are reported through the thread's errno, as in C.
+	Call(t *Thread, name string, args []uint64) uint64
+}
+
+// Interposer receives libc calls whose GOT slot has been patched away from
+// the direct libc sentinel — the sMVX monitor's trampoline entry point.
+type Interposer interface {
+	// Intercept handles a patched PLT call. slot is the PLT index the
+	// application entered through; rax is the argument-count register
+	// value at call time (variadic convention).
+	Intercept(t *Thread, slot int, name string, args []uint64) uint64
+}
+
+// TaintSink receives the instruction addresses that touch tainted memory —
+// the libdft-equivalent output (Section 3.2).
+type TaintSink interface {
+	// OnTaintedAccess reports that the instruction at ip accessed tainted
+	// bytes at addr.
+	OnTaintedAccess(ip, addr mem.Addr)
+}
+
+// Profiler observes function enter/exit for the perf-style profiler.
+type Profiler interface {
+	// OnEnter is called when fn begins on thread tid.
+	OnEnter(tid int, fn string)
+	// OnExit is called when fn returns, with the cycles consumed between
+	// enter and exit (inclusive of callees).
+	OnExit(tid int, fn string, inclusive clock.Cycles)
+}
+
+// Machine executes one program inside one process.
+type Machine struct {
+	prog *Program
+	as   *mem.AddressSpace
+	proc *kernel.Process
+
+	costs   clock.CostTable
+	counter *clock.Counter
+	wall    *clock.Counter
+
+	libc LibcDispatcher
+
+	mu           sync.RWMutex
+	interposer   Interposer
+	taintSink    TaintSink
+	profiler     Profiler
+	libcObserver func(t *Thread, name string)
+
+	nextTID int
+}
+
+// New creates a machine. counter receives all user-space cycle charges and
+// should be the same counter the process charges syscalls to.
+func New(prog *Program, as *mem.AddressSpace, proc *kernel.Process, libc LibcDispatcher, counter *clock.Counter, costs clock.CostTable) *Machine {
+	return &Machine{
+		prog:    prog,
+		as:      as,
+		proc:    proc,
+		costs:   costs,
+		counter: counter,
+		libc:    libc,
+		nextTID: 1,
+	}
+}
+
+// Program returns the machine's program.
+func (m *Machine) Program() *Program { return m.prog }
+
+// AddressSpace returns the machine's address space.
+func (m *Machine) AddressSpace() *mem.AddressSpace { return m.as }
+
+// Process returns the machine's kernel process.
+func (m *Machine) Process() *kernel.Process { return m.proc }
+
+// Costs returns the machine's cycle cost table.
+func (m *Machine) Costs() clock.CostTable { return m.costs }
+
+// Counter returns the machine's cycle counter (total CPU consumption).
+func (m *Machine) Counter() *clock.Counter { return m.counter }
+
+// SetWallCounter attaches an elapsed-time counter. Work attributed to
+// background threads (an MVX follower variant running on a spare core) is
+// charged to the total counter but not to the wall counter — modelling the
+// paper's distinction between throughput overhead (Figures 6 and 7) and
+// CPU-cycle consumption (Section 4.1).
+func (m *Machine) SetWallCounter(c *clock.Counter) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.wall = c
+}
+
+// WallCounter returns the elapsed-time counter (may be nil).
+func (m *Machine) WallCounter() *clock.Counter {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.wall
+}
+
+// Libc returns the machine's libc dispatcher.
+func (m *Machine) Libc() LibcDispatcher { return m.libc }
+
+// SetInterposer installs (or removes, with nil) the PLT interposer.
+func (m *Machine) SetInterposer(i Interposer) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.interposer = i
+}
+
+// SetTaintSink installs the taint-event consumer.
+func (m *Machine) SetTaintSink(s TaintSink) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.taintSink = s
+}
+
+// SetProfiler installs the function-level profiler.
+func (m *Machine) SetProfiler(p Profiler) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.profiler = p
+}
+
+func (m *Machine) getInterposer() Interposer {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.interposer
+}
+
+func (m *Machine) getTaintSink() TaintSink {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.taintSink
+}
+
+func (m *Machine) getProfiler() Profiler {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.profiler
+}
+
+// SetLibcObserver installs a callback invoked on every PLT (libc) call with
+// the issuing thread and call name — the Figure 8 measurement hook: the
+// observer can inspect the thread's call stack to attribute the call to a
+// candidate protected region.
+func (m *Machine) SetLibcObserver(fn func(t *Thread, name string)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.libcObserver = fn
+}
+
+func (m *Machine) getLibcObserver() func(t *Thread, name string) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.libcObserver
+}
+
+// charge adds user-space cycles with no thread context: total and wall.
+func (m *Machine) charge(c clock.Cycles) {
+	if m.counter != nil {
+		m.counter.Charge(c)
+	}
+	if w := m.WallCounter(); w != nil {
+		w.Charge(c)
+	}
+}
+
+// ChargeThread adds cycles attributable to a specific thread: always to the
+// total counter, and to the wall counter only for foreground threads.
+func (m *Machine) ChargeThread(t *Thread, c clock.Cycles) {
+	if m.counter != nil {
+		m.counter.Charge(c)
+	}
+	if t != nil && t.background {
+		return
+	}
+	if w := m.WallCounter(); w != nil {
+		w.Charge(c)
+	}
+}

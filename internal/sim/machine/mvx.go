@@ -1,0 +1,32 @@
+package machine
+
+// MVX is the hook surface applications use to mark protected regions — the
+// mvx_init()/mvx_start()/mvx_end() API of Listing 1 in the paper.
+// Applications call the hooks unconditionally; under vanilla execution the
+// hooks are no-ops, under sMVX they drive variant creation and lockstep.
+type MVX interface {
+	// Init performs one-time setup (mvx_init): protected memory regions,
+	// protection keys, monitor load.
+	Init(t *Thread) error
+	// Start enters a protected region (mvx_start): it resolves the named
+	// function, creates the follower variant, and redirects it to execute
+	// fn(args) in lockstep with the caller's own upcoming call.
+	Start(t *Thread, fn string, args ...uint64) error
+	// End leaves the protected region (mvx_end): it waits for the
+	// follower, merges execution, and reports divergence.
+	End(t *Thread) error
+}
+
+// NoMVX is the vanilla-execution implementation: every hook is a no-op.
+type NoMVX struct{}
+
+var _ MVX = NoMVX{}
+
+// Init implements MVX.
+func (NoMVX) Init(*Thread) error { return nil }
+
+// Start implements MVX.
+func (NoMVX) Start(*Thread, string, ...uint64) error { return nil }
+
+// End implements MVX.
+func (NoMVX) End(*Thread) error { return nil }

@@ -1,0 +1,154 @@
+package mem
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"smvx/internal/sim/clock"
+)
+
+// TestRelocatePointersProperty: after relocation, every planted in-range
+// pointer is shifted by exactly delta and every out-of-range value is
+// untouched — over random plant layouts.
+func TestRelocatePointersProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		as := NewAddressSpace(clock.NewCounter(), clock.DefaultCosts())
+		if _, err := as.Map(Region{Name: "d", Base: 0x600000, Size: 4 * PageSize, Perm: PermRW}); err != nil {
+			return false
+		}
+		const (
+			oldBase = Addr(0x400000)
+			oldSize = uint64(0x10000)
+			delta   = int64(0x1000000)
+		)
+		type plant struct {
+			slot    Addr
+			value   uint64
+			inRange bool
+		}
+		var plants []plant
+		used := map[Addr]bool{}
+		for i := 0; i < 60; i++ {
+			slot := Addr(0x600000 + uint64(rng.Intn(4*PageSize/8))*8)
+			if used[slot] {
+				continue
+			}
+			used[slot] = true
+			var v uint64
+			inRange := rng.Intn(2) == 0
+			if inRange {
+				v = uint64(oldBase) + uint64(rng.Intn(int(oldSize)))
+			} else {
+				// Outside the range (including just past the end).
+				v = uint64(oldBase) + oldSize + uint64(rng.Intn(1<<20))
+			}
+			if err := as.Write64(slot, v); err != nil {
+				return false
+			}
+			plants = append(plants, plant{slot: slot, value: v, inRange: inRange})
+		}
+		if _, err := as.RelocatePointers(0x600000, 0x600000+4*PageSize, oldBase, oldSize, delta); err != nil {
+			return false
+		}
+		for _, p := range plants {
+			got, err := as.Read64(p.slot)
+			if err != nil {
+				return false
+			}
+			want := p.value
+			if p.inRange {
+				want = uint64(int64(p.value) + delta)
+			}
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCloneRefreshRoundTripProperty: RefreshClone makes the clone
+// byte-identical to the source's resident pages, repeatedly.
+func TestCloneRefreshRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		as := NewAddressSpace(nil, clock.DefaultCosts())
+		if _, err := as.Map(Region{Name: "src", Base: 0x100000, Size: 4 * PageSize, Perm: PermRW}); err != nil {
+			return false
+		}
+		const delta = int64(0x100000)
+		// Initial contents + clone.
+		buf := make([]byte, 256)
+		rng.Read(buf)
+		_ = as.WriteAt(0x100100, buf)
+		if _, err := as.CloneRegionShifted(0x100000, delta, "dst"); err != nil {
+			return false
+		}
+		// Mutate the source and refresh twice.
+		for round := 0; round < 2; round++ {
+			rng.Read(buf)
+			off := Addr(rng.Intn(3 * PageSize))
+			_ = as.WriteAt(0x100000+off, buf)
+			if err := as.RefreshClone(0x100000, delta); err != nil {
+				return false
+			}
+			got := make([]byte, 256)
+			if err := as.ReadAt(Addr(int64(0x100000+off)+delta), got); err != nil {
+				return false
+			}
+			for i := range buf {
+				if got[i] != buf[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPageBaseProperty: PageBase is idempotent, aligned, and never exceeds
+// the address.
+func TestPageBaseProperty(t *testing.T) {
+	f := func(a uint64) bool {
+		b := Addr(a).PageBase()
+		return uint64(b)%PageSize == 0 && b <= Addr(a) && b.PageBase() == b &&
+			uint64(a)-uint64(b) < PageSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTaintUnionProperty: TaintOf over a range equals the OR of per-byte
+// queries.
+func TestTaintUnionProperty(t *testing.T) {
+	as := NewAddressSpace(nil, clock.DefaultCosts())
+	as.EnableTaint()
+	if _, err := as.Map(Region{Name: "b", Base: 0x1000, Size: PageSize, Perm: PermRW}); err != nil {
+		t.Fatal(err)
+	}
+	f := func(offRaw, lenRaw uint8, tagRaw uint8) bool {
+		off := int(offRaw) % 200
+		n := 1 + int(lenRaw)%32
+		tag := Taint(1 << (tagRaw % 2)) // TaintNetwork or TaintFile
+		_ = as.SetTaint(Addr(0x1000+off), n, tag)
+		var union Taint
+		for i := 0; i < n; i++ {
+			union |= as.TaintOf(Addr(0x1000+off+i), 1)
+		}
+		ok := as.TaintOf(Addr(0x1000+off), n) == union && union&tag != 0
+		_ = as.SetTaint(0x1000, PageSize, TaintNone) // reset
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package mem
+
+import (
+	"fmt"
+
+	"smvx/internal/sim/clock"
+)
+
+// PointerHit is one pointer-looking slot found by the scanner.
+type PointerHit struct {
+	// Slot is the address of the 8-byte-aligned memory slot holding the
+	// pointer value.
+	Slot Addr
+	// Value is the pointer value stored in the slot.
+	Value Addr
+}
+
+// ScanPointers walks every 8-byte-aligned slot in [start, end) and returns
+// the slots whose value satisfies looksLikePointer. This is the paper's
+// strawman pointer-identification approach (Section 3.4): pointers are
+// 8-byte aligned on x86-64, and candidate values are validated against the
+// known code/data address ranges. Each visited slot is charged
+// CostTable.ScanPerSlot cycles — the dominant cost in Table 2.
+//
+// Only resident pages are scanned: non-resident pages are known-zero and
+// cannot hold pointers.
+func (as *AddressSpace) ScanPointers(start, end Addr, looksLikePointer func(Addr) bool) []PointerHit {
+	start = (start + PointerAlign - 1) &^ (PointerAlign - 1)
+	var hits []PointerHit
+	slots := clock.Cycles(0)
+	for pageBase := start.PageBase(); pageBase < end; pageBase += PageSize {
+		as.mu.RLock()
+		pg := as.pages[pageBase]
+		as.mu.RUnlock()
+		if pg == nil {
+			continue
+		}
+		lo := pageBase
+		if lo < start {
+			lo = start
+		}
+		hi := pageBase + PageSize
+		if hi > end {
+			hi = end
+		}
+		for a := lo; a+PointerAlign <= hi; a += PointerAlign {
+			slots++
+			v := Addr(le64(pg.data[a-pageBase : a-pageBase+8]))
+			if v != 0 && looksLikePointer(v) {
+				hits = append(hits, PointerHit{Slot: a, Value: v})
+			}
+		}
+	}
+	as.charge(as.costs.ScanPerSlot*slots, true)
+	return hits
+}
+
+// RelocatePointers rewrites every slot found by ScanPointers in
+// [start, end) whose value falls in [oldBase, oldBase+size) by adding
+// delta, returning the number of slots patched. This implements the
+// pointer-relocation step of follower-variant creation (Section 3.4).
+func (as *AddressSpace) RelocatePointers(start, end, oldBase Addr, size uint64, delta int64) (int, error) {
+	hits := as.ScanPointers(start, end, func(v Addr) bool {
+		return v >= oldBase && v < oldBase+Addr(size)
+	})
+	for _, h := range hits {
+		nv := Addr(int64(h.Value) + delta)
+		if err := as.Write64(h.Slot, uint64(nv)); err != nil {
+			return 0, fmt.Errorf("relocate slot %s: %w", h.Slot, err)
+		}
+	}
+	return len(hits), nil
+}
+
+// RefreshClone re-copies the resident pages of the region based at srcBase
+// into its existing clone at srcBase+delta — the "pre-updating" half of the
+// paper's Section 5 mitigation for variant creation inside control loops:
+// the clone's mappings persist across regions and only contents are
+// refreshed.
+func (as *AddressSpace) RefreshClone(srcBase Addr, delta int64) error {
+	as.mu.RLock()
+	var src *Region
+	for _, r := range as.regions {
+		if r.Base == srcBase {
+			src = r
+			break
+		}
+	}
+	as.mu.RUnlock()
+	if src == nil {
+		return fmt.Errorf("mem: refresh: no region at %s", srcBase)
+	}
+	dstBase := Addr(int64(src.Base) + delta)
+	if as.RegionAt(dstBase) == nil {
+		return fmt.Errorf("mem: refresh: no clone at %s", dstBase)
+	}
+	copied := clock.Cycles(0)
+	for off := Addr(0); off < Addr(src.Size); off += PageSize {
+		as.mu.RLock()
+		pg := as.pages[src.Base+off]
+		as.mu.RUnlock()
+		if pg == nil {
+			continue
+		}
+		npg, _, err := as.pageFor(dstBase + off)
+		if err != nil {
+			return err
+		}
+		as.mu.Lock()
+		npg.data = pg.data
+		if pg.taint != nil {
+			npg.taint = append([]byte(nil), pg.taint...)
+		}
+		as.mu.Unlock()
+		copied++
+	}
+	as.charge(as.costs.PageCopy*copied, true)
+	return nil
+}
+
+// CloneRegionShifted maps a copy of the region based at srcBase to
+// srcBase+delta, with name newName, copying all resident page contents.
+// It charges CostTable.PageCopy per resident page and returns the new
+// region. This is the "shift and clone" step of Figure 5.
+func (as *AddressSpace) CloneRegionShifted(srcBase Addr, delta int64, newName string) (*Region, error) {
+	as.mu.RLock()
+	var src *Region
+	for _, r := range as.regions {
+		if r.Base == srcBase {
+			src = r
+			break
+		}
+	}
+	as.mu.RUnlock()
+	if src == nil {
+		return nil, fmt.Errorf("mem: clone: no region at %s", srcBase)
+	}
+	newBase := Addr(int64(src.Base) + delta)
+	dst, err := as.Map(Region{Name: newName, Base: newBase, Size: src.Size, Perm: src.Perm, Key: src.Key})
+	if err != nil {
+		return nil, fmt.Errorf("mem: clone %q: %w", src.Name, err)
+	}
+	copied := clock.Cycles(0)
+	for off := Addr(0); off < Addr(src.Size); off += PageSize {
+		as.mu.RLock()
+		pg := as.pages[src.Base+off]
+		as.mu.RUnlock()
+		if pg == nil {
+			continue // non-resident pages stay non-resident in the clone
+		}
+		npg, _, err := as.pageFor(newBase + off)
+		if err != nil {
+			return nil, err
+		}
+		as.mu.Lock()
+		npg.data = pg.data
+		if pg.taint != nil {
+			npg.taint = append([]byte(nil), pg.taint...)
+		}
+		as.mu.Unlock()
+		copied++
+	}
+	as.charge(as.costs.PageCopy*copied, true)
+	return dst, nil
+}

@@ -1,0 +1,184 @@
+// Package mpk simulates Intel Memory Protection Keys for Userspace (PKU).
+//
+// MPK associates bits 62:59 of each page-table entry with one of 16
+// protection keys (pkeys). A 32-bit thread-private PKRU register holds two
+// permission bits per key — access-disable (AD) and write-disable (WD) —
+// and the unprivileged WRPKRU instruction updates it instantly, without TLB
+// shootdowns. Protection keys govern only *data* accesses: code mapped with
+// an access-disabled key remains executable, yielding execute-only memory
+// (XoM). sMVX relies on both properties: the monitor's data pages carry a
+// key the application's PKRU disables, and the trampoline/PLT pages are XoM
+// so the application cannot read them to locate the monitor (Section 2.1,
+// Section 3.4 of the paper).
+package mpk
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NumKeys is the number of protection keys the hardware provides.
+const NumKeys = 16
+
+// Key identifies one of the 16 protection keys.
+type Key uint8
+
+// DefaultKey is pkey 0: attached to every page by default and normally left
+// fully accessible.
+const DefaultKey Key = 0
+
+// ErrNoFreeKeys is returned by Allocator.Alloc when all 16 keys are in use.
+var ErrNoFreeKeys = errors.New("mpk: no free protection keys")
+
+// ErrKeyNotAllocated is returned when freeing or using a key that was never
+// allocated.
+var ErrKeyNotAllocated = errors.New("mpk: key not allocated")
+
+// PKRU is the 32-bit per-thread protection-key rights register. Bit 2k is
+// the access-disable bit for key k; bit 2k+1 is the write-disable bit.
+type PKRU uint32
+
+// AllowAll is a PKRU with every key fully enabled.
+const AllowAll PKRU = 0
+
+// Disabled reports whether key k has its access-disable bit set.
+func (p PKRU) Disabled(k Key) bool {
+	return p&(1<<(2*uint32(k))) != 0
+}
+
+// WriteDisabled reports whether key k has its write-disable bit set (an
+// access-disabled key is implicitly write-disabled too).
+func (p PKRU) WriteDisabled(k Key) bool {
+	return p.Disabled(k) || p&(1<<(2*uint32(k)+1)) != 0
+}
+
+// WithAccessDisabled returns a copy of p with key k's access-disable bit set
+// or cleared.
+func (p PKRU) WithAccessDisabled(k Key, disabled bool) PKRU {
+	bit := PKRU(1) << (2 * uint32(k))
+	if disabled {
+		return p | bit
+	}
+	return p &^ bit
+}
+
+// WithWriteDisabled returns a copy of p with key k's write-disable bit set
+// or cleared.
+func (p PKRU) WithWriteDisabled(k Key, disabled bool) PKRU {
+	bit := PKRU(1) << (2*uint32(k) + 1)
+	if disabled {
+		return p | bit
+	}
+	return p &^ bit
+}
+
+// String renders the register as a list of restricted keys.
+func (p PKRU) String() string {
+	if p == AllowAll {
+		return "PKRU{all-enabled}"
+	}
+	s := "PKRU{"
+	first := true
+	for k := Key(0); k < NumKeys; k++ {
+		switch {
+		case p.Disabled(k):
+			if !first {
+				s += ","
+			}
+			s += fmt.Sprintf("key%d:AD", k)
+			first = false
+		case p.WriteDisabled(k):
+			if !first {
+				s += ","
+			}
+			s += fmt.Sprintf("key%d:WD", k)
+			first = false
+		}
+	}
+	return s + "}"
+}
+
+// Access describes the kind of memory operation being permission-checked.
+type Access int
+
+// Access kinds. Execute is checked against page permissions only — the
+// protection key never blocks instruction fetch, which is what makes XoM
+// possible.
+const (
+	Read Access = iota + 1
+	Write
+	Execute
+)
+
+// String names the access kind.
+func (a Access) String() string {
+	switch a {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case Execute:
+		return "execute"
+	default:
+		return fmt.Sprintf("access(%d)", int(a))
+	}
+}
+
+// Check reports whether the PKRU permits an access under key k.
+// Instruction fetch is always permitted by the key (XoM semantics); data
+// reads require the key to be access-enabled; data writes additionally
+// require write-enable.
+func (p PKRU) Check(k Key, a Access) bool {
+	switch a {
+	case Execute:
+		return true
+	case Read:
+		return !p.Disabled(k)
+	case Write:
+		return !p.WriteDisabled(k)
+	default:
+		return false
+	}
+}
+
+// Allocator hands out protection keys, mirroring pkey_alloc(2)/pkey_free(2).
+// It is not safe for concurrent use; key allocation happens during process
+// setup on a single thread.
+type Allocator struct {
+	used [NumKeys]bool
+}
+
+// NewAllocator returns an allocator with key 0 pre-allocated, as on Linux.
+func NewAllocator() *Allocator {
+	a := &Allocator{}
+	a.used[DefaultKey] = true
+	return a
+}
+
+// Alloc reserves and returns a fresh protection key.
+func (a *Allocator) Alloc() (Key, error) {
+	for k := Key(1); k < NumKeys; k++ {
+		if !a.used[k] {
+			a.used[k] = true
+			return k, nil
+		}
+	}
+	return 0, ErrNoFreeKeys
+}
+
+// Free releases a previously allocated key.
+func (a *Allocator) Free(k Key) error {
+	if k == DefaultKey {
+		return fmt.Errorf("mpk: cannot free default key: %w", ErrKeyNotAllocated)
+	}
+	if k >= NumKeys || !a.used[k] {
+		return fmt.Errorf("mpk: free key %d: %w", k, ErrKeyNotAllocated)
+	}
+	a.used[k] = false
+	return nil
+}
+
+// Allocated reports whether key k is currently allocated.
+func (a *Allocator) Allocated(k Key) bool {
+	return k < NumKeys && a.used[k]
+}

@@ -1,0 +1,170 @@
+package mpk
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPKRUZeroValueAllowsEverything(t *testing.T) {
+	var p PKRU
+	for k := Key(0); k < NumKeys; k++ {
+		if p.Disabled(k) {
+			t.Errorf("key %d disabled in zero PKRU", k)
+		}
+		if p.WriteDisabled(k) {
+			t.Errorf("key %d write-disabled in zero PKRU", k)
+		}
+	}
+}
+
+func TestPKRUAccessDisable(t *testing.T) {
+	p := AllowAll.WithAccessDisabled(3, true)
+	if !p.Disabled(3) {
+		t.Error("key 3 should be disabled")
+	}
+	if !p.WriteDisabled(3) {
+		t.Error("access-disabled key must also be write-disabled")
+	}
+	if p.Disabled(2) || p.Disabled(4) {
+		t.Error("neighboring keys must be unaffected")
+	}
+	p = p.WithAccessDisabled(3, false)
+	if p != AllowAll {
+		t.Errorf("re-enabling should restore AllowAll, got %v", p)
+	}
+}
+
+func TestPKRUWriteDisable(t *testing.T) {
+	p := AllowAll.WithWriteDisabled(5, true)
+	if p.Disabled(5) {
+		t.Error("write-disable must not imply access-disable")
+	}
+	if !p.WriteDisabled(5) {
+		t.Error("key 5 should be write-disabled")
+	}
+}
+
+func TestPKRUCheckMatrix(t *testing.T) {
+	const k = Key(7)
+	tests := []struct {
+		name   string
+		pkru   PKRU
+		access Access
+		want   bool
+	}{
+		{name: "enabled read", pkru: AllowAll, access: Read, want: true},
+		{name: "enabled write", pkru: AllowAll, access: Write, want: true},
+		{name: "enabled execute", pkru: AllowAll, access: Execute, want: true},
+		{name: "AD read", pkru: AllowAll.WithAccessDisabled(k, true), access: Read, want: false},
+		{name: "AD write", pkru: AllowAll.WithAccessDisabled(k, true), access: Write, want: false},
+		// Execute-only memory: code under an access-disabled key still runs.
+		{name: "AD execute (XoM)", pkru: AllowAll.WithAccessDisabled(k, true), access: Execute, want: true},
+		{name: "WD read", pkru: AllowAll.WithWriteDisabled(k, true), access: Read, want: true},
+		{name: "WD write", pkru: AllowAll.WithWriteDisabled(k, true), access: Write, want: false},
+		{name: "WD execute", pkru: AllowAll.WithWriteDisabled(k, true), access: Execute, want: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.pkru.Check(k, tt.access); got != tt.want {
+				t.Errorf("Check(%v) = %v, want %v", tt.access, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestPKRUOtherKeysUnaffectedProperty(t *testing.T) {
+	f := func(raw uint32, keyByte, otherByte uint8) bool {
+		k := Key(keyByte % NumKeys)
+		other := Key(otherByte % NumKeys)
+		if k == other {
+			return true
+		}
+		p := PKRU(raw)
+		before := p.Disabled(other)
+		beforeW := p.WriteDisabled(other)
+		q := p.WithAccessDisabled(k, true).WithWriteDisabled(k, true)
+		return q.Disabled(other) == before && q.WriteDisabled(other) == beforeW
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPKRUSetClearRoundTrip(t *testing.T) {
+	f := func(raw uint32, keyByte uint8) bool {
+		k := Key(keyByte % NumKeys)
+		p := PKRU(raw)
+		// Setting then clearing both bits must leave the register with the
+		// bits for k clear and all other bits untouched.
+		q := p.WithAccessDisabled(k, true).WithAccessDisabled(k, false).
+			WithWriteDisabled(k, true).WithWriteDisabled(k, false)
+		want := p.WithAccessDisabled(k, false).WithWriteDisabled(k, false)
+		return q == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocatorHandsOutAllKeys(t *testing.T) {
+	a := NewAllocator()
+	seen := map[Key]bool{DefaultKey: true}
+	for i := 0; i < NumKeys-1; i++ {
+		k, err := a.Alloc()
+		if err != nil {
+			t.Fatalf("Alloc #%d: %v", i, err)
+		}
+		if seen[k] {
+			t.Fatalf("Alloc returned duplicate key %d", k)
+		}
+		seen[k] = true
+	}
+	if _, err := a.Alloc(); !errors.Is(err, ErrNoFreeKeys) {
+		t.Errorf("17th Alloc: err = %v, want ErrNoFreeKeys", err)
+	}
+}
+
+func TestAllocatorFree(t *testing.T) {
+	a := NewAllocator()
+	k, err := a.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Allocated(k) {
+		t.Error("key should be allocated")
+	}
+	if err := a.Free(k); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	if a.Allocated(k) {
+		t.Error("key should be free after Free")
+	}
+	if err := a.Free(k); !errors.Is(err, ErrKeyNotAllocated) {
+		t.Errorf("double Free: err = %v, want ErrKeyNotAllocated", err)
+	}
+	if err := a.Free(DefaultKey); !errors.Is(err, ErrKeyNotAllocated) {
+		t.Errorf("Free(default): err = %v, want ErrKeyNotAllocated", err)
+	}
+}
+
+func TestPKRUString(t *testing.T) {
+	if got := AllowAll.String(); got != "PKRU{all-enabled}" {
+		t.Errorf("String() = %q", got)
+	}
+	p := AllowAll.WithAccessDisabled(1, true).WithWriteDisabled(2, true)
+	s := p.String()
+	if !strings.Contains(s, "key1:AD") || !strings.Contains(s, "key2:WD") {
+		t.Errorf("String() = %q, want key1:AD and key2:WD", s)
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" || Execute.String() != "execute" {
+		t.Error("Access.String mismatch")
+	}
+	if Access(9).String() != "access(9)" {
+		t.Errorf("unknown access string = %q", Access(9).String())
+	}
+}

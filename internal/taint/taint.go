@@ -1,0 +1,137 @@
+// Package taint is the simulation's libdft: a dynamic taint analysis that
+// marks network input as the taint source, tracks tainted bytes through
+// memory at byte granularity (the machine and libc layers propagate the
+// tags), records every instruction address that touches tainted memory,
+// and symbolizes those addresses to function names — the semi-automatic
+// sensitive-function discovery workflow of Figure 3.
+package taint
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"smvx/internal/sim/image"
+	"smvx/internal/sim/machine"
+	"smvx/internal/sim/mem"
+)
+
+// Engine records tainted-memory accesses. Install it with
+// machine.SetTaintSink and enable taint on the address space; libc's
+// recv/read-from-socket path seeds the tags.
+type Engine struct {
+	mu   sync.Mutex
+	seen map[mem.Addr]bool
+	ips  []mem.Addr
+}
+
+var _ machine.TaintSink = (*Engine)(nil)
+
+// NewEngine creates an empty taint engine.
+func NewEngine() *Engine {
+	return &Engine{seen: make(map[mem.Addr]bool)}
+}
+
+// OnTaintedAccess implements machine.TaintSink.
+func (e *Engine) OnTaintedAccess(ip, addr mem.Addr) {
+	if ip == 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.seen[ip] {
+		e.seen[ip] = true
+		e.ips = append(e.ips, ip)
+	}
+}
+
+// TaintedIPs returns the distinct instruction addresses that touched
+// tainted memory, in first-seen order.
+func (e *Engine) TaintedIPs() []mem.Addr {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]mem.Addr(nil), e.ips...)
+}
+
+// Count returns the number of distinct tainted instruction addresses.
+func (e *Engine) Count() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.ips)
+}
+
+// WriteDFTOut serializes the tainted instruction addresses in the
+// dft.out format the paper's pipeline parses (one hex address per line).
+func (e *Engine) WriteDFTOut() []byte {
+	var b strings.Builder
+	for _, ip := range e.TaintedIPs() {
+		fmt.Fprintf(&b, "0x%x\n", uint64(ip))
+	}
+	return []byte(b.String())
+}
+
+// ParseDFTOut parses a dft.out file back into instruction addresses,
+// skipping blanks and comments.
+func ParseDFTOut(data []byte) ([]mem.Addr, error) {
+	var out []mem.Addr
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseUint(strings.TrimPrefix(line, "0x"), 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("taint: dft.out line %d: %w", lineNo+1, err)
+		}
+		out = append(out, mem.Addr(v))
+	}
+	return out, nil
+}
+
+// Symbolizer resolves instruction addresses to containing functions — the
+// r2pipe step of Figure 3: "parse target binary and get nearest func
+// symbols".
+type Symbolizer struct {
+	prof *image.Profile
+}
+
+// NewSymbolizer builds a symbolizer over a binary profile (itself produced
+// by the profile-extraction script).
+func NewSymbolizer(prof *image.Profile) *Symbolizer {
+	return &Symbolizer{prof: prof}
+}
+
+// FuncsFor maps instruction addresses to the sorted, deduplicated list of
+// containing function names — the sMVX protection candidates. Text-range
+// filtering drops addresses outside .text (as the paper's parser filters
+// by .text addresses).
+func (s *Symbolizer) FuncsFor(ips []mem.Addr) []string {
+	text, hasText := s.prof.Sections[image.SecText]
+	set := make(map[string]bool)
+	for _, ip := range ips {
+		if hasText && (ip < text.Addr || ip >= text.Addr+mem.Addr(text.Size)) {
+			continue
+		}
+		if sym, ok := s.prof.SymbolAt(ip); ok {
+			set[sym.Name] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Candidates runs the full Figure 3 pipeline over an engine's recorded
+// accesses: dft.out → parse → symbolize → sensitive function names.
+func Candidates(e *Engine, prof *image.Profile) ([]string, error) {
+	ips, err := ParseDFTOut(e.WriteDFTOut())
+	if err != nil {
+		return nil, err
+	}
+	return NewSymbolizer(prof).FuncsFor(ips), nil
+}

@@ -1,0 +1,98 @@
+package taint
+
+import (
+	"strings"
+	"testing"
+
+	"smvx/internal/sim/image"
+	"smvx/internal/sim/mem"
+)
+
+func testProfile(t *testing.T) *image.Profile {
+	t.Helper()
+	img := image.NewBuilder("app", 0x400000).
+		AddFunc("parse_request", 256).
+		AddFunc("handle_auth", 128).
+		AddFunc("log_access", 128).
+		AddData("g_data", 64, nil).
+		Build()
+	prof, err := image.ParseProfile(img.WriteProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func TestEngineDeduplicatesIPs(t *testing.T) {
+	e := NewEngine()
+	e.OnTaintedAccess(0x400010, 0x1000)
+	e.OnTaintedAccess(0x400010, 0x2000) // same ip, different data
+	e.OnTaintedAccess(0x400020, 0x1000)
+	e.OnTaintedAccess(0, 0x1000) // ip 0 is "no attribution", dropped
+	if e.Count() != 2 {
+		t.Errorf("Count = %d, want 2", e.Count())
+	}
+	ips := e.TaintedIPs()
+	if ips[0] != 0x400010 || ips[1] != 0x400020 {
+		t.Errorf("ips = %v", ips)
+	}
+}
+
+func TestDFTOutRoundTrip(t *testing.T) {
+	e := NewEngine()
+	e.OnTaintedAccess(0x400010, 0)
+	e.OnTaintedAccess(0x4000a0, 0)
+	data := e.WriteDFTOut()
+	if string(data) != "0x400010\n0x4000a0\n" {
+		t.Errorf("dft.out = %q", data)
+	}
+	ips, err := ParseDFTOut(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ips) != 2 || ips[0] != 0x400010 || ips[1] != 0x4000a0 {
+		t.Errorf("parsed = %v", ips)
+	}
+}
+
+func TestParseDFTOutErrorsAndComments(t *testing.T) {
+	if _, err := ParseDFTOut([]byte("0x400010\nnot-hex\n")); err == nil {
+		t.Error("bad line should error")
+	}
+	ips, err := ParseDFTOut([]byte("# header\n\n0x10\n"))
+	if err != nil || len(ips) != 1 {
+		t.Errorf("comments/blanks: %v %v", ips, err)
+	}
+}
+
+func TestSymbolizerMapsToFunctions(t *testing.T) {
+	prof := testProfile(t)
+	sym := NewSymbolizer(prof)
+	parse, _ := prof.Lookup("parse_request")
+	auth, _ := prof.Lookup("handle_auth")
+	data, _ := prof.Lookup("g_data")
+
+	fns := sym.FuncsFor([]mem.Addr{
+		parse.Addr + 5, parse.Addr + 50, // two hits in one function
+		auth.Addr,
+		data.Addr,   // outside .text: filtered
+		0x999999999, // nowhere
+	})
+	if strings.Join(fns, ",") != "handle_auth,parse_request" {
+		t.Errorf("FuncsFor = %v", fns)
+	}
+}
+
+func TestCandidatesPipeline(t *testing.T) {
+	prof := testProfile(t)
+	e := NewEngine()
+	parse, _ := prof.Lookup("parse_request")
+	e.OnTaintedAccess(parse.Addr+10, 0)
+	fns, err := Candidates(e, prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fns) != 1 || fns[0] != "parse_request" {
+		t.Errorf("Candidates = %v", fns)
+	}
+}

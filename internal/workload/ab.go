@@ -1,0 +1,97 @@
+// Package workload provides the client side of the evaluation: an
+// ApacheBench-like load generator, a scout-like URL fuzzer, a Ropper-like
+// gadget finder, and the CVE-2013-2028 exploit builder. Clients are plain
+// kernel processes — they model external machines driving the server over
+// the loopback interface (Section 4.1).
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+
+	"smvx/internal/sim/kernel"
+)
+
+// ABResult summarizes an ApacheBench run.
+type ABResult struct {
+	// Completed is the number of successful request/response exchanges.
+	Completed int
+	// Failed counts requests that errored.
+	Failed int
+	// BytesRead is the total response volume.
+	BytesRead int
+}
+
+// connectRetries bounds the wait for the server to start listening.
+const connectRetries = 1_000_000
+
+// dialRetry connects to port, yielding to the scheduler while the server
+// is still binding.
+func dialRetry(client *kernel.Process, port uint16) (int, error) {
+	fd, e := client.Socket()
+	if e != kernel.OK {
+		return -1, fmt.Errorf("ab: socket: %w", e)
+	}
+	for i := 0; i < connectRetries; i++ {
+		if e := client.Connect(fd, port); e == kernel.OK {
+			return fd, nil
+		}
+		runtime.Gosched()
+	}
+	_ = client.Close(fd)
+	return -1, fmt.Errorf("ab: connect to port %d: %w", port, kernel.ECONNREFUSED)
+}
+
+// GetRequest renders the request ab sends for a path.
+func GetRequest(path string) []byte {
+	var b strings.Builder
+	b.WriteString("GET " + path + " HTTP/1.1\r\n")
+	b.WriteString("Host: localhost\r\n")
+	b.WriteString("User-Agent: ApacheBench/2.3\r\n")
+	b.WriteString("Accept: */*\r\n")
+	b.WriteString("Connection: close\r\n")
+	b.WriteString("\r\n")
+	return []byte(b.String())
+}
+
+// RequestPath performs one HTTP exchange and returns the response bytes.
+func RequestPath(client *kernel.Process, port uint16, request []byte) ([]byte, error) {
+	fd, err := dialRetry(client, port)
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close(fd)
+	if _, e := client.Send(fd, request); e != kernel.OK {
+		return nil, fmt.Errorf("ab: send: %w", e)
+	}
+	var resp []byte
+	buf := make([]byte, 4096)
+	for {
+		n, e := client.Recv(fd, buf)
+		if e != kernel.OK {
+			return resp, fmt.Errorf("ab: recv: %w", e)
+		}
+		if n == 0 {
+			return resp, nil
+		}
+		resp = append(resp, buf[:n]...)
+	}
+}
+
+// RunAB issues requests sequential GETs for path against the server on
+// port, as `ab -n requests` over loopback.
+func RunAB(client *kernel.Process, port uint16, path string, requests int) ABResult {
+	var res ABResult
+	req := GetRequest(path)
+	for i := 0; i < requests; i++ {
+		resp, err := RequestPath(client, port, req)
+		if err != nil || len(resp) == 0 {
+			res.Failed++
+			continue
+		}
+		res.Completed++
+		res.BytesRead += len(resp)
+	}
+	return res
+}

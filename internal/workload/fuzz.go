@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"smvx/internal/sim/kernel"
+)
+
+// fuzzWords is the scout-style wordlist the URL fuzzer draws from.
+var fuzzWords = []string{
+	"index.html", "admin", "login", "private", "images", "css", "js",
+	"upload", "api", "v1", "status", "health", "backup", "old", "test",
+	"config", "secret", "data", "files", "docs",
+}
+
+// Fuzzer generates scout-like URL probes: wordlist paths, random segments,
+// deep paths, odd methods, authorization attempts, and chunked bodies —
+// widening coverage beyond what a plain ab run touches (Figure 9).
+type Fuzzer struct {
+	rng  *rand.Rand
+	port uint16
+}
+
+// NewFuzzer creates a deterministic fuzzer.
+func NewFuzzer(port uint16, seed int64) *Fuzzer {
+	return &Fuzzer{rng: rand.New(rand.NewSource(seed)), port: port}
+}
+
+// nextRequest produces the i-th probe. Early probes stay close to the
+// wordlist; later ones explore more exotic shapes, mirroring how a fuzzer's
+// coverage keeps growing with time.
+func (f *Fuzzer) nextRequest(i int) []byte {
+	switch f.rng.Intn(6) {
+	case 0: // plain wordlist path
+		return GetRequest("/" + fuzzWords[f.rng.Intn(len(fuzzWords))])
+	case 1: // nested path
+		a := fuzzWords[f.rng.Intn(len(fuzzWords))]
+		b := fuzzWords[f.rng.Intn(len(fuzzWords))]
+		return GetRequest("/" + a + "/" + b)
+	case 2: // random garbage segment (404 path)
+		return GetRequest(fmt.Sprintf("/fz%06d", f.rng.Intn(1_000_000)))
+	case 3: // auth attempt against /private
+		var b strings.Builder
+		b.WriteString("GET /private/area HTTP/1.1\r\n")
+		b.WriteString("Host: localhost\r\n")
+		fmt.Fprintf(&b, "Authorization: user%d:guess%d\r\n", f.rng.Intn(10), f.rng.Intn(10))
+		b.WriteString("Connection: close\r\n\r\n")
+		return []byte(b.String())
+	case 4: // chunked body probe
+		var b strings.Builder
+		b.WriteString("POST /upload HTTP/1.1\r\n")
+		b.WriteString("Host: localhost\r\n")
+		b.WriteString("Transfer-Encoding: chunked\r\n")
+		b.WriteString("Connection: close\r\n\r\n")
+		fmt.Fprintf(&b, "%x\r\n", 16+f.rng.Intn(64))
+		return []byte(b.String())
+	default: // long query string
+		return GetRequest("/index.html?q=" + strings.Repeat("A", 1+f.rng.Intn(64)))
+	}
+}
+
+// Run sends n probes, returning how many got any response. Chunked probes
+// additionally send a small body record.
+func (f *Fuzzer) Run(client *kernel.Process, n int) int {
+	responded := 0
+	for i := 0; i < n; i++ {
+		req := f.nextRequest(i)
+		fd, err := dialRetry(client, f.port)
+		if err != nil {
+			continue
+		}
+		if _, e := client.Send(fd, req); e != kernel.OK {
+			_ = client.Close(fd)
+			continue
+		}
+		if strings.Contains(string(req), "chunked") {
+			body := make([]byte, 32)
+			for j := range body {
+				body[j] = byte('a' + f.rng.Intn(26))
+			}
+			_, _ = client.Send(fd, body)
+		}
+		buf := make([]byte, 2048)
+		if n, e := client.Recv(fd, buf); e == kernel.OK && n > 0 {
+			responded++
+		}
+		// Drain until EOF so the server's close completes.
+		for {
+			n, e := client.Recv(fd, buf)
+			if e != kernel.OK || n == 0 {
+				break
+			}
+		}
+		_ = client.Close(fd)
+	}
+	return responded
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"sort"
+
+	"smvx/internal/sim/image"
+	"smvx/internal/sim/mem"
+)
+
+// GadgetKind classifies a ROP gadget.
+type GadgetKind int
+
+// Gadget kinds the scanner recognizes.
+const (
+	// GadgetPopRDI is pop %rdi; ret.
+	GadgetPopRDI GadgetKind = iota + 1
+	// GadgetPopRSI is pop %rsi; ret.
+	GadgetPopRSI
+	// GadgetPopRDX is pop %rdx; ret.
+	GadgetPopRDX
+	// GadgetRet is a bare ret.
+	GadgetRet
+)
+
+// String names the gadget in Ropper's notation.
+func (k GadgetKind) String() string {
+	switch k {
+	case GadgetPopRDI:
+		return "pop rdi; ret"
+	case GadgetPopRSI:
+		return "pop rsi; ret"
+	case GadgetPopRDX:
+		return "pop rdx; ret"
+	case GadgetRet:
+		return "ret"
+	default:
+		return "?"
+	}
+}
+
+// Gadget is one discovered code gadget.
+type Gadget struct {
+	// Addr is the gadget's address in the target's layout.
+	Addr mem.Addr
+	// Kind classifies it.
+	Kind GadgetKind
+}
+
+// FindGadgets scans the binary's .text for usable gadgets, the way Ropper
+// and ROPGadget do (Section 4.2). Per the threat model the attacker has the
+// target binary, so the scan regenerates each function's bytes from the
+// image alone — no access to the running process is needed.
+func FindGadgets(img *image.Image) []Gadget {
+	text, ok := img.Section(image.SecText)
+	if !ok {
+		return nil
+	}
+	var out []Gadget
+	for _, sym := range img.Symbols() {
+		if sym.Addr < text.Addr || sym.Addr >= text.End() {
+			continue
+		}
+		body := image.GenFuncBody(img.Name, sym.Name, int(sym.Size))
+		for i := 0; i < len(body); i++ {
+			if body[i] == image.OpRet {
+				out = append(out, Gadget{Addr: sym.Addr + mem.Addr(i), Kind: GadgetRet})
+				continue
+			}
+			if i+1 < len(body) && body[i+1] == image.OpRet {
+				switch body[i] {
+				case image.OpPopRDI:
+					out = append(out, Gadget{Addr: sym.Addr + mem.Addr(i), Kind: GadgetPopRDI})
+				case image.OpPopRSI:
+					out = append(out, Gadget{Addr: sym.Addr + mem.Addr(i), Kind: GadgetPopRSI})
+				case image.OpPopRDX:
+					out = append(out, Gadget{Addr: sym.Addr + mem.Addr(i), Kind: GadgetPopRDX})
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// FirstGadget returns the lowest-addressed gadget of a kind.
+func FirstGadget(gadgets []Gadget, kind GadgetKind) (Gadget, bool) {
+	for _, g := range gadgets {
+		if g.Kind == kind {
+			return g, true
+		}
+	}
+	return Gadget{}, false
+}

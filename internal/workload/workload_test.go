@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"smvx/internal/apps/nginx"
+	"smvx/internal/sim/clock"
+	"smvx/internal/sim/image"
+	"smvx/internal/sim/kernel"
+)
+
+func TestGetRequestFormat(t *testing.T) {
+	req := string(GetRequest("/x.html"))
+	if !strings.HasPrefix(req, "GET /x.html HTTP/1.1\r\n") {
+		t.Errorf("request line: %q", req)
+	}
+	for _, h := range []string{"Host: localhost", "User-Agent: ApacheBench/2.3", "Connection: close"} {
+		if !strings.Contains(req, h) {
+			t.Errorf("missing header %q", h)
+		}
+	}
+	if !strings.HasSuffix(req, "\r\n\r\n") {
+		t.Error("missing header terminator")
+	}
+}
+
+func TestDialRetryRefusedEventually(t *testing.T) {
+	k := kernel.New(clock.DefaultCosts(), 1)
+	client := k.NewProcess(nil)
+	// No listener will ever appear; bound the retries via a tiny spin by
+	// binding then closing... simplest: expect failure quickly on a
+	// never-bound port by capping with a goroutine is overkill — verify
+	// the error path through RequestPath against a closed listener.
+	lp := k.NewProcess(nil)
+	fd, _ := lp.Socket()
+	_ = lp.Bind(fd, 4000)
+	_ = lp.Close(fd)
+	if _, err := RequestPath(client, 4000, GetRequest("/")); err == nil {
+		t.Error("request against closed listener should fail")
+	}
+}
+
+func TestFindGadgetsOnNginxImage(t *testing.T) {
+	img := nginx.BuildImage()
+	gadgets := FindGadgets(img)
+	if len(gadgets) == 0 {
+		t.Fatal("no gadgets found in nginx .text")
+	}
+	kinds := map[GadgetKind]int{}
+	text, _ := img.Section(image.SecText)
+	for _, g := range gadgets {
+		kinds[g.Kind]++
+		if g.Addr < text.Addr || g.Addr >= text.End() {
+			t.Errorf("gadget outside .text: %+v", g)
+		}
+	}
+	for _, k := range []GadgetKind{GadgetPopRDI, GadgetPopRSI, GadgetRet} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s gadgets", k)
+		}
+	}
+	// Sorted by address.
+	for i := 1; i < len(gadgets); i++ {
+		if gadgets[i].Addr < gadgets[i-1].Addr {
+			t.Fatal("gadgets not sorted")
+		}
+	}
+	if _, ok := FirstGadget(gadgets, GadgetPopRDI); !ok {
+		t.Error("FirstGadget(pop rdi) failed")
+	}
+	if _, ok := FirstGadget(nil, GadgetPopRDI); ok {
+		t.Error("FirstGadget on empty should fail")
+	}
+}
+
+func TestGadgetKindStrings(t *testing.T) {
+	if GadgetPopRDI.String() != "pop rdi; ret" || GadgetRet.String() != "ret" {
+		t.Error("kind strings")
+	}
+	if GadgetKind(99).String() != "?" {
+		t.Error("unknown kind")
+	}
+}
+
+func TestBuildCVEPayloadLayout(t *testing.T) {
+	img := nginx.BuildImage()
+	ex, err := BuildCVE2013_2028(img, "pwned") // no leading slash: added
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := string(ex.Request)
+	if !strings.HasPrefix(req, "POST /pwned HTTP/1.1\r\n") {
+		t.Errorf("request: %q", req)
+	}
+	if !strings.Contains(req, "Transfer-Encoding: chunked") {
+		t.Error("missing chunked header")
+	}
+	if !strings.HasSuffix(req, "fffffffffffffff0\r\n") {
+		t.Error("missing huge chunk-size line")
+	}
+	// Body: 4096 filler + 6 chain words.
+	if len(ex.Body) != 4096+48 {
+		t.Errorf("body len = %d", len(ex.Body))
+	}
+	if ex.Body[0] != 0x41 || ex.Body[4095] != 0x41 {
+		t.Error("filler wrong")
+	}
+	if len(ex.Chain) != 3 || !strings.Contains(ex.Chain[2], "mkdir@plt") {
+		t.Errorf("chain = %v", ex.Chain)
+	}
+}
+
+func TestBuildCVEFailsWithoutTargets(t *testing.T) {
+	img := image.NewBuilder("tiny", 0x400000).AddFunc("main", 64).NeedLibc("write").Build()
+	if _, err := BuildCVE2013_2028(img, "/x"); err == nil {
+		t.Error("exploit build should fail without gadget material/symbols")
+	}
+}
+
+func TestFuzzerDeterministicRequests(t *testing.T) {
+	a := NewFuzzer(80, 7)
+	b := NewFuzzer(80, 7)
+	for i := 0; i < 50; i++ {
+		ra := string(a.nextRequest(i))
+		rb := string(b.nextRequest(i))
+		if ra != rb {
+			t.Fatalf("fuzzer nondeterministic at %d", i)
+		}
+		if !strings.Contains(ra, "HTTP/1.1") {
+			t.Fatalf("malformed probe: %q", ra)
+		}
+	}
+	// Different seeds diverge.
+	c := NewFuzzer(80, 8)
+	same := 0
+	for i := 0; i < 20; i++ {
+		if string(a.nextRequest(i)) == string(c.nextRequest(i)) {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Error("different seeds should produce different probes")
+	}
+}
+
+func TestFuzzerCoversProbeShapes(t *testing.T) {
+	f := NewFuzzer(80, 3)
+	var sawAuth, sawChunked, saw404 bool
+	for i := 0; i < 200; i++ {
+		r := string(f.nextRequest(i))
+		if strings.Contains(r, "Authorization:") {
+			sawAuth = true
+		}
+		if strings.Contains(r, "chunked") {
+			sawChunked = true
+		}
+		if strings.Contains(r, "/fz") {
+			saw404 = true
+		}
+	}
+	if !sawAuth || !sawChunked || !saw404 {
+		t.Errorf("probe coverage: auth=%v chunked=%v 404=%v", sawAuth, sawChunked, saw404)
+	}
+}

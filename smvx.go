@@ -1,0 +1,198 @@
+// Package smvx is the public API of the sMVX reproduction: multi-variant
+// execution on selected code paths (Yeoh, Wang, Jang, Ravindran —
+// Middleware 2024), rebuilt as a deterministic simulation in pure Go.
+//
+// The package re-exports the building blocks a user needs to run a program
+// under selective MVX:
+//
+//   - Describe the target binary with an ImageBuilder (sections, symbols,
+//     imported libc functions) and bind Go bodies to its functions with a
+//     Program.
+//   - Boot a simulated process around the program with NewSystem: address
+//     space, kernel, libc, execution engine.
+//   - Attach the sMVX monitor with Protect, then call the mvx_init /
+//     mvx_start / mvx_end hooks (Listing 1 of the paper) around sensitive
+//     code paths, or use RunProtected for the common single-region case.
+//   - Inspect Alarms for detected divergences.
+//
+// See examples/quickstart for the end-to-end flow, and internal/experiments
+// for the paper's full evaluation.
+package smvx
+
+import (
+	"smvx/internal/boot"
+	"smvx/internal/core"
+	"smvx/internal/libc"
+	"smvx/internal/sim/clock"
+	"smvx/internal/sim/image"
+	"smvx/internal/sim/kernel"
+	"smvx/internal/sim/machine"
+	"smvx/internal/sim/mem"
+)
+
+// Re-exported core types. The implementation lives under internal/; these
+// aliases are the supported public names.
+type (
+	// Monitor is the in-process sMVX monitor (the paper's contribution).
+	Monitor = core.Monitor
+	// MonitorOption configures the monitor (delta, seed, scan hints).
+	MonitorOption = core.Option
+	// Alarm is one detected divergence between variants.
+	Alarm = core.Alarm
+	// AlarmReason classifies an alarm.
+	AlarmReason = core.AlarmReason
+	// RegionReport summarizes one protected-region execution.
+	RegionReport = core.RegionReport
+	// CreationStats is the Table 2 variant-creation breakdown.
+	CreationStats = core.CreationStats
+
+	// MVX is the mvx_init/mvx_start/mvx_end hook surface.
+	MVX = machine.MVX
+	// NoMVX is the vanilla no-op implementation.
+	NoMVX = machine.NoMVX
+	// Thread is a simulated thread.
+	Thread = machine.Thread
+	// Program binds an image's symbols to Go bodies.
+	Program = machine.Program
+	// Body is a simulated function implementation.
+	Body = machine.Body
+
+	// ImageBuilder assembles a simulated binary image.
+	ImageBuilder = image.Builder
+	// Image is a laid-out binary image.
+	Image = image.Image
+
+	// Kernel is a simulated operating system instance.
+	Kernel = kernel.Kernel
+	// Process is a simulated OS process.
+	Process = kernel.Process
+	// Errno is a simulated POSIX errno.
+	Errno = kernel.Errno
+
+	// Addr is a simulated virtual address.
+	Addr = mem.Addr
+	// Cycles counts simulated CPU cycles.
+	Cycles = clock.Cycles
+	// CostTable is the cycle cost model.
+	CostTable = clock.CostTable
+
+	// Env is a booted simulated process.
+	Env = boot.Env
+	// LibC is the simulated C library.
+	LibC = libc.LibC
+)
+
+// Alarm reasons, re-exported.
+const (
+	AlarmCallMismatch   = core.AlarmCallMismatch
+	AlarmArgMismatch    = core.AlarmArgMismatch
+	AlarmFollowerFault  = core.AlarmFollowerFault
+	AlarmSequenceLength = core.AlarmSequenceLength
+)
+
+// Monitor option constructors, re-exported.
+var (
+	// WithDelta overrides the follower address-window shift.
+	WithDelta = core.WithDelta
+	// WithSeed sets the trampoline randomization seed.
+	WithSeed = core.WithSeed
+	// WithScanHints narrows the variant-creation pointer scan to the
+	// named globals (the paper's static-analysis narrowing).
+	WithScanHints = core.WithScanHints
+	// WithoutSafeStack disables the trampoline stack pivot (ablation).
+	WithoutSafeStack = core.WithoutSafeStack
+)
+
+// DefaultCosts returns the calibrated cycle cost model.
+func DefaultCosts() CostTable { return clock.DefaultCosts() }
+
+// NewKernel creates a simulated operating system.
+func NewKernel(seed int64) *Kernel { return kernel.New(clock.DefaultCosts(), seed) }
+
+// NewImage starts building a binary image for a program loaded at base.
+func NewImage(name string, base Addr) *ImageBuilder { return image.NewBuilder(name, base) }
+
+// NewProgram binds Go bodies to an image's symbols.
+func NewProgram(img *Image) *Program { return machine.NewProgram(img) }
+
+// System is one simulated process plus its (optional) sMVX monitor.
+type System struct {
+	// Env is the booted process.
+	Env *Env
+	// Monitor is non-nil after Protect.
+	Monitor *Monitor
+}
+
+// NewSystem boots a simulated process around prog on kernel k: address
+// space, heap, shared libraries, libc, execution engine — and writes the
+// binary's /tmp profile so the monitor's Setup can resolve symbols.
+func NewSystem(k *Kernel, prog *Program, opts ...boot.Option) (*System, error) {
+	env, err := boot.NewEnv(k, prog, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Env: env}, nil
+}
+
+// Protect attaches an sMVX monitor to the system and returns it. The
+// monitor lazily completes setup_mvx on the first Init.
+func (s *System) Protect(opts ...MonitorOption) *Monitor {
+	s.Monitor = core.New(s.Env.Machine, s.Env.LibC, opts...)
+	return s.Monitor
+}
+
+// NewThread creates a simulated thread in the system's process.
+func (s *System) NewThread(name string) (*Thread, error) {
+	return s.Env.Machine.NewThread(name, 0)
+}
+
+// RunProtected executes fn(args) inside one protected region on a fresh
+// thread: mvx_init, mvx_start, the call, mvx_end — the whole of Listing 1.
+// It returns the region report (including divergence state).
+func (s *System) RunProtected(fn string, args ...uint64) (RegionReport, error) {
+	if s.Monitor == nil {
+		s.Protect()
+	}
+	t, err := s.NewThread("smvx-leader")
+	if err != nil {
+		return RegionReport{}, err
+	}
+	if err := s.Monitor.Init(t); err != nil {
+		return RegionReport{}, err
+	}
+	var startErr error
+	runErr := t.Run(func(t *Thread) {
+		if startErr = s.Monitor.Start(t, fn, args...); startErr != nil {
+			return
+		}
+		t.Call(fn, args...)
+		_ = s.Monitor.End(t)
+	})
+	if startErr != nil {
+		return RegionReport{}, startErr
+	}
+	reports := s.Monitor.Reports()
+	var rep RegionReport
+	if len(reports) > 0 {
+		rep = reports[len(reports)-1]
+	}
+	return rep, runErr
+}
+
+// Alarms returns the divergences detected so far (empty when unprotected).
+func (s *System) Alarms() []Alarm {
+	if s.Monitor == nil {
+		return nil
+	}
+	return s.Monitor.Alarms()
+}
+
+// Boot option constructors, re-exported.
+var (
+	// WithBootSeed sets the process determinism seed.
+	WithBootSeed = boot.WithSeed
+	// WithHeapPages sizes the process heap.
+	WithHeapPages = boot.WithHeapPages
+	// WithTaint enables byte-granularity taint tracking.
+	WithTaint = boot.WithTaint
+)

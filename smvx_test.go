@@ -1,0 +1,122 @@
+package smvx
+
+import (
+	"testing"
+)
+
+// buildDemo assembles a minimal protected application through the public
+// API only.
+func buildDemo(t *testing.T) *System {
+	t.Helper()
+	img := NewImage("demo", 0x400000).
+		AddFunc("main", 128).
+		AddFunc("handle_input", 256).
+		AddData("g_secret", 8, nil).
+		AddBSS("g_buf", 1024).
+		NeedLibc("gettimeofday", "malloc", "free", "open", "write", "close").
+		Build()
+	prog := NewProgram(img)
+	prog.MustDefine("handle_input", func(t *Thread, args []uint64) uint64 {
+		g := t.Global("g_buf")
+		t.Libc("gettimeofday", uint64(g), 0)
+		p := t.Libc("malloc", 64)
+		t.Store64(Addr(p), t.Load64(g))
+		t.Libc("free", p)
+		return t.Load64(g)
+	})
+	sys, err := NewSystem(NewKernel(1), prog, WithBootSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	sys := buildDemo(t)
+	sys.Protect(WithSeed(1))
+	rep, err := sys.RunProtected("handle_input")
+	if err != nil {
+		t.Fatalf("RunProtected: %v", err)
+	}
+	if rep.Diverged {
+		t.Fatalf("benign region diverged: %+v", rep)
+	}
+	if rep.Function != "handle_input" || rep.LibcCalls != 3 {
+		t.Errorf("report = %+v", rep)
+	}
+	if len(sys.Alarms()) != 0 {
+		t.Errorf("alarms = %v", sys.Alarms())
+	}
+}
+
+func TestRunProtectedUnknownFunction(t *testing.T) {
+	sys := buildDemo(t)
+	if _, err := sys.RunProtected("nope"); err == nil {
+		t.Error("unknown function should fail")
+	}
+}
+
+func TestUnprotectedSystemHasNoAlarms(t *testing.T) {
+	sys := buildDemo(t)
+	if sys.Alarms() != nil {
+		t.Error("unprotected system should report nil alarms")
+	}
+}
+
+func TestDivergenceSurfacesThroughFacade(t *testing.T) {
+	img := NewImage("divapp", 0x400000).
+		AddFunc("main", 64).
+		AddFunc("evil", 128).
+		AddBSS("g_buf", 256).
+		NeedLibc("gettimeofday", "time").
+		Build()
+	prog := NewProgram(img)
+	prog.MustDefine("evil", func(t *Thread, args []uint64) uint64 {
+		g := t.Global("g_buf")
+		if t.Bias() == 0 {
+			t.Libc("gettimeofday", uint64(g), 0)
+		} else {
+			t.Libc("time", 0)
+		}
+		return 0
+	})
+	sys, err := NewSystem(NewKernel(2), prog, WithBootSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Protect(WithSeed(2))
+	rep, err := sys.RunProtected("evil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Diverged {
+		t.Error("divergence not reported")
+	}
+	alarms := sys.Alarms()
+	if len(alarms) == 0 || alarms[0].Reason != AlarmCallMismatch {
+		t.Errorf("alarms = %v", alarms)
+	}
+}
+
+func TestDefaultCostsExposed(t *testing.T) {
+	if DefaultCosts().SyscallCost() == 0 {
+		t.Error("cost table empty")
+	}
+}
+
+func TestRepeatedProtectedRegions(t *testing.T) {
+	sys := buildDemo(t)
+	sys.Protect(WithSeed(3))
+	for i := 0; i < 3; i++ {
+		rep, err := sys.RunProtected("handle_input")
+		if err != nil {
+			t.Fatalf("region %d: %v", i, err)
+		}
+		if rep.Diverged {
+			t.Fatalf("region %d diverged", i)
+		}
+	}
+	if got := len(sys.Monitor.Reports()); got != 3 {
+		t.Errorf("reports = %d", got)
+	}
+}
