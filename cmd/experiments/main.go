@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"smvx/internal/experiments"
+	"smvx/internal/obs"
 )
 
 func main() {
@@ -27,14 +28,19 @@ func main() {
 
 func run() error {
 	var (
-		which    = flag.String("run", "all", "artifact: all | table1 | table2 | fig6 | fig7 | fig8 | fig9 | cpu | mem | cve")
-		requests = flag.Int("requests", 40, "server workload size")
-		target   = flag.Uint64("nbench-cycles", 1_500_000, "nbench per-kernel cycle target")
+		which     = flag.String("run", "all", "artifact: all | table1 | table2 | fig6 | fig7 | fig8 | fig9 | cpu | mem | cve")
+		requests  = flag.Int("requests", 40, "server workload size")
+		target    = flag.Uint64("nbench-cycles", 1_500_000, "nbench per-kernel cycle target")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the cve run's sMVX phase to this file")
+		metricsOn = flag.Bool("metrics", false, "print the collected metrics table after the run")
+		forensics = flag.Bool("forensics", false, "attach the flight recorder to the cve run and print its forensics reports")
+		benchJSON = flag.String("bench-json", "BENCH_experiments.json", "write metric name -> value JSON here (empty to skip)")
 	)
 	flag.Parse()
 
 	want := func(name string) bool { return *which == "all" || *which == name }
 	ran := false
+	bench := obs.NewMetrics()
 
 	if want("table1") {
 		ran = true
@@ -47,6 +53,7 @@ func run() error {
 			return err
 		}
 		fmt.Println(res)
+		res.RecordMetrics(bench)
 	}
 	if want("fig7") {
 		ran = true
@@ -55,6 +62,7 @@ func run() error {
 			return err
 		}
 		fmt.Println(res)
+		res.RecordMetrics(bench)
 	}
 	if want("cpu") {
 		ran = true
@@ -64,6 +72,7 @@ func run() error {
 		}
 		fmt.Println(res)
 		fmt.Println(res.FlameNginx)
+		res.RecordMetrics(bench)
 	}
 	if want("mem") {
 		ran = true
@@ -72,6 +81,7 @@ func run() error {
 			return err
 		}
 		fmt.Println(res)
+		res.RecordMetrics(bench)
 	}
 	if want("fig8") {
 		ran = true
@@ -80,6 +90,7 @@ func run() error {
 			return err
 		}
 		fmt.Println(res)
+		res.RecordMetrics(bench)
 	}
 	if want("table2") {
 		ran = true
@@ -88,6 +99,7 @@ func run() error {
 			return err
 		}
 		fmt.Println(res)
+		res.RecordMetrics(bench)
 	}
 	if want("fig9") {
 		ran = true
@@ -96,18 +108,65 @@ func run() error {
 			return err
 		}
 		fmt.Println(res)
+		res.RecordMetrics(bench)
 	}
 	if want("cve") {
 		ran = true
-		res, err := experiments.CVE()
+		var rec *obs.Recorder
+		if *forensics || *traceOut != "" {
+			rec = obs.NewRecorder(obs.Config{})
+		}
+		res, err := experiments.CVEObserved(rec)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res)
+		res.RecordMetrics(bench)
+		bench.Merge(rec.Metrics())
+		if *forensics {
+			for _, rep := range res.Forensics {
+				fmt.Println(rep)
+			}
+		}
+		if *traceOut != "" {
+			if err := writeChromeTrace(rec, *traceOut); err != nil {
+				return err
+			}
+			fmt.Printf("chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown artifact %q; want one of %s", *which,
 			strings.Join([]string{"all", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "cpu", "mem", "cve"}, " "))
 	}
+	if *metricsOn {
+		fmt.Println(bench.TableText())
+	}
+	if *benchJSON != "" {
+		f, err := os.Create(*benchJSON)
+		if err != nil {
+			return err
+		}
+		werr := bench.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("metrics written to %s\n", *benchJSON)
+	}
 	return nil
+}
+
+func writeChromeTrace(rec *obs.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := rec.WriteChromeTrace(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
 }

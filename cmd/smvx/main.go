@@ -21,6 +21,7 @@ import (
 	"smvx/internal/core"
 	"smvx/internal/experiments"
 	"smvx/internal/mvx/remon"
+	"smvx/internal/obs"
 	"smvx/internal/sim/clock"
 	"smvx/internal/sim/kernel"
 	"smvx/internal/sim/machine"
@@ -44,29 +45,78 @@ func run() error {
 		iters    = flag.Int("iters", 5, "nbench iterations")
 		version  = flag.String("version", nginx.VersionFixed, "nginx version (1.3.9 = vulnerable)")
 		seed     = flag.Int64("seed", 42, "determinism seed")
+		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
+		metrics  = flag.Bool("metrics", false, "print the flight recorder's metrics table after the run")
+		forensic = flag.Bool("forensics", false, "print flight-recorder forensics reports for any alarms")
 	)
 	flag.Parse()
 
+	var rec *obs.Recorder
+	if *traceOut != "" || *metrics || *forensic {
+		rec = obs.NewRecorder(obs.Config{})
+	}
+
+	var err error
 	switch *app {
 	case "nbench":
-		return runNbench(*bench, *iters, *mode, *seed)
+		err = runNbench(*bench, *iters, *mode, *seed, rec)
 	case "nginx":
 		if *protect == "" {
 			*protect = "ngx_worker_process_cycle"
 		}
-		return runNginx(*mode, *protect, *requests, *version, *seed)
+		err = runNginx(*mode, *protect, *requests, *version, *seed, rec)
 	case "lighttpd":
 		if *protect == "" {
 			*protect = "server_main_loop"
 		}
-		return runLighttpd(*mode, *protect, *requests, *seed)
+		err = runLighttpd(*mode, *protect, *requests, *seed, rec)
 	default:
 		return fmt.Errorf("unknown app %q", *app)
 	}
+	if err != nil {
+		return err
+	}
+	return finishObs(rec, *traceOut, *metrics, *forensic)
 }
 
-func runNbench(name string, iters int, mode string, seed int64) error {
-	env, err := boot.NewEnv(kernel.New(clock.DefaultCosts(), seed), nbench.Program(), boot.WithSeed(seed))
+// finishObs emits the observability artifacts the flags asked for, after
+// the run has quiesced.
+func finishObs(rec *obs.Recorder, traceOut string, metrics, forensic bool) error {
+	if rec == nil {
+		return nil
+	}
+	if metrics {
+		fmt.Println(rec.Metrics().TableText())
+	}
+	if forensic {
+		reports := rec.ForensicReports()
+		if len(reports) == 0 {
+			fmt.Println("forensics: no alarms recorded")
+		}
+		for _, rep := range reports {
+			fmt.Println(rep)
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		werr := rec.WriteChromeTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", traceOut)
+	}
+	return nil
+}
+
+func runNbench(name string, iters int, mode string, seed int64, rec *obs.Recorder) error {
+	env, err := boot.NewEnv(kernel.New(clock.DefaultCosts(), seed), nbench.Program(),
+		boot.WithSeed(seed), boot.WithRecorder(rec))
 	if err != nil {
 		return err
 	}
@@ -74,7 +124,7 @@ func runNbench(name string, iters int, mode string, seed int64) error {
 	var mon *core.Monitor
 	var mvx machine.MVX
 	if mode == "smvx" {
-		mon = core.New(env.Machine, env.LibC, core.WithSeed(seed))
+		mon = core.New(env.Machine, env.LibC, core.WithSeed(seed), core.WithRecorder(env.Obs))
 		mvx = mon
 	}
 	cycles, err := nbench.RunOne(env, mvx, name, iters)
@@ -87,14 +137,14 @@ func runNbench(name string, iters int, mode string, seed int64) error {
 	return nil
 }
 
-func runNginx(mode, protect string, requests int, version string, seed int64) error {
+func runNginx(mode, protect string, requests int, version string, seed int64, rec *obs.Recorder) error {
 	k := kernel.New(clock.DefaultCosts(), seed)
 	cfg := nginx.Config{Port: 8080, MaxRequests: requests, AccessLog: true, Version: version}
 	if mode == "smvx" {
 		cfg.Protect = protect
 	}
 	srv := nginx.NewServer(cfg)
-	env, err := boot.NewEnv(k, srv.Program(), boot.WithSeed(seed))
+	env, err := boot.NewEnv(k, srv.Program(), boot.WithSeed(seed), boot.WithRecorder(rec))
 	if err != nil {
 		return err
 	}
@@ -112,7 +162,7 @@ func runNginx(mode, protect string, requests int, version string, seed int64) er
 		}
 		go func() { done <- srv.Run(th) }()
 	case "smvx":
-		mon = core.New(env.Machine, env.LibC, core.WithSeed(seed))
+		mon = core.New(env.Machine, env.LibC, core.WithSeed(seed), core.WithRecorder(env.Obs))
 		srv.SetMVX(mon)
 		th, err := env.MainThread()
 		if err != nil {
@@ -144,14 +194,14 @@ func runNginx(mode, protect string, requests int, version string, seed int64) er
 	return nil
 }
 
-func runLighttpd(mode, protect string, requests int, seed int64) error {
+func runLighttpd(mode, protect string, requests int, seed int64, rec *obs.Recorder) error {
 	k := kernel.New(clock.DefaultCosts(), seed)
 	cfg := lighttpd.Config{Port: 8080, MaxRequests: requests}
 	if mode == "smvx" {
 		cfg.Protect = protect
 	}
 	srv := lighttpd.NewServer(cfg)
-	env, err := boot.NewEnv(k, srv.Program(), boot.WithSeed(seed))
+	env, err := boot.NewEnv(k, srv.Program(), boot.WithSeed(seed), boot.WithRecorder(rec))
 	if err != nil {
 		return err
 	}
@@ -163,7 +213,7 @@ func runLighttpd(mode, protect string, requests int, seed int64) error {
 	switch mode {
 	case "vanilla":
 	case "smvx":
-		mon = core.New(env.Machine, env.LibC, core.WithSeed(seed))
+		mon = core.New(env.Machine, env.LibC, core.WithSeed(seed), core.WithRecorder(env.Obs))
 		srv.SetMVX(mon)
 	case "remon":
 		rem := remon.New(env.Machine, env.LibC)

@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"smvx/internal/libc"
+	"smvx/internal/obs"
 	"smvx/internal/sim/clock"
 	"smvx/internal/sim/image"
 	"smvx/internal/sim/kernel"
@@ -36,6 +37,10 @@ type Options struct {
 	// WriteProfile controls whether the /tmp profile file is written
 	// (required before running under sMVX).
 	WriteProfile bool
+	// Recorder, when non-nil, is wired into the libc and kernel layers (and
+	// exposed as Env.Obs for the monitor) so the whole process traces into
+	// one flight recorder.
+	Recorder *obs.Recorder
 }
 
 // Option mutates Options.
@@ -55,6 +60,9 @@ func WithoutProfile() Option { return func(o *Options) { o.WriteProfile = false 
 
 // WithCosts overrides the cycle cost table.
 func WithCosts(c clock.CostTable) Option { return func(o *Options) { o.Costs = c } }
+
+// WithRecorder attaches a flight recorder to the assembled process.
+func WithRecorder(r *obs.Recorder) Option { return func(o *Options) { o.Recorder = r } }
 
 // Env is one assembled simulated process.
 type Env struct {
@@ -82,6 +90,9 @@ type Env struct {
 	// HeapBase and HeapSize describe the mapped heap.
 	HeapBase mem.Addr
 	HeapSize uint64
+	// Obs is the flight recorder wired through the stack (nil when
+	// observability is off).
+	Obs *obs.Recorder
 }
 
 // NewEnv assembles a process running prog on kernel k.
@@ -134,6 +145,11 @@ func NewEnv(k *kernel.Kernel, prog *machine.Program, opts ...Option) (*Env, erro
 	proc.SetWallCounter(wall)
 	lib := libc.New(proc, counter, o.Costs, o.Seed)
 	lib.RegisterHeap(0, DefaultHeapBase, heapSize)
+	if o.Recorder != nil {
+		o.Recorder.SetClock(counter)
+		proc.SetRecorder(o.Recorder)
+		lib.SetRecorder(o.Recorder)
+	}
 	m := machine.New(prog, as, proc, lib, counter, o.Costs)
 	m.SetWallCounter(wall)
 
@@ -154,6 +170,7 @@ func NewEnv(k *kernel.Kernel, prog *machine.Program, opts ...Option) (*Env, erro
 		Costs:    o.Costs,
 		HeapBase: DefaultHeapBase,
 		HeapSize: heapSize,
+		Obs:      o.Recorder,
 	}, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"smvx/internal/libc"
+	"smvx/internal/obs"
 	"smvx/internal/sim/clock"
 	"smvx/internal/sim/kernel"
 	"smvx/internal/sim/machine"
@@ -20,11 +21,15 @@ const (
 )
 
 // callRecord is the follower's half of one lockstep rendezvous, sent to the
-// leader over the (simulated shared-memory) IPC channel.
+// leader over the (simulated shared-memory) IPC channel. thread is the
+// follower's machine thread: while the follower blocks on resp the leader
+// may snapshot it for forensics (the send on req established the
+// happens-before edge).
 type callRecord struct {
-	name string
-	args []uint64
-	resp chan callResult
+	name   string
+	args   []uint64
+	thread *machine.Thread
+	resp   chan callResult
 }
 
 // callResult is the leader's reply: either the emulated result, an
@@ -91,9 +96,18 @@ func abortFollower(rec *callRecord) {
 func (s *session) leaderCall(t *machine.Thread, name string, args []uint64) uint64 {
 	idx := s.calls.Add(1)
 	s.mon.m.ChargeThread(t, s.mon.m.Costs().LockstepRendezvous)
+	obsRec := s.mon.rec
+	var waitStart clock.Cycles
+	if obsRec != nil {
+		waitStart = s.mon.m.Counter().Cycles()
+	}
 
 	select {
 	case rec := <-s.req:
+		if obsRec != nil {
+			obsRec.Metrics().Observe("lockstep.wait.cycles",
+				uint64(s.mon.m.Counter().Cycles()-waitStart))
+		}
 		return s.leaderPaired(t, name, args, rec, idx)
 	case <-s.followerDead:
 		// The follower died mid-region (e.g. faulted on a gadget
@@ -106,24 +120,36 @@ func (s *session) leaderCall(t *machine.Thread, name string, args []uint64) uint
 
 // leaderPaired handles a rendezvous where both variants arrived.
 func (s *session) leaderPaired(t *machine.Thread, name string, args []uint64, rec *callRecord, idx uint64) uint64 {
+	obsRec := s.mon.rec
 	// Lockstep check 1: same libc function name (Section 3.3).
 	if rec.name != name {
-		s.mon.raiseAlarm(AlarmCallMismatch, idx,
-			fmt.Sprintf("leader called %s, follower called %s", name, rec.name))
+		s.mon.raiseAlarm(Alarm{
+			Reason: AlarmCallMismatch, CallIndex: idx, Function: s.fn,
+			LeaderCall: name, FollowerCall: rec.name,
+			Detail: fmt.Sprintf("leader called %s, follower called %s", name, rec.name),
+		}, s.rendezvousSnapshots(t, rec)...)
 		s.diverged.Store(true)
 		abortFollower(rec)
 		return s.mon.lib.Call(t, name, args)
 	}
 	// Lockstep check 2: same non-pointer argument values.
 	if bad, li, fi := scalarMismatch(name, args, rec.args); bad {
-		s.mon.raiseAlarm(AlarmArgMismatch, idx,
-			fmt.Sprintf("%s arg mismatch: leader %#x vs follower %#x", name, li, fi))
+		s.mon.raiseAlarm(Alarm{
+			Reason: AlarmArgMismatch, CallIndex: idx, Function: s.fn,
+			LeaderCall: name, FollowerCall: rec.name,
+			Detail: fmt.Sprintf("%s arg mismatch: leader %#x vs follower %#x", name, li, fi),
+		}, s.rendezvousSnapshots(t, rec)...)
 		s.diverged.Store(true)
 		abortFollower(rec)
 		return s.mon.lib.Call(t, name, args)
 	}
 
-	switch libc.CategoryOf(name) {
+	cat := libc.CategoryOf(name)
+	if obsRec != nil {
+		obsRec.Record(obs.EvLockstep, obs.VariantLeader, t.TID(), name, uint64(cat), idx, 0)
+		obsRec.Metrics().Inc("lockstep.category." + categorySlug(cat))
+	}
+	switch cat {
 	case libc.CatLocal:
 		// User-space call: each variant executes in its own space.
 		ret := s.mon.lib.Call(t, name, args)
@@ -136,32 +162,98 @@ func (s *session) leaderPaired(t *machine.Thread, name string, args []uint64, re
 		errno := t.Errno()
 		copied := s.emulate(name, args, rec.args, ret)
 		s.emulatedBytes.Add(uint64(copied))
+		if obsRec != nil {
+			obsRec.Record(obs.EvEmulated, obs.VariantLeader, t.TID(), name, uint64(copied), 0, ret)
+			obsRec.Metrics().Add("lockstep.emulated.bytes", uint64(copied))
+		}
 		rec.resp <- callResult{mode: modeEmulated, ret: ret, errno: errno}
 		return ret
+	}
+}
+
+// rendezvousSnapshots captures both variants' thread states at a paired
+// rendezvous, for the forensics report. The follower is blocked on the resp
+// channel, so reading its thread is race-free (see callRecord). Snapshots
+// are captured only when a recorder is attached.
+func (s *session) rendezvousSnapshots(leader *machine.Thread, rec *callRecord) []obs.ThreadSnapshot {
+	if s.mon.rec == nil {
+		return nil
+	}
+	snaps := []obs.ThreadSnapshot{s.mon.snapshot("leader", leader)}
+	if rec.thread != nil {
+		snaps = append(snaps, s.mon.snapshot("follower", rec.thread))
+	}
+	return snaps
+}
+
+// categorySlug is the metric-name component for an emulation category.
+func categorySlug(c libc.Category) string {
+	switch c {
+	case libc.CatRetOnly:
+		return "ret_only"
+	case libc.CatRetBuf:
+		return "ret_buf"
+	case libc.CatSpecial:
+		return "special"
+	case libc.CatLocal:
+		return "local"
+	default:
+		return "unknown"
 	}
 }
 
 // followerCall runs the follower's side: publish the call, wait for the
 // leader's verdict.
 func (s *session) followerCall(t *machine.Thread, name string, args []uint64) uint64 {
-	rec := &callRecord{name: name, args: args, resp: make(chan callResult, 1)}
+	rec := &callRecord{name: name, args: args, thread: t, resp: make(chan callResult, 1)}
+	obsRec := s.mon.rec
+	var arriveTS clock.Cycles
+	var a0, a1 uint64
+	if obsRec != nil {
+		arriveTS = s.mon.m.Counter().Cycles()
+		if len(args) > 0 {
+			a0 = args[0]
+		}
+		if len(args) > 1 {
+			a1 = args[1]
+		}
+	}
 	select {
 	case s.req <- rec:
 		res := <-rec.resp
 		switch res.mode {
 		case modeLocal:
+			// lib.Call records the follower's enter/exit events itself.
 			return s.mon.lib.Call(t, name, args)
 		case modeEmulated:
+			// The follower never reaches libc for this call, so record the
+			// pair here: enter back-dated to the rendezvous arrival, exit
+			// when the emulated result lands.
+			if obsRec != nil {
+				obsRec.RecordAt(arriveTS, obs.EvLibcEnter, obs.VariantFollower, t.TID(), name, a0, a1, 0)
+				obsRec.Record(obs.EvLibcExit, obs.VariantFollower, t.TID(), name, 0, 0, res.ret)
+			}
 			t.SetErrno(res.errno)
 			return res.ret
 		default:
+			if obsRec != nil {
+				obsRec.RecordAt(arriveTS, obs.EvLibcEnter, obs.VariantFollower, t.TID(), name, a0, a1, 0)
+			}
 			panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDivergence})
 		}
 	case <-s.leaderDone:
 		// The leader already left the region: the follower is executing
-		// calls the leader never made.
-		s.mon.raiseAlarm(AlarmSequenceLength, s.calls.Load(),
-			fmt.Sprintf("follower issued %s after leader finished the region", name))
+		// calls the leader never made. The leader is no longer in the
+		// region, so only the follower's own thread may be snapshotted.
+		var snaps []obs.ThreadSnapshot
+		if obsRec != nil {
+			snaps = []obs.ThreadSnapshot{s.mon.snapshot("follower", t)}
+		}
+		s.mon.raiseAlarm(Alarm{
+			Reason: AlarmSequenceLength, CallIndex: s.calls.Load(), Function: s.fn,
+			FollowerCall: name,
+			Detail:       fmt.Sprintf("follower issued %s after leader finished the region", name),
+		}, snaps...)
 		s.diverged.Store(true)
 		panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDivergence})
 	}

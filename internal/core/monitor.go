@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"smvx/internal/libc"
+	"smvx/internal/obs"
 	"smvx/internal/sim/clock"
 	"smvx/internal/sim/image"
 	"smvx/internal/sim/kernel"
@@ -93,7 +94,7 @@ func (r AlarmReason) String() string {
 	case AlarmSequenceLength:
 		return "libc call count mismatch"
 	default:
-		return fmt.Sprintf("alarm(%d)", int(r))
+		return "unknown"
 	}
 }
 
@@ -104,6 +105,14 @@ type Alarm struct {
 	Reason AlarmReason
 	// CallIndex is the lockstep call index at which it was detected.
 	CallIndex uint64
+	// TS is the virtual-clock time at which the alarm fired.
+	TS clock.Cycles
+	// Function is the protected root function of the active region, if any.
+	Function string
+	// LeaderCall and FollowerCall name the libc calls the variants issued
+	// at the diverging rendezvous (empty when not applicable, e.g. a
+	// follower fault outside a rendezvous).
+	LeaderCall, FollowerCall string
 	// Detail is a human-readable description.
 	Detail string
 }
@@ -163,6 +172,10 @@ type Options struct {
 	// "pre-scanning and pre-updating" mitigation the paper's Section 5
 	// proposes for variant creation inside control loops.
 	ReuseVariant bool
+	// Recorder, when non-nil, receives trace events, metrics, and alarm
+	// forensics from the monitor. Nil (the default) keeps every hot path
+	// free of observability work.
+	Recorder *obs.Recorder
 }
 
 // Option mutates Options.
@@ -190,12 +203,18 @@ func WithVariantReuse() Option {
 	return func(o *Options) { o.ReuseVariant = true }
 }
 
+// WithRecorder attaches a flight recorder to the monitor.
+func WithRecorder(r *obs.Recorder) Option {
+	return func(o *Options) { o.Recorder = r }
+}
+
 // Monitor is the in-process sMVX monitor.
 type Monitor struct {
 	m    *machine.Machine
 	img  *image.Image
 	lib  *libc.LibC
 	opts Options
+	rec  *obs.Recorder
 
 	profile *image.Profile
 
@@ -238,6 +257,7 @@ func New(m *machine.Machine, lib *libc.LibC, opts ...Option) *Monitor {
 		img:         m.Program().Image(),
 		lib:         lib,
 		opts:        o,
+		rec:         o.Recorder,
 		safeStacks:  make(map[int]mem.Addr),
 		regionCalls: make(map[string]uint64),
 	}
@@ -403,16 +423,67 @@ func (mo *Monitor) SetAlarmHandler(fn func(Alarm)) {
 	mo.alarmHandler = fn
 }
 
-// raiseAlarm records a divergence and notifies the handler.
-func (mo *Monitor) raiseAlarm(reason AlarmReason, callIndex uint64, detail string) {
-	a := Alarm{Reason: reason, CallIndex: callIndex, Detail: detail}
+// raiseAlarm records a divergence, forwards it (with any thread snapshots)
+// to the flight recorder, and notifies the handler. The alarm's TS is
+// stamped here.
+func (mo *Monitor) raiseAlarm(a Alarm, snaps ...obs.ThreadSnapshot) {
+	a.TS = mo.m.Counter().Cycles()
 	mo.mu.Lock()
 	mo.alarms = append(mo.alarms, a)
 	handler := mo.alarmHandler
 	mo.mu.Unlock()
+	mo.rec.Alarm(obs.AlarmInfo{
+		Reason:       a.Reason.String(),
+		CallIndex:    a.CallIndex,
+		Function:     a.Function,
+		LeaderCall:   a.LeaderCall,
+		FollowerCall: a.FollowerCall,
+		Detail:       a.Detail,
+		Snapshots:    snaps,
+	})
 	if handler != nil {
 		handler(a)
 	}
+}
+
+// snapshotWords is how many top-of-stack words a thread snapshot captures.
+const snapshotWords = 4
+
+// snapshot captures a thread's architectural state for the flight recorder.
+// Thread state is unlocked: callers must hold a happens-before edge on t —
+// either t is the calling goroutine's own thread, or t is blocked on a
+// rendezvous channel the caller has received from.
+func (mo *Monitor) snapshot(role string, t *machine.Thread) obs.ThreadSnapshot {
+	regs := make([]uint64, 16)
+	for i := range regs {
+		regs[i] = t.Reg(i)
+	}
+	as := mo.m.AddressSpace()
+	stack := make([]uint64, 0, snapshotWords)
+	for i := 0; i < snapshotWords; i++ {
+		v, err := as.Read64(t.SP() + mem.Addr(i*8))
+		if err != nil {
+			break
+		}
+		stack = append(stack, v)
+	}
+	return obs.ThreadSnapshot{
+		Role:      role,
+		TID:       t.TID(),
+		IP:        uint64(t.IP()),
+		SP:        uint64(t.SP()),
+		Regs:      regs,
+		Stack:     stack,
+		CallStack: t.FnStack(),
+	}
+}
+
+// variantOf labels a thread by its address-window bias.
+func variantOf(t *machine.Thread) obs.Variant {
+	if t.Bias() != 0 {
+		return obs.VariantFollower
+	}
+	return obs.VariantLeader
 }
 
 // safeStackFor returns (allocating on demand) the thread's trampoline safe

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"smvx/internal/obs"
 	"smvx/internal/sim/machine"
 	"smvx/internal/sim/mem"
 )
@@ -18,10 +19,18 @@ import (
 func (mo *Monitor) Intercept(t *machine.Thread, slot int, name string, args []uint64) uint64 {
 	costs := mo.m.Costs()
 	mo.m.ChargeThread(t, costs.TrampolineEntry)
+	rec := mo.rec
+	v := obs.VariantLeader
+	if rec != nil {
+		v = variantOf(t)
+	}
 
 	// DEACTIVATE_MPK_PROT(): open the monitor's pages for this thread.
 	oldPKRU := t.PKRU()
 	t.WRPKRU(mo.monPKRU())
+	if rec != nil {
+		rec.Record(obs.EvPKRUWrite, v, t.TID(), "deactivate-prot", uint64(mo.monPKRU()), 0, 0)
+	}
 
 	// Switch stacks: the reference monitor and the actual libc call run on
 	// the MPK-protected safe stack.
@@ -32,6 +41,9 @@ func (mo *Monitor) Intercept(t *machine.Thread, slot int, name string, args []ui
 		oldSP = t.SP()
 		t.SetSP(mo.safeStackFor(t))
 		pivoted = true
+		if rec != nil {
+			rec.Record(obs.EvStackPivot, v, t.TID(), name, uint64(oldSP), uint64(t.SP()), 0)
+		}
 	}
 	defer func() {
 		// On the way out — including a simulated crash unwinding through
@@ -40,6 +52,9 @@ func (mo *Monitor) Intercept(t *machine.Thread, slot int, name string, args []ui
 			t.SetSP(oldSP)
 		}
 		t.WRPKRU(oldPKRU)
+		if rec != nil {
+			rec.Record(obs.EvPKRUWrite, v, t.TID(), "activate-prot", uint64(oldPKRU), 0, 0)
+		}
 	}()
 
 	mo.mu.Lock()

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
+	"smvx/internal/obs"
+	"smvx/internal/sim/clock"
 	"smvx/internal/sim/image"
 	"smvx/internal/sim/machine"
 	"smvx/internal/sim/mem"
@@ -50,6 +53,7 @@ func (mo *Monitor) Start(t *machine.Thread, fn string, args ...uint64) error {
 	as := mo.m.AddressSpace()
 	ctr := mo.m.Counter()
 	var stats CreationStats
+	mo.rec.Record(obs.EvRegionStart, obs.VariantLeader, t.TID(), fn, 0, 0, 0)
 
 	mo.mu.Lock()
 	reuse := mo.opts.ReuseVariant && mo.variantReady
@@ -195,7 +199,7 @@ func (mo *Monitor) Start(t *machine.Thread, fn string, args ...uint64) error {
 		ft, err := mo.m.NewThreadAt("smvx-follower", ftid, fStackBase, followerStackPages, delta)
 		if err != nil {
 			err = fmt.Errorf("smvx: follower thread: %w", err)
-			mo.raiseAlarm(AlarmFollowerFault, 0, err.Error())
+			mo.raiseAlarm(Alarm{Reason: AlarmFollowerFault, Function: fn, Detail: err.Error()})
 			s.markDead(err)
 			return err
 		}
@@ -214,7 +218,22 @@ func (mo *Monitor) Start(t *machine.Thread, fn string, args ...uint64) error {
 		ft.WRPKRU(mo.appPKRU(ft))
 		runErr := ft.Run(func(t *machine.Thread) { t.Call(fn, fargs...) })
 		if runErr != nil {
-			mo.raiseAlarm(AlarmFollowerFault, s.calls.Load(), runErr.Error())
+			// The fault is detected on the follower's own goroutine: the
+			// leader is still running, so only the follower's thread state
+			// may be read here.
+			var snaps []obs.ThreadSnapshot
+			if mo.rec != nil {
+				var fe *mem.FaultError
+				if errors.As(runErr, &fe) {
+					mo.rec.Record(obs.EvPageFault, obs.VariantFollower, ft.TID(),
+						fe.Kind.String(), uint64(fe.Addr), 0, 0)
+				}
+				snaps = []obs.ThreadSnapshot{mo.snapshot("follower", ft)}
+			}
+			mo.raiseAlarm(Alarm{
+				Reason: AlarmFollowerFault, CallIndex: s.calls.Load(),
+				Function: fn, Detail: runErr.Error(),
+			}, snaps...)
 		}
 		s.markDead(runErr)
 		return runErr
@@ -227,7 +246,26 @@ func (mo *Monitor) Start(t *machine.Thread, fn string, args ...uint64) error {
 
 	mo.mu.Lock()
 	mo.lastCreation.CloneCycles = cloneCost
+	stats = mo.lastCreation
 	mo.mu.Unlock()
+
+	if rec := mo.rec; rec != nil {
+		// The Table 2 phase breakdown of this mvx_start().
+		for _, ph := range []struct {
+			name   string
+			cycles clock.Cycles
+		}{
+			{"dup", stats.DupCycles},
+			{"data_scan", stats.DataScanCycles},
+			{"heap_scan", stats.HeapScanCycles},
+			{"clone", stats.CloneCycles},
+		} {
+			rec.Record(obs.EvVariantPhase, obs.VariantLeader, t.TID(), ph.name, uint64(ph.cycles), 0, 0)
+		}
+		m := rec.Metrics()
+		m.Observe("variant.creation.cycles", uint64(stats.Total()))
+		m.Add("variant.pointers_relocated", uint64(stats.PointersRelocated))
+	}
 	return nil
 }
 
@@ -318,6 +356,14 @@ func (mo *Monitor) End(t *machine.Thread) error {
 	mo.reports = append(mo.reports, report)
 	mo.session = nil
 	mo.mu.Unlock()
+
+	if rec := mo.rec; rec != nil {
+		rec.Record(obs.EvRegionEnd, obs.VariantLeader, t.TID(), s.fn, report.LibcCalls, 0, 0)
+		m := rec.Metrics()
+		m.Observe("region.libc_calls", report.LibcCalls)
+		m.Add("region.emulated_bytes", report.EmulatedBytes)
+		m.SetGauge("rss_kb", float64(mo.m.AddressSpace().ResidentKB()))
+	}
 	return nil
 }
 

@@ -5,7 +5,9 @@ import (
 	"strings"
 
 	"smvx/internal/apps/nginx"
+	"smvx/internal/boot"
 	"smvx/internal/core"
+	"smvx/internal/obs"
 	"smvx/internal/workload"
 )
 
@@ -27,6 +29,9 @@ type CVEResult struct {
 	// FixedSurvives reports that the patched version (1.4.1 behavior)
 	// discards the body and answers normally.
 	FixedSurvives bool
+	// Forensics holds one flight-recorder report per alarm raised during
+	// the sMVX run, when CVEObserved ran with a recorder (nil otherwise).
+	Forensics []string
 }
 
 // CVE runs the CVE-2013-2028 exploit three ways: against vulnerable vanilla
@@ -34,7 +39,14 @@ type CVEResult struct {
 // vulnerable nginx under sMVX protecting the outermost tainted function
 // (the follower faults at gadget addresses "otherwise unmapped" in its
 // view, raising the alarm), and against the fixed version (no effect).
-func CVE() (*CVEResult, error) {
+func CVE() (*CVEResult, error) { return CVEObserved(nil) }
+
+// CVEObserved is CVE with a flight recorder attached to the protected run
+// (phase 2). After the follower faults, the recorder's forensics reports —
+// the final events of both variants plus the faulted follower's register
+// and stack snapshot, including the gadget address — are copied into
+// res.Forensics. A nil rec runs the experiment unobserved.
+func CVEObserved(rec *obs.Recorder) (*CVEResult, error) {
 	res := &CVEResult{}
 
 	// 1. Vulnerable, unprotected.
@@ -53,12 +65,12 @@ func CVE() (*CVEResult, error) {
 	res.VanillaCrashed = <-h.done != nil
 	res.VanillaPwned = h.env.Kernel.FS().DirExists("/pwned")
 
-	// 2. Vulnerable under sMVX.
+	// 2. Vulnerable under sMVX, optionally with the flight recorder.
 	h, err = startNginx(nginx.Config{
 		Port: 8080, MaxRequests: 1,
 		Version: nginx.VersionVulnerable,
 		Protect: "ngx_http_process_request_line",
-	}, true)
+	}, true, boot.WithRecorder(rec))
 	if err != nil {
 		return nil, err
 	}
@@ -76,6 +88,8 @@ func CVE() (*CVEResult, error) {
 			res.SMVXAlarm = a.Detail
 		}
 	}
+	// Both variants have quiesced: the forensics reports are stable now.
+	res.Forensics = rec.ForensicReports()
 
 	// 3. Fixed version: the discard read is bounded.
 	h, err = startNginx(nginx.Config{Port: 8080, MaxRequests: 1, Version: nginx.VersionFixed}, false)

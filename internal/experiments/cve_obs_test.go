@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"smvx/internal/obs"
+)
+
+// The flight-recorder acceptance tests: the observed CVE run must yield a
+// forensics report that names the follower fault, shows the final window of
+// both variants, pins the gadget address — and is byte-identical across two
+// identically seeded runs.
+
+func runObservedCVE(t *testing.T) (*CVEResult, *obs.Recorder) {
+	t.Helper()
+	rec := obs.NewRecorder(obs.Config{})
+	res, err := CVEObserved(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, rec
+}
+
+func TestCVEForensicsReport(t *testing.T) {
+	res, rec := runObservedCVE(t)
+	if !res.SMVXDetected {
+		t.Fatalf("sMVX must detect the exploit: %+v", res)
+	}
+	if len(res.Forensics) == 0 {
+		t.Fatal("no forensics report for the follower-fault alarm")
+	}
+	if got := rec.AlarmCount(); got != len(res.Forensics) {
+		t.Errorf("alarm count %d != reports %d", got, len(res.Forensics))
+	}
+	rep := res.Forensics[0]
+
+	if !strings.Contains(rep, "follower variant fault") {
+		t.Errorf("report missing the follower-fault alarm reason:\n%s", rep)
+	}
+	if !strings.Contains(rep, "ngx_http_process_request_line") {
+		t.Errorf("report missing the protected function:\n%s", rep)
+	}
+	// The final forensic window of each variant, at full depth.
+	for _, want := range []string{
+		"--- leader: final 16 events ---",
+		"--- follower: final 16 events ---",
+		"[L-16]", "[L-1]", "[F-16]", "[F-1]",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	// The gadget address the follower faulted on: the first ROP chain entry,
+	// e.g. "pop rdi; ret @ 0x40002e".
+	if len(res.Chain) == 0 {
+		t.Fatal("no ROP chain recorded")
+	}
+	at := strings.LastIndex(res.Chain[0], "@ ")
+	if at < 0 {
+		t.Fatalf("chain entry %q has no address", res.Chain[0])
+	}
+	gadget := strings.TrimSpace(res.Chain[0][at+2:])
+	if !strings.Contains(rep, gadget) {
+		t.Errorf("report missing gadget address %s:\n%s", gadget, rep)
+	}
+	// The faulted follower's register/stack snapshot.
+	for _, want := range []string{"snapshot: follower", "ip=", "stack[sp+0]=", "call stack:"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing snapshot field %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestCVEForensicsDeterministic(t *testing.T) {
+	_, rec1 := runObservedCVE(t)
+	_, rec2 := runObservedCVE(t)
+	r1 := strings.Join(rec1.ForensicReports(), "\n")
+	r2 := strings.Join(rec2.ForensicReports(), "\n")
+	if r1 != r2 {
+		t.Errorf("forensics reports differ across two identically seeded runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", r1, r2)
+	}
+	if rec1.AlarmCount() != rec2.AlarmCount() {
+		t.Errorf("alarm counts differ: %d vs %d", rec1.AlarmCount(), rec2.AlarmCount())
+	}
+}

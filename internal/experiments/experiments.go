@@ -49,7 +49,7 @@ func startNginx(cfg nginx.Config, withMon bool, opts ...boot.Option) (*nginxHand
 	k.FS().WriteFile("/var/www/index.html", Page4K)
 	h := &nginxHandle{srv: srv, env: env, client: k.NewProcess(clock.NewCounter())}
 	if withMon {
-		h.mon = core.New(env.Machine, env.LibC, core.WithSeed(Seed))
+		h.mon = core.New(env.Machine, env.LibC, core.WithSeed(Seed), core.WithRecorder(env.Obs))
 		srv.SetMVX(h.mon)
 	}
 	th, err := env.MainThread()
@@ -80,7 +80,7 @@ func startLighttpd(cfg lighttpd.Config, withMon bool, opts ...boot.Option) (*lig
 	k.FS().WriteFile("/srv/www/index.html", Page4K)
 	h := &lighttpdHandle{srv: srv, env: env, client: k.NewProcess(clock.NewCounter())}
 	if withMon {
-		h.mon = core.New(env.Machine, env.LibC, core.WithSeed(Seed))
+		h.mon = core.New(env.Machine, env.LibC, core.WithSeed(Seed), core.WithRecorder(env.Obs))
 		srv.SetMVX(h.mon)
 	}
 	th, err := env.MainThread()

@@ -1,0 +1,86 @@
+package experiments
+
+import "smvx/internal/obs"
+
+// This file bridges every experiment result into the obs metrics registry,
+// so cmd/experiments can emit one machine-readable BENCH_experiments.json
+// (metric name -> value) regardless of which artifacts ran.
+
+// RecordMetrics writes the Figure 6 rows into m.
+func (r *Fig6Result) RecordMetrics(m *obs.Metrics) {
+	for _, row := range r.Rows {
+		m.SetGauge("fig6."+obs.SanitizeName(row.Name)+".overhead", row.Overhead)
+	}
+	m.SetGauge("fig6.mean_overhead", r.Mean)
+}
+
+// RecordMetrics writes the Figure 7 columns into m.
+func (r *Fig7Result) RecordMetrics(m *obs.Metrics) {
+	for _, s := range []Fig7Server{r.Nginx, r.Lighttpd} {
+		p := "fig7." + obs.SanitizeName(s.Name) + "."
+		m.SetGauge(p+"smvx_overhead", s.SMVXOverhead)
+		m.SetGauge(p+"remon_overhead", s.ReMonOverhead)
+		m.SetGauge(p+"libc_syscall_ratio", s.LibcSyscallRatio)
+	}
+}
+
+// RecordMetrics writes the CPU-cycles experiment into m.
+func (r *CPUResult) RecordMetrics(m *obs.Metrics) {
+	for _, s := range []CPUServer{r.Nginx, r.Lighttpd} {
+		p := "cpu." + obs.SanitizeName(s.Name) + "."
+		m.SetGauge(p+"subtree_percent", s.SubtreePercent)
+		m.SetGauge(p+"analytic_percent", s.AnalyticPercent)
+		m.SetGauge(p+"measured_percent", s.MeasuredPercent)
+		m.SetGauge(p+"trad_percent", s.TradPercent)
+	}
+}
+
+// RecordMetrics writes the memory experiment into m.
+func (r *MemResult) RecordMetrics(m *obs.Metrics) {
+	for _, s := range []MemServer{r.Nginx, r.Lighttpd} {
+		p := "mem." + obs.SanitizeName(s.Name) + "."
+		m.SetGauge(p+"vanilla_kb", float64(s.VanillaKB))
+		m.SetGauge(p+"smvx_kb", float64(s.SMVXKB))
+		m.SetGauge(p+"trad_kb", float64(s.TradKB))
+		m.SetGauge(p+"saved_percent", s.SavedPercent)
+	}
+}
+
+// RecordMetrics writes the Figure 8 rows into m.
+func (r *Fig8Result) RecordMetrics(m *obs.Metrics) {
+	for _, row := range r.Rows {
+		m.SetGauge("fig8."+obs.SanitizeName(row.Fn)+".libc_calls", float64(row.LibcCalls))
+	}
+}
+
+// RecordMetrics writes the Table 2 breakdown into m.
+func (r *Table2Result) RecordMetrics(m *obs.Metrics) {
+	m.SetGauge("table2.dup_us", r.DupUS)
+	m.SetGauge("table2.data_scan_us", r.DataScanUS)
+	m.SetGauge("table2.heap_scan_us", r.HeapScanUS)
+	m.SetGauge("table2.clone_us", r.CloneUS)
+	m.SetGauge("table2.fork_us", r.ForkUS)
+	m.SetGauge("table2.fork_init_us", r.ForkInitUS)
+	m.SetGauge("table2.pointers_relocated", float64(r.PointersRelocated))
+}
+
+// RecordMetrics writes the Figure 9 points into m.
+func (r *Fig9Result) RecordMetrics(m *obs.Metrics) {
+	for _, p := range r.Points {
+		m.SetGauge("fig9."+obs.SanitizeName(p.Label)+".functions", float64(p.Functions))
+	}
+}
+
+// RecordMetrics writes the CVE outcome into m (1 = true).
+func (r *CVEResult) RecordMetrics(m *obs.Metrics) {
+	b := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	m.SetGauge("cve.vanilla_pwned", b(r.VanillaPwned))
+	m.SetGauge("cve.vanilla_crashed", b(r.VanillaCrashed))
+	m.SetGauge("cve.smvx_detected", b(r.SMVXDetected))
+	m.SetGauge("cve.fixed_survives", b(r.FixedSurvives))
+}

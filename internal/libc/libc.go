@@ -17,6 +17,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"smvx/internal/obs"
 	"smvx/internal/sim/clock"
 	"smvx/internal/sim/kernel"
 	"smvx/internal/sim/machine"
@@ -41,6 +42,8 @@ type LibC struct {
 
 	counts map[string]uint64
 	total  atomic.Uint64
+
+	rec *obs.Recorder
 }
 
 var _ machine.LibcDispatcher = (*LibC)(nil)
@@ -59,6 +62,12 @@ func New(proc *kernel.Process, counter *clock.Counter, costs clock.CostTable, se
 
 // Proc returns the kernel process this libc runs against.
 func (l *LibC) Proc() *kernel.Process { return l.proc }
+
+// SetRecorder attaches a flight recorder; every dispatched call then emits
+// enter/exit events and a per-call cycle histogram. Must be called before
+// threads run; a nil recorder (the default) keeps the call path free of any
+// observability work.
+func (l *LibC) SetRecorder(r *obs.Recorder) { l.rec = r }
 
 // RegisterHeap attaches an allocator for the variant whose symbol bias is
 // bias, serving malloc from [base, base+size). The leader registers bias 0
@@ -184,6 +193,34 @@ func ok(t *machine.Thread, v uint64) uint64 {
 // in the calling thread's variant space. Unknown names crash the thread, as
 // an unresolvable PLT entry would.
 func (l *LibC) Call(t *machine.Thread, name string, args []uint64) uint64 {
+	r := l.rec
+	if r == nil {
+		return l.dispatch(t, name, args)
+	}
+	v := obs.VariantLeader
+	if t.Bias() != 0 {
+		v = obs.VariantFollower
+	}
+	var a0, a1 uint64
+	if len(args) > 0 {
+		a0 = args[0]
+	}
+	if len(args) > 1 {
+		a1 = args[1]
+	}
+	r.Record(obs.EvLibcEnter, v, t.TID(), name, a0, a1, 0)
+	start := l.counter.Cycles()
+	ret := l.dispatch(t, name, args)
+	// The virtual clock is shared between concurrently executing variants,
+	// so samples include any cycles the other variant charged meanwhile —
+	// the histograms are indicative, not exact per-call costs.
+	r.Metrics().Observe("libc.cycles."+name, uint64(l.counter.Cycles()-start))
+	r.Record(obs.EvLibcExit, v, t.TID(), name, 0, 0, ret)
+	return ret
+}
+
+// dispatch is the uninstrumented call path.
+func (l *LibC) dispatch(t *machine.Thread, name string, args []uint64) uint64 {
 	l.count(name)
 	t.ChargeUser(l.costs.LibcBase)
 	arg := func(i int) uint64 {

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMetricsCountersGaugesHistograms(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("alarms")
+	m.Add("alarms", 2)
+	m.SetGauge("rss_kb", 1234.5)
+	for _, v := range []uint64{1, 2, 3, 100, 1000} {
+		m.Observe("cycles", v)
+	}
+	if got := m.Counter("alarms"); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	if g, ok := m.Gauge("rss_kb"); !ok || g != 1234.5 {
+		t.Errorf("gauge = %v %v", g, ok)
+	}
+	h := m.Histogram("cycles")
+	if h.Count != 5 || h.Sum != 1106 || h.Min != 1 || h.Max != 1000 {
+		t.Errorf("hist = %+v", h)
+	}
+	if mean := h.Mean(); math.Abs(mean-221.2) > 0.01 {
+		t.Errorf("mean = %v", mean)
+	}
+	if q := h.Quantile(1.0); q < 1000 {
+		t.Errorf("p100 upper bound %d < max 1000", q)
+	}
+	if q := h.Quantile(0.2); q > 1 {
+		t.Errorf("p20 = %d, want <=1", q)
+	}
+}
+
+func TestMetricsSnapshotAndJSON(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("a")
+	m.SetGauge("b", 0.5)
+	m.Observe("h", 8)
+	snap := m.Snapshot()
+	for _, k := range []string{"a", "b", "h.count", "h.sum", "h.mean", "h.min", "h.max", "h.p95"} {
+		if _, ok := snap[k]; !ok {
+			t.Errorf("snapshot missing %q", k)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]float64
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded["a"] != 1 || decoded["h.sum"] != 8 {
+		t.Errorf("decoded = %v", decoded)
+	}
+
+	// Deterministic output: two writes are byte-identical.
+	var buf2 bytes.Buffer
+	if err := m.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("WriteJSON is not deterministic")
+	}
+}
+
+func TestMetricsMerge(t *testing.T) {
+	a, b := NewMetrics(), NewMetrics()
+	a.Add("c", 1)
+	b.Add("c", 2)
+	b.SetGauge("g", 9)
+	a.Observe("h", 4)
+	b.Observe("h", 16)
+	a.Merge(b)
+	if got := a.Counter("c"); got != 3 {
+		t.Errorf("merged counter = %d", got)
+	}
+	if g, _ := a.Gauge("g"); g != 9 {
+		t.Errorf("merged gauge = %v", g)
+	}
+	h := a.Histogram("h")
+	if h.Count != 2 || h.Sum != 20 || h.Min != 4 || h.Max != 16 {
+		t.Errorf("merged hist = %+v", h)
+	}
+}
+
+func TestMetricsTableText(t *testing.T) {
+	m := NewMetrics()
+	m.Inc("z.last")
+	m.Inc("a.first")
+	txt := m.TableText()
+	if !strings.Contains(txt, "a.first") || !strings.Contains(txt, "z.last") {
+		t.Fatalf("table missing rows:\n%s", txt)
+	}
+	if strings.Index(txt, "a.first") > strings.Index(txt, "z.last") {
+		t.Error("table not sorted")
+	}
+}

@@ -1,0 +1,297 @@
+// Package obs is the sMVX flight recorder: an always-on, low-overhead
+// observability layer for the monitor, the lockstep engine, the libc layer,
+// and the simulated kernel.
+//
+// The paper's product is a *divergence signal* — sMVX "raises an alarm" at
+// libc-call granularity — and an alarm is only actionable if the execution
+// that led up to it can be reconstructed after the fact. This package
+// provides three pieces:
+//
+//   - a fixed-capacity ring buffer of typed, virtual-clock-timestamped
+//     events (libc call entry/exit per variant, lockstep decisions, PKRU
+//     writes and trampoline stack pivots, variant-creation phases, page
+//     faults, alarms),
+//   - a metrics registry of counters, gauges and cycle histograms,
+//   - flight-recorder forensics reports: for every alarm, the final events
+//     of each variant plus register/stack snapshots of the involved
+//     threads.
+//
+// Everything hangs off a *Recorder whose methods are nil-safe: a nil
+// Recorder is the disabled state, every record call on it is a no-op that
+// performs no allocation and charges nothing to the virtual clock, so
+// instrumented hot paths (the trampoline, every libc dispatch) cost nothing
+// when observability is off. Timestamps are virtual-clock cycle readings —
+// recording is free on the simulated timeline even when enabled, which is
+// what lets the Figure 6 numbers stay identical with and without tracing.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"smvx/internal/sim/clock"
+)
+
+// EventKind types a flight-recorder event.
+type EventKind uint8
+
+// Event kinds.
+const (
+	// EvLibcEnter / EvLibcExit bracket one libc call by one variant.
+	EvLibcEnter EventKind = iota + 1
+	EvLibcExit
+	// EvLockstep is one leader/follower rendezvous decision: Name is the
+	// call, Arg0 the emulation category code (Table 1).
+	EvLockstep
+	// EvEmulated is one leader→follower result copy: Arg0 is bytes copied.
+	EvEmulated
+	// EvPKRUWrite is one protection-key rights register update: Arg0 is the
+	// new PKRU value.
+	EvPKRUWrite
+	// EvStackPivot is one trampoline safe-stack switch: Arg0 the old SP,
+	// Arg1 the new SP.
+	EvStackPivot
+	// EvVariantPhase is one variant-creation phase from the Table 2
+	// breakdown: Name is the phase, Arg0 its cycle cost.
+	EvVariantPhase
+	// EvRegionStart / EvRegionEnd bracket one protected region: Name is the
+	// protected root function.
+	EvRegionStart
+	EvRegionEnd
+	// EvPageFault is a simulated memory fault: Arg0 is the faulting
+	// address, Name the fault kind.
+	EvPageFault
+	// EvSyscall is one kernel entry: Arg0 is the issuing PID.
+	EvSyscall
+	// EvAlarm is a raised divergence alarm: Name is the reason.
+	EvAlarm
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvLibcEnter:
+		return "libc-enter"
+	case EvLibcExit:
+		return "libc-exit"
+	case EvLockstep:
+		return "lockstep"
+	case EvEmulated:
+		return "emulated"
+	case EvPKRUWrite:
+		return "pkru-write"
+	case EvStackPivot:
+		return "stack-pivot"
+	case EvVariantPhase:
+		return "variant-phase"
+	case EvRegionStart:
+		return "region-start"
+	case EvRegionEnd:
+		return "region-end"
+	case EvPageFault:
+		return "page-fault"
+	case EvSyscall:
+		return "syscall"
+	case EvAlarm:
+		return "alarm"
+	default:
+		return "unknown"
+	}
+}
+
+// Variant attributes an event to one side of the MVX pair.
+type Variant uint8
+
+// Variant values.
+const (
+	// VariantLeader is the leader (or any ordinary, bias-0 thread).
+	VariantLeader Variant = iota
+	// VariantFollower is the cloned, shifted follower.
+	VariantFollower
+	// VariantNone marks events with no variant affinity (kernel, monitor
+	// bookkeeping).
+	VariantNone
+)
+
+// String names the variant.
+func (v Variant) String() string {
+	switch v {
+	case VariantLeader:
+		return "leader"
+	case VariantFollower:
+		return "follower"
+	default:
+		return "-"
+	}
+}
+
+// Event is one flight-recorder record. Events are small value types; the
+// ring buffer stores them by value so steady-state recording does not
+// allocate.
+type Event struct {
+	// Seq is the global append order.
+	Seq uint64
+	// VSeq is the per-variant append order — the deterministic index used
+	// by forensics reports (the global interleaving of two concurrently
+	// executing variants is not deterministic; each variant's own stream
+	// is).
+	VSeq uint64
+	// TS is the virtual-clock reading (total CPU cycles) at record time.
+	TS clock.Cycles
+	// Kind types the event.
+	Kind EventKind
+	// Variant attributes the event.
+	Variant Variant
+	// TID is the simulated thread id (0 if not applicable).
+	TID int
+	// Name is the call/phase/reason name.
+	Name string
+	// Arg0, Arg1, Ret carry kind-specific payload.
+	Arg0, Arg1, Ret uint64
+}
+
+// Config sizes a Recorder.
+type Config struct {
+	// Capacity is the ring-buffer event capacity (default DefaultCapacity).
+	Capacity int
+	// ForensicWindow is how many trailing events per variant a forensics
+	// report includes (default DefaultForensicWindow).
+	ForensicWindow int
+	// Clock supplies virtual-clock timestamps; nil timestamps every event
+	// as 0 (still deterministic).
+	Clock *clock.Counter
+}
+
+// DefaultCapacity is the default ring size. It is deliberately generous:
+// at ~5 events per intercepted libc call it holds the last few hundred
+// calls of both variants, far more than a forensic window needs.
+const DefaultCapacity = 4096
+
+// DefaultForensicWindow is the per-variant event tail a report shows.
+const DefaultForensicWindow = 16
+
+// Recorder is the flight recorder. The zero value of the *pointer* (nil)
+// is the disabled recorder: every method is a nil-safe no-op.
+type Recorder struct {
+	mu      sync.Mutex
+	ring    *ring
+	vseq    [3]uint64
+	clk     atomic.Pointer[clock.Counter]
+	window  int
+	metrics *Metrics
+	alarms  []AlarmInfo
+}
+
+// NewRecorder creates an enabled flight recorder.
+func NewRecorder(cfg Config) *Recorder {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	if cfg.ForensicWindow <= 0 {
+		cfg.ForensicWindow = DefaultForensicWindow
+	}
+	r := &Recorder{
+		ring:    newRing(cfg.Capacity),
+		window:  cfg.ForensicWindow,
+		metrics: NewMetrics(),
+	}
+	if cfg.Clock != nil {
+		r.clk.Store(cfg.Clock)
+	}
+	return r
+}
+
+// SetClock attaches (or replaces) the virtual clock used for timestamps —
+// for recorders created before the process they observe is booted.
+func (r *Recorder) SetClock(c *clock.Counter) {
+	if r == nil {
+		return
+	}
+	r.clk.Store(c)
+}
+
+// Enabled reports whether the recorder records. Instrumentation sites use
+// it to skip argument preparation that would allocate.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Metrics returns the recorder's metrics registry (nil when disabled; the
+// registry's methods are themselves nil-safe).
+func (r *Recorder) Metrics() *Metrics {
+	if r == nil {
+		return nil
+	}
+	return r.metrics
+}
+
+// now reads the virtual clock.
+func (r *Recorder) now() clock.Cycles {
+	if c := r.clk.Load(); c != nil {
+		return c.Cycles()
+	}
+	return 0
+}
+
+// Record appends one event stamped with the current virtual-clock reading.
+func (r *Recorder) Record(kind EventKind, v Variant, tid int, name string, a0, a1, ret uint64) {
+	if r == nil {
+		return
+	}
+	r.RecordAt(r.now(), kind, v, tid, name, a0, a1, ret)
+}
+
+// RecordAt appends one event with an explicit timestamp (for sites that
+// sampled the clock earlier, e.g. a call entry recorded after its
+// rendezvous completed).
+func (r *Recorder) RecordAt(ts clock.Cycles, kind EventKind, v Variant, tid int, name string, a0, a1, ret uint64) {
+	if r == nil {
+		return
+	}
+	if v > VariantNone {
+		v = VariantNone
+	}
+	r.mu.Lock()
+	r.vseq[v]++
+	r.ring.push(Event{
+		Seq:     r.ring.seq + 1,
+		VSeq:    r.vseq[v],
+		TS:      ts,
+		Kind:    kind,
+		Variant: v,
+		TID:     tid,
+		Name:    name,
+		Arg0:    a0,
+		Arg1:    a1,
+		Ret:     ret,
+	})
+	r.mu.Unlock()
+}
+
+// Events returns the buffered events, oldest first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring.snapshot()
+}
+
+// Len returns the number of buffered events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring.len()
+}
+
+// Total returns the number of events ever recorded (including evicted).
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ring.seq
+}

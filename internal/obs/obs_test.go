@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"smvx/internal/sim/clock"
+)
+
+// playScenario drives one deterministic synthetic divergence into a fresh
+// recorder — the same sequence every call, like a seeded run.
+func playScenario() *Recorder {
+	ctr := clock.NewCounter()
+	r := NewRecorder(Config{Capacity: 64, ForensicWindow: 4, Clock: ctr})
+	for i := 0; i < 6; i++ {
+		ctr.Charge(100)
+		r.Record(EvLibcEnter, VariantLeader, 1, "write", 1, uint64(0x5000+i), 0)
+		r.Record(EvLibcExit, VariantLeader, 1, "write", 0, 0, 10)
+		r.Record(EvLibcEnter, VariantFollower, 2, "write", 1, uint64(0x6000+i), 0)
+		r.Record(EvLibcExit, VariantFollower, 2, "write", 0, 0, 10)
+	}
+	r.Record(EvPageFault, VariantFollower, 2, "unmapped", 0xdead0, 0, 0)
+	r.Alarm(AlarmInfo{
+		Reason:       "follower variant fault",
+		CallIndex:    7,
+		Function:     "protected_fn",
+		FollowerCall: "write",
+		Detail:       "thread smvx-follower crashed at 0xdead0",
+		Snapshots: []ThreadSnapshot{{
+			Role: "follower", TID: 2, IP: 0xdead0, SP: 0x7000,
+			Regs:      []uint64{1, 2, 3, 4, 5, 6, 7, 8},
+			Stack:     []uint64{0xaa, 0xbb},
+			CallStack: []string{"main", "protected_fn"},
+		}},
+	})
+	return r
+}
+
+func TestForensicReportContents(t *testing.T) {
+	r := playScenario()
+	reports := r.ForensicReports()
+	if len(reports) != 1 {
+		t.Fatalf("reports = %d, want 1", len(reports))
+	}
+	rep := reports[0]
+	for _, want := range []string{
+		"follower variant fault",
+		"protected function: protected_fn",
+		"0xdead0",
+		"leader: final 4 events",
+		"follower: final 4 events",
+		"snapshot: follower (tid 2)",
+		"call stack: main > protected_fn",
+		"stack[sp+8]=0xbb",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// TestForensicReportDeterminism is the issue's determinism property: two
+// identical seeded runs must produce byte-identical forensics reports.
+func TestForensicReportDeterminism(t *testing.T) {
+	a := playScenario().ForensicReports()
+	b := playScenario().ForensicReports()
+	if len(a) != len(b) {
+		t.Fatalf("report counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("report %d differs:\n--- run A ---\n%s\n--- run B ---\n%s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestForensicWindowBoundedByAvailable(t *testing.T) {
+	r := NewRecorder(Config{Capacity: 8, ForensicWindow: 16})
+	r.Record(EvLibcEnter, VariantLeader, 1, "open", 0, 0, 0)
+	r.Alarm(AlarmInfo{Reason: "x", Detail: "d"})
+	rep := r.ForensicReports()[0]
+	if !strings.Contains(rep, "leader: final 1 events") {
+		t.Errorf("short run should render available events only:\n%s", rep)
+	}
+	if !strings.Contains(rep, "follower: final 0 events") {
+		t.Errorf("absent variant renders empty tail:\n%s", rep)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	r := playScenario()
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Cat  string  `json:"cat"`
+			TS   float64 `json:"ts"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != r.Len() {
+		t.Fatalf("trace has %d events, recorder has %d", len(doc.TraceEvents), r.Len())
+	}
+	var sawB, sawE, sawInstant bool
+	for _, e := range doc.TraceEvents {
+		switch e.Ph {
+		case "B":
+			sawB = true
+		case "E":
+			sawE = true
+		case "i":
+			sawInstant = true
+		}
+	}
+	if !sawB || !sawE || !sawInstant {
+		t.Errorf("trace phases missing: B=%v E=%v i=%v", sawB, sawE, sawInstant)
+	}
+}
+
+func TestEventTableText(t *testing.T) {
+	r := playScenario()
+	txt := r.TableText()
+	if !strings.Contains(txt, "libc-enter") || !strings.Contains(txt, "page-fault") {
+		t.Fatalf("table missing kinds:\n%s", txt)
+	}
+	if !strings.Contains(txt, "follower") {
+		t.Errorf("table missing variant column:\n%s", txt)
+	}
+}
+
+func TestEventKindAndVariantStrings(t *testing.T) {
+	kinds := []EventKind{
+		EvLibcEnter, EvLibcExit, EvLockstep, EvEmulated, EvPKRUWrite,
+		EvStackPivot, EvVariantPhase, EvRegionStart, EvRegionEnd,
+		EvPageFault, EvSyscall, EvAlarm,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || seen[s] {
+			t.Errorf("kind %d stringifies badly: %q", k, s)
+		}
+		seen[s] = true
+	}
+	if EventKind(200).String() != "unknown" {
+		t.Error("out-of-range kind should be unknown")
+	}
+	if VariantLeader.String() != "leader" || VariantFollower.String() != "follower" {
+		t.Error("variant names")
+	}
+}

@@ -1,0 +1,43 @@
+package obs
+
+// ring is a fixed-capacity event buffer: the newest cap events survive,
+// the oldest are overwritten in place. It is not itself locked — the
+// Recorder serializes access — and it never allocates after construction.
+type ring struct {
+	buf []Event
+	// seq counts events ever pushed; the next write position is
+	// seq % len(buf).
+	seq uint64
+}
+
+func newRing(capacity int) *ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &ring{buf: make([]Event, capacity)}
+}
+
+// push appends one event, evicting the oldest when full.
+func (r *ring) push(e Event) {
+	r.buf[r.seq%uint64(len(r.buf))] = e
+	r.seq++
+}
+
+// len returns the number of live events.
+func (r *ring) len() int {
+	if r.seq < uint64(len(r.buf)) {
+		return int(r.seq)
+	}
+	return len(r.buf)
+}
+
+// snapshot copies the live events out, oldest first.
+func (r *ring) snapshot() []Event {
+	n := r.len()
+	out := make([]Event, n)
+	start := r.seq - uint64(n)
+	for i := 0; i < n; i++ {
+		out[i] = r.buf[(start+uint64(i))%uint64(len(r.buf))]
+	}
+	return out
+}

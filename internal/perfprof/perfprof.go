@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 
+	"smvx/internal/obs"
 	"smvx/internal/sim/clock"
 	"smvx/internal/sim/machine"
 )
@@ -131,6 +132,37 @@ func (p *Profiler) FlameText(total clock.Cycles) string {
 		fmt.Fprintf(&b, "%-40s %8.1f%% |%s\n", s.Fn, pct, strings.Repeat("#", bar))
 	}
 	return b.String()
+}
+
+// FromTrace builds a profiler from a flight-recorder event stream: each
+// libc enter/exit pair becomes one sample attributed to the call name, with
+// the virtual-clock delta between the two events as its inclusive cost. The
+// resulting profiler renders through Report/FlameText like a live one, so a
+// flame summary is derivable from a saved trace alone.
+func FromTrace(events []obs.Event) *Profiler {
+	p := New()
+	open := make(map[int][]obs.Event) // tid -> pending enter events
+	for _, e := range events {
+		switch e.Kind {
+		case obs.EvLibcEnter:
+			open[e.TID] = append(open[e.TID], e)
+			p.OnEnter(e.TID, e.Name)
+		case obs.EvLibcExit:
+			st := open[e.TID]
+			if len(st) == 0 {
+				// The matching enter was evicted from the ring; skip.
+				continue
+			}
+			enter := st[len(st)-1]
+			open[e.TID] = st[:len(st)-1]
+			var d clock.Cycles
+			if e.TS > enter.TS {
+				d = e.TS - enter.TS
+			}
+			p.OnExit(e.TID, enter.Name, d)
+		}
+	}
+	return p
 }
 
 // Reset clears all samples.

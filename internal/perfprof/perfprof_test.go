@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"smvx/internal/obs"
 	"smvx/internal/sim/clock"
 )
 
@@ -105,5 +106,57 @@ func TestExitWithoutEnterIgnored(t *testing.T) {
 	p.OnExit(1, "ghost", 50)
 	if p.Inclusive("ghost") != 0 {
 		t.Error("unbalanced exit should be ignored")
+	}
+}
+
+func TestFromTrace(t *testing.T) {
+	events := []obs.Event{
+		// Nested pair on tid 1: recv spans 100..400, with a memcpy inside.
+		{Kind: obs.EvLibcEnter, TID: 1, Name: "recv", TS: 100},
+		{Kind: obs.EvLibcEnter, TID: 1, Name: "memcpy", TS: 150},
+		{Kind: obs.EvLibcExit, TID: 1, Name: "memcpy", TS: 170},
+		{Kind: obs.EvLibcExit, TID: 1, Name: "recv", TS: 400},
+		// Independent thread.
+		{Kind: obs.EvLibcEnter, TID: 2, Name: "send", TS: 50},
+		{Kind: obs.EvLibcExit, TID: 2, Name: "send", TS: 90},
+		// Exit whose enter was evicted from the ring: skipped.
+		{Kind: obs.EvLibcExit, TID: 3, Name: "orphan", TS: 10},
+		// Non-libc events are ignored.
+		{Kind: obs.EvPKRUWrite, TID: 1, Name: "activate-prot", TS: 500},
+	}
+	p := FromTrace(events)
+	if got := p.Inclusive("recv"); got != 300 {
+		t.Errorf("recv inclusive = %d, want 300", got)
+	}
+	if got := p.Inclusive("memcpy"); got != 20 {
+		t.Errorf("memcpy inclusive = %d, want 20", got)
+	}
+	if got := p.Inclusive("send"); got != 40 {
+		t.Errorf("send inclusive = %d, want 40", got)
+	}
+	if got := p.Calls("recv"); got != 1 {
+		t.Errorf("recv calls = %d", got)
+	}
+	if p.Inclusive("orphan") != 0 {
+		t.Error("orphan exit (evicted enter) should be skipped")
+	}
+	rep := p.Report()
+	if len(rep) != 3 || rep[0].Fn != "recv" {
+		t.Errorf("Report = %+v", rep)
+	}
+}
+
+func TestFromTraceRecorder(t *testing.T) {
+	// End to end: events recorded through a live Recorder replay into the
+	// same flame summary shape a live profiler would give.
+	rec := obs.NewRecorder(obs.Config{Capacity: 64})
+	rec.Record(obs.EvLibcEnter, obs.VariantLeader, 1, "read", 0, 0, 0)
+	rec.Record(obs.EvLibcExit, obs.VariantLeader, 1, "read", 0, 0, 0)
+	p := FromTrace(rec.Events())
+	if got := p.Calls("read"); got != 1 {
+		t.Errorf("read calls = %d", got)
+	}
+	if !strings.Contains(p.FlameText(100), "read") {
+		t.Error("flame text missing the replayed call")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"smvx/internal/obs"
 	"smvx/internal/sim/clock"
 )
 
@@ -121,6 +122,8 @@ func (p *Process) enter(name string) {
 	p.syscallCounts[name]++
 	p.syscallTotal++
 	p.syscallMu.Unlock()
+	p.rec.Record(obs.EvSyscall, obs.VariantNone, p.pid, name, uint64(p.pid), 0, 0)
+	p.rec.Metrics().Inc("syscall.total")
 }
 
 // SyscallCount returns the number of syscalls this process issued with the
@@ -178,6 +181,7 @@ type Process struct {
 	pid     int
 	counter *clock.Counter
 	wall    *clock.Counter
+	rec     *obs.Recorder
 
 	mu     sync.Mutex
 	fds    map[int]*FD
@@ -192,6 +196,11 @@ type Process struct {
 // charged to both counters (syscalls execute on the leader's critical
 // path — follower syscalls are emulated and never reach the kernel).
 func (p *Process) SetWallCounter(c *clock.Counter) { p.wall = c }
+
+// SetRecorder attaches a flight recorder; every syscall entry then emits an
+// EvSyscall event. Must be called before threads run; nil (the default)
+// keeps the syscall path free of observability work.
+func (p *Process) SetRecorder(r *obs.Recorder) { p.rec = r }
 
 // NewProcess registers a fresh process with stdin/stdout/stderr reserved,
 // charging its syscall cycles to counter (which may be nil).
