@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"smvx/internal/experiments"
 	"smvx/internal/obs"
+	"smvx/internal/obs/telemetry"
 )
 
 func main() {
@@ -35,12 +37,29 @@ func run() error {
 		metricsOn = flag.Bool("metrics", false, "print the collected metrics table after the run")
 		forensics = flag.Bool("forensics", false, "attach the flight recorder to the cve run and print its forensics reports")
 		benchJSON = flag.String("bench-json", "BENCH_experiments.json", "write metric name -> value JSON here (empty to skip)")
+		telemAddr = flag.String("telemetry", "", "serve live telemetry on this address (e.g. :9090) while experiments run")
+		linger    = flag.Duration("linger", 0, "keep the telemetry server up this long after the run (with -telemetry)")
 	)
 	flag.Parse()
 
 	want := func(name string) bool { return *which == "all" || *which == name }
 	ran := false
 	bench := obs.NewMetrics()
+
+	// With -telemetry, one shared flight recorder backs the HTTP plane: the
+	// cve artifact traces into it, and each finished artifact's benchmark
+	// metrics are merged into its registry so /metrics grows as results land.
+	var telRec *obs.Recorder
+	if *telemAddr != "" {
+		telRec = obs.NewRecorder(obs.Config{})
+		tel := telemetry.New(telRec)
+		addr, err := tel.Start(*telemAddr)
+		if err != nil {
+			return err
+		}
+		defer tel.Close()
+		fmt.Printf("telemetry: http://%s/metrics\n", addr)
+	}
 
 	if want("table1") {
 		ran = true
@@ -112,8 +131,8 @@ func run() error {
 	}
 	if want("cve") {
 		ran = true
-		var rec *obs.Recorder
-		if *forensics || *traceOut != "" {
+		rec := telRec
+		if rec == nil && (*forensics || *traceOut != "") {
 			rec = obs.NewRecorder(obs.Config{})
 		}
 		res, err := experiments.CVEObserved(rec)
@@ -122,7 +141,12 @@ func run() error {
 		}
 		fmt.Println(res)
 		res.RecordMetrics(bench)
-		bench.Merge(rec.Metrics())
+		if rec != telRec {
+			// When telemetry is live the cve run already traced into
+			// telRec; merging it into bench too would double-count once
+			// bench folds back into the telemetry registry below.
+			bench.Merge(rec.Metrics())
+		}
 		if *forensics {
 			for _, rep := range res.Forensics {
 				fmt.Println(rep)
@@ -141,6 +165,13 @@ func run() error {
 	}
 	if *metricsOn {
 		fmt.Println(bench.TableText())
+	}
+	if telRec != nil {
+		telRec.Metrics().Merge(bench)
+		if *linger > 0 {
+			fmt.Printf("telemetry: run finished, serving for another %s\n", *linger)
+			time.Sleep(*linger)
+		}
 	}
 	if *benchJSON != "" {
 		f, err := os.Create(*benchJSON)

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -19,7 +20,13 @@ import (
 	"smvx/internal/apps/lighttpd"
 	"smvx/internal/apps/nbench"
 	"smvx/internal/apps/nginx"
+	"smvx/internal/boot"
+	"smvx/internal/obs"
+	"smvx/internal/perfprof"
+	"smvx/internal/sim/clock"
 	"smvx/internal/sim/image"
+	"smvx/internal/sim/kernel"
+	"smvx/internal/workload"
 )
 
 func main() {
@@ -33,8 +40,13 @@ func run() error {
 	var (
 		app     = flag.String("app", "nginx", "binary to profile: nginx | lighttpd | nbench")
 		symbols = flag.Bool("symbols", false, "print a symbol summary after the profile")
+		flame   = flag.Bool("flame", false, "run a short vanilla workload and print a libc flame summary plus folded call stacks")
 	)
 	flag.Parse()
+
+	if *flame {
+		return runFlame(*app)
+	}
 
 	var img *image.Image
 	switch *app {
@@ -54,5 +66,73 @@ func run() error {
 		syms := img.Symbols()
 		fmt.Printf("# %d symbols, %d PLT slots\n", len(syms), len(img.PLTSlots()))
 	}
+	return nil
+}
+
+// runFlame executes a short vanilla workload with the flight recorder and
+// the virtual-cycle sampler attached, then prints two views of where the
+// cycles went: the libc flame summary reconstructed from the event trace
+// (perfprof.FromTrace) and the sampler's folded call stacks, ready for
+// flamegraph.pl / inferno.
+func runFlame(app string) error {
+	const seed = 42
+	rec := obs.NewRecorder(obs.Config{})
+	sampler := perfprof.NewSampler(0)
+	k := kernel.New(clock.DefaultCosts(), seed)
+	opts := []boot.Option{boot.WithSeed(seed), boot.WithRecorder(rec), boot.WithSampler(sampler)}
+
+	var env *boot.Env
+	var err error
+	switch app {
+	case "nginx":
+		srv := nginx.NewServer(nginx.Config{Port: 8080, MaxRequests: 8, AccessLog: true})
+		if env, err = boot.NewEnv(k, srv.Program(), opts...); err != nil {
+			return err
+		}
+		k.FS().WriteFile("/var/www/index.html", bytes.Repeat([]byte("x"), 4096))
+		client := k.NewProcess(clock.NewCounter())
+		th, err := env.MainThread()
+		if err != nil {
+			return err
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Run(th) }()
+		workload.RunAB(client, 8080, "/index.html", 8)
+		if err := <-done; err != nil {
+			return err
+		}
+	case "lighttpd":
+		srv := lighttpd.NewServer(lighttpd.Config{Port: 8080, MaxRequests: 8})
+		if env, err = boot.NewEnv(k, srv.Program(), opts...); err != nil {
+			return err
+		}
+		k.FS().WriteFile("/srv/www/index.html", bytes.Repeat([]byte("x"), 4096))
+		client := k.NewProcess(clock.NewCounter())
+		th, err := env.MainThread()
+		if err != nil {
+			return err
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Run(th) }()
+		workload.RunAB(client, 8080, "/index.html", 8)
+		if err := <-done; err != nil {
+			return err
+		}
+	case "nbench":
+		if env, err = boot.NewEnv(k, nbench.Program(), opts...); err != nil {
+			return err
+		}
+		nbench.SetupFS(env)
+		if _, err := nbench.RunOne(env, nil, "numeric_sort", 3); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown app %q", app)
+	}
+
+	fmt.Print(perfprof.FromTrace(rec.Events()).FlameText(env.Counter.Cycles()))
+	fmt.Println()
+	fmt.Println("folded stacks (frame;frame;... samples — flamegraph.pl input)")
+	fmt.Print(sampler.Folded())
 	return nil
 }

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"smvx/internal/apps/lighttpd"
 	"smvx/internal/apps/nbench"
@@ -22,11 +23,41 @@ import (
 	"smvx/internal/experiments"
 	"smvx/internal/mvx/remon"
 	"smvx/internal/obs"
+	"smvx/internal/obs/telemetry"
+	"smvx/internal/perfprof"
 	"smvx/internal/sim/clock"
 	"smvx/internal/sim/kernel"
 	"smvx/internal/sim/machine"
 	"smvx/internal/workload"
 )
+
+// obsPlane bundles the run's observability: the flight recorder everything
+// traces into, the virtual-cycle sampler, and the live telemetry server.
+// All fields may be nil — the zero plane is "observability off".
+type obsPlane struct {
+	rec     *obs.Recorder
+	sampler *perfprof.Sampler
+	tel     *telemetry.Server
+}
+
+// bootOpts returns the boot options that attach the plane to a process.
+func (pl *obsPlane) bootOpts(seed int64) []boot.Option {
+	opts := []boot.Option{boot.WithSeed(seed)}
+	if pl.rec != nil {
+		opts = append(opts, boot.WithRecorder(pl.rec))
+	}
+	if pl.sampler != nil {
+		opts = append(opts, boot.WithSampler(pl.sampler))
+	}
+	return opts
+}
+
+// attachMonitor points /healthz at a freshly created monitor.
+func (pl *obsPlane) attachMonitor(mon *core.Monitor) {
+	if pl.tel != nil && mon != nil {
+		pl.tel.SetHealth(telemetry.Health{Phase: mon.Phase, FollowerLive: mon.FollowerLive})
+	}
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -37,46 +68,66 @@ func main() {
 
 func run() error {
 	var (
-		app      = flag.String("app", "nginx", "application: nginx | lighttpd | nbench")
-		mode     = flag.String("mode", "smvx", "execution mode: vanilla | smvx | remon")
-		protect  = flag.String("protect", "", "protected root function (smvx mode; default: app-specific)")
-		requests = flag.Int("requests", 20, "HTTP requests to drive (servers)")
-		bench    = flag.String("bench", "numeric_sort", "nbench kernel (nbench app)")
-		iters    = flag.Int("iters", 5, "nbench iterations")
-		version  = flag.String("version", nginx.VersionFixed, "nginx version (1.3.9 = vulnerable)")
-		seed     = flag.Int64("seed", 42, "determinism seed")
-		traceOut = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
-		metrics  = flag.Bool("metrics", false, "print the flight recorder's metrics table after the run")
-		forensic = flag.Bool("forensics", false, "print flight-recorder forensics reports for any alarms")
+		app       = flag.String("app", "nginx", "application: nginx | lighttpd | nbench")
+		mode      = flag.String("mode", "smvx", "execution mode: vanilla | smvx | remon")
+		protect   = flag.String("protect", "", "protected root function (smvx mode; default: app-specific)")
+		requests  = flag.Int("requests", 20, "HTTP requests to drive (servers)")
+		bench     = flag.String("bench", "numeric_sort", "nbench kernel (nbench app)")
+		iters     = flag.Int("iters", 5, "nbench iterations")
+		version   = flag.String("version", nginx.VersionFixed, "nginx version (1.3.9 = vulnerable)")
+		seed      = flag.Int64("seed", 42, "determinism seed")
+		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
+		metrics   = flag.Bool("metrics", false, "print the flight recorder's metrics table after the run")
+		forensic  = flag.Bool("forensics", false, "print flight-recorder forensics reports for any alarms")
+		telemAddr = flag.String("telemetry", "", "serve live telemetry on this address (e.g. :9090): /metrics /healthz /trace.json /forensics /profile")
+		linger    = flag.Duration("linger", 0, "keep the telemetry server up this long after the run (with -telemetry)")
 	)
 	flag.Parse()
 
-	var rec *obs.Recorder
-	if *traceOut != "" || *metrics || *forensic {
-		rec = obs.NewRecorder(obs.Config{})
+	var pl obsPlane
+	if *traceOut != "" || *metrics || *forensic || *telemAddr != "" {
+		pl.rec = obs.NewRecorder(obs.Config{})
+	}
+	if *telemAddr != "" {
+		pl.sampler = perfprof.NewSampler(0)
+		wd := telemetry.NewWatchdog(pl.rec, telemetry.SLO{MaxAlarms: 0})
+		pl.tel = telemetry.New(pl.rec,
+			telemetry.WithWatchdog(wd),
+			telemetry.WithProfile(pl.sampler))
+		addr, err := pl.tel.Start(*telemAddr)
+		if err != nil {
+			return err
+		}
+		defer pl.tel.Close()
+		wd.Start(0)
+		fmt.Printf("telemetry: http://%s/metrics (healthz, trace.json, forensics, profile)\n", addr)
 	}
 
 	var err error
 	switch *app {
 	case "nbench":
-		err = runNbench(*bench, *iters, *mode, *seed, rec)
+		err = runNbench(*bench, *iters, *mode, *seed, &pl)
 	case "nginx":
 		if *protect == "" {
 			*protect = "ngx_worker_process_cycle"
 		}
-		err = runNginx(*mode, *protect, *requests, *version, *seed, rec)
+		err = runNginx(*mode, *protect, *requests, *version, *seed, &pl)
 	case "lighttpd":
 		if *protect == "" {
 			*protect = "server_main_loop"
 		}
-		err = runLighttpd(*mode, *protect, *requests, *seed, rec)
+		err = runLighttpd(*mode, *protect, *requests, *seed, &pl)
 	default:
 		return fmt.Errorf("unknown app %q", *app)
 	}
 	if err != nil {
 		return err
 	}
-	return finishObs(rec, *traceOut, *metrics, *forensic)
+	if pl.tel != nil && *linger > 0 {
+		fmt.Printf("telemetry: run finished, serving for another %s\n", *linger)
+		time.Sleep(*linger)
+	}
+	return finishObs(pl.rec, *traceOut, *metrics, *forensic)
 }
 
 // finishObs emits the observability artifacts the flags asked for, after
@@ -114,9 +165,8 @@ func finishObs(rec *obs.Recorder, traceOut string, metrics, forensic bool) error
 	return nil
 }
 
-func runNbench(name string, iters int, mode string, seed int64, rec *obs.Recorder) error {
-	env, err := boot.NewEnv(kernel.New(clock.DefaultCosts(), seed), nbench.Program(),
-		boot.WithSeed(seed), boot.WithRecorder(rec))
+func runNbench(name string, iters int, mode string, seed int64, pl *obsPlane) error {
+	env, err := boot.NewEnv(kernel.New(clock.DefaultCosts(), seed), nbench.Program(), pl.bootOpts(seed)...)
 	if err != nil {
 		return err
 	}
@@ -126,6 +176,7 @@ func runNbench(name string, iters int, mode string, seed int64, rec *obs.Recorde
 	if mode == "smvx" {
 		mon = core.New(env.Machine, env.LibC, core.WithSeed(seed), core.WithRecorder(env.Obs))
 		mvx = mon
+		pl.attachMonitor(mon)
 	}
 	cycles, err := nbench.RunOne(env, mvx, name, iters)
 	if err != nil {
@@ -137,14 +188,19 @@ func runNbench(name string, iters int, mode string, seed int64, rec *obs.Recorde
 	return nil
 }
 
-func runNginx(mode, protect string, requests int, version string, seed int64, rec *obs.Recorder) error {
+func runNginx(mode, protect string, requests int, version string, seed int64, pl *obsPlane) error {
 	k := kernel.New(clock.DefaultCosts(), seed)
 	cfg := nginx.Config{Port: 8080, MaxRequests: requests, AccessLog: true, Version: version}
 	if mode == "smvx" {
 		cfg.Protect = protect
 	}
+	if pl.rec != nil {
+		cfg.OnRequest = func(total uint64) {
+			pl.rec.Metrics().SetGauge("http.requests.served", float64(total))
+		}
+	}
 	srv := nginx.NewServer(cfg)
-	env, err := boot.NewEnv(k, srv.Program(), boot.WithSeed(seed), boot.WithRecorder(rec))
+	env, err := boot.NewEnv(k, srv.Program(), pl.bootOpts(seed)...)
 	if err != nil {
 		return err
 	}
@@ -164,6 +220,7 @@ func runNginx(mode, protect string, requests int, version string, seed int64, re
 	case "smvx":
 		mon = core.New(env.Machine, env.LibC, core.WithSeed(seed), core.WithRecorder(env.Obs))
 		srv.SetMVX(mon)
+		pl.attachMonitor(mon)
 		th, err := env.MainThread()
 		if err != nil {
 			return err
@@ -194,14 +251,19 @@ func runNginx(mode, protect string, requests int, version string, seed int64, re
 	return nil
 }
 
-func runLighttpd(mode, protect string, requests int, seed int64, rec *obs.Recorder) error {
+func runLighttpd(mode, protect string, requests int, seed int64, pl *obsPlane) error {
 	k := kernel.New(clock.DefaultCosts(), seed)
 	cfg := lighttpd.Config{Port: 8080, MaxRequests: requests}
 	if mode == "smvx" {
 		cfg.Protect = protect
 	}
+	if pl.rec != nil {
+		cfg.OnRequest = func(total uint64) {
+			pl.rec.Metrics().SetGauge("http.requests.served", float64(total))
+		}
+	}
 	srv := lighttpd.NewServer(cfg)
-	env, err := boot.NewEnv(k, srv.Program(), boot.WithSeed(seed), boot.WithRecorder(rec))
+	env, err := boot.NewEnv(k, srv.Program(), pl.bootOpts(seed)...)
 	if err != nil {
 		return err
 	}
@@ -215,6 +277,7 @@ func runLighttpd(mode, protect string, requests int, seed int64, rec *obs.Record
 	case "smvx":
 		mon = core.New(env.Machine, env.LibC, core.WithSeed(seed), core.WithRecorder(env.Obs))
 		srv.SetMVX(mon)
+		pl.attachMonitor(mon)
 	case "remon":
 		rem := remon.New(env.Machine, env.LibC)
 		go func() { done <- rem.Run("main") }()

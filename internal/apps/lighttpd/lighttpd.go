@@ -35,6 +35,11 @@ type Config struct {
 	// keeps chunkqueue/buffer pools hot); it dominates the heap that
 	// variant creation must scan (Table 2). Default 1024.
 	PoolKB int
+	// OnRequest, when non-nil, is invoked from the serve loop after each
+	// completed request with the running total — the live telemetry
+	// plane's progress hook. It runs on the server goroutine and must not
+	// touch simulated state.
+	OnRequest func(total uint64)
 }
 
 // Candidate protected roots.
@@ -320,6 +325,9 @@ func (s *Server) fnStateMachine(t *machine.Thread, args []uint64) uint64 {
 	t.Store64(t.Global("srv_request_count"), cnt)
 	if max := t.Load64(t.Global("srv_max_requests")); max > 0 && cnt >= max {
 		t.Store64(t.Global("srv_stop_flag"), 1)
+	}
+	if s.cfg.OnRequest != nil {
+		s.cfg.OnRequest(cnt)
 	}
 	return n
 }

@@ -62,6 +62,11 @@ type Config struct {
 	// PoolKB is the connection/request pool volume preallocated by the
 	// worker at startup. Default 256.
 	PoolKB int
+	// OnRequest, when non-nil, is invoked from the serve loop after each
+	// completed request with the running total — the live telemetry
+	// plane's progress hook. It runs on the worker goroutine and must not
+	// touch simulated state.
+	OnRequest func(total uint64)
 }
 
 // connection-slot layout in ngx_connections (.bss): 4 words per slot.
@@ -401,6 +406,9 @@ func (s *server) fnWaitRequestHandler(t *machine.Thread, args []uint64) uint64 {
 	t.Store64(t.Global("ngx_request_count"), cnt)
 	if max := t.Load64(t.Global("ngx_max_requests")); max > 0 && cnt >= max {
 		t.Store64(t.Global("ngx_stop_flag"), 1)
+	}
+	if s.cfg.OnRequest != nil {
+		s.cfg.OnRequest(cnt)
 	}
 	return n
 }

@@ -11,6 +11,7 @@ import (
 
 	"smvx/internal/libc"
 	"smvx/internal/obs"
+	"smvx/internal/perfprof"
 	"smvx/internal/sim/clock"
 	"smvx/internal/sim/image"
 	"smvx/internal/sim/kernel"
@@ -41,6 +42,10 @@ type Options struct {
 	// exposed as Env.Obs for the monitor) so the whole process traces into
 	// one flight recorder.
 	Recorder *obs.Recorder
+	// Sampler, when non-nil, is installed as the machine's cycle sampler
+	// (user-space stacks) and the kernel process's syscall ticker, so the
+	// sampling profiler sees both sides of the process.
+	Sampler *perfprof.Sampler
 }
 
 // Option mutates Options.
@@ -63,6 +68,10 @@ func WithCosts(c clock.CostTable) Option { return func(o *Options) { o.Costs = c
 
 // WithRecorder attaches a flight recorder to the assembled process.
 func WithRecorder(r *obs.Recorder) Option { return func(o *Options) { o.Recorder = r } }
+
+// WithSampler attaches a virtual-cycle sampling profiler to the assembled
+// process.
+func WithSampler(s *perfprof.Sampler) Option { return func(o *Options) { o.Sampler = s } }
 
 // Env is one assembled simulated process.
 type Env struct {
@@ -152,6 +161,10 @@ func NewEnv(k *kernel.Kernel, prog *machine.Program, opts ...Option) (*Env, erro
 	}
 	m := machine.New(prog, as, proc, lib, counter, o.Costs)
 	m.SetWallCounter(wall)
+	if o.Sampler != nil {
+		m.SetCycleSampler(o.Sampler, o.Sampler.Period())
+		proc.SetCycleTicker(o.Sampler)
+	}
 
 	if o.WriteProfile {
 		k.FS().WriteFile(image.ProfilePath(img.Name), img.WriteProfile())

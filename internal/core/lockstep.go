@@ -98,8 +98,11 @@ func (s *session) leaderCall(t *machine.Thread, name string, args []uint64) uint
 	s.mon.m.ChargeThread(t, s.mon.m.Costs().LockstepRendezvous)
 	obsRec := s.mon.rec
 	var waitStart clock.Cycles
+	var span obs.RendezvousSpan
 	if obsRec != nil {
 		waitStart = s.mon.m.Counter().Cycles()
+		span = obsRec.BeginRendezvousSpan(obs.VariantLeader, t.TID(), name,
+			uint64(libc.CategoryOf(name)))
 	}
 
 	select {
@@ -108,13 +111,17 @@ func (s *session) leaderCall(t *machine.Thread, name string, args []uint64) uint
 			obsRec.Metrics().Observe("lockstep.wait.cycles",
 				uint64(s.mon.m.Counter().Cycles()-waitStart))
 		}
-		return s.leaderPaired(t, name, args, rec, idx)
+		ret := s.leaderPaired(t, name, args, rec, idx)
+		span.End(ret)
+		return ret
 	case <-s.followerDead:
 		// The follower died mid-region (e.g. faulted on a gadget
 		// address). The alarm is raised by the variant waiter; the leader
 		// continues un-replicated so the region can wind down.
 		s.diverged.Store(true)
-		return s.mon.lib.Call(t, name, args)
+		ret := s.mon.lib.Call(t, name, args)
+		span.End(ret)
+		return ret
 	}
 }
 
@@ -147,7 +154,7 @@ func (s *session) leaderPaired(t *machine.Thread, name string, args []uint64, re
 	cat := libc.CategoryOf(name)
 	if obsRec != nil {
 		obsRec.Record(obs.EvLockstep, obs.VariantLeader, t.TID(), name, uint64(cat), idx, 0)
-		obsRec.Metrics().Inc("lockstep.category." + categorySlug(cat))
+		obsRec.Metrics().Inc("lockstep.category." + cat.Slug())
 	}
 	switch cat {
 	case libc.CatLocal:
@@ -160,7 +167,12 @@ func (s *session) leaderPaired(t *machine.Thread, name string, args []uint64, re
 		// and any output buffers over the IPC.
 		ret := s.mon.lib.Call(t, name, args)
 		errno := t.Errno()
+		var esp obs.EmulationSpan
+		if obsRec != nil {
+			esp = obsRec.BeginEmulationSpan(obs.VariantLeader, t.TID(), name, uint64(cat))
+		}
 		copied := s.emulate(name, args, rec.args, ret)
+		esp.End(uint64(copied))
 		s.emulatedBytes.Add(uint64(copied))
 		if obsRec != nil {
 			obsRec.Record(obs.EvEmulated, obs.VariantLeader, t.TID(), name, uint64(copied), 0, ret)
@@ -184,22 +196,6 @@ func (s *session) rendezvousSnapshots(leader *machine.Thread, rec *callRecord) [
 		snaps = append(snaps, s.mon.snapshot("follower", rec.thread))
 	}
 	return snaps
-}
-
-// categorySlug is the metric-name component for an emulation category.
-func categorySlug(c libc.Category) string {
-	switch c {
-	case libc.CatRetOnly:
-		return "ret_only"
-	case libc.CatRetBuf:
-		return "ret_buf"
-	case libc.CatSpecial:
-		return "special"
-	case libc.CatLocal:
-		return "local"
-	default:
-		return "unknown"
-	}
 }
 
 // followerCall runs the follower's side: publish the call, wait for the

@@ -371,6 +371,39 @@ func (mo *Monitor) appPKRU(t *machine.Thread) mpk.PKRU {
 // monPKRU is the PKRU inside the trampoline/monitor: everything enabled.
 func (mo *Monitor) monPKRU() mpk.PKRU { return mpk.AllowAll }
 
+// Phase reports the monitor's lifecycle phase for the telemetry plane's
+// health endpoint: "init" before setup_mvx has run, "idle" between
+// protected regions, "region" while a leader/follower pair is live.
+func (mo *Monitor) Phase() string {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	switch {
+	case !mo.setup:
+		return "init"
+	case mo.session == nil:
+		return "idle"
+	default:
+		return "region"
+	}
+}
+
+// FollowerLive reports whether a follower variant is currently running —
+// a region is active and the follower thread has not terminated.
+func (mo *Monitor) FollowerLive() bool {
+	mo.mu.Lock()
+	s := mo.session
+	mo.mu.Unlock()
+	if s == nil {
+		return false
+	}
+	select {
+	case <-s.followerDead:
+		return false
+	default:
+		return true
+	}
+}
+
 // Alarms returns the divergences detected so far.
 func (mo *Monitor) Alarms() []Alarm {
 	mo.mu.Lock()

@@ -54,6 +54,9 @@ func (mo *Monitor) Start(t *machine.Thread, fn string, args ...uint64) error {
 	ctr := mo.m.Counter()
 	var stats CreationStats
 	mo.rec.Record(obs.EvRegionStart, obs.VariantLeader, t.TID(), fn, 0, 0, 0)
+	// End-to-end mvx_start span (variant.create.cycles); the Table 2 phase
+	// sum is observed separately as variant.creation.cycles below.
+	createSpan := mo.rec.BeginVariantCreateSpan(t.TID(), fn)
 
 	mo.mu.Lock()
 	reuse := mo.opts.ReuseVariant && mo.variantReady
@@ -266,6 +269,7 @@ func (mo *Monitor) Start(t *machine.Thread, fn string, args ...uint64) error {
 		m.Observe("variant.creation.cycles", uint64(stats.Total()))
 		m.Add("variant.pointers_relocated", uint64(stats.PointersRelocated))
 	}
+	createSpan.End(uint64(stats.PointersRelocated))
 	return nil
 }
 

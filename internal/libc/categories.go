@@ -43,6 +43,24 @@ func (c Category) String() string {
 	}
 }
 
+// Slug is the category's metric-label form, used in labeled metric names
+// (rendezvous.cycles{category=ret_buf}) and metric-name components. It
+// matches obs.CategoryLabel by category code.
+func (c Category) Slug() string {
+	switch c {
+	case CatRetOnly:
+		return "ret_only"
+	case CatRetBuf:
+		return "ret_buf"
+	case CatSpecial:
+		return "special"
+	case CatLocal:
+		return "local"
+	default:
+		return "unknown"
+	}
+}
+
 // Table1 maps every simulated libc call to its emulation category. The
 // first three categories reproduce Table 1 of the paper verbatim; CatLocal
 // covers the rest of the 35+ calls the monitor simulates for the follower.

@@ -214,9 +214,20 @@ func (l *LibC) Call(t *machine.Thread, name string, args []uint64) uint64 {
 	// The virtual clock is shared between concurrently executing variants,
 	// so samples include any cycles the other variant charged meanwhile —
 	// the histograms are indicative, not exact per-call costs.
-	r.Metrics().Observe("libc.cycles."+name, uint64(l.counter.Cycles()-start))
+	d := uint64(l.counter.Cycles() - start)
+	r.Metrics().Observe("libc.cycles."+name, d)
+	r.Metrics().Observe(categoryCycleMetric[CategoryOf(name)], d)
 	r.Record(obs.EvLibcExit, v, t.TID(), name, 0, 0, ret)
 	return ret
+}
+
+// categoryCycleMetric pre-builds the per-Table-1-category labeled
+// histogram names so the instrumented path observes without concatenating.
+var categoryCycleMetric = map[Category]string{
+	CatRetOnly: "libc.cycles{category=" + CatRetOnly.Slug() + "}",
+	CatRetBuf:  "libc.cycles{category=" + CatRetBuf.Slug() + "}",
+	CatSpecial: "libc.cycles{category=" + CatSpecial.Slug() + "}",
+	CatLocal:   "libc.cycles{category=" + CatLocal.Slug() + "}",
 }
 
 // dispatch is the uninstrumented call path.

@@ -53,6 +53,13 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		case EvRegionEnd:
 			ce.Ph = "E"
 			ce.Cat = "region"
+		case EvSpanBegin:
+			ce.Ph = "B"
+			ce.Cat = "span:" + e.Variant.String()
+		case EvSpanEnd:
+			ce.Ph = "E"
+			ce.Cat = "span:" + e.Variant.String()
+			ce.Args = map[string]string{"cycles": fmt.Sprintf("%d", e.Arg0)}
 		default:
 			ce.Ph = "i"
 			ce.S = "t"

@@ -152,10 +152,16 @@ func buildReport(idx int, a AlarmInfo, events []Event, window int) string {
 }
 
 // variantTail returns the last (up to) n events attributed to v, oldest
-// first.
+// first. Telemetry span events are excluded: their durations are global-
+// clock differences taken while both variants run concurrently, which
+// would break the report's byte-for-byte determinism guarantee (and they
+// duplicate the libc/lockstep events already in the window).
 func variantTail(events []Event, v Variant, n int) []Event {
 	tail := make([]Event, 0, n)
 	for i := len(events) - 1; i >= 0 && len(tail) < n; i-- {
+		if events[i].Kind == EvSpanBegin || events[i].Kind == EvSpanEnd {
+			continue
+		}
 		if events[i].Variant == v {
 			tail = append(tail, events[i])
 		}
@@ -191,6 +197,12 @@ func formatEventLine(e Event) string {
 		return fmt.Sprintf("%-12s %s pid=%d", e.Kind, e.Name, e.Arg0)
 	case EvAlarm:
 		return fmt.Sprintf("%-12s %s call#%d", e.Kind, e.Name, e.Arg0)
+	case EvSpanBegin:
+		return fmt.Sprintf("%-12s %s", e.Kind, e.Name)
+	case EvSpanEnd:
+		return fmt.Sprintf("%-12s %s %d cycles", e.Kind, e.Name, e.Arg0)
+	case EvWatchdog:
+		return fmt.Sprintf("%-12s %s", e.Kind, e.Name)
 	default:
 		return fmt.Sprintf("%-12s %s 0x%x 0x%x -> 0x%x", e.Kind, e.Name, e.Arg0, e.Arg1, e.Ret)
 	}

@@ -48,6 +48,8 @@ func (h *Hist) Mean() float64 {
 
 // Quantile returns an upper bound for the q-quantile (0 < q <= 1) from the
 // bucket boundaries — coarse (power-of-two resolution) but allocation-free.
+// The bound is clamped to the observed Max, so q=1.0 never reports a value
+// larger than any real observation.
 func (h *Hist) Quantile(q float64) uint64 {
 	if h.Count == 0 {
 		return 0
@@ -63,7 +65,11 @@ func (h *Hist) Quantile(q float64) uint64 {
 			if i == 0 {
 				return 0
 			}
-			return 1<<uint(i) - 1
+			ub := uint64(1)<<uint(i) - 1
+			if ub > h.Max {
+				ub = h.Max
+			}
+			return ub
 		}
 	}
 	return h.Max
@@ -223,18 +229,47 @@ func (m *Metrics) Merge(src *Metrics) {
 			m.hists[k] = &hc
 			continue
 		}
-		if h.Count > 0 && (dst.Count == 0 || h.Min < dst.Min) {
-			dst.Min = h.Min
-		}
-		if h.Max > dst.Max {
-			dst.Max = h.Max
-		}
-		dst.Count += h.Count
-		dst.Sum += h.Sum
-		for i := range dst.Buckets {
-			dst.Buckets[i] += h.Buckets[i]
+		mergeHist(dst, &h)
+	}
+}
+
+// mergeHist folds src into dst bucket-wise. An empty dst (Count==0) has a
+// meaningless zero Min that must not win the min-merge; an empty src
+// contributes nothing.
+func mergeHist(dst, src *Hist) {
+	if src.Count == 0 {
+		return
+	}
+	if dst.Count == 0 || src.Min < dst.Min {
+		dst.Min = src.Min
+	}
+	if src.Max > dst.Max {
+		dst.Max = src.Max
+	}
+	dst.Count += src.Count
+	dst.Sum += src.Sum
+	for i := range dst.Buckets {
+		dst.Buckets[i] += src.Buckets[i]
+	}
+}
+
+// MergedHistogram returns the bucket-wise merge of every histogram whose
+// name begins with prefix — e.g. MergedHistogram("rendezvous.cycles")
+// aggregates the per-category RTT histograms into one distribution (the
+// SLO watchdog's p99 input). Returns the zero Hist if nothing matches.
+func (m *Metrics) MergedHistogram(prefix string) Hist {
+	var out Hist
+	if m == nil {
+		return out
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, h := range m.hists {
+		if strings.HasPrefix(k, prefix) {
+			mergeHist(&out, h)
 		}
 	}
+	return out
 }
 
 // WriteJSON writes the snapshot as a deterministic (sorted-key) JSON

@@ -91,6 +91,84 @@ func TestMetricsMerge(t *testing.T) {
 	}
 }
 
+// TestHistQuantileClampedToMax is the regression test for the quantile
+// upper bound: the power-of-two bucket boundary must be clamped to the
+// observed Max, so q=1.0 can never report a value (up to 2×) larger than
+// any real observation.
+func TestHistQuantileClampedToMax(t *testing.T) {
+	var h Hist
+	h.observe(1000) // bucket 10, boundary 1023
+	if q := h.Quantile(1.0); q != 1000 {
+		t.Errorf("p100 of {1000} = %d, want exactly 1000", q)
+	}
+	h.observe(3)
+	if q := h.Quantile(0.5); q != 3 {
+		t.Errorf("p50 of {3, 1000} = %d, want 3 (unclamped boundary)", q)
+	}
+	if q := h.Quantile(1.0); q != 1000 {
+		t.Errorf("p100 of {3, 1000} = %d, want 1000", q)
+	}
+}
+
+// TestMetricsMergeMinHandling is the table test for histogram Min
+// merging: an empty destination's zero Min must not win the min-merge,
+// and an empty source must not poison the destination.
+func TestMetricsMergeMinHandling(t *testing.T) {
+	hist := func(vals ...uint64) *Metrics {
+		m := NewMetrics()
+		for _, v := range vals {
+			m.Observe("h", v)
+		}
+		if len(vals) == 0 {
+			// Force an empty histogram to exist (Count==0, Min==0).
+			m.mu.Lock()
+			m.hists["h"] = &Hist{}
+			m.mu.Unlock()
+		}
+		return m
+	}
+	tests := []struct {
+		name     string
+		dst, src *Metrics
+		wantMin  uint64
+		wantCnt  uint64
+	}{
+		{"empty dest takes src min", hist(), hist(100, 200), 100, 2},
+		{"empty src leaves dst min", hist(100, 200), hist(), 100, 2},
+		{"both empty", hist(), hist(), 0, 0},
+		{"smaller src min wins", hist(100), hist(50), 50, 2},
+		{"larger src min loses", hist(50), hist(100), 50, 2},
+		{"absent dest copies src", NewMetrics(), hist(70), 70, 1},
+	}
+	for _, tc := range tests {
+		tc.dst.Merge(tc.src)
+		h := tc.dst.Histogram("h")
+		if h.Min != tc.wantMin || h.Count != tc.wantCnt {
+			t.Errorf("%s: min=%d count=%d, want min=%d count=%d",
+				tc.name, h.Min, h.Count, tc.wantMin, tc.wantCnt)
+		}
+	}
+}
+
+func TestMetricsMergedHistogram(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("rendezvous.cycles{category=ret_only}", 100)
+	m.Observe("rendezvous.cycles{category=ret_buf}", 4000)
+	m.Observe("rendezvous.cycles{category=special}", 50)
+	m.Observe("other.cycles", 1<<40)
+	h := m.MergedHistogram("rendezvous.cycles")
+	if h.Count != 3 || h.Sum != 4150 || h.Min != 50 || h.Max != 4000 {
+		t.Errorf("merged = %+v", h)
+	}
+	if h := m.MergedHistogram("nope"); h.Count != 0 {
+		t.Errorf("no-match merge = %+v", h)
+	}
+	var nilM *Metrics
+	if h := nilM.MergedHistogram("x"); h.Count != 0 {
+		t.Error("nil metrics merged histogram non-zero")
+	}
+}
+
 func TestMetricsTableText(t *testing.T) {
 	m := NewMetrics()
 	m.Inc("z.last")

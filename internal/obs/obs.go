@@ -65,6 +65,15 @@ const (
 	EvSyscall
 	// EvAlarm is a raised divergence alarm: Name is the reason.
 	EvAlarm
+	// EvSpanBegin / EvSpanEnd bracket one typed telemetry span (rendezvous,
+	// emulation, variant creation): Name is "<kind>:<detail>", Arg0 is
+	// kind-specific (the emulation category code for rendezvous/emulation
+	// spans). On EvSpanEnd, Arg0 is the span duration in cycles and
+	// Arg1/Ret carry the kind's payload.
+	EvSpanBegin
+	EvSpanEnd
+	// EvWatchdog is an SLO watchdog trip: Name is the violated threshold.
+	EvWatchdog
 )
 
 // String names the event kind.
@@ -94,6 +103,12 @@ func (k EventKind) String() string {
 		return "syscall"
 	case EvAlarm:
 		return "alarm"
+	case EvSpanBegin:
+		return "span-begin"
+	case EvSpanEnd:
+		return "span-end"
+	case EvWatchdog:
+		return "watchdog"
 	default:
 		return "unknown"
 	}
@@ -294,4 +309,16 @@ func (r *Recorder) Total() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.ring.seq
+}
+
+// VariantTotals returns how many events each variant has ever recorded.
+// The leader/follower delta is the follower-lag signal the SLO watchdog
+// monitors: in healthy lockstep the streams advance together.
+func (r *Recorder) VariantTotals() (leader, follower uint64) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.vseq[VariantLeader], r.vseq[VariantFollower]
 }

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// promGoldenMetrics builds a fixed registry exercising every family type,
+// labeled and unlabeled names, and sanitization.
+func promGoldenMetrics() *Metrics {
+	m := NewMetrics()
+	m.Add("alarm.total", 2)
+	m.Add("lockstep.category.ret_buf", 17)
+	m.SetGauge("rss_kb", 1536)
+	m.SetGauge("server.requests", 50)
+	for _, v := range []uint64{1, 2, 3, 100, 1000} {
+		m.Observe("libc.cycles.read", v)
+	}
+	m.Observe("rendezvous.cycles{category=ret_only}", 2048)
+	m.Observe("rendezvous.cycles{category=ret_only}", 4096)
+	m.Observe("rendezvous.cycles{category=ret_buf}", 3000)
+	m.Observe("rendezvous.cycles{category=special}", 9000)
+	return m
+}
+
+func TestTelemetryPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promGoldenMetrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prometheus.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Prometheus output drifted from golden file:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// Two renders are byte-identical.
+	var buf2 bytes.Buffer
+	if err := promGoldenMetrics().WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("WritePrometheus is not deterministic")
+	}
+}
+
+// promLineRe matches one sample line of the text exposition format.
+var promLineRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z0-9_]+="[^"]*"(,[a-zA-Z0-9_]+="[^"]*")*\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$`)
+
+// TestTelemetryPrometheusFormat validates the exposition-format grammar
+// line by line and checks histogram invariants: cumulative buckets are
+// monotone, the +Inf bucket equals _count, and every series of a family
+// shares the family's sanitized name.
+func TestTelemetryPrometheusFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promGoldenMetrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var lastCum uint64
+	var lastBucketSeries string
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Errorf("malformed TYPE line %q", line)
+			}
+			continue
+		}
+		if !promLineRe.MatchString(line) {
+			t.Errorf("invalid exposition line %q", line)
+			continue
+		}
+		if !strings.HasPrefix(line, "smvx_") {
+			t.Errorf("line %q lacks smvx_ prefix", line)
+		}
+		if i := strings.Index(line, `le="`); i >= 0 && !strings.Contains(line, `le="+Inf"`) {
+			series := line[:i]
+			if series != lastBucketSeries {
+				lastBucketSeries, lastCum = series, 0
+			}
+			v, err := strconv.ParseUint(line[strings.LastIndexByte(line, ' ')+1:], 10, 64)
+			if err != nil {
+				t.Errorf("bucket line %q: %v", line, err)
+				continue
+			}
+			if v < lastCum {
+				t.Errorf("bucket counts not cumulative at %q (%d < %d)", line, v, lastCum)
+			}
+			lastCum = v
+		}
+	}
+	out := buf.String()
+	// +Inf bucket matches _count for the labeled ret_only series.
+	if !strings.Contains(out, `smvx_rendezvous_cycles_bucket{category="ret_only",le="+Inf"} 2`) {
+		t.Errorf("missing/incorrect +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `smvx_rendezvous_cycles_count{category="ret_only"} 2`) {
+		t.Errorf("missing _count line:\n%s", out)
+	}
+	for _, cat := range []string{"ret_only", "ret_buf", "special"} {
+		if !strings.Contains(out, `smvx_rendezvous_cycles_bucket{category="`+cat+`"`) {
+			t.Errorf("missing category %s histogram:\n%s", cat, out)
+		}
+	}
+}
+
+func TestTelemetryPrometheusNilMetrics(t *testing.T) {
+	var m *Metrics
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("nil metrics wrote %q", buf.String())
+	}
+}
+
+// TestTelemetryMetricsConcurrentScrape hammers the registry from writer
+// goroutines while a scraper renders Prometheus output — the live
+// telemetry plane's steady state. Run under -race this is the data-race
+// proof for concurrent writers + WritePrometheus readers.
+func TestTelemetryMetricsConcurrentScrape(t *testing.T) {
+	m := NewMetrics()
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("rendezvous.cycles{category=cat%d}", w%3)
+			for i := 0; i < perWriter; i++ {
+				m.Inc("scrape.writes")
+				m.Observe(name, uint64(i+1))
+				m.SetGauge("rss_kb", float64(i))
+			}
+		}(w)
+	}
+	scrapeDone := make(chan struct{})
+	go func() {
+		defer close(scrapeDone)
+		for i := 0; i < 50; i++ {
+			if err := m.WritePrometheus(io.Discard); err != nil {
+				t.Errorf("scrape %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-scrapeDone
+	if got := m.Counter("scrape.writes"); got != writers*perWriter {
+		t.Errorf("writes = %d, want %d", got, writers*perWriter)
+	}
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), fmt.Sprintf("smvx_scrape_writes %d", writers*perWriter)) {
+		t.Errorf("final scrape missing counter:\n%s", buf.String())
+	}
+}

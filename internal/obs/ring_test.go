@@ -133,6 +133,12 @@ func TestNilRecorderIsNoop(t *testing.T) {
 	r.Metrics().Inc("n")
 	r.Metrics().Observe("h", 4)
 	r.Metrics().SetGauge("g", 1.5)
+	r.BeginRendezvousSpan(VariantLeader, 1, "read", 2).End(0)
+	r.BeginEmulationSpan(VariantLeader, 1, "read", 2).End(64)
+	r.BeginVariantCreateSpan(1, "f").End(3)
+	if l, f := r.VariantTotals(); l != 0 || f != 0 {
+		t.Error("nil recorder has variant totals")
+	}
 	if got := r.Events(); got != nil {
 		t.Errorf("nil recorder events = %v", got)
 	}
@@ -152,8 +158,40 @@ func TestNilRecordDoesNotAllocate(t *testing.T) {
 	allocs := testing.AllocsPerRun(100, func() {
 		r.Record(EvLibcEnter, VariantLeader, 1, "read", 1, 2, 3)
 		r.Metrics().Inc("x")
+		sp := r.BeginRendezvousSpan(VariantLeader, 1, "read", 2)
+		sp.End(0)
+		esp := r.BeginEmulationSpan(VariantLeader, 1, "read", 2)
+		esp.End(128)
+		vsp := r.BeginVariantCreateSpan(1, "handle_input")
+		vsp.End(9)
 	})
 	if allocs != 0 {
 		t.Errorf("nil recorder path allocates %.1f per op", allocs)
+	}
+}
+
+func TestSpanRecordsEventsAndHistogram(t *testing.T) {
+	r := NewRecorder(Config{})
+	sp := r.BeginRendezvousSpan(VariantLeader, 1, "read", 2)
+	sp.End(42)
+	ev := r.Events()
+	if len(ev) != 2 || ev[0].Kind != EvSpanBegin || ev[1].Kind != EvSpanEnd {
+		t.Fatalf("span events = %+v", ev)
+	}
+	if ev[0].Name != "rendezvous:read" || ev[0].Arg0 != 2 {
+		t.Errorf("begin event = %+v", ev[0])
+	}
+	if ev[1].Ret != 42 {
+		t.Errorf("end event ret = %d, want 42", ev[1].Ret)
+	}
+	h := r.Metrics().Histogram("rendezvous.cycles{category=ret_buf}")
+	if h.Count != 1 {
+		t.Errorf("labeled histogram count = %d, want 1", h.Count)
+	}
+	if got := RendezvousMetricName(2); got != "rendezvous.cycles{category=ret_buf}" {
+		t.Errorf("RendezvousMetricName(2) = %q", got)
+	}
+	if got := CategoryLabel(99); got != "unknown" {
+		t.Errorf("CategoryLabel(99) = %q", got)
 	}
 }

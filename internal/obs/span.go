@@ -1,0 +1,163 @@
+package obs
+
+import "smvx/internal/sim/clock"
+
+// Typed spans are the tracing half of the live telemetry plane: a span
+// brackets one logical operation (a lockstep rendezvous, a result
+// emulation, a variant creation) with EvSpanBegin/EvSpanEnd events on the
+// ring and, on End, feeds the duration into a labeled histogram — the
+// per-category RTT distributions the Prometheus exporter serves as
+// smvx_rendezvous_cycles{category=...}.
+//
+// Spans are small value types. Beginning a span on a nil Recorder returns
+// the zero span, whose End is a no-op: instrumentation sites pay nothing
+// (no allocation, no clock read) when telemetry is disabled.
+
+// CategoryLabel returns the metric label slug for a Table 1 emulation
+// category code. It mirrors libc.Category (which obs cannot import)
+// by code: 1=ret_only, 2=ret_buf, 3=special, 4=local.
+func CategoryLabel(code uint64) string {
+	switch code {
+	case 1:
+		return "ret_only"
+	case 2:
+		return "ret_buf"
+	case 3:
+		return "special"
+	case 4:
+		return "local"
+	default:
+		return "unknown"
+	}
+}
+
+// Pre-built labeled metric names, indexed by category code, so the enabled
+// hot path observes without concatenating strings.
+var (
+	rendezvousMetricNames = categoryMetricNames("rendezvous.cycles")
+	emulationMetricNames  = categoryMetricNames("emulation.cycles")
+)
+
+func categoryMetricNames(base string) [6]string {
+	var out [6]string
+	for code := range out {
+		out[code] = base + "{category=" + CategoryLabel(uint64(code)) + "}"
+	}
+	return out
+}
+
+// RendezvousMetricName returns the labeled histogram name a rendezvous
+// span of the given category code observes into.
+func RendezvousMetricName(code uint64) string {
+	if code >= uint64(len(rendezvousMetricNames)) {
+		code = 0
+	}
+	return rendezvousMetricNames[code]
+}
+
+// span is the machinery shared by the typed spans.
+type span struct {
+	rec   *Recorder
+	start clock.Cycles
+	v     Variant
+	tid   int
+	name  string
+}
+
+func (r *Recorder) beginSpan(v Variant, tid int, name string, a0 uint64) span {
+	ts := r.now()
+	r.RecordAt(ts, EvSpanBegin, v, tid, name, a0, 0, 0)
+	return span{rec: r, start: ts, v: v, tid: tid, name: name}
+}
+
+// end closes the span: records EvSpanEnd (Arg0 = duration), observes the
+// duration into metric (if non-empty), and returns the duration.
+func (s span) end(metric string, a1, ret uint64) clock.Cycles {
+	if s.rec == nil {
+		return 0
+	}
+	d := s.rec.now() - s.start
+	s.rec.RecordAt(s.start+d, EvSpanEnd, s.v, s.tid, s.name, uint64(d), a1, ret)
+	if metric != "" {
+		s.rec.metrics.Observe(metric, uint64(d))
+	}
+	return d
+}
+
+// RendezvousSpan measures one leader/follower lockstep rendezvous — from
+// the leader posting the call to the paired decision completing. Its
+// duration lands in rendezvous.cycles{category=...}.
+type RendezvousSpan struct {
+	s        span
+	category uint64
+}
+
+// BeginRendezvousSpan opens a rendezvous span for a libc call of the given
+// Table 1 category code. Nil-safe: returns a no-op span when disabled.
+func (r *Recorder) BeginRendezvousSpan(v Variant, tid int, call string, category uint64) RendezvousSpan {
+	if r == nil {
+		return RendezvousSpan{}
+	}
+	if category >= uint64(len(rendezvousMetricNames)) {
+		category = 0
+	}
+	return RendezvousSpan{s: r.beginSpan(v, tid, "rendezvous:"+call, category), category: category}
+}
+
+// End closes the rendezvous with the leader's return value.
+func (sp RendezvousSpan) End(ret uint64) clock.Cycles {
+	if sp.s.rec == nil {
+		return 0
+	}
+	return sp.s.end(rendezvousMetricNames[sp.category], sp.category, ret)
+}
+
+// EmulationSpan measures one leader→follower result emulation (the Table 1
+// buffer/return-value copy). Its duration lands in
+// emulation.cycles{category=...}.
+type EmulationSpan struct {
+	s        span
+	category uint64
+}
+
+// BeginEmulationSpan opens an emulation span for a libc call of the given
+// Table 1 category code. Nil-safe.
+func (r *Recorder) BeginEmulationSpan(v Variant, tid int, call string, category uint64) EmulationSpan {
+	if r == nil {
+		return EmulationSpan{}
+	}
+	if category >= uint64(len(emulationMetricNames)) {
+		category = 0
+	}
+	return EmulationSpan{s: r.beginSpan(v, tid, "emulation:"+call, category), category: category}
+}
+
+// End closes the emulation with the number of bytes copied.
+func (sp EmulationSpan) End(bytesCopied uint64) clock.Cycles {
+	if sp.s.rec == nil {
+		return 0
+	}
+	return sp.s.end(emulationMetricNames[sp.category], sp.category, bytesCopied)
+}
+
+// VariantCreateSpan measures one end-to-end mvx_start variant creation
+// (clone + relocate + thread clone). Its duration lands in
+// variant.create.cycles — the full span, as opposed to
+// variant.creation.cycles which sums only the Table 2 phase costs.
+type VariantCreateSpan struct {
+	s span
+}
+
+// BeginVariantCreateSpan opens a variant-creation span for the protected
+// function fn. Nil-safe.
+func (r *Recorder) BeginVariantCreateSpan(tid int, fn string) VariantCreateSpan {
+	if r == nil {
+		return VariantCreateSpan{}
+	}
+	return VariantCreateSpan{s: r.beginSpan(VariantNone, tid, "variant-create:"+fn, 0)}
+}
+
+// End closes the creation span with the number of pointers relocated.
+func (sp VariantCreateSpan) End(pointersRelocated uint64) clock.Cycles {
+	return sp.s.end("variant.create.cycles", pointersRelocated, 0)
+}

@@ -1,0 +1,221 @@
+// Package telemetry is the live window into a running sMVX monitor: an
+// embedded HTTP server that serves the flight recorder's metrics registry
+// in Prometheus text format, health derived from the monitor's lockstep
+// state, the Chrome-trace span timeline, divergence forensics, and the
+// virtual-cycle sampling profile — plus an SLO watchdog that degrades
+// /healthz instead of killing the run. Everything reads the same nil-safe
+// obs.Recorder the monitor already writes, so serving telemetry adds no
+// work to the lockstep hot path.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+
+	"smvx/internal/obs"
+)
+
+// Health exposes monitor liveness to /healthz. Both funcs may be nil
+// (reported as "unknown" / true).
+type Health struct {
+	// Phase returns the monitor phase: "init", "idle", or "region".
+	Phase func() string
+	// FollowerLive reports whether the follower variant is still running
+	// its lockstep loop.
+	FollowerLive func() bool
+}
+
+// FoldedSource provides folded-stack profile text for /profile
+// (perfprof.Sampler implements it).
+type FoldedSource interface {
+	Folded() string
+}
+
+// Server serves the telemetry endpoints for one flight recorder.
+type Server struct {
+	rec *obs.Recorder
+
+	mu      sync.Mutex
+	health  Health
+	wd      *Watchdog
+	profile FoldedSource
+
+	ln net.Listener
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithHealth attaches monitor health probes to /healthz.
+func WithHealth(h Health) Option { return func(s *Server) { s.health = h } }
+
+// WithWatchdog attaches an SLO watchdog; once tripped, /healthz reports 503.
+func WithWatchdog(w *Watchdog) Option { return func(s *Server) { s.wd = w } }
+
+// WithProfile attaches a folded-stack source to /profile.
+func WithProfile(f FoldedSource) Option { return func(s *Server) { s.profile = f } }
+
+// New creates a telemetry server over rec (which may be nil: every
+// endpoint still answers, with empty metrics and trivially-healthy state).
+func New(rec *obs.Recorder, opts ...Option) *Server {
+	s := &Server{rec: rec}
+	for _, fn := range opts {
+		fn(s)
+	}
+	return s
+}
+
+// SetHealth swaps the health probes after construction — the monitor is
+// typically created after the server when the CLI wires flags first.
+func (s *Server) SetHealth(h Health) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.health = h
+	s.mu.Unlock()
+}
+
+// Watchdog returns the attached watchdog (nil when none).
+func (s *Server) Watchdog() *Watchdog {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wd
+}
+
+// Handler returns the telemetry mux, for embedding or httptest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/trace.json", s.handleTrace)
+	mux.HandleFunc("/forensics", s.handleForensics)
+	mux.HandleFunc("/profile", s.handleProfile)
+	mux.HandleFunc("/", s.handleIndex)
+	return mux
+}
+
+// Start listens on addr (":0" picks a free port) and serves in a
+// background goroutine. It returns the bound address, e.g. for the CLI to
+// print the scrape URL.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	go http.Serve(ln, s.Handler()) //nolint:errcheck // ends when ln closes
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener (if Start ran) and the watchdog (if attached).
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	ln, wd := s.ln, s.wd
+	s.ln = nil
+	s.mu.Unlock()
+	wd.Stop()
+	if ln != nil {
+		return ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.rec.Metrics().WritePrometheus(w) //nolint:errcheck // client went away
+}
+
+// healthState is the /healthz JSON body.
+type healthState struct {
+	Status          string   `json:"status"`
+	Phase           string   `json:"phase"`
+	FollowerLive    bool     `json:"follower_live"`
+	Alarms          int      `json:"alarms"`
+	WatchdogTripped bool     `json:"watchdog_tripped"`
+	WatchdogReasons []string `json:"watchdog_reasons,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h, wd := s.health, s.wd
+	s.mu.Unlock()
+
+	st := healthState{Status: "ok", Phase: "unknown", FollowerLive: true}
+	if h.Phase != nil {
+		st.Phase = h.Phase()
+	}
+	if h.FollowerLive != nil {
+		st.FollowerLive = h.FollowerLive()
+	}
+	st.Alarms = s.rec.AlarmCount()
+	if wd != nil {
+		// Evaluate on scrape too, so a watchdog without a Start loop (or
+		// between ticks) still reflects the latest recorder state.
+		wd.Check()
+		st.WatchdogTripped = wd.Tripped()
+		st.WatchdogReasons = wd.Reasons()
+	}
+	code := http.StatusOK
+	if st.WatchdogTripped {
+		st.Status = "degraded"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(st) //nolint:errcheck // client went away
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.rec.WriteChromeTrace(w) //nolint:errcheck // client went away
+}
+
+func (s *Server) handleForensics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	reports := s.rec.ForensicReports()
+	if len(reports) == 0 {
+		fmt.Fprintln(w, "no divergence alarms recorded")
+		return
+	}
+	for i, rep := range reports {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprint(w, rep)
+	}
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	p := s.profile
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if p == nil {
+		fmt.Fprintln(w, "# sampling profiler not enabled")
+		return
+	}
+	fmt.Fprint(w, p.Folded())
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, "smvx telemetry\n\n/metrics    Prometheus text format\n/healthz    monitor health (503 when SLO watchdog tripped)\n/trace.json Chrome trace of recorded events and spans\n/forensics  divergence forensics reports\n/profile    folded stacks from the virtual-cycle sampler\n")
+}

@@ -1,0 +1,153 @@
+package perfprof
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"smvx/internal/sim/clock"
+	"smvx/internal/sim/kernel"
+	"smvx/internal/sim/machine"
+)
+
+// Sampler is the virtual-cycle sampling profiler: installed with
+// machine.SetCycleSampler it receives one call-stack sample per period of
+// thread-attributed work, and installed with kernel's SetCycleTicker it
+// accumulates syscall cycles under a synthetic [kernel] root. Samples
+// aggregate into folded stacks — semicolon-separated frames with a
+// trailing count, the input format of flamegraph.pl and inferno — with
+// the variant ("leader"/"follower") as the root frame.
+type Sampler struct {
+	period clock.Cycles
+
+	mu        sync.Mutex
+	folded    map[string]uint64
+	samples   uint64
+	kernelAcc map[int]clock.Cycles
+}
+
+var (
+	_ machine.CycleSampler = (*Sampler)(nil)
+	_ kernel.CycleTicker   = (*Sampler)(nil)
+)
+
+// NewSampler creates a sampler; non-positive period selects
+// machine.DefaultSamplePeriod.
+func NewSampler(period clock.Cycles) *Sampler {
+	if period <= 0 {
+		period = machine.DefaultSamplePeriod
+	}
+	return &Sampler{
+		period:    period,
+		folded:    make(map[string]uint64),
+		kernelAcc: make(map[int]clock.Cycles),
+	}
+}
+
+// Period returns the sampling interval in virtual cycles.
+func (s *Sampler) Period() clock.Cycles { return s.period }
+
+// Sample implements machine.CycleSampler.
+func (s *Sampler) Sample(tid int, follower bool, stack []string, n uint64) {
+	if n == 0 || len(stack) == 0 {
+		return
+	}
+	root := "leader"
+	if follower {
+		root = "follower"
+	}
+	key := root + ";" + strings.Join(stack, ";")
+	s.mu.Lock()
+	s.folded[key] += n
+	s.samples += n
+	s.mu.Unlock()
+}
+
+// TickSyscall implements kernel.CycleTicker: kernel work has no user call
+// stack, so charges accumulate per process and fold under "[kernel];name".
+func (s *Sampler) TickSyscall(pid int, name string, c clock.Cycles) {
+	s.mu.Lock()
+	acc := s.kernelAcc[pid] + c
+	if acc >= s.period {
+		n := uint64(acc / s.period)
+		acc %= s.period
+		s.folded["[kernel];"+name] += n
+		s.samples += n
+	}
+	s.kernelAcc[pid] = acc
+	s.mu.Unlock()
+}
+
+// Samples returns the total number of samples taken.
+func (s *Sampler) Samples() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.samples
+}
+
+// Folded renders the profile as folded stacks, one "frame;frame;... count"
+// line per unique stack, sorted by count descending then stack name — feed
+// it to flamegraph.pl / inferno, or read the top line as the hottest path.
+func (s *Sampler) Folded() string {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.folded))
+	for k := range s.folded {
+		keys = append(keys, k)
+	}
+	counts := make(map[string]uint64, len(keys))
+	for k, v := range s.folded {
+		counts[k] = v
+	}
+	s.mu.Unlock()
+
+	sort.Slice(keys, func(i, j int) bool {
+		if counts[keys[i]] != counts[keys[j]] {
+			return counts[keys[i]] > counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s %d\n", k, counts[k])
+	}
+	return b.String()
+}
+
+// Hottest returns the most-sampled folded stack and its sample count.
+func (s *Sampler) Hottest() (stack string, count uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range s.folded {
+		if v > count || (v == count && k < stack) {
+			stack, count = k, v
+		}
+	}
+	return stack, count
+}
+
+// HottestLeaf aggregates samples by leaf frame (the function on-CPU at
+// sample time) and returns the hottest one — the workload's hot function.
+func (s *Sampler) HottestLeaf() (fn string, count uint64) {
+	s.mu.Lock()
+	leaves := make(map[string]uint64)
+	for k, v := range s.folded {
+		leaves[k[strings.LastIndexByte(k, ';')+1:]] += v
+	}
+	s.mu.Unlock()
+	for k, v := range leaves {
+		if v > count || (v == count && k < fn) {
+			fn, count = k, v
+		}
+	}
+	return fn, count
+}
+
+// Reset clears all samples and accumulators.
+func (s *Sampler) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.folded = make(map[string]uint64)
+	s.samples = 0
+	s.kernelAcc = make(map[int]clock.Cycles)
+}

@@ -1,0 +1,65 @@
+package perfprof
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSamplerFoldedOutput(t *testing.T) {
+	s := NewSampler(100)
+	if s.Period() != 100 {
+		t.Fatalf("period = %d", s.Period())
+	}
+	stack := []string{"main", "ngx_worker_process_cycle", "ngx_http_process_request_line"}
+	s.Sample(1, false, stack, 3)
+	s.Sample(1, false, stack[:2], 1)
+	s.Sample(2, true, stack, 2)
+	s.Sample(1, false, nil, 5)   // empty stack dropped
+	s.Sample(1, false, stack, 0) // zero periods dropped
+
+	if got := s.Samples(); got != 6 {
+		t.Errorf("samples = %d, want 6", got)
+	}
+	folded := s.Folded()
+	lines := strings.Split(strings.TrimRight(folded, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("folded lines = %d:\n%s", len(lines), folded)
+	}
+	// Sorted by count descending: the 3-sample leader stack first.
+	if lines[0] != "leader;main;ngx_worker_process_cycle;ngx_http_process_request_line 3" {
+		t.Errorf("top line = %q", lines[0])
+	}
+	if !strings.Contains(folded, "follower;main;ngx_worker_process_cycle;ngx_http_process_request_line 2") {
+		t.Errorf("missing follower stack:\n%s", folded)
+	}
+
+	if top, n := s.Hottest(); n != 3 || !strings.HasPrefix(top, "leader;") {
+		t.Errorf("hottest = %q %d", top, n)
+	}
+	// Leaf aggregation: request_line has 3 (leader) + 2 (follower) = 5.
+	if fn, n := s.HottestLeaf(); fn != "ngx_http_process_request_line" || n != 5 {
+		t.Errorf("hottest leaf = %q %d", fn, n)
+	}
+}
+
+func TestSamplerKernelTicks(t *testing.T) {
+	s := NewSampler(1000)
+	// 600 + 600 crosses one period; next 1000 crosses another.
+	s.TickSyscall(7, "read", 600)
+	s.TickSyscall(7, "read", 600)
+	s.TickSyscall(7, "epoll_wait", 1000)
+	if got := s.Samples(); got != 2 {
+		t.Errorf("samples = %d, want 2", got)
+	}
+	folded := s.Folded()
+	if !strings.Contains(folded, "[kernel];read 1") {
+		t.Errorf("missing kernel read sample:\n%s", folded)
+	}
+	if !strings.Contains(folded, "[kernel];epoll_wait 1") {
+		t.Errorf("missing kernel epoll sample:\n%s", folded)
+	}
+	s.Reset()
+	if s.Samples() != 0 || s.Folded() != "" {
+		t.Error("reset did not clear")
+	}
+}

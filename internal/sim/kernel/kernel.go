@@ -122,6 +122,9 @@ func (p *Process) enter(name string) {
 	p.syscallCounts[name]++
 	p.syscallTotal++
 	p.syscallMu.Unlock()
+	if p.ticker != nil {
+		p.ticker.TickSyscall(p.pid, name, p.k.costs.SyscallCost())
+	}
 	p.rec.Record(obs.EvSyscall, obs.VariantNone, p.pid, name, uint64(p.pid), 0, 0)
 	p.rec.Metrics().Inc("syscall.total")
 }
@@ -182,6 +185,7 @@ type Process struct {
 	counter *clock.Counter
 	wall    *clock.Counter
 	rec     *obs.Recorder
+	ticker  CycleTicker
 
 	mu     sync.Mutex
 	fds    map[int]*FD
@@ -201,6 +205,18 @@ func (p *Process) SetWallCounter(c *clock.Counter) { p.wall = c }
 // EvSyscall event. Must be called before threads run; nil (the default)
 // keeps the syscall path free of observability work.
 func (p *Process) SetRecorder(r *obs.Recorder) { p.rec = r }
+
+// CycleTicker receives the virtual cycles each syscall charges. Kernel
+// work bypasses machine.ChargeThread (the process charges its counter
+// directly), so the sampling profiler needs this separate tick source to
+// attribute kernel time. Same convention as SetRecorder: set before
+// threads run.
+type CycleTicker interface {
+	TickSyscall(pid int, name string, c clock.Cycles)
+}
+
+// SetCycleTicker attaches (nil detaches) the syscall cycle ticker.
+func (p *Process) SetCycleTicker(t CycleTicker) { p.ticker = t }
 
 // NewProcess registers a fresh process with stdin/stdout/stderr reserved,
 // charging its syscall cycles to counter (which may be nil).

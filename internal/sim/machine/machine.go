@@ -98,6 +98,21 @@ type Profiler interface {
 	OnExit(tid int, fn string, inclusive clock.Cycles)
 }
 
+// CycleSampler receives periodic virtual-cycle call-stack samples — the
+// simulated equivalent of perf's timer interrupt, driven by charged
+// cycles instead of wall time. Every time a thread accumulates one sample
+// period of attributed work, Sample is invoked with the thread's current
+// simulated call stack (outermost first). n is how many whole periods the
+// charge crossed. The callee must not retain stack.
+type CycleSampler interface {
+	Sample(tid int, follower bool, stack []string, n uint64)
+}
+
+// DefaultSamplePeriod is the sampling interval in virtual cycles when
+// SetCycleSampler is given a non-positive period (~210k samples/simulated
+// second at the 2.1GHz cost model).
+const DefaultSamplePeriod clock.Cycles = 10_000
+
 // Machine executes one program inside one process.
 type Machine struct {
 	prog *Program
@@ -109,6 +124,11 @@ type Machine struct {
 	wall    *clock.Counter
 
 	libc LibcDispatcher
+
+	// sampler is read on every ChargeThread; like Process.SetRecorder it
+	// follows the "set before threads run" convention instead of a lock.
+	sampler      CycleSampler
+	samplePeriod clock.Cycles
 
 	mu           sync.RWMutex
 	interposer   Interposer
@@ -183,6 +203,17 @@ func (m *Machine) SetTaintSink(s TaintSink) {
 	m.taintSink = s
 }
 
+// SetCycleSampler installs the sampling profiler with its period in
+// virtual cycles (non-positive selects DefaultSamplePeriod; nil sampler
+// disables). Must be called before the machine's threads run.
+func (m *Machine) SetCycleSampler(s CycleSampler, period clock.Cycles) {
+	if period <= 0 {
+		period = DefaultSamplePeriod
+	}
+	m.sampler = s
+	m.samplePeriod = period
+}
+
 // SetProfiler installs the function-level profiler.
 func (m *Machine) SetProfiler(p Profiler) {
 	m.mu.Lock()
@@ -235,10 +266,22 @@ func (m *Machine) charge(c clock.Cycles) {
 }
 
 // ChargeThread adds cycles attributable to a specific thread: always to the
-// total counter, and to the wall counter only for foreground threads.
+// total counter, and to the wall counter only for foreground threads. It is
+// also the sampling profiler's tick source: the thread accumulates charged
+// cycles and fires the sampler on each period crossing. The accumulator
+// lives on the thread (charges with thread context run on that thread's
+// own goroutine), so concurrent variants sample race-free.
 func (m *Machine) ChargeThread(t *Thread, c clock.Cycles) {
 	if m.counter != nil {
 		m.counter.Charge(c)
+	}
+	if t != nil && m.sampler != nil {
+		t.sampleAcc += c
+		if t.sampleAcc >= m.samplePeriod {
+			n := uint64(t.sampleAcc / m.samplePeriod)
+			t.sampleAcc %= m.samplePeriod
+			m.sampler.Sample(t.tid, t.bias != 0, t.fnStack, n)
+		}
 	}
 	if t != nil && t.background {
 		return

@@ -103,6 +103,11 @@ type Thread struct {
 
 	fnStack []string
 
+	// sampleAcc accumulates charged cycles toward the machine's sampling
+	// profiler period (see Machine.ChargeThread); only the owning
+	// goroutine touches it.
+	sampleAcc clock.Cycles
+
 	depth int
 }
 
