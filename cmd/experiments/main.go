@@ -18,6 +18,7 @@ import (
 
 	"smvx/internal/experiments"
 	"smvx/internal/obs"
+	"smvx/internal/obs/blackbox"
 	"smvx/internal/obs/telemetry"
 )
 
@@ -39,6 +40,7 @@ func run() error {
 		benchJSON = flag.String("bench-json", "BENCH_experiments.json", "write metric name -> value JSON here (empty to skip)")
 		telemAddr = flag.String("telemetry", "", "serve live telemetry on this address (e.g. :9090) while experiments run")
 		linger    = flag.Duration("linger", 0, "keep the telemetry server up this long after the run (with -telemetry)")
+		bbDir     = flag.String("blackbox", "", "spill the cve run's flight-recorder events to a black-box trace WAL in this directory (inspect with smvx-replay)")
 	)
 	flag.Parse()
 
@@ -132,8 +134,25 @@ func run() error {
 	if want("cve") {
 		ran = true
 		rec := telRec
-		if rec == nil && (*forensics || *traceOut != "") {
+		if rec == nil && (*forensics || *traceOut != "" || *bbDir != "") {
 			rec = obs.NewRecorder(obs.Config{})
+		}
+		if *bbDir != "" {
+			cfg := rec.Config()
+			w, err := blackbox.Open(*bbDir, blackbox.Meta{
+				Capacity: cfg.Capacity, ForensicWindow: cfg.ForensicWindow,
+				Labels: map[string]string{"app": "nginx", "artifact": "cve"},
+			}, blackbox.Options{Metrics: rec.Metrics()})
+			if err != nil {
+				return err
+			}
+			rec.SetSink(w)
+			defer func() {
+				if err := w.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: blackbox WAL incomplete: %v\n", err)
+				}
+			}()
+			fmt.Printf("blackbox WAL: %s (inspect with smvx-replay)\n", *bbDir)
 		}
 		res, err := experiments.CVEObserved(rec)
 		if err != nil {

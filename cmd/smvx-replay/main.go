@@ -1,0 +1,207 @@
+// Command smvx-replay inspects black-box trace WALs recorded with
+// smvx -blackbox (or experiments -blackbox): it reconstructs the
+// flight-recorder timeline offline and regenerates the live process's
+// artifacts — plus the cross-run trace diff the live process cannot do.
+//
+// Usage:
+//
+//	smvx-replay inspect <wal-dir>
+//	smvx-replay forensics <wal-dir>
+//	smvx-replay diff [-variant leader|follower] [-context 5] <wal-a> <wal-b>
+//	smvx-replay diff -variants <wal-dir>
+//	smvx-replay export [-format chrome|table|metrics] [-o out] <wal-dir>
+//
+// `forensics` and `export -format chrome` are byte-identical to what the
+// recorded run itself would have printed: the replayer truncates the WAL
+// stream to the ring view the live exporters saw. `diff` extends the
+// Section 3.2 first-divergence analysis from in-memory basic-block logs
+// to recorded libc-call streams: diff a success-login WAL against a
+// failed-login WAL and the first divergent call — attributed to its
+// simulated calling function — flags the authentication code; diff one
+// run's variants (-variants) and it flags the call where the follower
+// parted from the leader.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"smvx/internal/obs"
+	"smvx/internal/obs/replay"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "smvx-replay:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: smvx-replay <inspect|forensics|diff|export> [flags] <wal-dir> [<wal-dir>]")
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "inspect":
+		return cmdInspect(rest, out)
+	case "forensics":
+		return cmdForensics(rest, out)
+	case "diff":
+		return cmdDiff(rest, out)
+	case "export":
+		return cmdExport(rest, out)
+	default:
+		return usage()
+	}
+}
+
+// load reads one WAL directory and surfaces its damage notes on stderr —
+// damage never blocks an inspection, but the operator should know the
+// record is partial.
+func load(dir string) (*replay.Replay, error) {
+	r, err := replay.Load(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range r.Run.Damage {
+		fmt.Fprintf(os.Stderr, "smvx-replay: warning: %s\n", d)
+	}
+	return r, nil
+}
+
+func cmdInspect(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: smvx-replay inspect <wal-dir>")
+	}
+	r, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, r.Summary())
+	return nil
+}
+
+func cmdForensics(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("forensics", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: smvx-replay forensics <wal-dir>")
+	}
+	r, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	reports := r.ForensicReports()
+	if len(reports) == 0 {
+		fmt.Fprintln(out, "no divergence alarms recorded")
+		return nil
+	}
+	for _, rep := range reports {
+		fmt.Fprint(out, rep)
+	}
+	return nil
+}
+
+func cmdDiff(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	variant := fs.String("variant", "leader", "which variant's call stream to diff across runs: leader | follower")
+	variants := fs.Bool("variants", false, "diff one run's leader stream against its follower stream")
+	context := fs.Int("context", replay.DefaultDiffContext, "libc calls of leading context to print per side")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *variants {
+		if fs.NArg() != 1 {
+			return fmt.Errorf("usage: smvx-replay diff -variants <wal-dir>")
+		}
+		r, err := load(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		d, ok := r.DiffVariants(*context)
+		if !ok {
+			fmt.Fprintln(out, "leader and follower call streams are identical")
+			return nil
+		}
+		fmt.Fprint(out, d.Format("leader", "follower"))
+		return nil
+	}
+
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: smvx-replay diff [-variant leader|follower] <wal-a> <wal-b>")
+	}
+	var v obs.Variant
+	switch *variant {
+	case "leader":
+		v = obs.VariantLeader
+	case "follower":
+		v = obs.VariantFollower
+	default:
+		return fmt.Errorf("unknown variant %q", *variant)
+	}
+	a, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	d, ok := replay.DiffRuns(a, b, v, *context)
+	if !ok {
+		fmt.Fprintf(out, "%s call streams are identical across the two runs\n", *variant)
+		return nil
+	}
+	fmt.Fprint(out, d.Format(fs.Arg(0), fs.Arg(1)))
+	return nil
+}
+
+func cmdExport(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("export", flag.ContinueOnError)
+	format := fs.String("format", "chrome", "output format: chrome | table | metrics")
+	outPath := fs.String("o", "", "write to this file instead of stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: smvx-replay export [-format chrome|table|metrics] [-o out] <wal-dir>")
+	}
+	r, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close() //nolint:errcheck // write errors surface below
+		w = f
+	}
+	switch *format {
+	case "chrome":
+		return r.WriteChromeTrace(w)
+	case "table":
+		_, err := io.WriteString(w, r.TableText())
+		return err
+	case "metrics":
+		_, err := io.WriteString(w, r.RebuildMetrics().TableText())
+		return err
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"smvx/internal/experiments"
 	"smvx/internal/mvx/remon"
 	"smvx/internal/obs"
+	"smvx/internal/obs/blackbox"
 	"smvx/internal/obs/telemetry"
 	"smvx/internal/perfprof"
 	"smvx/internal/sim/clock"
@@ -38,6 +39,7 @@ type obsPlane struct {
 	rec     *obs.Recorder
 	sampler *perfprof.Sampler
 	tel     *telemetry.Server
+	bb      *blackbox.Writer
 }
 
 // bootOpts returns the boot options that attach the plane to a process.
@@ -79,28 +81,46 @@ func run() error {
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
 		metrics   = flag.Bool("metrics", false, "print the flight recorder's metrics table after the run")
 		forensic  = flag.Bool("forensics", false, "print flight-recorder forensics reports for any alarms")
-		telemAddr = flag.String("telemetry", "", "serve live telemetry on this address (e.g. :9090): /metrics /healthz /trace.json /forensics /profile")
+		telemAddr = flag.String("telemetry", "", "serve live telemetry on this address (e.g. :9090): /metrics /healthz /trace.json /forensics /profile /blackbox")
 		linger    = flag.Duration("linger", 0, "keep the telemetry server up this long after the run (with -telemetry)")
+		bbDir     = flag.String("blackbox", "", "spill every recorded event to a black-box trace WAL in this directory (inspect with smvx-replay)")
 	)
 	flag.Parse()
 
 	var pl obsPlane
-	if *traceOut != "" || *metrics || *forensic || *telemAddr != "" {
+	if *traceOut != "" || *metrics || *forensic || *telemAddr != "" || *bbDir != "" {
 		pl.rec = obs.NewRecorder(obs.Config{})
+	}
+	if *bbDir != "" {
+		cfg := pl.rec.Config()
+		w, err := blackbox.Open(*bbDir, blackbox.Meta{
+			Capacity: cfg.Capacity, ForensicWindow: cfg.ForensicWindow,
+			Labels: map[string]string{
+				"app":  *app,
+				"mode": *mode,
+				"seed": fmt.Sprint(*seed),
+			},
+		}, blackbox.Options{Metrics: pl.rec.Metrics()})
+		if err != nil {
+			return err
+		}
+		pl.bb = w
+		pl.rec.SetSink(w)
 	}
 	if *telemAddr != "" {
 		pl.sampler = perfprof.NewSampler(0)
 		wd := telemetry.NewWatchdog(pl.rec, telemetry.SLO{MaxAlarms: 0})
 		pl.tel = telemetry.New(pl.rec,
 			telemetry.WithWatchdog(wd),
-			telemetry.WithProfile(pl.sampler))
+			telemetry.WithProfile(pl.sampler),
+			telemetry.WithBlackbox(pl.bb))
 		addr, err := pl.tel.Start(*telemAddr)
 		if err != nil {
 			return err
 		}
 		defer pl.tel.Close()
 		wd.Start(0)
-		fmt.Printf("telemetry: http://%s/metrics (healthz, trace.json, forensics, profile)\n", addr)
+		fmt.Printf("telemetry: http://%s/metrics (healthz, trace.json, forensics, profile, blackbox)\n", addr)
 	}
 
 	var err error
@@ -127,15 +147,24 @@ func run() error {
 		fmt.Printf("telemetry: run finished, serving for another %s\n", *linger)
 		time.Sleep(*linger)
 	}
-	return finishObs(pl.rec, *traceOut, *metrics, *forensic)
+	return finishObs(&pl, *traceOut, *metrics, *forensic)
 }
 
 // finishObs emits the observability artifacts the flags asked for, after
-// the run has quiesced.
-func finishObs(rec *obs.Recorder, traceOut string, metrics, forensic bool) error {
+// the run has quiesced, and seals the black-box WAL.
+func finishObs(pl *obsPlane, traceOut string, metrics, forensic bool) error {
+	rec := pl.rec
 	if rec == nil {
 		return nil
 	}
+	if pl.bb != nil {
+		if err := pl.bb.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "smvx: blackbox WAL incomplete: %v\n", err)
+		} else {
+			fmt.Printf("blackbox WAL sealed in %s (inspect with smvx-replay)\n", pl.bb.Dir())
+		}
+	}
+	rec.PublishDerived()
 	if metrics {
 		fmt.Println(rec.Metrics().TableText())
 	}

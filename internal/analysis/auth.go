@@ -12,41 +12,82 @@ import (
 	"smvx/internal/sim/machine"
 )
 
+// DivergenceKind distinguishes the two ways traces can part: a genuine
+// mismatch at some position, or one trace being a strict prefix of the
+// other. Before the kind existed, a prefix divergence surfaced as a
+// zero-value event on the exhausted side — indistinguishable from a real
+// zero event.
+type DivergenceKind int
+
+// Divergence kinds.
+const (
+	// DivMismatch: both traces hold an event at Index and they differ.
+	DivMismatch DivergenceKind = iota
+	// DivPrefix: the shorter trace ended at Index; only the longer side's
+	// event is populated.
+	DivPrefix
+)
+
+// String names the divergence kind.
+func (k DivergenceKind) String() string {
+	if k == DivPrefix {
+		return "prefix-exhausted"
+	}
+	return "mismatch"
+}
+
 // Divergence describes where two traces first part ways.
 type Divergence struct {
 	// Index is the position of the first differing event.
 	Index int
-	// Success is the success-trace event at that position (zero value if
-	// the success trace ended first).
+	// Kind says whether both traces hold an event at Index (DivMismatch)
+	// or one trace ended there (DivPrefix).
+	Kind DivergenceKind
+	// Success is the success-trace event at that position (zero value
+	// when Kind is DivPrefix and the success trace is the shorter one).
 	Success machine.TraceEvent
-	// Fail is the fail-trace event at that position (zero value if the
-	// fail trace ended first).
+	// Fail is the fail-trace event at that position (zero value when Kind
+	// is DivPrefix and the fail trace is the shorter one).
 	Fail machine.TraceEvent
+}
+
+// Diff locates the first index where two comparable-element traces
+// differ. It is the shared core of the Section 3.2 basic-block diff and
+// the black-box replayer's libc-call diff (internal/obs/replay): kind is
+// DivMismatch when both slices hold a differing element at index, and
+// DivPrefix when the shorter slice ends there. ok is false when the
+// slices are identical.
+func Diff[T comparable](a, b []T) (index int, kind DivergenceKind, ok bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i, DivMismatch, true
+		}
+	}
+	if len(a) != len(b) {
+		return n, DivPrefix, true
+	}
+	return 0, DivMismatch, false
 }
 
 // FirstDivergence diffs two basic-block traces and returns where they
 // split, or ok=false when they are identical.
 func FirstDivergence(success, fail []machine.TraceEvent) (Divergence, bool) {
-	n := len(success)
-	if len(fail) < n {
-		n = len(fail)
+	i, kind, ok := Diff(success, fail)
+	if !ok {
+		return Divergence{}, false
 	}
-	for i := 0; i < n; i++ {
-		if success[i] != fail[i] {
-			return Divergence{Index: i, Success: success[i], Fail: fail[i]}, true
-		}
+	d := Divergence{Index: i, Kind: kind}
+	if i < len(success) {
+		d.Success = success[i]
 	}
-	if len(success) != len(fail) {
-		d := Divergence{Index: n}
-		if n < len(success) {
-			d.Success = success[n]
-		}
-		if n < len(fail) {
-			d.Fail = fail[n]
-		}
-		return d, true
+	if i < len(fail) {
+		d.Fail = fail[i]
 	}
-	return Divergence{}, false
+	return d, true
 }
 
 // AuthFunctions returns the candidate authentication functions: the

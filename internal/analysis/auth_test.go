@@ -24,6 +24,9 @@ func TestFirstDivergenceFindsSplit(t *testing.T) {
 	if d.Index != 2 || d.Success.Block != "ok" || d.Fail.Block != "fail" {
 		t.Errorf("divergence = %+v", d)
 	}
+	if d.Kind != DivMismatch {
+		t.Errorf("kind = %v, want mismatch", d.Kind)
+	}
 }
 
 func TestIdenticalTracesNoDivergence(t *testing.T) {
@@ -39,6 +42,26 @@ func TestPrefixTraceDivergesAtEnd(t *testing.T) {
 	d, ok := FirstDivergence(longer, shorter)
 	if !ok || d.Index != 1 || d.Success.Fn != "b" || d.Fail.Fn != "" {
 		t.Errorf("prefix divergence = %+v ok=%v", d, ok)
+	}
+	// The kind disambiguates "the fail trace ended" from "the fail trace
+	// holds a zero-value event here".
+	if d.Kind != DivPrefix {
+		t.Errorf("kind = %v, want prefix-exhausted", d.Kind)
+	}
+}
+
+func TestDiffGeneric(t *testing.T) {
+	if i, k, ok := Diff([]int{1, 2, 3}, []int{1, 9, 3}); !ok || i != 1 || k != DivMismatch {
+		t.Errorf("Diff mismatch case: i=%d k=%v ok=%v", i, k, ok)
+	}
+	if i, k, ok := Diff([]string{"a"}, []string{"a", "b"}); !ok || i != 1 || k != DivPrefix {
+		t.Errorf("Diff prefix case: i=%d k=%v ok=%v", i, k, ok)
+	}
+	if _, _, ok := Diff([]int{4, 5}, []int{4, 5}); ok {
+		t.Error("identical slices must not diverge")
+	}
+	if _, _, ok := Diff(nil, []int(nil)); ok {
+		t.Error("two empty slices must not diverge")
 	}
 }
 

@@ -42,6 +42,10 @@ type Options struct {
 	// exposed as Env.Obs for the monitor) so the whole process traces into
 	// one flight recorder.
 	Recorder *obs.Recorder
+	// Blackbox, when non-nil, is attached to the Recorder as its durable
+	// event sink (a Recorder is created if none was given): every event the
+	// process records is spilled to the black-box WAL before ring eviction.
+	Blackbox obs.Sink
 	// Sampler, when non-nil, is installed as the machine's cycle sampler
 	// (user-space stacks) and the kernel process's syscall ticker, so the
 	// sampling profiler sees both sides of the process.
@@ -68,6 +72,11 @@ func WithCosts(c clock.CostTable) Option { return func(o *Options) { o.Costs = c
 
 // WithRecorder attaches a flight recorder to the assembled process.
 func WithRecorder(r *obs.Recorder) Option { return func(o *Options) { o.Recorder = r } }
+
+// WithBlackbox attaches a durable event sink (the black-box trace WAL) to
+// the process's flight recorder, creating a default recorder when none is
+// configured.
+func WithBlackbox(s obs.Sink) Option { return func(o *Options) { o.Blackbox = s } }
 
 // WithSampler attaches a virtual-cycle sampling profiler to the assembled
 // process.
@@ -109,6 +118,12 @@ func NewEnv(k *kernel.Kernel, prog *machine.Program, opts ...Option) (*Env, erro
 	o := Options{Seed: 1, HeapPages: DefaultHeapPages, Costs: k.Costs(), WriteProfile: true}
 	for _, fn := range opts {
 		fn(&o)
+	}
+	if o.Blackbox != nil {
+		if o.Recorder == nil {
+			o.Recorder = obs.NewRecorder(obs.Config{})
+		}
+		o.Recorder.SetSink(o.Blackbox)
 	}
 	img := prog.Image()
 

@@ -226,14 +226,14 @@ func (s *session) followerCall(t *machine.Thread, name string, args []uint64) ui
 			// pair here: enter back-dated to the rendezvous arrival, exit
 			// when the emulated result lands.
 			if obsRec != nil {
-				obsRec.RecordAt(arriveTS, obs.EvLibcEnter, obs.VariantFollower, t.TID(), name, a0, a1, 0)
-				obsRec.Record(obs.EvLibcExit, obs.VariantFollower, t.TID(), name, 0, 0, res.ret)
+				obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, obs.VariantFollower, t.TID(), name, a0, a1, 0)
+				obsRec.RecordIn(t.Fn(), obs.EvLibcExit, obs.VariantFollower, t.TID(), name, 0, 0, res.ret)
 			}
 			t.SetErrno(res.errno)
 			return res.ret
 		default:
 			if obsRec != nil {
-				obsRec.RecordAt(arriveTS, obs.EvLibcEnter, obs.VariantFollower, t.TID(), name, a0, a1, 0)
+				obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, obs.VariantFollower, t.TID(), name, a0, a1, 0)
 			}
 			panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDivergence})
 		}
@@ -380,6 +380,28 @@ func scalarMismatch(name string, leader, follower []uint64) (bad bool, l, f uint
 		}
 	}
 	return false, 0, 0
+}
+
+// ScalarArgMask returns, per argument position of a libc call, whether the
+// value is a scalar (comparable across variants) as opposed to a pointer
+// (whose value legitimately differs between the variants' non-overlapping
+// address windows). Positions beyond the mask are not comparable. This is
+// the rendezvous check's own table, exported so offline analysis
+// (internal/obs/replay) applies the exact same pointer semantics when
+// diffing a recorded leader stream against its follower stream.
+func ScalarArgMask(name string) []bool { return scalarArgMask(name) }
+
+// ScalarRet reports whether a libc call's return value is a scalar,
+// comparable across variants. Allocation and buffer calls return pointers
+// into the calling variant's own window, so their values differ between
+// variants by construction.
+func ScalarRet(name string) bool {
+	switch name {
+	case "malloc", "calloc", "realloc", "memcpy", "memset", "localtime_r":
+		return false
+	default:
+		return true
+	}
 }
 
 // scalarArgMask returns, per argument position, whether the value is a

@@ -208,7 +208,8 @@ func (l *LibC) Call(t *machine.Thread, name string, args []uint64) uint64 {
 	if len(args) > 1 {
 		a1 = args[1]
 	}
-	r.Record(obs.EvLibcEnter, v, t.TID(), name, a0, a1, 0)
+	fn := t.Fn()
+	r.RecordIn(fn, obs.EvLibcEnter, v, t.TID(), name, a0, a1, 0)
 	start := l.counter.Cycles()
 	ret := l.dispatch(t, name, args)
 	// The virtual clock is shared between concurrently executing variants,
@@ -217,7 +218,7 @@ func (l *LibC) Call(t *machine.Thread, name string, args []uint64) uint64 {
 	d := uint64(l.counter.Cycles() - start)
 	r.Metrics().Observe("libc.cycles."+name, d)
 	r.Metrics().Observe(categoryCycleMetric[CategoryOf(name)], d)
-	r.Record(obs.EvLibcExit, v, t.TID(), name, 0, 0, ret)
+	r.RecordIn(fn, obs.EvLibcExit, v, t.TID(), name, 0, 0, ret)
 	return ret
 }
 

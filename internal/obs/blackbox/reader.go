@@ -1,0 +1,130 @@
+package blackbox
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"smvx/internal/obs"
+)
+
+// Run is everything a WAL directory holds: the reconstructed event and
+// alarm streams, the run metadata, and notes about any damage encountered.
+// Damage never aborts a read — the reader yields every record up to the
+// first corrupted frame of each segment (a crash-truncated tail is the
+// *expected* end state of a black box) and says what it skipped.
+type Run struct {
+	// Meta is the most recent meta record (every segment leads with one).
+	Meta Meta
+	// Events is the full recorded event stream, in append order.
+	Events []obs.Event
+	// Alarms are the recorded alarm contexts, in raise order.
+	Alarms []obs.AlarmInfo
+	// Damage holds one human-readable note per anomaly (truncated tail,
+	// CRC mismatch, empty segment). Empty means the WAL read back clean.
+	Damage []string
+	// Segments is how many segment files were read.
+	Segments int
+	// Bytes is the total on-disk size read.
+	Bytes int64
+}
+
+// ReadDir reconstructs a Run from a WAL directory. It fails only when the
+// directory itself is unreadable or holds no segments; per-segment damage
+// is reported in Run.Damage instead.
+func ReadDir(dir string) (*Run, error) {
+	segs, err := segmentFiles(dir)
+	if err != nil {
+		return nil, fmt.Errorf("blackbox: %w", err)
+	}
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("blackbox: no WAL segments in %s", dir)
+	}
+	run := &Run{}
+	for _, path := range segs {
+		if err := run.readSegment(path); err != nil {
+			return nil, err
+		}
+	}
+	return run, nil
+}
+
+// readSegment appends one segment's records to the run.
+func (run *Run) readSegment(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("blackbox: %w", err)
+	}
+	run.Segments++
+	run.Bytes += int64(len(data))
+	name := filepath.Base(path)
+
+	if len(data) == 0 {
+		run.note("%s: empty segment (0 records)", name)
+		return nil
+	}
+	if len(data) < len(Magic) || string(data[:len(Magic)]) != Magic {
+		run.note("%s: bad or truncated magic header, segment skipped", name)
+		return nil
+	}
+	pos := len(Magic)
+	records := 0
+	for pos < len(data) {
+		plen, n := binary.Uvarint(data[pos:])
+		if n <= 0 || plen > uint64(len(data)-pos-n) {
+			run.note("%s: truncated record frame at offset %d (%d records kept)", name, pos, records)
+			return nil
+		}
+		payload := data[pos+n : pos+n+int(plen)]
+		crcPos := pos + n + int(plen)
+		if crcPos+4 > len(data) {
+			run.note("%s: truncated checksum at offset %d (%d records kept)", name, pos, records)
+			return nil
+		}
+		want := binary.LittleEndian.Uint32(data[crcPos : crcPos+4])
+		if got := crc32.Checksum(payload, crcTable); got != want {
+			run.note("%s: checksum mismatch at offset %d (%d records kept)", name, pos, records)
+			return nil
+		}
+		pos = crcPos + 4
+		if len(payload) == 0 {
+			run.note("%s: empty record payload at offset %d", name, pos)
+			continue
+		}
+		switch payload[0] {
+		case recMeta:
+			m, err := decodeMeta(payload[1:])
+			if err != nil {
+				run.note("%s: %v", name, err)
+				return nil
+			}
+			run.Meta = m
+		case recEvent:
+			e, err := decodeEvent(payload[1:])
+			if err != nil {
+				run.note("%s: %v", name, err)
+				return nil
+			}
+			run.Events = append(run.Events, e)
+		case recAlarm:
+			a, err := decodeAlarm(payload[1:])
+			if err != nil {
+				run.note("%s: %v", name, err)
+				return nil
+			}
+			run.Alarms = append(run.Alarms, a)
+		default:
+			// Unknown record type from a future writer: the frame checksummed
+			// clean, so skip just this record and keep reading.
+			run.note("%s: unknown record type %d skipped", name, payload[0])
+		}
+		records++
+	}
+	return nil
+}
+
+func (run *Run) note(format string, args ...any) {
+	run.Damage = append(run.Damage, fmt.Sprintf(format, args...))
+}

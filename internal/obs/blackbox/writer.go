@@ -1,0 +1,328 @@
+package blackbox
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"smvx/internal/obs"
+)
+
+// DefaultSegmentBytes is the rotation threshold: once a segment's framed
+// records exceed it, the writer seals the segment and starts the next.
+const DefaultSegmentBytes = 4 << 20
+
+// DefaultMaxSegments is the retention cap: when rotation would leave more
+// sealed segments than this, the oldest are deleted. The live ring only
+// ever needs the newest Capacity events, so retention never endangers the
+// round-trip guarantee; it bounds disk use on long runs.
+const DefaultMaxSegments = 16
+
+// Options tunes a Writer.
+type Options struct {
+	// SegmentBytes is the per-segment rotation threshold
+	// (default DefaultSegmentBytes).
+	SegmentBytes int64
+	// MaxSegments caps retained segments (default DefaultMaxSegments;
+	// negative = unlimited).
+	MaxSegments int
+	// Metrics receives the blackbox.* family (bytes written, records,
+	// rotations, drops, flush latency). May be nil.
+	Metrics *obs.Metrics
+	// Sync controls whether Flush also fsyncs the segment file (default
+	// true; tests disable it for speed).
+	NoSync bool
+}
+
+// Writer is the durable event sink: it implements obs.Sink, appending
+// every event and alarm to the WAL directory. All methods are safe for
+// concurrent use; write failures are counted (blackbox.sink.drops), never
+// propagated into the recording hot path.
+type Writer struct {
+	mu   sync.Mutex
+	dir  string
+	meta Meta
+	opts Options
+
+	f        *os.File
+	bw       *bufio.Writer
+	segBytes int64
+	segIndex int
+	sealed   []string // sealed segment paths, oldest first
+	buf      []byte   // encode scratch, reused across records
+	lastErr  error
+	closed   bool
+}
+
+// Open creates (or appends to) the WAL directory dir and starts a fresh
+// segment stamped with meta. One run per directory is the intended use;
+// opening an existing directory continues the segment numbering after the
+// highest present so earlier runs are never overwritten.
+func Open(dir string, meta Meta, opts Options) (*Writer, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if opts.MaxSegments == 0 {
+		opts.MaxSegments = DefaultMaxSegments
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blackbox: %w", err)
+	}
+	existing, err := segmentFiles(dir)
+	if err != nil {
+		return nil, err
+	}
+	w := &Writer{dir: dir, meta: meta, opts: opts, segIndex: len(existing)}
+	for _, s := range existing {
+		w.sealed = append(w.sealed, s)
+		if idx, ok := segmentIndex(s); ok && idx >= w.segIndex {
+			w.segIndex = idx + 1
+		}
+	}
+	if err := w.openSegment(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Dir returns the WAL directory.
+func (w *Writer) Dir() string { return w.dir }
+
+// segmentName renders the canonical segment filename for an index.
+func segmentName(idx int) string { return fmt.Sprintf("smvx-%08d.wal", idx) }
+
+// segmentIndex parses a segment filename back to its index.
+func segmentIndex(path string) (int, bool) {
+	var idx int
+	if _, err := fmt.Sscanf(filepath.Base(path), "smvx-%d.wal", &idx); err != nil {
+		return 0, false
+	}
+	return idx, true
+}
+
+// segmentFiles lists a directory's segment files sorted by name (and so,
+// zero-padded, by index).
+func segmentFiles(dir string) ([]string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "smvx-*.wal"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	return matches, nil
+}
+
+// openSegment starts the next segment: magic header plus a meta record, so
+// every segment is independently decodable after retention drops earlier
+// ones.
+func (w *Writer) openSegment() error {
+	path := filepath.Join(w.dir, segmentName(w.segIndex))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("blackbox: %w", err)
+	}
+	w.f = f
+	w.bw = bufio.NewWriterSize(f, 64<<10)
+	w.segBytes = 0
+	if _, err := w.bw.WriteString(Magic); err != nil {
+		return err
+	}
+	w.segBytes += int64(len(Magic))
+	w.buf = appendMeta(w.buf[:0], w.meta)
+	return w.writeFrame(w.buf)
+}
+
+// writeFrame appends one CRC32C-framed record to the current segment.
+func (w *Writer) writeFrame(payload []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	if _, err := w.bw.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, crcTable))
+	if _, err := w.bw.Write(crc[:]); err != nil {
+		return err
+	}
+	frame := int64(n + len(payload) + 4)
+	w.segBytes += frame
+	w.opts.Metrics.Add("blackbox.bytes.written", uint64(frame))
+	w.opts.Metrics.Inc("blackbox.records.written")
+	return nil
+}
+
+// append encodes-and-writes one record under the lock, rotating afterwards
+// if the segment crossed the threshold. Failures are counted and swallowed:
+// the flight recorder must keep flying with a dead disk.
+func (w *Writer) append(encode func([]byte) []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		w.opts.Metrics.Inc("blackbox.sink.drops")
+		return
+	}
+	w.buf = encode(w.buf[:0])
+	if err := w.writeFrame(w.buf); err != nil {
+		w.lastErr = err
+		w.opts.Metrics.Inc("blackbox.sink.drops")
+		return
+	}
+	if w.segBytes >= w.opts.SegmentBytes {
+		if err := w.rotate(); err != nil {
+			w.lastErr = err
+			w.opts.Metrics.Inc("blackbox.sink.drops")
+		}
+	}
+}
+
+// rotate seals the current segment, starts the next, and enforces the
+// retention cap.
+func (w *Writer) rotate() error {
+	if err := w.seal(); err != nil {
+		return err
+	}
+	w.sealed = append(w.sealed, filepath.Join(w.dir, segmentName(w.segIndex)))
+	w.segIndex++
+	w.opts.Metrics.Inc("blackbox.segments.rotated")
+	if max := w.opts.MaxSegments; max > 0 {
+		for len(w.sealed) > max {
+			if err := os.Remove(w.sealed[0]); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+			w.sealed = w.sealed[1:]
+			w.opts.Metrics.Inc("blackbox.segments.dropped")
+		}
+	}
+	return w.openSegment()
+}
+
+// seal flushes and closes the current segment file.
+func (w *Writer) seal() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close() //nolint:errcheck // already failing
+		return err
+	}
+	if !w.opts.NoSync {
+		if err := w.f.Sync(); err != nil {
+			w.f.Close() //nolint:errcheck
+			return err
+		}
+	}
+	return w.f.Close()
+}
+
+// SinkEvent implements obs.Sink.
+func (w *Writer) SinkEvent(e obs.Event) {
+	w.append(func(b []byte) []byte { return appendEvent(b, e) })
+}
+
+// SinkAlarm implements obs.Sink.
+func (w *Writer) SinkAlarm(a obs.AlarmInfo) {
+	w.append(func(b []byte) []byte { return appendAlarm(b, a) })
+}
+
+// Flush implements obs.Sink: it pushes buffered frames to the OS and (by
+// default) fsyncs, recording the latency in blackbox.flush.nanos. The
+// recorder calls it on every alarm; the CLI calls it via Close at exit.
+func (w *Writer) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushLocked()
+}
+
+func (w *Writer) flushLocked() error {
+	if w.closed {
+		return w.lastErr
+	}
+	start := time.Now()
+	if err := w.bw.Flush(); err != nil {
+		w.lastErr = err
+		w.opts.Metrics.Inc("blackbox.sink.drops")
+		return err
+	}
+	if !w.opts.NoSync {
+		if err := w.f.Sync(); err != nil {
+			w.lastErr = err
+			w.opts.Metrics.Inc("blackbox.sink.drops")
+			return err
+		}
+	}
+	w.opts.Metrics.Observe("blackbox.flush.nanos", uint64(time.Since(start)))
+	return nil
+}
+
+// Close flushes and seals the WAL. The Writer drops (and counts) any
+// records sunk after Close.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return w.lastErr
+	}
+	w.closed = true
+	if err := w.seal(); err != nil {
+		w.lastErr = err
+		return err
+	}
+	return w.lastErr
+}
+
+// Err returns the first write error the Writer swallowed (nil if none) —
+// for CLIs that want to warn the operator the black box is incomplete.
+func (w *Writer) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastErr
+}
+
+// SegmentInfo describes one on-disk segment for the /blackbox endpoint.
+type SegmentInfo struct {
+	Name  string `json:"name"`
+	Bytes int64  `json:"bytes"`
+}
+
+// Stats is the /blackbox telemetry snapshot.
+type Stats struct {
+	Dir          string        `json:"dir"`
+	Segments     []SegmentInfo `json:"segments"`
+	TotalBytes   int64         `json:"total_bytes"`
+	CurrentBytes int64         `json:"current_segment_bytes"`
+	Closed       bool          `json:"closed"`
+	LastError    string        `json:"last_error,omitempty"`
+}
+
+// Snapshot flushes buffered frames and reports the live WAL directory
+// state: one entry per segment file with its on-disk size.
+func (w *Writer) Snapshot() Stats {
+	w.mu.Lock()
+	if !w.closed {
+		w.flushLocked() //nolint:errcheck // recorded in lastErr
+	}
+	st := Stats{Dir: w.dir, CurrentBytes: w.segBytes, Closed: w.closed}
+	if w.lastErr != nil {
+		st.LastError = w.lastErr.Error()
+	}
+	w.mu.Unlock()
+
+	segs, err := segmentFiles(w.dir)
+	if err != nil {
+		return st
+	}
+	for _, s := range segs {
+		info, err := os.Stat(s)
+		if err != nil {
+			continue
+		}
+		st.Segments = append(st.Segments, SegmentInfo{Name: filepath.Base(s), Bytes: info.Size()})
+		st.TotalBytes += info.Size()
+	}
+	return st
+}

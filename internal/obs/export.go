@@ -25,7 +25,14 @@ type chromeEvent struct {
 // events; everything else becomes an instant event. Timestamps are
 // virtual-clock microseconds.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
-	events := r.Events()
+	return WriteChromeTraceEvents(w, r.Events())
+}
+
+// WriteChromeTraceEvents renders an event snapshot in Chrome trace_event
+// JSON — the same rendering WriteChromeTrace performs on the live ring,
+// exposed over plain data so the offline replayer can regenerate a
+// byte-identical trace from a black-box WAL.
+func WriteChromeTraceEvents(w io.Writer, events []Event) error {
 	out := make([]chromeEvent, 0, len(events)+2)
 	for _, e := range events {
 		ce := chromeEvent{
@@ -83,7 +90,11 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 // TableText renders the buffered events as a plain-text table, oldest
 // first, with virtual-clock timestamps.
 func (r *Recorder) TableText() string {
-	events := r.Events()
+	return TableTextEvents(r.Events())
+}
+
+// TableTextEvents renders an event snapshot as the same plain-text table.
+func TableTextEvents(events []Event) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-8s %-6s %-14s %-4s %-9s %s\n",
 		"seq", "vseq", "cycles", "tid", "variant", "event")

@@ -51,7 +51,9 @@ type AlarmInfo struct {
 
 // Alarm records a divergence: it appends an EvAlarm event, bumps the
 // per-reason alarm counter, and retains the alarm context for the
-// forensics report.
+// forensics report. With a durable sink attached, the alarm context is
+// spilled after its event and the sink is flushed — an alarm is the one
+// moment the black box must be guaranteed on disk.
 func (r *Recorder) Alarm(a AlarmInfo) {
 	if r == nil {
 		return
@@ -61,7 +63,14 @@ func (r *Recorder) Alarm(a AlarmInfo) {
 	r.metrics.Inc("alarm.reason." + sanitizeMetricName(a.Reason))
 	r.mu.Lock()
 	r.alarms = append(r.alarms, a)
+	sink := r.sink
+	if sink != nil {
+		sink.SinkAlarm(a)
+	}
 	r.mu.Unlock()
+	if sink != nil {
+		sink.Flush() //nolint:errcheck // sink counts its own failures
+	}
 }
 
 // AlarmCount returns the number of alarms recorded.
@@ -93,7 +102,31 @@ func (r *Recorder) ForensicReports() []string {
 	events := r.ring.snapshot()
 	window := r.window
 	r.mu.Unlock()
+	if len(alarms) == 0 {
+		return nil
+	}
+	return BuildForensicReports(alarms, events, window)
+}
 
+// Alarms returns a copy of the recorded alarm contexts, in raise order.
+func (r *Recorder) Alarms() []AlarmInfo {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]AlarmInfo(nil), r.alarms...)
+}
+
+// BuildForensicReports renders one flight-recorder report per alarm from an
+// event snapshot — the same rendering ForensicReports performs on the live
+// ring, exposed over plain data so the offline replayer
+// (internal/obs/replay) can reconstruct byte-identical reports from a
+// black-box WAL. window <= 0 uses DefaultForensicWindow.
+func BuildForensicReports(alarms []AlarmInfo, events []Event, window int) []string {
+	if window <= 0 {
+		window = DefaultForensicWindow
+	}
 	out := make([]string, 0, len(alarms))
 	for i, a := range alarms {
 		out = append(out, buildReport(i, a, events, window))

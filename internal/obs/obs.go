@@ -159,6 +159,11 @@ type Event struct {
 	Variant Variant
 	// TID is the simulated thread id (0 if not applicable).
 	TID int
+	// Fn is the simulated function issuing the event, when the recording
+	// site knows it (libc enter/exit record the caller). It is what lets
+	// the offline trace diff attribute a divergent libc call to a function
+	// the way Section 3.2 attributes a divergent basic block.
+	Fn string
 	// Name is the call/phase/reason name.
 	Name string
 	// Arg0, Arg1, Ret carry kind-specific payload.
@@ -185,6 +190,24 @@ const DefaultCapacity = 4096
 // DefaultForensicWindow is the per-variant event tail a report shows.
 const DefaultForensicWindow = 16
 
+// Sink receives every recorded event and alarm *before* ring eviction can
+// lose it — the hook the black-box trace WAL (internal/obs/blackbox) hangs
+// off. Sink methods are invoked under the recorder's lock, in exact record
+// order, so implementations must be fast, must not block indefinitely, and
+// must not call back into the Recorder. A sink that fails internally must
+// swallow the error (and count it): the flight recorder never propagates
+// sink failures into the instrumented hot path.
+type Sink interface {
+	// SinkEvent receives one event, in global append order.
+	SinkEvent(e Event)
+	// SinkAlarm receives one alarm's full context, after its EvAlarm event.
+	SinkAlarm(a AlarmInfo)
+	// Flush forces buffered records to durable storage. The recorder calls
+	// it after every alarm so the WAL tail survives a crash of the host
+	// process immediately after a divergence.
+	Flush() error
+}
+
 // Recorder is the flight recorder. The zero value of the *pointer* (nil)
 // is the disabled recorder: every method is a nil-safe no-op.
 type Recorder struct {
@@ -195,6 +218,8 @@ type Recorder struct {
 	window  int
 	metrics *Metrics
 	alarms  []AlarmInfo
+	evicted uint64
+	sink    Sink
 }
 
 // NewRecorder creates an enabled flight recorder.
@@ -225,6 +250,30 @@ func (r *Recorder) SetClock(c *clock.Counter) {
 	r.clk.Store(c)
 }
 
+// SetSink attaches (or, with nil, detaches) a durable event sink. Set it
+// before the recorded process runs: events recorded earlier are not
+// replayed into the sink.
+func (r *Recorder) SetSink(s Sink) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.sink = s
+	r.mu.Unlock()
+}
+
+// Config returns the recorder's effective configuration (Clock omitted) —
+// the sizing the black-box WAL persists so offline replay can rebuild the
+// same ring view and forensic windows.
+func (r *Recorder) Config() Config {
+	if r == nil {
+		return Config{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Config{Capacity: len(r.ring.buf), ForensicWindow: r.window}
+}
+
 // Enabled reports whether the recorder records. Instrumentation sites use
 // it to skip argument preparation that would allocate.
 func (r *Recorder) Enabled() bool { return r != nil }
@@ -251,7 +300,7 @@ func (r *Recorder) Record(kind EventKind, v Variant, tid int, name string, a0, a
 	if r == nil {
 		return
 	}
-	r.RecordAt(r.now(), kind, v, tid, name, a0, a1, ret)
+	r.recordAt(r.now(), kind, v, tid, "", name, a0, a1, ret)
 }
 
 // RecordAt appends one event with an explicit timestamp (for sites that
@@ -261,23 +310,54 @@ func (r *Recorder) RecordAt(ts clock.Cycles, kind EventKind, v Variant, tid int,
 	if r == nil {
 		return
 	}
+	r.recordAt(ts, kind, v, tid, "", name, a0, a1, ret)
+}
+
+// RecordIn is Record with function attribution: fn names the simulated
+// function issuing the call (libc instrumentation passes the calling
+// thread's current function, so offline trace diffs can place a divergent
+// call the way Section 3.2 places a divergent basic block).
+func (r *Recorder) RecordIn(fn string, kind EventKind, v Variant, tid int, name string, a0, a1, ret uint64) {
+	if r == nil {
+		return
+	}
+	r.recordAt(r.now(), kind, v, tid, fn, name, a0, a1, ret)
+}
+
+// RecordInAt is RecordAt with function attribution.
+func (r *Recorder) RecordInAt(ts clock.Cycles, fn string, kind EventKind, v Variant, tid int, name string, a0, a1, ret uint64) {
+	if r == nil {
+		return
+	}
+	r.recordAt(ts, kind, v, tid, fn, name, a0, a1, ret)
+}
+
+func (r *Recorder) recordAt(ts clock.Cycles, kind EventKind, v Variant, tid int, fn, name string, a0, a1, ret uint64) {
 	if v > VariantNone {
 		v = VariantNone
 	}
 	r.mu.Lock()
 	r.vseq[v]++
-	r.ring.push(Event{
+	if r.ring.full() {
+		r.evicted++
+	}
+	e := Event{
 		Seq:     r.ring.seq + 1,
 		VSeq:    r.vseq[v],
 		TS:      ts,
 		Kind:    kind,
 		Variant: v,
 		TID:     tid,
+		Fn:      fn,
 		Name:    name,
 		Arg0:    a0,
 		Arg1:    a1,
 		Ret:     ret,
-	})
+	}
+	r.ring.push(e)
+	if r.sink != nil {
+		r.sink.SinkEvent(e)
+	}
 	r.mu.Unlock()
 }
 
@@ -309,6 +389,37 @@ func (r *Recorder) Total() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.ring.seq
+}
+
+// Evicted returns how many events the ring has overwritten before they were
+// ever read — the flight recorder's loss counter. With a durable sink
+// attached the events still exist in the WAL, which is exactly why
+// Total−Len is no longer a sufficient loss signal: it cannot distinguish
+// "lost forever" from "spilled to disk".
+func (r *Recorder) Evicted() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evicted
+}
+
+// PublishDerived copies recorder-internal counters — ring-eviction loss,
+// lifetime totals, buffered length — into the metrics registry as gauges,
+// so /metrics scrapes and metric table dumps see them. Exporters call it
+// immediately before reading the registry; keeping these out of the record
+// path keeps Record free of extra registry locking.
+func (r *Recorder) PublishDerived() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	evicted, total, buffered := r.evicted, r.ring.seq, r.ring.len()
+	r.mu.Unlock()
+	r.metrics.SetGauge("events.evicted", float64(evicted))
+	r.metrics.SetGauge("events.total", float64(total))
+	r.metrics.SetGauge("events.buffered", float64(buffered))
 }
 
 // VariantTotals returns how many events each variant has ever recorded.

@@ -1,0 +1,143 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"smvx/internal/analysis"
+	"smvx/internal/apps/nginx"
+	"smvx/internal/boot"
+	"smvx/internal/obs"
+	"smvx/internal/obs/blackbox"
+	"smvx/internal/sim/clock"
+	"smvx/internal/sim/kernel"
+	"smvx/internal/sim/machine"
+	"smvx/internal/workload"
+)
+
+// recordLogin runs one nginx login attempt with a flight recorder spilling
+// to a WAL in dir, and returns the basic-block trace for the in-memory
+// Section 3.2 comparison.
+func recordLogin(t *testing.T, dir, cred string) []machine.TraceEvent {
+	t.Helper()
+	k := kernel.New(clock.DefaultCosts(), 42)
+	srv := nginx.NewServer(nginx.Config{
+		Port: 8080, MaxRequests: 1, AuthUser: "admin", AuthPass: "s3cret",
+	})
+	rec := obs.NewRecorder(obs.Config{Capacity: 4096, ForensicWindow: 8})
+	w, err := blackbox.Open(dir, blackbox.Meta{
+		Capacity: 4096, ForensicWindow: 8,
+		Labels: map[string]string{"app": "nginx", "cred": cred},
+	}, blackbox.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.SetSink(w)
+	env, err := boot.NewEnv(k, srv.Program(), boot.WithSeed(42), boot.WithRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.FS().WriteFile("/var/www/private", []byte("secret page"))
+	client := k.NewProcess(clock.NewCounter())
+
+	th, err := env.MainThread()
+	if err != nil {
+		t.Fatal(err)
+	}
+	th.EnableTrace()
+	done := make(chan error, 1)
+	go func() { done <- srv.Run(th) }()
+
+	req := "GET /private HTTP/1.1\r\nHost: localhost\r\n" +
+		"Authorization: " + cred + "\r\nConnection: close\r\n\r\n"
+	if _, err := workload.RequestPath(client, 8080, []byte(req)); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return th.Trace()
+}
+
+// TestAuthDiffAgreesWithBlockAnalysis is the acceptance criterion tying
+// the offline libc-call diff to the paper's Section 3.2 analysis: diffing
+// the success-login and failed-login WALs must attribute the first
+// divergent libc call to the same function the in-memory basic-block diff
+// flags. The two credentials are the same length on purpose — the header
+// parser's memcpy then records identical arguments in both runs, and the
+// first divergent libc record is the strcmp verdict inside the auth
+// handler.
+func TestAuthDiffAgreesWithBlockAnalysis(t *testing.T) {
+	successDir, failDir := t.TempDir(), t.TempDir()
+	successTrace := recordLogin(t, successDir, "admin:s3cret")
+	failTrace := recordLogin(t, failDir, "admin:xxxxxx")
+
+	// The paper's path: diff the basic-block logs.
+	fns := analysis.AuthFunctions(successTrace, failTrace)
+	if len(fns) == 0 {
+		t.Fatal("block-level analysis found no auth functions")
+	}
+
+	// The replay path: diff the two runs' recorded leader call streams.
+	success, err := Load(successDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fail, err := Load(failDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := DiffRuns(success, fail, obs.VariantLeader, 3)
+	if !ok {
+		t.Fatal("recorded runs did not diverge")
+	}
+	if d.Function() != fns[0] {
+		t.Errorf("replay diff attributes %q, block analysis attributes %q",
+			d.Function(), fns[0])
+	}
+	if d.Function() != "ngx_http_auth_basic_handler" {
+		t.Errorf("attributed function = %q, want ngx_http_auth_basic_handler", d.Function())
+	}
+	if d.A == nil || d.B == nil || d.A.Name != "strcmp" {
+		t.Errorf("divergent call = %+v vs %+v, want the strcmp verdict", d.A, d.B)
+	}
+	if d.A != nil && d.B != nil && (d.A.Ret != 0 || d.B.Ret == 0) {
+		t.Errorf("strcmp rets: success=%v fail=%v, want 0 vs non-zero",
+			d.A.Ret, d.B.Ret)
+	}
+	out := d.Format("success", "fail")
+	if !strings.Contains(out, "ngx_http_auth_basic_handler") {
+		t.Errorf("formatted diff missing the auth handler:\n%s", out)
+	}
+
+	// The labels persisted with each run identify the workloads.
+	if success.Run.Meta.Labels["cred"] != "admin:s3cret" {
+		t.Errorf("success labels = %v", success.Run.Meta.Labels)
+	}
+}
+
+// TestIdenticalRunsDoNotDiverge: two recordings of the same login are
+// byte-identical at libc-call granularity (the determinism claim replay
+// depends on).
+func TestIdenticalRunsDoNotDiverge(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	recordLogin(t, dirA, "admin:s3cret")
+	recordLogin(t, dirB, "admin:s3cret")
+	a, err := Load(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Calls(obs.VariantLeader)) == 0 {
+		t.Fatal("no leader calls recorded")
+	}
+	if d, ok := DiffRuns(a, b, obs.VariantLeader, 3); ok {
+		t.Errorf("identical runs diverged: %s", d.Format("a", "b"))
+	}
+}

@@ -23,6 +23,11 @@ func (r *ring) push(e Event) {
 	r.seq++
 }
 
+// full reports whether the next push will overwrite a live event.
+func (r *ring) full() bool {
+	return r.seq >= uint64(len(r.buf))
+}
+
 // len returns the number of live events.
 func (r *ring) len() int {
 	if r.seq < uint64(len(r.buf)) {

@@ -170,6 +170,55 @@ func TestNilRecordDoesNotAllocate(t *testing.T) {
 	}
 }
 
+// TestEnabledRecordNoSinkDoesNotAllocate pins the sink hook's hot-path
+// contract: an *enabled* recorder with no sink configured must keep
+// Record/RecordIn allocation-free — the ring stores events by value and the
+// nil-sink branch must not box anything.
+func TestEnabledRecordNoSinkDoesNotAllocate(t *testing.T) {
+	r := NewRecorder(Config{Capacity: 8})
+	// Pre-warm so the steady state (full ring, evicting) is what's measured.
+	for i := 0; i < 16; i++ {
+		r.Record(EvLibcEnter, VariantLeader, 1, "read", 1, 2, 3)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		r.Record(EvLibcEnter, VariantLeader, 1, "read", 1, 2, 3)
+		r.RecordIn("handler", EvLibcExit, VariantLeader, 1, "read", 0, 0, 7)
+		r.RecordAt(5, EvLockstep, VariantFollower, 2, "read", 0, 0, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("enabled recorder without sink allocates %.1f per op", allocs)
+	}
+}
+
+// TestEvictionCounter is the satellite's loss metric: silent ring
+// overwrites must be counted, and Total-Len must agree with the counter in
+// the sink-less case.
+func TestEvictionCounter(t *testing.T) {
+	r := NewRecorder(Config{Capacity: 4})
+	for i := 0; i < 3; i++ {
+		r.Record(EvSyscall, VariantLeader, 1, "read", 0, 0, 0)
+	}
+	if got := r.Evicted(); got != 0 {
+		t.Fatalf("evicted = %d before the ring filled", got)
+	}
+	for i := 0; i < 7; i++ {
+		r.Record(EvSyscall, VariantLeader, 1, "read", 0, 0, 0)
+	}
+	if got := r.Evicted(); got != 6 {
+		t.Fatalf("evicted = %d, want 6", got)
+	}
+	if want := r.Total() - uint64(r.Len()); r.Evicted() != want {
+		t.Errorf("evicted %d != total-len %d", r.Evicted(), want)
+	}
+	r.PublishDerived()
+	if g, ok := r.Metrics().Gauge("events.evicted"); !ok || g != 6 {
+		t.Errorf("events.evicted gauge = %v ok=%v, want 6", g, ok)
+	}
+	if g, ok := r.Metrics().Gauge("events.buffered"); !ok || g != 4 {
+		t.Errorf("events.buffered gauge = %v ok=%v, want 4", g, ok)
+	}
+}
+
 func TestSpanRecordsEventsAndHistogram(t *testing.T) {
 	r := NewRecorder(Config{})
 	sp := r.BeginRendezvousSpan(VariantLeader, 1, "read", 2)

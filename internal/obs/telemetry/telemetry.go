@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"smvx/internal/obs"
+	"smvx/internal/obs/blackbox"
 )
 
 // Health exposes monitor liveness to /healthz. Both funcs may be nil
@@ -42,6 +43,7 @@ type Server struct {
 	health  Health
 	wd      *Watchdog
 	profile FoldedSource
+	bb      *blackbox.Writer
 
 	ln net.Listener
 }
@@ -57,6 +59,11 @@ func WithWatchdog(w *Watchdog) Option { return func(s *Server) { s.wd = w } }
 
 // WithProfile attaches a folded-stack source to /profile.
 func WithProfile(f FoldedSource) Option { return func(s *Server) { s.profile = f } }
+
+// WithBlackbox attaches a black-box WAL writer; /blackbox then snapshots
+// the live WAL directory (flushing buffered frames first, so the reported
+// sizes are the on-disk truth).
+func WithBlackbox(w *blackbox.Writer) Option { return func(s *Server) { s.bb = w } }
 
 // New creates a telemetry server over rec (which may be nil: every
 // endpoint still answers, with empty metrics and trivially-healthy state).
@@ -97,6 +104,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/trace.json", s.handleTrace)
 	mux.HandleFunc("/forensics", s.handleForensics)
 	mux.HandleFunc("/profile", s.handleProfile)
+	mux.HandleFunc("/blackbox", s.handleBlackbox)
 	mux.HandleFunc("/", s.handleIndex)
 	return mux
 }
@@ -134,6 +142,7 @@ func (s *Server) Close() error {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.rec.PublishDerived()
 	s.rec.Metrics().WritePrometheus(w) //nolint:errcheck // client went away
 }
 
@@ -143,6 +152,7 @@ type healthState struct {
 	Phase           string   `json:"phase"`
 	FollowerLive    bool     `json:"follower_live"`
 	Alarms          int      `json:"alarms"`
+	EventsEvicted   uint64   `json:"events_evicted"`
 	WatchdogTripped bool     `json:"watchdog_tripped"`
 	WatchdogReasons []string `json:"watchdog_reasons,omitempty"`
 }
@@ -160,6 +170,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		st.FollowerLive = h.FollowerLive()
 	}
 	st.Alarms = s.rec.AlarmCount()
+	st.EventsEvicted = s.rec.Evicted()
 	if wd != nil {
 		// Evaluate on scrape too, so a watchdog without a Start loop (or
 		// between ticks) still reflects the latest recorder state.
@@ -211,11 +222,25 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(w, p.Folded())
 }
 
+func (s *Server) handleBlackbox(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	bb := s.bb
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if bb == nil {
+		fmt.Fprintln(w, `{"enabled": false}`)
+		return
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(bb.Snapshot()) //nolint:errcheck // client went away
+}
+
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, "smvx telemetry\n\n/metrics    Prometheus text format\n/healthz    monitor health (503 when SLO watchdog tripped)\n/trace.json Chrome trace of recorded events and spans\n/forensics  divergence forensics reports\n/profile    folded stacks from the virtual-cycle sampler\n")
+	fmt.Fprint(w, "smvx telemetry\n\n/metrics    Prometheus text format\n/healthz    monitor health (503 when SLO watchdog tripped)\n/trace.json Chrome trace of recorded events and spans\n/forensics  divergence forensics reports\n/profile    folded stacks from the virtual-cycle sampler\n/blackbox   live trace-WAL directory snapshot\n")
 }

@@ -193,6 +193,11 @@ func (t *Thread) Background() bool { return t.background }
 // ChargeUser charges user-space cycles attributed to this thread.
 func (t *Thread) ChargeUser(c clock.Cycles) { t.m.ChargeThread(t, c) }
 
+// Fn returns the simulated function the thread is currently executing
+// ("" before the first Call). Instrumentation reads it to attribute a
+// libc record to its calling function.
+func (t *Thread) Fn() string { return t.fn }
+
 // FnStack returns the active simulated call stack (innermost last).
 func (t *Thread) FnStack() []string {
 	return append([]string(nil), t.fnStack...)
