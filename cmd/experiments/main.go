@@ -31,7 +31,8 @@ func main() {
 
 func run() error {
 	var (
-		which     = flag.String("run", "all", "artifact: all | table1 | table2 | fig6 | fig7 | fig8 | fig9 | cpu | mem | cve")
+		which     = flag.String("run", "all", "artifact: all | table1 | table2 | fig6 | fig7 | fig8 | fig9 | cpu | mem | cve | chaos")
+		chaosSeed = flag.Int64("chaos-seed", experiments.Seed, "seed for the chaos survival matrix")
 		requests  = flag.Int("requests", 40, "server workload size")
 		target    = flag.Uint64("nbench-cycles", 1_500_000, "nbench per-kernel cycle target")
 		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the cve run's sMVX phase to this file")
@@ -178,9 +179,18 @@ func run() error {
 			fmt.Printf("chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
 		}
 	}
+	if want("chaos") {
+		ran = true
+		res, err := experiments.Chaos(*chaosSeed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		res.RecordMetrics(bench)
+	}
 	if !ran {
 		return fmt.Errorf("unknown artifact %q; want one of %s", *which,
-			strings.Join([]string{"all", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "cpu", "mem", "cve"}, " "))
+			strings.Join([]string{"all", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "cpu", "mem", "cve", "chaos"}, " "))
 	}
 	if *metricsOn {
 		fmt.Println(bench.TableText())

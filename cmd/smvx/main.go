@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"smvx/internal/boot"
 	"smvx/internal/core"
 	"smvx/internal/experiments"
+	"smvx/internal/faultinject"
 	"smvx/internal/mvx/remon"
 	"smvx/internal/obs"
 	"smvx/internal/obs/blackbox"
@@ -32,6 +34,11 @@ import (
 	"smvx/internal/workload"
 )
 
+// errUnhandledAlarms marks a run whose monitor raised alarms no containment
+// policy absorbed: the process exits with status 2 so scripts and CI can
+// tell "diverged" from "broken invocation" (status 1).
+var errUnhandledAlarms = errors.New("unhandled divergence alarms")
+
 // obsPlane bundles the run's observability: the flight recorder everything
 // traces into, the virtual-cycle sampler, and the live telemetry server.
 // All fields may be nil — the zero plane is "observability off".
@@ -40,6 +47,12 @@ type obsPlane struct {
 	sampler *perfprof.Sampler
 	tel     *telemetry.Server
 	bb      *blackbox.Writer
+
+	// monOpts carries the divergence-policy configuration into every
+	// monitor this run creates; chaos is the fault-injection plan the
+	// -chaos flag installed (nil when chaos is off).
+	monOpts []core.Option
+	chaos   *faultinject.Plan
 }
 
 // bootOpts returns the boot options that attach the plane to a process.
@@ -61,9 +74,25 @@ func (pl *obsPlane) attachMonitor(mon *core.Monitor) {
 	}
 }
 
+// newMonitor builds the run's sMVX monitor with the policy options from the
+// command line, installs the chaos plan (if any) at the machine's libc choke
+// point, and wires telemetry.
+func (pl *obsPlane) newMonitor(env *boot.Env, seed int64) *core.Monitor {
+	opts := append([]core.Option{core.WithSeed(seed), core.WithRecorder(env.Obs)}, pl.monOpts...)
+	mon := core.New(env.Machine, env.LibC, opts...)
+	if pl.chaos != nil {
+		pl.chaos.Install(env.Machine, env.Obs)
+	}
+	pl.attachMonitor(mon)
+	return mon
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "smvx:", err)
+		if errors.Is(err, errUnhandledAlarms) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
@@ -84,10 +113,36 @@ func run() error {
 		telemAddr = flag.String("telemetry", "", "serve live telemetry on this address (e.g. :9090): /metrics /healthz /trace.json /forensics /profile /blackbox")
 		linger    = flag.Duration("linger", 0, "keep the telemetry server up this long after the run (with -telemetry)")
 		bbDir     = flag.String("blackbox", "", "spill every recorded event to a black-box trace WAL in this directory (inspect with smvx-replay)")
+		policy    = flag.String("policy", "kill-both", "divergence policy: kill-both | leader-continue | restart-follower")
+		budget    = flag.Int("restart-budget", core.DefaultRestartBudget, "follower re-clones before restart-follower degrades to leader-continue")
+		deadline  = flag.Uint64("rendezvous-deadline", uint64(core.DefaultRendezvousDeadline), "virtual-cycle rendezvous deadline (0 disables the watchdog)")
+		chaosSpec = flag.String("chaos", "", "inject follower faults: comma-separated kind[@call][:bit] (follower-crash, arg-flip, ipc-truncate, stall, emu-corrupt)")
+		chaosSeed = flag.Int64("chaos-seed", 0, "seed deriving @call-less chaos ordinals (default: -seed)")
 	)
 	flag.Parse()
 
+	pol, err := core.ParsePolicy(*policy)
+	if err != nil {
+		return err
+	}
+
 	var pl obsPlane
+	pl.monOpts = []core.Option{
+		core.WithPolicy(pol),
+		core.WithRestartBudget(*budget),
+		core.WithRendezvousDeadline(clock.Cycles(*deadline)),
+	}
+	if *chaosSpec != "" {
+		cs := *chaosSeed
+		if cs == 0 {
+			cs = *seed
+		}
+		plan, err := faultinject.Parse(*chaosSpec, cs)
+		if err != nil {
+			return err
+		}
+		pl.chaos = plan
+	}
 	if *traceOut != "" || *metrics || *forensic || *telemAddr != "" || *bbDir != "" {
 		pl.rec = obs.NewRecorder(obs.Config{})
 	}
@@ -123,31 +178,36 @@ func run() error {
 		fmt.Printf("telemetry: http://%s/metrics (healthz, trace.json, forensics, profile, blackbox)\n", addr)
 	}
 
-	var err error
+	var appErr error
 	switch *app {
 	case "nbench":
-		err = runNbench(*bench, *iters, *mode, *seed, &pl)
+		appErr = runNbench(*bench, *iters, *mode, *seed, &pl)
 	case "nginx":
 		if *protect == "" {
 			*protect = "ngx_worker_process_cycle"
 		}
-		err = runNginx(*mode, *protect, *requests, *version, *seed, &pl)
+		appErr = runNginx(*mode, *protect, *requests, *version, *seed, &pl)
 	case "lighttpd":
 		if *protect == "" {
 			*protect = "server_main_loop"
 		}
-		err = runLighttpd(*mode, *protect, *requests, *seed, &pl)
+		appErr = runLighttpd(*mode, *protect, *requests, *seed, &pl)
 	default:
 		return fmt.Errorf("unknown app %q", *app)
 	}
-	if err != nil {
-		return err
+	if appErr != nil && !errors.Is(appErr, errUnhandledAlarms) {
+		return appErr
 	}
+	// An unhandled-alarm exit still emits the observability artifacts — the
+	// forensics are the whole point of a diverged run.
 	if pl.tel != nil && *linger > 0 {
 		fmt.Printf("telemetry: run finished, serving for another %s\n", *linger)
 		time.Sleep(*linger)
 	}
-	return finishObs(&pl, *traceOut, *metrics, *forensic)
+	if err := finishObs(&pl, *traceOut, *metrics, *forensic); err != nil {
+		return err
+	}
+	return appErr
 }
 
 // finishObs emits the observability artifacts the flags asked for, after
@@ -203,9 +263,8 @@ func runNbench(name string, iters int, mode string, seed int64, pl *obsPlane) er
 	var mon *core.Monitor
 	var mvx machine.MVX
 	if mode == "smvx" {
-		mon = core.New(env.Machine, env.LibC, core.WithSeed(seed), core.WithRecorder(env.Obs))
+		mon = pl.newMonitor(env, seed)
 		mvx = mon
-		pl.attachMonitor(mon)
 	}
 	cycles, err := nbench.RunOne(env, mvx, name, iters)
 	if err != nil {
@@ -213,8 +272,7 @@ func runNbench(name string, iters int, mode string, seed int64, pl *obsPlane) er
 	}
 	fmt.Printf("%s x%d under %s: %s wall, %s total CPU\n",
 		name, iters, mode, cycles, env.Counter.Cycles())
-	printAlarms(mon)
-	return nil
+	return printAlarms(mon)
 }
 
 func runNginx(mode, protect string, requests int, version string, seed int64, pl *obsPlane) error {
@@ -247,9 +305,8 @@ func runNginx(mode, protect string, requests int, version string, seed int64, pl
 		}
 		go func() { done <- srv.Run(th) }()
 	case "smvx":
-		mon = core.New(env.Machine, env.LibC, core.WithSeed(seed), core.WithRecorder(env.Obs))
+		mon = pl.newMonitor(env, seed)
 		srv.SetMVX(mon)
-		pl.attachMonitor(mon)
 		th, err := env.MainThread()
 		if err != nil {
 			return err
@@ -273,11 +330,11 @@ func runNginx(mode, protect string, requests int, version string, seed int64, pl
 	fmt.Printf("libc calls: %d   syscalls: %d   ratio: %.2f\n",
 		env.LibC.TotalCalls(), env.Proc.SyscallTotal(),
 		float64(env.LibC.TotalCalls())/float64(env.Proc.SyscallTotal()))
-	printAlarms(mon)
 	if rem != nil && rem.Diverged() {
 		fmt.Printf("remon alarms: %v\n", rem.Alarms())
+		return fmt.Errorf("%w: remon reported divergence", errUnhandledAlarms)
 	}
-	return nil
+	return printAlarms(mon)
 }
 
 func runLighttpd(mode, protect string, requests int, seed int64, pl *obsPlane) error {
@@ -304,9 +361,8 @@ func runLighttpd(mode, protect string, requests int, seed int64, pl *obsPlane) e
 	switch mode {
 	case "vanilla":
 	case "smvx":
-		mon = core.New(env.Machine, env.LibC, core.WithSeed(seed), core.WithRecorder(env.Obs))
+		mon = pl.newMonitor(env, seed)
 		srv.SetMVX(mon)
-		pl.attachMonitor(mon)
 	case "remon":
 		rem := remon.New(env.Machine, env.LibC)
 		go func() { done <- rem.Run("main") }()
@@ -316,6 +372,9 @@ func runLighttpd(mode, protect string, requests int, seed int64, pl *obsPlane) e
 		}
 		fmt.Printf("lighttpd under remon: %d/%d requests; wall %s; diverged=%v\n",
 			res.Completed, requests, env.Wall.Cycles(), rem.Diverged())
+		if rem.Diverged() {
+			return fmt.Errorf("%w: remon reported divergence", errUnhandledAlarms)
+		}
 		return nil
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
@@ -332,21 +391,34 @@ func runLighttpd(mode, protect string, requests int, seed int64, pl *obsPlane) e
 	fmt.Printf("lighttpd under %s: %d/%d requests, %d bytes\n", mode, res.Completed, requests, res.BytesRead)
 	fmt.Printf("wall: %s   total CPU: %s   RSS: %dKB\n",
 		env.Wall.Cycles(), env.Counter.Cycles(), env.ResidentKB())
-	printAlarms(mon)
-	return nil
+	return printAlarms(mon)
 }
 
-func printAlarms(mon *core.Monitor) {
+// printAlarms reports the monitor's alarms and returns errUnhandledAlarms
+// when any of them was not absorbed by the divergence policy, so the process
+// exit status reflects an uncontained divergence.
+func printAlarms(mon *core.Monitor) error {
 	if mon == nil {
-		return
+		return nil
 	}
 	alarms := mon.Alarms()
 	if len(alarms) == 0 {
 		fmt.Println("alarms: none")
-		return
+		return nil
 	}
 	fmt.Printf("ALARMS (%d):\n", len(alarms))
 	for _, a := range alarms {
-		fmt.Printf("  [%s] call #%d: %s\n", a.Reason, a.CallIndex, a.Detail)
+		state := "unhandled"
+		if a.Handled {
+			state = "contained"
+		}
+		fmt.Printf("  [%s, %s] call #%d: %s\n", a.Reason, state, a.CallIndex, a.Detail)
 	}
+	if mon.Degraded() || mon.RestartsUsed() > 0 {
+		fmt.Printf("policy: degraded=%v follower restarts=%d\n", mon.Degraded(), mon.RestartsUsed())
+	}
+	if n := mon.UnhandledAlarmCount(); n > 0 {
+		return fmt.Errorf("%w: %d", errUnhandledAlarms, n)
+	}
+	return nil
 }

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// The lockstep IPC ring carries one framed record per follower libc call:
+//
+//	uvarint  name length
+//	bytes    name
+//	uvarint  argument count
+//	uvarint  each argument value
+//
+// Framing mirrors the shared-memory ring the paper's monitor halves share
+// (Section 3.2): the leader decodes what crossed the ring rather than
+// trusting in-process pointers, so a corrupted record surfaces as a
+// divergence instead of undefined behaviour.
+
+// Decode limits: generous bounds no real libc call approaches, so a
+// corrupt length prefix cannot drive a huge allocation.
+const (
+	maxCallNameLen = 256
+	maxCallArgs    = 64
+)
+
+// encodeCallRecord frames one follower call for the IPC ring.
+func encodeCallRecord(name string, args []uint64) []byte {
+	buf := make([]byte, 0, 2+len(name)+2+len(args)*binary.MaxVarintLen64)
+	buf = binary.AppendUvarint(buf, uint64(len(name)))
+	buf = append(buf, name...)
+	buf = binary.AppendUvarint(buf, uint64(len(args)))
+	for _, a := range args {
+		buf = binary.AppendUvarint(buf, a)
+	}
+	return buf
+}
+
+// errCorruptCallRecord is wrapped by every decodeCallRecord failure.
+var errCorruptCallRecord = errors.New("corrupt call record")
+
+// readUvarint decodes one canonical uvarint. It returns w <= 0 for a
+// truncated or overlong value and additionally rejects non-minimal
+// encodings (a trailing 0x00 continuation byte), so every record has
+// exactly one wire form and byte comparison equals semantic comparison.
+func readUvarint(wire []byte) (uint64, int) {
+	v, w := binary.Uvarint(wire)
+	if w > 1 && wire[w-1] == 0 {
+		return 0, -w
+	}
+	return v, w
+}
+
+// decodeCallRecord parses a framed call record. It never panics on
+// arbitrary input (fuzzed) and rejects trailing garbage.
+func decodeCallRecord(wire []byte) (name string, args []uint64, err error) {
+	n, w := readUvarint(wire)
+	if w <= 0 {
+		return "", nil, fmt.Errorf("%w: bad name length", errCorruptCallRecord)
+	}
+	wire = wire[w:]
+	if n > maxCallNameLen {
+		return "", nil, fmt.Errorf("%w: name length %d exceeds %d", errCorruptCallRecord, n, maxCallNameLen)
+	}
+	if uint64(len(wire)) < n {
+		return "", nil, fmt.Errorf("%w: name truncated", errCorruptCallRecord)
+	}
+	name = string(wire[:n])
+	wire = wire[n:]
+	count, w := readUvarint(wire)
+	if w <= 0 {
+		return "", nil, fmt.Errorf("%w: bad argument count", errCorruptCallRecord)
+	}
+	wire = wire[w:]
+	if count > maxCallArgs {
+		return "", nil, fmt.Errorf("%w: argument count %d exceeds %d", errCorruptCallRecord, count, maxCallArgs)
+	}
+	if count > 0 {
+		args = make([]uint64, 0, count)
+	}
+	for i := uint64(0); i < count; i++ {
+		v, w := readUvarint(wire)
+		if w <= 0 {
+			return "", nil, fmt.Errorf("%w: argument %d truncated", errCorruptCallRecord, i)
+		}
+		wire = wire[w:]
+		args = append(args, v)
+	}
+	if len(wire) != 0 {
+		return "", nil, fmt.Errorf("%w: %d trailing bytes", errCorruptCallRecord, len(wire))
+	}
+	return name, args, nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"smvx/internal/libc"
 	"smvx/internal/obs"
@@ -18,18 +19,27 @@ const (
 	modeEmulated = iota + 1
 	modeLocal
 	modeAbort
+	modeDetach
 )
 
 // callRecord is the follower's half of one lockstep rendezvous, sent to the
-// leader over the (simulated shared-memory) IPC channel. thread is the
-// follower's machine thread: while the follower blocks on resp the leader
-// may snapshot it for forensics (the send on req established the
+// leader over the (simulated shared-memory) IPC channel. wire is the
+// varint-framed encoding of (name, args) — what actually crosses the ring;
+// the leader decodes it rather than trusting the in-memory fields. thread
+// is the follower's machine thread: while the follower blocks on resp the
+// leader may snapshot it for forensics (the send on req established the
 // happens-before edge).
 type callRecord struct {
 	name   string
 	args   []uint64
+	wire   []byte
 	thread *machine.Thread
 	resp   chan callResult
+	// lag is how many cycles the follower charged since its previous
+	// rendezvous — its own work getting here. Unlike a shared-counter
+	// elapsed-time measurement it does not depend on how the two variants'
+	// goroutines interleave, so the deadline verdict is deterministic.
+	lag clock.Cycles
 }
 
 // callResult is the leader's reply: either the emulated result, an
@@ -59,6 +69,26 @@ type session struct {
 	followerDead chan struct{}
 	followerErr  error
 
+	// Containment state (see policy.go): detachCh is closed when the
+	// policy severs the follower; timedOut is closed when a rendezvous
+	// deadline blows; watchStop ends the watchdog goroutine at region
+	// exit. waitingSince is the leader's current rendezvous wait start
+	// (cycles+1; 0 = not waiting), polled by the watchdog.
+	detachOnce   sync.Once
+	detachCh     chan struct{}
+	timeoutOnce  sync.Once
+	timedOut     chan struct{}
+	watchOnce    sync.Once
+	watchStop    chan struct{}
+	waitingSince atomic.Int64
+
+	leaderOnly bool // degraded session that never had a follower
+	restarted  bool // session whose follower is a policy re-clone
+
+	// fCycles is the follower thread's cycle total at its previous
+	// rendezvous; only the follower goroutine touches it (lag bookkeeping).
+	fCycles clock.Cycles
+
 	calls         atomic.Uint64
 	emulatedBytes atomic.Uint64
 	diverged      atomic.Bool
@@ -73,6 +103,9 @@ func newSession(mon *Monitor, fn string, delta int64, leaderTID int) *session {
 		req:          make(chan *callRecord),
 		leaderDone:   make(chan struct{}),
 		followerDead: make(chan struct{}),
+		detachCh:     make(chan struct{}),
+		timedOut:     make(chan struct{}),
+		watchStop:    make(chan struct{}),
 	}
 }
 
@@ -90,31 +123,152 @@ func abortFollower(rec *callRecord) {
 	rec.resp <- callResult{mode: modeAbort}
 }
 
+// detached reports whether the policy severed the follower from lockstep.
+func (s *session) detached() bool {
+	select {
+	case <-s.detachCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// drainPending clears any rendezvous slot the follower published before the
+// detach, replying with the detach verdict so it never blocks on resp.
+func (s *session) drainPending() {
+	for {
+		select {
+		case rec := <-s.req:
+			rec.resp <- callResult{mode: modeDetach}
+		default:
+			return
+		}
+	}
+}
+
+// rejectFollower answers a diverging rendezvous per the policy: kill-both
+// aborts the follower with ErrDivergence (the paper's behaviour),
+// containment detaches it. Detach bookkeeping runs before the reply so the
+// backoff timestamp is read while the follower is still parked on resp.
+func (s *session) rejectFollower(rec *callRecord, cause string) {
+	if s.mon.contain() {
+		s.mon.detachFollower(s, cause)
+		rec.resp <- callResult{mode: modeDetach}
+		return
+	}
+	abortFollower(rec)
+}
+
+// tripTimeout wakes whoever is blocked on the session's rendezvous.
+func (s *session) tripTimeout() {
+	s.timeoutOnce.Do(func() { close(s.timedOut) })
+}
+
+// stopWatch ends the deadline watchdog at region exit.
+func (s *session) stopWatch() {
+	s.watchOnce.Do(func() { close(s.watchStop) })
+}
+
+// Watchdog tuning: the poll interval, and how many consecutive polls with a
+// frozen virtual clock (leader waiting, no cycles charged anywhere) trip
+// the deadline early.
+const (
+	watchdogPoll        = 2 * time.Millisecond
+	watchdogFrozenPolls = 250
+)
+
+// watch is the rendezvous deadline watchdog: a real-time poller that trips
+// the session's timeout when the leader has waited past the virtual-cycle
+// deadline, or — the frozen-clock breaker — when the leader is waiting and
+// virtual time has stopped advancing entirely (a follower hung off-CPU
+// charges no cycles, so a purely virtual deadline would never fire).
+// Stalls that do charge cycles are caught deterministically at rendezvous
+// completion in leaderCall; the watchdog covers followers that never
+// arrive at all.
+func (s *session) watch(deadline clock.Cycles) {
+	ticker := time.NewTicker(watchdogPoll)
+	defer ticker.Stop()
+	frozenFor := 0
+	var lastWait int64
+	var lastNow clock.Cycles
+	for {
+		select {
+		case <-s.watchStop:
+			return
+		case <-s.followerDead:
+			return
+		case <-ticker.C:
+		}
+		w := s.waitingSince.Load()
+		now := s.mon.m.Counter().Cycles()
+		if w == 0 {
+			frozenFor = 0
+			lastWait = 0
+			continue
+		}
+		if now-clock.Cycles(w-1) >= deadline {
+			s.tripTimeout()
+			return
+		}
+		if w == lastWait && now == lastNow {
+			frozenFor++
+			if frozenFor >= watchdogFrozenPolls {
+				s.tripTimeout()
+				return
+			}
+		} else {
+			frozenFor = 0
+		}
+		lastWait, lastNow = w, now
+	}
+}
+
 // leaderCall runs the leader's side of one lockstep libc call: wait for the
 // follower to arrive at its own call, compare, execute (leader-only for
 // kernel-facing calls), emulate results to the follower, and reply.
 func (s *session) leaderCall(t *machine.Thread, name string, args []uint64) uint64 {
 	idx := s.calls.Add(1)
+	if s.detached() {
+		// Degraded single-variant mode after a policy detach: no
+		// rendezvous to charge or wait for.
+		return s.mon.lib.Call(t, name, args)
+	}
 	s.mon.m.ChargeThread(t, s.mon.m.Costs().LockstepRendezvous)
 	obsRec := s.mon.rec
-	var waitStart clock.Cycles
+	waitStart := s.mon.m.Counter().Cycles()
 	var span obs.RendezvousSpan
 	if obsRec != nil {
-		waitStart = s.mon.m.Counter().Cycles()
 		span = obsRec.BeginRendezvousSpan(obs.VariantLeader, t.TID(), name,
 			uint64(libc.CategoryOf(name)))
 	}
 
+	s.waitingSince.Store(int64(waitStart) + 1)
 	select {
 	case rec := <-s.req:
+		s.waitingSince.Store(0)
+		now := s.mon.m.Counter().Cycles()
 		if obsRec != nil {
-			obsRec.Metrics().Observe("lockstep.wait.cycles",
-				uint64(s.mon.m.Counter().Cycles()-waitStart))
+			obsRec.Metrics().Observe("lockstep.wait.cycles", uint64(now-waitStart))
+		}
+		if d := s.mon.opts.RendezvousDeadline; d > 0 && (rec.lag > d || now-waitStart > d) {
+			// The follower did arrive, but only after stalling past the
+			// deadline. rec.lag (the follower's own cycles since its last
+			// rendezvous) is the deterministic detector — it is independent
+			// of how the goroutines interleaved; the elapsed-wait check is a
+			// backstop for pathological multi-thread charging.
+			late := now - waitStart
+			if rec.lag > d {
+				late = rec.lag
+			}
+			ret := s.leaderTimedOut(t, name, args, rec, idx, late)
+			span.End(ret)
+			return ret
 		}
 		ret := s.leaderPaired(t, name, args, rec, idx)
 		span.End(ret)
 		return ret
 	case <-s.followerDead:
+		s.waitingSince.Store(0)
 		// The follower died mid-region (e.g. faulted on a gadget
 		// address). The alarm is raised by the variant waiter; the leader
 		// continues un-replicated so the region can wind down.
@@ -122,32 +276,82 @@ func (s *session) leaderCall(t *machine.Thread, name string, args []uint64) uint
 		ret := s.mon.lib.Call(t, name, args)
 		span.End(ret)
 		return ret
+	case <-s.timedOut:
+		s.waitingSince.Store(0)
+		ret := s.leaderTimedOut(t, name, args, nil, idx, 0)
+		span.End(ret)
+		return ret
 	}
+}
+
+// leaderTimedOut handles a blown rendezvous deadline: raise
+// AlarmRendezvousTimeout, sever the follower per the policy, and let the
+// leader continue un-replicated. rec is non-nil when the follower did
+// arrive, too late — elapsed is the measured wait in that case; nil means
+// the watchdog tripped while the follower was still missing.
+func (s *session) leaderTimedOut(t *machine.Thread, name string, args []uint64, rec *callRecord, idx uint64, elapsed clock.Cycles) uint64 {
+	deadline := s.mon.opts.RendezvousDeadline
+	detail := fmt.Sprintf("follower missed the %d-cycle rendezvous deadline", deadline)
+	fcall := ""
+	var snaps []obs.ThreadSnapshot
+	if rec != nil {
+		fcall = rec.name
+		detail = fmt.Sprintf("follower arrived %d cycles into a %d-cycle rendezvous deadline", elapsed, deadline)
+		snaps = s.rendezvousSnapshots(t, rec)
+	} else if s.mon.rec != nil {
+		snaps = []obs.ThreadSnapshot{s.mon.snapshot("leader", t)}
+	}
+	s.mon.raiseAlarm(Alarm{
+		Reason: AlarmRendezvousTimeout, CallIndex: idx, Function: s.fn,
+		LeaderCall: name, FollowerCall: fcall, Detail: detail,
+	}, snaps...)
+	s.diverged.Store(true)
+	s.mon.rec.Metrics().Inc("rendezvous.timeout")
+	if rec != nil {
+		s.rejectFollower(rec, "rendezvous-timeout")
+	} else {
+		s.mon.detachFollower(s, "rendezvous-timeout")
+	}
+	return s.mon.lib.Call(t, name, args)
 }
 
 // leaderPaired handles a rendezvous where both variants arrived.
 func (s *session) leaderPaired(t *machine.Thread, name string, args []uint64, rec *callRecord, idx uint64) uint64 {
 	obsRec := s.mon.rec
-	// Lockstep check 1: same libc function name (Section 3.3).
-	if rec.name != name {
+	// Lockstep check 0: the IPC record itself must decode. A record that
+	// does not frame correctly cannot be compared, which is itself a
+	// divergence (the follower's monitor half wrote garbage).
+	fname, fargs, derr := decodeCallRecord(rec.wire)
+	if derr != nil {
 		s.mon.raiseAlarm(Alarm{
 			Reason: AlarmCallMismatch, CallIndex: idx, Function: s.fn,
-			LeaderCall: name, FollowerCall: rec.name,
-			Detail: fmt.Sprintf("leader called %s, follower called %s", name, rec.name),
+			LeaderCall: name,
+			Detail:     fmt.Sprintf("corrupt IPC call record: %v", derr),
 		}, s.rendezvousSnapshots(t, rec)...)
 		s.diverged.Store(true)
-		abortFollower(rec)
+		s.rejectFollower(rec, "ipc-corruption")
+		return s.mon.lib.Call(t, name, args)
+	}
+	// Lockstep check 1: same libc function name (Section 3.3).
+	if fname != name {
+		s.mon.raiseAlarm(Alarm{
+			Reason: AlarmCallMismatch, CallIndex: idx, Function: s.fn,
+			LeaderCall: name, FollowerCall: fname,
+			Detail: fmt.Sprintf("leader called %s, follower called %s", name, fname),
+		}, s.rendezvousSnapshots(t, rec)...)
+		s.diverged.Store(true)
+		s.rejectFollower(rec, "call-mismatch")
 		return s.mon.lib.Call(t, name, args)
 	}
 	// Lockstep check 2: same non-pointer argument values.
-	if bad, li, fi := scalarMismatch(name, args, rec.args); bad {
+	if bad, li, fi := scalarMismatch(name, args, fargs); bad {
 		s.mon.raiseAlarm(Alarm{
 			Reason: AlarmArgMismatch, CallIndex: idx, Function: s.fn,
-			LeaderCall: name, FollowerCall: rec.name,
+			LeaderCall: name, FollowerCall: fname,
 			Detail: fmt.Sprintf("%s arg mismatch: leader %#x vs follower %#x", name, li, fi),
 		}, s.rendezvousSnapshots(t, rec)...)
 		s.diverged.Store(true)
-		abortFollower(rec)
+		s.rejectFollower(rec, "arg-mismatch")
 		return s.mon.lib.Call(t, name, args)
 	}
 
@@ -171,12 +375,18 @@ func (s *session) leaderPaired(t *machine.Thread, name string, args []uint64, re
 		if obsRec != nil {
 			esp = obsRec.BeginEmulationSpan(obs.VariantLeader, t.TID(), name, uint64(cat))
 		}
-		copied := s.emulate(name, args, rec.args, ret)
+		copied, efault := s.emulate(name, args, fargs, ret, idx)
 		esp.End(uint64(copied))
 		s.emulatedBytes.Add(uint64(copied))
 		if obsRec != nil {
 			obsRec.Record(obs.EvEmulated, obs.VariantLeader, t.TID(), name, uint64(copied), 0, ret)
 			obsRec.Metrics().Add("lockstep.emulated.bytes", uint64(copied))
+		}
+		if efault && s.mon.contain() {
+			// The follower's result buffer is gone; it cannot keep up.
+			s.mon.detachFollower(s, "emulation-fault")
+			rec.resp <- callResult{mode: modeDetach}
+			return ret
 		}
 		rec.resp <- callResult{mode: modeEmulated, ret: ret, errno: errno}
 		return ret
@@ -201,7 +411,13 @@ func (s *session) rendezvousSnapshots(leader *machine.Thread, rec *callRecord) [
 // followerCall runs the follower's side: publish the call, wait for the
 // leader's verdict.
 func (s *session) followerCall(t *machine.Thread, name string, args []uint64) uint64 {
-	rec := &callRecord{name: name, args: args, thread: t, resp: make(chan callResult, 1)}
+	cyc := t.UserCycles()
+	rec := &callRecord{
+		name: name, args: args, wire: encodeCallRecord(name, args),
+		thread: t, resp: make(chan callResult, 1),
+		lag: cyc - s.fCycles,
+	}
+	s.fCycles = cyc
 	obsRec := s.mon.rec
 	var arriveTS clock.Cycles
 	var a0, a1 uint64
@@ -231,13 +447,25 @@ func (s *session) followerCall(t *machine.Thread, name string, args []uint64) ui
 			}
 			t.SetErrno(res.errno)
 			return res.ret
+		case modeDetach:
+			// The policy severed this follower; wind it down without a
+			// fresh divergence panic.
+			if obsRec != nil {
+				obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, obs.VariantFollower, t.TID(), name, a0, a1, 0)
+			}
+			panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDetached})
 		default:
 			if obsRec != nil {
 				obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, obs.VariantFollower, t.TID(), name, a0, a1, 0)
 			}
 			panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDivergence})
 		}
+	case <-s.detachCh:
+		panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDetached})
 	case <-s.leaderDone:
+		if s.detached() {
+			panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDetached})
+		}
 		// The leader already left the region: the follower is executing
 		// calls the leader never made. The leader is no longer in the
 		// region, so only the follower's own thread may be snapshotted.
@@ -257,11 +485,14 @@ func (s *session) followerCall(t *machine.Thread, name string, args []uint64) ui
 
 // emulate copies the leader's output buffers into the follower's
 // corresponding buffers, translating embedded pointers for the special
-// category, and returns bytes copied. Copies run with monitor privileges
-// (raw address-space access — the monitor's PKRU has every key enabled).
-func (s *session) emulate(name string, leaderArgs, followerArgs []uint64, ret uint64) int {
+// category, and returns bytes copied plus whether a follower destination
+// buffer was unwritable (AlarmEmulationFault raised). Copies run with
+// monitor privileges (raw address-space access — the monitor's PKRU has
+// every key enabled).
+func (s *session) emulate(name string, leaderArgs, followerArgs []uint64, ret uint64, idx uint64) (int, bool) {
 	as := s.mon.m.AddressSpace()
 	costs := s.mon.m.Costs()
+	faulted := false
 	arg := func(a []uint64, i int) uint64 {
 		if i < len(a) {
 			return a[i]
@@ -282,10 +513,18 @@ func (s *session) emulate(name string, leaderArgs, followerArgs []uint64, ret ui
 			return 0
 		}
 		if err := as.WriteAt(dst, buf); err != nil {
-			// The follower's buffer is bad — surface as divergence by
-			// leaving the follower with stale data; the next check will
-			// catch it. This mirrors the paper's "extra bounds checks on
-			// sensitive calls" future-work remark.
+			// The follower's destination buffer is unmapped or
+			// unwritable — a corrupted follower. Attribute it precisely
+			// so replay diffing can tell it apart from the generic
+			// divergence the stale data would cause later.
+			s.mon.raiseAlarm(Alarm{
+				Reason: AlarmEmulationFault, CallIndex: idx, Function: s.fn,
+				LeaderCall: name,
+				Detail: fmt.Sprintf("emulation copy of %d bytes into follower buffer %#x failed: %v",
+					n, dst, err),
+			})
+			s.diverged.Store(true)
+			faulted = true
 			return 0
 		}
 		_ = as.CopyTaint(dst, src, n)
@@ -297,26 +536,26 @@ func (s *session) emulate(name string, leaderArgs, followerArgs []uint64, ret ui
 	if int64(ret) > 0 {
 		retN = int(int64(ret))
 	}
+	copied := 0
 	switch name {
 	case "read", "recv":
-		return copyBuf(1, retN)
+		copied = copyBuf(1, retN)
 	case "stat", "fstat":
-		return copyBuf(1, 24)
+		copied = copyBuf(1, 24)
 	case "gettimeofday":
-		return copyBuf(0, 16)
+		copied = copyBuf(0, 16)
 	case "time":
-		return copyBuf(0, 8)
+		copied = copyBuf(0, 8)
 	case "localtime_r":
-		return copyBuf(1, 64)
+		copied = copyBuf(1, 64)
 	case "getsockopt":
-		return copyBuf(2, 8)
+		copied = copyBuf(2, 8)
 	case "ioctl":
 		// Special: the third argument is emulated only when it looks like
 		// a pointer into the process's address space (Section 3.3).
 		if s.inLeaderSpace(mem.Addr(arg(leaderArgs, 2))) {
-			return copyBuf(2, 8)
+			copied = copyBuf(2, 8)
 		}
-		return 0
 	case "epoll_wait", "epoll_pwait":
 		// Special: copy the events array; epoll_data entries that are
 		// pointers into the leader's space must be rebased into the
@@ -341,10 +580,9 @@ func (s *session) emulate(name string, leaderArgs, followerArgs []uint64, ret ui
 			total += 16
 		}
 		s.mon.m.ChargeThread(nil, costs.LockstepCopyPerByte*cyclesOf(total))
-		return total
-	default:
-		return 0
+		copied = total
 	}
+	return copied, faulted
 }
 
 // inLeaderSpace reports whether v falls inside the leader's image or heap —

@@ -51,6 +51,13 @@ var (
 	// ErrDivergence is the abort delivered to a variant when lockstep
 	// comparison fails.
 	ErrDivergence = errors.New("smvx: variant execution diverged")
+	// ErrDetached is the abort delivered to a follower the divergence
+	// policy has severed from lockstep: not a new divergence, just the
+	// containment path winding the quarantined variant down.
+	ErrDetached = errors.New("smvx: follower detached by divergence policy")
+	// ErrRendezvousTimeout reports a follower that failed to reach a
+	// rendezvous (or the region exit) before the virtual-cycle deadline.
+	ErrRendezvousTimeout = errors.New("smvx: rendezvous deadline exceeded")
 )
 
 // FollowerDelta is the default shift between the leader's and the
@@ -80,6 +87,16 @@ const (
 	// AlarmSequenceLength: one variant issued more libc calls than the
 	// other inside the region.
 	AlarmSequenceLength
+	// AlarmRendezvousTimeout: the follower failed to arrive at a lockstep
+	// rendezvous (or the region exit) before the virtual-cycle deadline —
+	// a hung, stalled, or wedged variant caught by the watchdog instead of
+	// deadlocking the machine.
+	AlarmRendezvousTimeout
+	// AlarmEmulationFault: the leader→follower result copy of a CatRetBuf
+	// call failed because the follower's destination buffer is unmapped or
+	// otherwise unwritable — a corrupt follower buffer, previously folded
+	// into generic divergence.
+	AlarmEmulationFault
 )
 
 // String names the alarm reason.
@@ -93,6 +110,10 @@ func (r AlarmReason) String() string {
 		return "follower variant fault"
 	case AlarmSequenceLength:
 		return "libc call count mismatch"
+	case AlarmRendezvousTimeout:
+		return "rendezvous deadline exceeded"
+	case AlarmEmulationFault:
+		return "follower emulation-buffer fault"
 	default:
 		return "unknown"
 	}
@@ -115,6 +136,11 @@ type Alarm struct {
 	LeaderCall, FollowerCall string
 	// Detail is a human-readable description.
 	Detail string
+	// Handled reports whether a containment policy (leader-continue or
+	// restart-follower) absorbed the divergence: the leader kept running
+	// single-variant instead of the paper's kill-both response. Unhandled
+	// alarms make cmd/smvx exit nonzero.
+	Handled bool
 }
 
 // CreationStats is the Table 2 breakdown of one mvx_start() invocation.
@@ -151,6 +177,13 @@ type RegionReport struct {
 	FollowerErr error
 	// Creation is the variant-creation breakdown.
 	Creation CreationStats
+	// Degraded reports that the region ran (entirely or partly) without a
+	// live follower: either the policy detached it mid-region, or the
+	// region started leader-only after an earlier detach.
+	Degraded bool
+	// FollowerRestarted reports that PolicyRestartFollower re-cloned a
+	// fresh follower at this region's entry.
+	FollowerRestarted bool
 }
 
 // Options configures the monitor.
@@ -176,6 +209,21 @@ type Options struct {
 	// forensics from the monitor. Nil (the default) keeps every hot path
 	// free of observability work.
 	Recorder *obs.Recorder
+	// Policy selects the divergence response (default PolicyKillBoth, the
+	// paper's behaviour).
+	Policy DivergencePolicy
+	// RestartBudget bounds how many times PolicyRestartFollower re-clones
+	// a follower before degrading to leader-continue (default
+	// DefaultRestartBudget).
+	RestartBudget int
+	// RestartBackoff is the virtual-cycle delay after a detach before a
+	// restart is attempted (default DefaultRestartBackoff).
+	RestartBackoff clock.Cycles
+	// RendezvousDeadline is the virtual-cycle budget for one lockstep wait
+	// (and for the region-exit wait on the follower). Zero disables the
+	// deadline; the default is DefaultRendezvousDeadline, generous enough
+	// that only a wedged variant trips it.
+	RendezvousDeadline clock.Cycles
 }
 
 // Option mutates Options.
@@ -206,6 +254,27 @@ func WithVariantReuse() Option {
 // WithRecorder attaches a flight recorder to the monitor.
 func WithRecorder(r *obs.Recorder) Option {
 	return func(o *Options) { o.Recorder = r }
+}
+
+// WithPolicy selects the divergence-response policy.
+func WithPolicy(p DivergencePolicy) Option {
+	return func(o *Options) { o.Policy = p }
+}
+
+// WithRestartBudget bounds PolicyRestartFollower's re-clones.
+func WithRestartBudget(n int) Option {
+	return func(o *Options) { o.RestartBudget = n }
+}
+
+// WithRestartBackoff sets the virtual-cycle delay before a restart.
+func WithRestartBackoff(c clock.Cycles) Option {
+	return func(o *Options) { o.RestartBackoff = c }
+}
+
+// WithRendezvousDeadline sets the per-rendezvous virtual-cycle deadline
+// (0 disables the watchdog).
+func WithRendezvousDeadline(c clock.Cycles) Option {
+	return func(o *Options) { o.RendezvousDeadline = c }
 }
 
 // Monitor is the in-process sMVX monitor.
@@ -240,6 +309,12 @@ type Monitor struct {
 	followerStacks []mem.Addr        // follower stack regions
 	variantReady   bool              // clones exist and can be refreshed
 	reports        []RegionReport
+
+	// Fault-containment state (see policy.go).
+	quarantined   map[int]bool // detached follower TIDs barred from the trampoline
+	degraded      bool         // a follower was detached; regions run leader-only
+	restartsUsed  int
+	nextRestartAt clock.Cycles // earliest virtual time a restart may happen
 }
 
 var _ machine.MVX = (*Monitor)(nil)
@@ -248,9 +323,18 @@ var _ machine.Interposer = (*Monitor)(nil)
 // New creates a monitor for the machine's program. The monitor installs
 // itself as the machine's PLT interposer during Setup.
 func New(m *machine.Machine, lib *libc.LibC, opts ...Option) *Monitor {
-	o := Options{Delta: FollowerDelta, Seed: 1}
+	o := Options{
+		Delta:              FollowerDelta,
+		Seed:               1,
+		RestartBudget:      DefaultRestartBudget,
+		RestartBackoff:     DefaultRestartBackoff,
+		RendezvousDeadline: DefaultRendezvousDeadline,
+	}
 	for _, fn := range opts {
 		fn(&o)
+	}
+	if o.RestartBudget < 0 {
+		o.RestartBudget = 0
 	}
 	return &Monitor{
 		m:           m,
@@ -260,6 +344,7 @@ func New(m *machine.Machine, lib *libc.LibC, opts ...Option) *Monitor {
 		rec:         o.Recorder,
 		safeStacks:  make(map[int]mem.Addr),
 		regionCalls: make(map[string]uint64),
+		quarantined: make(map[int]bool),
 	}
 }
 
@@ -461,6 +546,7 @@ func (mo *Monitor) SetAlarmHandler(fn func(Alarm)) {
 // stamped here.
 func (mo *Monitor) raiseAlarm(a Alarm, snaps ...obs.ThreadSnapshot) {
 	a.TS = mo.m.Counter().Cycles()
+	a.Handled = mo.contain()
 	mo.mu.Lock()
 	mo.alarms = append(mo.alarms, a)
 	handler := mo.alarmHandler

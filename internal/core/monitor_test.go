@@ -596,10 +596,34 @@ func TestScanHintsNarrowDataScan(t *testing.T) {
 }
 
 func TestAlarmReasonStrings(t *testing.T) {
-	for _, r := range []AlarmReason{AlarmCallMismatch, AlarmArgMismatch, AlarmFollowerFault, AlarmSequenceLength} {
-		if s := r.String(); s == "unknown" || s == "" {
-			t.Errorf("reason %d has no name", r)
+	// Exhaustive: every declared reason maps to its exact rendering, and the
+	// table below must grow with the enum (the count check fails otherwise).
+	want := map[AlarmReason]string{
+		AlarmCallMismatch:      "libc call sequence mismatch",
+		AlarmArgMismatch:       "libc argument mismatch",
+		AlarmFollowerFault:     "follower variant fault",
+		AlarmSequenceLength:    "libc call count mismatch",
+		AlarmRendezvousTimeout: "rendezvous deadline exceeded",
+		AlarmEmulationFault:    "follower emulation-buffer fault",
+	}
+	seen := map[string]bool{}
+	for r, s := range want {
+		if got := r.String(); got != s {
+			t.Errorf("AlarmReason(%d).String() = %q, want %q", r, got, s)
 		}
+		if seen[s] {
+			t.Errorf("duplicate reason string %q", s)
+		}
+		seen[s] = true
+	}
+	// Walk the enum from the first declared value until String falls off the
+	// table: every named reason must be covered above.
+	n := 0
+	for r := AlarmCallMismatch; r.String() != "unknown"; r++ {
+		n++
+	}
+	if n != len(want) {
+		t.Errorf("enum has %d named reasons, table covers %d", n, len(want))
 	}
 	if AlarmReason(99).String() != "unknown" {
 		t.Error("out-of-range reason should stringify as unknown")

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+
+	"smvx/internal/obs"
+	"smvx/internal/sim/clock"
+)
+
+// DivergencePolicy decides what raiseAlarm and follower faults do to the
+// running variants. The paper's monitor has exactly one answer — alarm and
+// stop — but production MVX systems survive variant faults: dMVX detaches a
+// failed variant and degrades to single-variant execution, and ReMon-family
+// MVEEs harden rendezvous with timeouts and bounded retries. The policy
+// layer reproduces that spectrum without touching the detection logic.
+type DivergencePolicy int
+
+const (
+	// PolicyKillBoth is the paper's default: the alarm stands, the
+	// diverging follower is aborted with ErrDivergence, and nothing is
+	// contained. Existing behaviour, byte for byte.
+	PolicyKillBoth DivergencePolicy = iota
+	// PolicyLeaderContinue quarantines and detaches the follower, drains
+	// its pending rendezvous slots, and lets the leader run single-variant
+	// with the monitor flagged degraded (dMVX-style detach).
+	PolicyLeaderContinue
+	// PolicyRestartFollower detaches like PolicyLeaderContinue, then
+	// re-clones a fresh follower at the next protected-region entry,
+	// subject to a bounded restart budget and a virtual-cycle backoff;
+	// once the budget is spent it degrades to leader-continue.
+	PolicyRestartFollower
+)
+
+// String names the policy (the same spelling ParsePolicy accepts).
+func (p DivergencePolicy) String() string {
+	switch p {
+	case PolicyKillBoth:
+		return "kill-both"
+	case PolicyLeaderContinue:
+		return "leader-continue"
+	case PolicyRestartFollower:
+		return "restart-follower"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses a policy name as spelled by String.
+func ParsePolicy(s string) (DivergencePolicy, error) {
+	switch s {
+	case "kill-both", "":
+		return PolicyKillBoth, nil
+	case "leader-continue":
+		return PolicyLeaderContinue, nil
+	case "restart-follower":
+		return PolicyRestartFollower, nil
+	default:
+		return 0, fmt.Errorf("smvx: unknown divergence policy %q (want kill-both, leader-continue, or restart-follower)", s)
+	}
+}
+
+// Containment defaults.
+const (
+	// DefaultRestartBudget is how many follower re-clones
+	// PolicyRestartFollower attempts before degrading for good.
+	DefaultRestartBudget = 3
+	// DefaultRestartBackoff is the virtual-cycle delay between a detach
+	// and the next restart attempt (~0.5ms at the simulated 2.1GHz).
+	DefaultRestartBackoff clock.Cycles = 1_000_000
+	// DefaultRendezvousDeadline is the per-rendezvous virtual-cycle budget
+	// (~1s at 2.1GHz): no legitimate lockstep wait in the reproduced
+	// workloads comes within orders of magnitude of it.
+	DefaultRendezvousDeadline clock.Cycles = 2_100_000_000
+)
+
+// contain reports whether a containment policy is active (anything but the
+// paper's kill-both).
+func (mo *Monitor) contain() bool { return mo.opts.Policy != PolicyKillBoth }
+
+// Degraded reports whether the monitor is running without a follower after
+// a policy detach (cleared when PolicyRestartFollower re-clones one).
+func (mo *Monitor) Degraded() bool {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	return mo.degraded
+}
+
+// RestartsUsed returns how many follower restarts have been spent.
+func (mo *Monitor) RestartsUsed() int {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	return mo.restartsUsed
+}
+
+// UnhandledAlarmCount counts alarms no containment policy absorbed — the
+// signal cmd/smvx turns into a nonzero exit status.
+func (mo *Monitor) UnhandledAlarmCount() int {
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	n := 0
+	for _, a := range mo.alarms {
+		if !a.Handled {
+			n++
+		}
+	}
+	return n
+}
+
+// detachFollower severs a session's follower from lockstep, exactly once:
+// the detach channel is closed (waking a follower blocked mid-rendezvous),
+// the follower TID is quarantined so any later trampoline entry faults with
+// ErrDetached instead of reaching the kernel unreplicated, and pending
+// rendezvous slots are drained with a detach verdict. Under a containment
+// policy it additionally flags the monitor degraded, arms the restart
+// backoff, and surfaces the transition to the flight recorder. cause is a
+// short slug for the EvFollowerDetached event.
+func (mo *Monitor) detachFollower(s *session, cause string) {
+	s.detachOnce.Do(func() {
+		// Bookkeeping happens before the channel close so that a follower
+		// woken by it observes the quarantine entry.
+		mo.mu.Lock()
+		if s.followerTID != 0 {
+			mo.quarantined[s.followerTID] = true
+		}
+		wasDegraded := mo.degraded
+		if mo.contain() {
+			mo.degraded = true
+			mo.nextRestartAt = mo.m.Counter().Cycles() + mo.opts.RestartBackoff
+		}
+		mo.mu.Unlock()
+		close(s.detachCh)
+		s.drainPending()
+		if mo.contain() && !wasDegraded {
+			mo.rec.Record(obs.EvFollowerDetached, obs.VariantFollower, s.followerTID,
+				cause, s.calls.Load(), 0, 0)
+			mo.rec.Metrics().Inc("policy.follower_detached")
+		}
+	})
+}

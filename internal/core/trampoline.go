@@ -59,8 +59,15 @@ func (mo *Monitor) Intercept(t *machine.Thread, slot int, name string, args []ui
 
 	mo.mu.Lock()
 	s := mo.session
+	quarantined := mo.quarantined[t.TID()]
 	mo.mu.Unlock()
 
+	if quarantined {
+		// A detached follower (possibly resuming after a stall, possibly
+		// orphaned past its region) may not reach the kernel unreplicated:
+		// wind it down here.
+		panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDetached})
+	}
 	if s == nil {
 		// Outside any protected region: plain interception, direct libc.
 		return mo.lib.Call(t, name, args)

@@ -49,6 +49,30 @@ func (mo *Monitor) Start(t *machine.Thread, fn string, args ...uint64) error {
 		return fmt.Errorf("smvx: mvx_start: function %q not in image", fn)
 	}
 
+	// Containment gate: after a policy detach the monitor is degraded.
+	// PolicyRestartFollower re-clones a fresh follower here — at region
+	// entry, where variant creation is already paid for — while the budget
+	// and backoff allow; otherwise the region runs leader-only.
+	restarted := false
+	if mo.contain() {
+		mo.mu.Lock()
+		degraded := mo.degraded
+		used := mo.restartsUsed
+		nextAt := mo.nextRestartAt
+		mo.mu.Unlock()
+		if degraded {
+			if mo.opts.Policy != PolicyRestartFollower || used >= mo.opts.RestartBudget ||
+				mo.m.Counter().Cycles() < nextAt {
+				return mo.startLeaderOnly(t, fn)
+			}
+			mo.mu.Lock()
+			mo.restartsUsed++
+			mo.degraded = false
+			mo.mu.Unlock()
+			restarted = true
+		}
+	}
+
 	delta := mo.opts.Delta
 	as := mo.m.AddressSpace()
 	ctr := mo.m.Counter()
@@ -163,6 +187,7 @@ func (mo *Monitor) Start(t *machine.Thread, fn string, args ...uint64) error {
 	// Step 4 — clone() the follower thread and redirect it to the
 	// protected function.
 	s := newSession(mo, fn, delta, t.TID())
+	s.restarted = restarted
 	ftid := mo.m.AllocTID()
 	s.followerTID = ftid
 	fStackBase := mem.Addr(int64(mo.img.End())+delta) + 0x100_0000
@@ -220,10 +245,11 @@ func (mo *Monitor) Start(t *machine.Thread, fn string, args ...uint64) error {
 		ft.SetExecWindow([2]mem.Addr{imgLo, imgHi})
 		ft.WRPKRU(mo.appPKRU(ft))
 		runErr := ft.Run(func(t *machine.Thread) { t.Call(fn, fargs...) })
-		if runErr != nil {
+		if runErr != nil && !errors.Is(runErr, ErrDetached) {
 			// The fault is detected on the follower's own goroutine: the
 			// leader is still running, so only the follower's thread state
-			// may be read here.
+			// may be read here. An ErrDetached death is just the policy
+			// winding a severed follower down — no new alarm.
 			var snaps []obs.ThreadSnapshot
 			if mo.rec != nil {
 				var fe *mem.FaultError
@@ -237,11 +263,17 @@ func (mo *Monitor) Start(t *machine.Thread, fn string, args ...uint64) error {
 				Reason: AlarmFollowerFault, CallIndex: s.calls.Load(),
 				Function: fn, Detail: runErr.Error(),
 			}, snaps...)
+			if mo.contain() {
+				mo.detachFollower(s, "follower-fault")
+			}
 		}
 		s.markDead(runErr)
 		return runErr
 	})
 	s.thread = th
+	if d := mo.opts.RendezvousDeadline; d > 0 {
+		go s.watch(d)
+	}
 	cloneCost := ctr.Cycles() - cloneMark
 	if cloneCost < mo.m.Costs().ThreadClone {
 		cloneCost = mo.m.Costs().ThreadClone
@@ -270,6 +302,32 @@ func (mo *Monitor) Start(t *machine.Thread, fn string, args ...uint64) error {
 		m.Add("variant.pointers_relocated", uint64(stats.PointersRelocated))
 	}
 	createSpan.End(uint64(stats.PointersRelocated))
+	if restarted {
+		mo.mu.Lock()
+		n := mo.restartsUsed
+		mo.mu.Unlock()
+		mo.rec.Record(obs.EvFollowerRestarted, obs.VariantFollower, ftid, fn, uint64(n), 0, 0)
+		mo.rec.Metrics().Inc("policy.follower_restarted")
+	}
+	return nil
+}
+
+// startLeaderOnly opens a degraded protected region with no follower: the
+// policy detached (or could not yet restart) the second variant, so the
+// leader runs single-variant — dMVX's detached mode. No clone work happens
+// and lockstep calls go straight to libc. EvRegionStart carries Arg0=1 to
+// mark the degraded entry.
+func (mo *Monitor) startLeaderOnly(t *machine.Thread, fn string) error {
+	s := newSession(mo, fn, mo.opts.Delta, t.TID())
+	s.leaderOnly = true
+	close(s.detachCh)
+	s.markDead(nil)
+	mo.mu.Lock()
+	mo.session = s
+	mo.mu.Unlock()
+	t.WRPKRU(mo.appPKRU(t))
+	mo.rec.Record(obs.EvRegionStart, obs.VariantLeader, t.TID(), fn, 1, 0, 0)
+	mo.rec.Metrics().Inc("region.leader_only")
 	return nil
 }
 
@@ -333,9 +391,11 @@ func (mo *Monitor) relocateRange(lo, hi mem.Addr, delta int64) (int, error) {
 }
 
 // End implements machine.MVX: the mvx_end() call. It waits for the
-// follower via the wait() syscall, merges the variants, records the region
-// report, and leaves the follower's mappings in place (they are reclaimed
-// by the next Start or by DestroyFollower).
+// follower via the wait() syscall — bounded by the rendezvous deadline, so
+// a follower that never exits the region trips the watchdog instead of
+// deadlocking mvx_end — merges the variants, records the region report, and
+// leaves the follower's mappings in place (they are reclaimed by the next
+// Start or by DestroyFollower).
 func (mo *Monitor) End(t *machine.Thread) error {
 	mo.mu.Lock()
 	s := mo.session
@@ -344,18 +404,45 @@ func (mo *Monitor) End(t *machine.Thread) error {
 		return ErrNoRegion
 	}
 	close(s.leaderDone)
-	_ = mo.m.Process().WaitThread(s.thread)
+	var followerErr error
+	if s.thread != nil {
+		done := mo.m.Process().WaitThreadCh(s.thread)
+		waitStart := mo.m.Counter().Cycles()
+		s.waitingSince.Store(int64(waitStart) + 1)
+		select {
+		case <-done:
+			s.waitingSince.Store(0)
+			followerErr = s.followerErr
+		case <-s.timedOut:
+			s.waitingSince.Store(0)
+			if !s.detached() {
+				mo.raiseAlarm(Alarm{
+					Reason: AlarmRendezvousTimeout, CallIndex: s.calls.Load(), Function: s.fn,
+					Detail: "follower failed to exit the region before the rendezvous deadline",
+				})
+				s.diverged.Store(true)
+				mo.rec.Metrics().Inc("rendezvous.timeout")
+			}
+			mo.detachFollower(s, "region-exit-timeout")
+			followerErr = ErrRendezvousTimeout
+		}
+	}
+	s.stopWatch()
 
 	report := RegionReport{
-		Function:      s.fn,
-		LibcCalls:     s.calls.Load(),
-		EmulatedBytes: s.emulatedBytes.Load(),
-		Diverged:      s.diverged.Load() || s.followerErr != nil,
-		FollowerErr:   s.followerErr,
+		Function:          s.fn,
+		LibcCalls:         s.calls.Load(),
+		EmulatedBytes:     s.emulatedBytes.Load(),
+		Diverged:          s.diverged.Load() || followerErr != nil,
+		FollowerErr:       followerErr,
+		Degraded:          s.leaderOnly || s.detached(),
+		FollowerRestarted: s.restarted,
 	}
 
 	mo.mu.Lock()
-	report.Creation = mo.lastCreation
+	if !s.leaderOnly {
+		report.Creation = mo.lastCreation
+	}
 	mo.regionCalls[s.fn] += report.LibcCalls
 	mo.reports = append(mo.reports, report)
 	mo.session = nil
@@ -367,6 +454,9 @@ func (mo *Monitor) End(t *machine.Thread) error {
 		m.Observe("region.libc_calls", report.LibcCalls)
 		m.Add("region.emulated_bytes", report.EmulatedBytes)
 		m.SetGauge("rss_kb", float64(mo.m.AddressSpace().ResidentKB()))
+		if report.Degraded {
+			m.Inc("region.degraded")
+		}
 	}
 	return nil
 }

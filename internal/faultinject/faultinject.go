@@ -1,0 +1,280 @@
+// Package faultinject is the deterministic chaos harness for the sMVX
+// monitor: seed-driven fault plans injected at the machine's libc choke
+// point, used to prove the divergence-response policies contain what the
+// paper's kill-both monitor merely reports. Faults target the follower
+// variant only (the leader is the availability story the policies defend),
+// fire at exact follower libc-call ordinals, and fire at most once each, so
+// every (fault, policy) outcome is reproducible from its plan alone.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"smvx/internal/core"
+	"smvx/internal/libc"
+	"smvx/internal/obs"
+	"smvx/internal/sim/clock"
+	"smvx/internal/sim/machine"
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+const (
+	// FollowerCrash crashes the follower thread at the chosen call — the
+	// simulated analogue of a variant segfaulting mid-region.
+	FollowerCrash Kind = iota + 1
+	// ArgFlip XORs one bit into the first scalar argument of the chosen
+	// call, driving an AlarmArgMismatch at the rendezvous.
+	ArgFlip
+	// IPCTruncate drops the last argument of the chosen call's IPC record,
+	// a short write on the shared-memory ring (length mismatch at the
+	// rendezvous).
+	IPCTruncate
+	// FollowerStall charges StallCycles of busy-work before the chosen
+	// call, blowing the rendezvous deadline.
+	FollowerStall
+	// EmulBufCorrupt rewrites the output-buffer pointer of the first
+	// CatRetBuf call at or after the chosen ordinal to an unmapped
+	// address, so the leader's emulation copy faults (AlarmEmulationFault).
+	EmulBufCorrupt
+)
+
+// String names the kind as spelled in chaos specs.
+func (k Kind) String() string {
+	switch k {
+	case FollowerCrash:
+		return "follower-crash"
+	case ArgFlip:
+		return "arg-flip"
+	case IPCTruncate:
+		return "ipc-truncate"
+	case FollowerStall:
+		return "stall"
+	case EmulBufCorrupt:
+		return "emu-corrupt"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// kindNames maps spec spellings back to kinds.
+var kindNames = map[string]Kind{
+	"follower-crash": FollowerCrash,
+	"arg-flip":       ArgFlip,
+	"ipc-truncate":   IPCTruncate,
+	"stall":          FollowerStall,
+	"emu-corrupt":    EmulBufCorrupt,
+}
+
+// ErrInjected marks a crash manufactured by the harness, so forensics can
+// tell injected faults from organic ones.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// StallCycles is the busy-work a FollowerStall charges (~30ms at the
+// simulated 2.1GHz — far past any sane rendezvous deadline).
+const StallCycles clock.Cycles = 64_000_000
+
+// stallChunk keeps stall charging sampler-friendly.
+const stallChunk clock.Cycles = 10_000
+
+// CorruptAddr is the unmapped address EmulBufCorrupt points buffers at.
+const CorruptAddr uint64 = 0x6f6f_0000_0000
+
+// Fault is one planned fault.
+type Fault struct {
+	Kind Kind
+	// Call is the 1-based follower libc-call ordinal the fault fires at
+	// (EmulBufCorrupt: the first CatRetBuf call at or after it).
+	Call uint64
+	// Bit selects the flipped bit for ArgFlip (mod 64).
+	Bit uint
+}
+
+// Plan is an installed set of faults. Install it once per machine; the
+// follower-call counter persists across regions and restarts, so a fired
+// fault stays fired.
+type Plan struct {
+	seed   int64
+	faults []Fault
+	rec    *obs.Recorder
+
+	calls atomic.Uint64
+	fired []atomic.Bool
+}
+
+// New builds a plan from explicit faults.
+func New(seed int64, faults ...Fault) *Plan {
+	return &Plan{
+		seed:   seed,
+		faults: append([]Fault(nil), faults...),
+		fired:  make([]atomic.Bool, len(faults)),
+	}
+}
+
+// Parse builds a plan from a -chaos spec: comma-separated
+// "kind[@call][:bit]" entries, e.g. "follower-crash@12,arg-flip@7:3,stall@5".
+// An entry without @call gets a seed-derived ordinal in [1,8], which is what
+// makes a bare "follower-crash" spec deterministic per seed.
+func Parse(spec string, seed int64) (*Plan, error) {
+	rng := rand.New(rand.NewSource(seed))
+	var faults []Fault
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		f := Fault{Call: uint64(1 + rng.Intn(8))}
+		body := entry
+		if i := strings.IndexByte(body, ':'); i >= 0 {
+			bit, err := strconv.ParseUint(body[i+1:], 10, 8)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad bit in %q: %v", entry, err)
+			}
+			f.Bit = uint(bit)
+			body = body[:i]
+		}
+		if i := strings.IndexByte(body, '@'); i >= 0 {
+			call, err := strconv.ParseUint(body[i+1:], 10, 32)
+			if err != nil || call == 0 {
+				return nil, fmt.Errorf("faultinject: bad call ordinal in %q", entry)
+			}
+			f.Call = call
+			body = body[:i]
+		}
+		kind, ok := kindNames[body]
+		if !ok {
+			names := make([]string, 0, len(kindNames))
+			for n := range kindNames {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return nil, fmt.Errorf("faultinject: unknown fault %q (want %s)", body, strings.Join(names, ", "))
+		}
+		f.Kind = kind
+		faults = append(faults, f)
+	}
+	if len(faults) == 0 {
+		return nil, errors.New("faultinject: empty chaos spec")
+	}
+	return New(seed, faults...), nil
+}
+
+// Faults returns the planned faults.
+func (p *Plan) Faults() []Fault { return append([]Fault(nil), p.faults...) }
+
+// FiredCount reports how many planned faults have fired.
+func (p *Plan) FiredCount() int {
+	n := 0
+	for i := range p.fired {
+		if p.fired[i].Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// FollowerCalls returns the follower libc calls seen so far.
+func (p *Plan) FollowerCalls() uint64 { return p.calls.Load() }
+
+// Install hooks the plan into the machine's libc choke point and wires the
+// flight recorder (nil is fine) for EvFaultInjected events.
+func (p *Plan) Install(m *machine.Machine, rec *obs.Recorder) {
+	p.rec = rec
+	m.SetLibcFaultHook(p.hook)
+}
+
+// hook runs on every PLT libc call of every thread; only follower-biased
+// threads are counted and faulted.
+func (p *Plan) hook(t *machine.Thread, name string, args []uint64) []uint64 {
+	if t.Bias() == 0 {
+		return args
+	}
+	n := p.calls.Add(1)
+	for i := range p.faults {
+		f := p.faults[i]
+		if p.fired[i].Load() || !p.triggers(f, n, name) {
+			continue
+		}
+		if !p.fired[i].CompareAndSwap(false, true) {
+			continue
+		}
+		p.record(t, f, n, name)
+		args = p.apply(t, f, n, name, args)
+	}
+	return args
+}
+
+// triggers decides whether fault f fires at follower call n to name.
+func (p *Plan) triggers(f Fault, n uint64, name string) bool {
+	if f.Kind == EmulBufCorrupt {
+		return n >= f.Call && libc.CategoryOf(name) == libc.CatRetBuf
+	}
+	return n == f.Call
+}
+
+// record surfaces the firing to the flight recorder and metrics.
+func (p *Plan) record(t *machine.Thread, f Fault, n uint64, name string) {
+	p.rec.Record(obs.EvFaultInjected, obs.VariantFollower, t.TID(),
+		f.Kind.String()+":"+name, n, uint64(f.Bit), 0)
+	p.rec.Metrics().Inc("faultinject.fired")
+	p.rec.Metrics().Inc("faultinject." + obs.SanitizeName(f.Kind.String()))
+}
+
+// apply performs the fault. FollowerCrash panics (the machine's crash
+// unwinding turns it into a follower fault); the rest return mutated args.
+func (p *Plan) apply(t *machine.Thread, f Fault, n uint64, name string, args []uint64) []uint64 {
+	switch f.Kind {
+	case FollowerCrash:
+		panic(&machine.Crash{
+			Thread: t.Name(), IP: t.IP(),
+			Err: fmt.Errorf("%w: follower crash at libc call %d (%s)", ErrInjected, n, name),
+		})
+	case FollowerStall:
+		for left := StallCycles; left > 0; {
+			c := stallChunk
+			if c > left {
+				c = left
+			}
+			t.ChargeUser(c)
+			left -= c
+		}
+		return args
+	case ArgFlip:
+		mask := core.ScalarArgMask(name)
+		out := append([]uint64(nil), args...)
+		for i := range out {
+			if i < len(mask) && mask[i] {
+				out[i] ^= 1 << (f.Bit % 64)
+				return out
+			}
+		}
+		if len(out) > 0 {
+			out[0] ^= 1 << (f.Bit % 64)
+		}
+		return out
+	case IPCTruncate:
+		if len(args) == 0 {
+			return args
+		}
+		return append([]uint64(nil), args[:len(args)-1]...)
+	case EmulBufCorrupt:
+		mask := core.ScalarArgMask(name)
+		out := append([]uint64(nil), args...)
+		for i := range out {
+			if i >= len(mask) || !mask[i] {
+				out[i] = CorruptAddr
+				return out
+			}
+		}
+		return out
+	default:
+		return args
+	}
+}

@@ -1,0 +1,162 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+
+	"smvx/internal/core"
+)
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for name, kind := range kindNames {
+		if kind.String() != name {
+			t.Errorf("%v.String() = %q, want %q", kind, kind.String(), name)
+		}
+	}
+	if got := Kind(99).String(); got != "kind(99)" {
+		t.Errorf("out-of-range kind = %q", got)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	p, err := Parse("follower-crash@12, arg-flip@7:3 ,stall@5", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Kind: FollowerCrash, Call: 12},
+		{Kind: ArgFlip, Call: 7, Bit: 3},
+		{Kind: FollowerStall, Call: 5},
+	}
+	got := p.Faults()
+	if len(got) != len(want) {
+		t.Fatalf("faults = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("fault %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseSeedDerivedOrdinal(t *testing.T) {
+	// No @call: the ordinal comes from the seed, deterministically.
+	a, err := Parse("follower-crash", 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("follower-crash", 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, cb := a.Faults()[0].Call, b.Faults()[0].Call
+	if ca != cb {
+		t.Errorf("same seed gave ordinals %d and %d", ca, cb)
+	}
+	if ca < 1 || ca > 8 {
+		t.Errorf("ordinal %d outside [1,8]", ca)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		spec, wantSub string
+	}{
+		{"", "empty chaos spec"},
+		{" , ", "empty chaos spec"},
+		{"meteor-strike@3", "unknown fault"},
+		{"follower-crash@0", "bad call ordinal"},
+		{"follower-crash@x", "bad call ordinal"},
+		{"arg-flip@3:boom", "bad bit"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.spec, 1); err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) err = %v, want containing %q", c.spec, err, c.wantSub)
+		}
+	}
+	// The unknown-fault error should teach the valid spellings.
+	_, err := Parse("meteor-strike", 1)
+	for name := range kindNames {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("unknown-fault error %q missing %q", err, name)
+		}
+	}
+}
+
+// fakeThread-free hook tests: trigger and apply logic that doesn't need a
+// live machine thread.
+
+func TestTriggers(t *testing.T) {
+	p := New(1)
+	if !p.triggers(Fault{Kind: ArgFlip, Call: 3}, 3, "write") {
+		t.Error("arg-flip did not trigger at its ordinal")
+	}
+	if p.triggers(Fault{Kind: ArgFlip, Call: 3}, 4, "write") {
+		t.Error("arg-flip triggered off-ordinal")
+	}
+	// EmulBufCorrupt waits for the first CatRetBuf call at or after Call.
+	f := Fault{Kind: EmulBufCorrupt, Call: 2}
+	if p.triggers(f, 1, "gettimeofday") {
+		t.Error("emu-corrupt fired before its ordinal")
+	}
+	if p.triggers(f, 2, "close") {
+		t.Error("emu-corrupt fired on a non-RetBuf call")
+	}
+	if !p.triggers(f, 5, "gettimeofday") {
+		t.Error("emu-corrupt missed a RetBuf call past its ordinal")
+	}
+}
+
+func TestApplyArgFlip(t *testing.T) {
+	p := New(1)
+	// write(fd, buf, len): fd is scalar, buf is a pointer — the flip must
+	// land on fd, not the pointer.
+	mask := core.ScalarArgMask("write")
+	if len(mask) < 2 || !mask[0] || mask[1] {
+		t.Fatalf("scalar mask for write = %v; test assumes (scalar, pointer, ...)", mask)
+	}
+	args := []uint64{3, 0x400500, 17}
+	out := p.apply(nil, Fault{Kind: ArgFlip, Bit: 2}, 5, "write", args)
+	if out[0] != 3^(1<<2) || out[1] != 0x400500 || out[2] != 17 {
+		t.Errorf("arg-flip gave %#x", out)
+	}
+	if args[0] != 3 {
+		t.Error("arg-flip mutated the caller's slice")
+	}
+}
+
+func TestApplyIPCTruncate(t *testing.T) {
+	p := New(1)
+	out := p.apply(nil, Fault{Kind: IPCTruncate}, 5, "write", []uint64{3, 0x400500, 17})
+	if len(out) != 2 {
+		t.Errorf("truncate left %d args, want 2", len(out))
+	}
+	if got := p.apply(nil, Fault{Kind: IPCTruncate}, 5, "malloc", nil); len(got) != 0 {
+		t.Errorf("truncate of empty args gave %v", got)
+	}
+}
+
+func TestApplyEmulBufCorrupt(t *testing.T) {
+	p := New(1)
+	// gettimeofday(tv, tz): both pointers — the first becomes CorruptAddr.
+	out := p.apply(nil, Fault{Kind: EmulBufCorrupt}, 1, "gettimeofday", []uint64{0x400800, 0})
+	if out[0] != CorruptAddr {
+		t.Errorf("corrupt gave %#x, want %#x", out[0], CorruptAddr)
+	}
+}
+
+func TestFiredCountAndPlanState(t *testing.T) {
+	p := New(9, Fault{Kind: ArgFlip, Call: 1}, Fault{Kind: IPCTruncate, Call: 3})
+	if p.FiredCount() != 0 || p.FollowerCalls() != 0 {
+		t.Fatal("fresh plan not zeroed")
+	}
+	p.fired[0].Store(true)
+	if p.FiredCount() != 1 {
+		t.Errorf("fired = %d, want 1", p.FiredCount())
+	}
+	// Faults() must be a copy the caller can't corrupt the plan through.
+	p.Faults()[0].Call = 999
+	if p.faults[0].Call != 1 {
+		t.Error("Faults() exposed the plan's backing array")
+	}
+}

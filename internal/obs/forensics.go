@@ -236,6 +236,12 @@ func formatEventLine(e Event) string {
 		return fmt.Sprintf("%-12s %s %d cycles", e.Kind, e.Name, e.Arg0)
 	case EvWatchdog:
 		return fmt.Sprintf("%-12s %s", e.Kind, e.Name)
+	case EvFaultInjected:
+		return fmt.Sprintf("%-12s %s at call %d", e.Kind, e.Name, e.Arg0)
+	case EvFollowerDetached:
+		return fmt.Sprintf("%-12s %s after %d calls", e.Kind, e.Name, e.Arg0)
+	case EvFollowerRestarted:
+		return fmt.Sprintf("%-12s %s restart #%d", e.Kind, e.Name, e.Arg0)
 	default:
 		return fmt.Sprintf("%-12s %s 0x%x 0x%x -> 0x%x", e.Kind, e.Name, e.Arg0, e.Arg1, e.Ret)
 	}

@@ -74,6 +74,17 @@ const (
 	EvSpanEnd
 	// EvWatchdog is an SLO watchdog trip: Name is the violated threshold.
 	EvWatchdog
+	// EvFaultInjected is one fired chaos fault: Name is "<kind>:<libc
+	// call>", Arg0 the follower libc-call ordinal it fired at, Arg1 the
+	// fault's bit parameter (bit-flip faults only).
+	EvFaultInjected
+	// EvFollowerDetached marks the divergence policy severing the follower
+	// from lockstep: Name is the cause, Arg0 the libc-call count at detach.
+	EvFollowerDetached
+	// EvFollowerRestarted marks PolicyRestartFollower re-cloning a fresh
+	// follower at a region entry: Name is the protected function, Arg0 the
+	// restart ordinal (1-based).
+	EvFollowerRestarted
 )
 
 // String names the event kind.
@@ -109,6 +120,12 @@ func (k EventKind) String() string {
 		return "span-end"
 	case EvWatchdog:
 		return "watchdog"
+	case EvFaultInjected:
+		return "fault-injected"
+	case EvFollowerDetached:
+		return "follower-detached"
+	case EvFollowerRestarted:
+		return "follower-restarted"
 	default:
 		return "unknown"
 	}

@@ -27,6 +27,19 @@ func (t *Thread) Wait() error {
 	return t.err
 }
 
+// Done returns a channel closed when the thread function has returned, for
+// callers that must bound their wait with a timeout (the monitor's
+// rendezvous deadline watchdog) instead of blocking unconditionally.
+func (t *Thread) Done() <-chan struct{} { return t.done }
+
+// Err returns the thread function's error. It is only meaningful after Done
+// is closed.
+func (t *Thread) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
 var tidCounter struct {
 	mu   sync.Mutex
 	next int
@@ -65,6 +78,14 @@ func (p *Process) CloneThread(fn func() error) *Thread {
 func (p *Process) WaitThread(t *Thread) error {
 	p.enter("wait")
 	return t.Wait()
+}
+
+// WaitThreadCh counts the same wait() syscall as WaitThread but returns the
+// thread's completion channel instead of blocking, so the caller can bound
+// the wait with its own deadline (the monitor's rendezvous watchdog).
+func (p *Process) WaitThreadCh(t *Thread) <-chan struct{} {
+	p.enter("wait")
+	return t.done
 }
 
 // Fork charges the cost of fork(2) for a process with residentPages mapped

@@ -135,6 +135,7 @@ type Machine struct {
 	taintSink    TaintSink
 	profiler     Profiler
 	libcObserver func(t *Thread, name string)
+	libcFault    LibcFaultHook
 
 	nextTID int
 }
@@ -255,6 +256,26 @@ func (m *Machine) getLibcObserver() func(t *Thread, name string) {
 	return m.libcObserver
 }
 
+// LibcFaultHook sees every PLT (libc) call before it is dispatched and
+// returns the argument slice the call proceeds with — the fault-injection
+// seam used by internal/faultinject to flip scalar bits, truncate records,
+// stall, or crash a variant at a chosen call ordinal. A hook that does not
+// fire must return args unchanged.
+type LibcFaultHook func(t *Thread, name string, args []uint64) []uint64
+
+// SetLibcFaultHook installs (or removes, with nil) the fault-injection hook.
+func (m *Machine) SetLibcFaultHook(fn LibcFaultHook) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.libcFault = fn
+}
+
+func (m *Machine) getLibcFaultHook() LibcFaultHook {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.libcFault
+}
+
 // charge adds user-space cycles with no thread context: total and wall.
 func (m *Machine) charge(c clock.Cycles) {
 	if m.counter != nil {
@@ -274,6 +295,9 @@ func (m *Machine) charge(c clock.Cycles) {
 func (m *Machine) ChargeThread(t *Thread, c clock.Cycles) {
 	if m.counter != nil {
 		m.counter.Charge(c)
+	}
+	if t != nil {
+		t.userCycles += c
 	}
 	if t != nil && m.sampler != nil {
 		t.sampleAcc += c

@@ -108,6 +108,12 @@ type Thread struct {
 	// goroutine touches it.
 	sampleAcc clock.Cycles
 
+	// userCycles totals every cycle charged to this thread. Like sampleAcc
+	// it is written only from the owning goroutine; other goroutines may
+	// read it only across an established happens-before edge (the lockstep
+	// IPC channel does this to measure follower lag).
+	userCycles clock.Cycles
+
 	depth int
 }
 
@@ -192,6 +198,10 @@ func (t *Thread) Background() bool { return t.background }
 
 // ChargeUser charges user-space cycles attributed to this thread.
 func (t *Thread) ChargeUser(c clock.Cycles) { t.m.ChargeThread(t, c) }
+
+// UserCycles returns the total cycles charged to this thread. Safe to call
+// only from the owning goroutine or across a happens-before edge.
+func (t *Thread) UserCycles() clock.Cycles { return t.userCycles }
 
 // Fn returns the simulated function the thread is currently executing
 // ("" before the first Call). Instrumentation reads it to attribute a
@@ -623,6 +633,9 @@ func (t *Thread) Libc(name string, args ...uint64) uint64 {
 	t.m.ChargeThread(t, t.m.costs.Call)
 	if obs := t.m.getLibcObserver(); obs != nil {
 		obs(t, name)
+	}
+	if fh := t.m.getLibcFaultHook(); fh != nil {
+		args = fh(t, name, args)
 	}
 
 	// The call goes through the PLT stub, which jumps through .got.plt.
