@@ -3,10 +3,11 @@
 //
 // Usage:
 //
-//	experiments              # run everything
-//	experiments -run fig7    # one artifact: table1 table2 fig6 fig7 fig8
-//	                         # fig9 cpu mem cve
-//	experiments -requests 60 # heavier server workloads
+//	experiments                # run everything
+//	experiments -run fig7      # one artifact: table1 table2 fig6 fig7 fig8
+//	                           # fig9 cpu mem cve chaos pipeline
+//	experiments -requests 60   # heavier server workloads
+//	experiments -run pipeline  # strict-vs-pipelined rendezvous overhead
 package main
 
 import (
@@ -14,12 +15,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
-	"time"
 
+	"smvx/internal/cli"
+	"smvx/internal/core"
 	"smvx/internal/experiments"
 	"smvx/internal/obs"
-	"smvx/internal/obs/blackbox"
-	"smvx/internal/obs/telemetry"
 )
 
 func main() {
@@ -31,38 +31,33 @@ func main() {
 
 func run() error {
 	var (
-		which     = flag.String("run", "all", "artifact: all | table1 | table2 | fig6 | fig7 | fig8 | fig9 | cpu | mem | cve | chaos")
-		chaosSeed = flag.Int64("chaos-seed", experiments.Seed, "seed for the chaos survival matrix")
+		which     = flag.String("run", "all", "artifact: all | table1 | table2 | fig6 | fig7 | fig8 | fig9 | cpu | mem | cve | chaos | pipeline")
 		requests  = flag.Int("requests", 40, "server workload size")
 		target    = flag.Uint64("nbench-cycles", 1_500_000, "nbench per-kernel cycle target")
-		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the cve run's sMVX phase to this file")
-		metricsOn = flag.Bool("metrics", false, "print the collected metrics table after the run")
-		forensics = flag.Bool("forensics", false, "attach the flight recorder to the cve run and print its forensics reports")
 		benchJSON = flag.String("bench-json", "BENCH_experiments.json", "write metric name -> value JSON here (empty to skip)")
-		telemAddr = flag.String("telemetry", "", "serve live telemetry on this address (e.g. :9090) while experiments run")
-		linger    = flag.Duration("linger", 0, "keep the telemetry server up this long after the run (with -telemetry)")
-		bbDir     = flag.String("blackbox", "", "spill the cve run's flight-recorder events to a black-box trace WAL in this directory (inspect with smvx-replay)")
 	)
+	var cfg cli.Config
+	cfg.Register(flag.CommandLine)
 	flag.Parse()
+	// The artifacts render their own tables — Finish must not re-emit the
+	// forensics block the CI replay-roundtrip job extracts byte-identically.
+	cfg.Quiet = true
+
+	rt, err := cfg.Resolve(map[string]string{"app": "nginx", "artifact": "cve"})
+	if err != nil {
+		return err
+	}
+	mode, err := core.ParseLockstepMode(cfg.Lockstep)
+	if err != nil {
+		return err
+	}
 
 	want := func(name string) bool { return *which == "all" || *which == name }
 	ran := false
+	// bench is the benchmark registry the -bench-json artifact serialises;
+	// it is separate from the flight recorder so a plain `-metrics` run
+	// reports experiment results, not recorder internals.
 	bench := obs.NewMetrics()
-
-	// With -telemetry, one shared flight recorder backs the HTTP plane: the
-	// cve artifact traces into it, and each finished artifact's benchmark
-	// metrics are merged into its registry so /metrics grows as results land.
-	var telRec *obs.Recorder
-	if *telemAddr != "" {
-		telRec = obs.NewRecorder(obs.Config{})
-		tel := telemetry.New(telRec)
-		addr, err := tel.Start(*telemAddr)
-		if err != nil {
-			return err
-		}
-		defer tel.Close()
-		fmt.Printf("telemetry: http://%s/metrics\n", addr)
-	}
 
 	if want("table1") {
 		ran = true
@@ -134,54 +129,42 @@ func run() error {
 	}
 	if want("cve") {
 		ran = true
-		rec := telRec
-		if rec == nil && (*forensics || *traceOut != "" || *bbDir != "") {
-			rec = obs.NewRecorder(obs.Config{})
-		}
-		if *bbDir != "" {
-			cfg := rec.Config()
-			w, err := blackbox.Open(*bbDir, blackbox.Meta{
-				Capacity: cfg.Capacity, ForensicWindow: cfg.ForensicWindow,
-				Labels: map[string]string{"app": "nginx", "artifact": "cve"},
-			}, blackbox.Options{Metrics: rec.Metrics()})
-			if err != nil {
-				return err
-			}
-			rec.SetSink(w)
-			defer func() {
-				if err := w.Close(); err != nil {
-					fmt.Fprintf(os.Stderr, "experiments: blackbox WAL incomplete: %v\n", err)
-				}
-			}()
-			fmt.Printf("blackbox WAL: %s (inspect with smvx-replay)\n", *bbDir)
-		}
-		res, err := experiments.CVEObserved(rec)
+		res, err := experiments.CVEObservedOpts(rt.Recorder, rt.MonitorOptions()...)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res)
 		res.RecordMetrics(bench)
-		if rec != telRec {
-			// When telemetry is live the cve run already traced into
-			// telRec; merging it into bench too would double-count once
-			// bench folds back into the telemetry registry below.
-			bench.Merge(rec.Metrics())
+		if rt.Telemetry == nil && rt.Recorder != nil {
+			// When telemetry is live the cve run already traced into the
+			// shared recorder; merging it into bench too would double-count
+			// once bench folds back into the telemetry registry below.
+			bench.Merge(rt.Recorder.Metrics())
 		}
-		if *forensics {
+		if cfg.Forensics {
 			for _, rep := range res.Forensics {
 				fmt.Println(rep)
 			}
 		}
-		if *traceOut != "" {
-			if err := writeChromeTrace(rec, *traceOut); err != nil {
+		if cfg.Trace != "" {
+			if err := cli.WriteChromeTrace(rt.Recorder, cfg.Trace); err != nil {
 				return err
 			}
-			fmt.Printf("chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+			fmt.Printf("chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", cfg.Trace)
 		}
 	}
 	if want("chaos") {
 		ran = true
-		res, err := experiments.Chaos(*chaosSeed)
+		res, err := experiments.ChaosMode(cfg.EffectiveChaosSeed(), mode)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		res.RecordMetrics(bench)
+	}
+	if want("pipeline") {
+		ran = true
+		res, err := experiments.PipelineOverhead()
 		if err != nil {
 			return err
 		}
@@ -190,17 +173,16 @@ func run() error {
 	}
 	if !ran {
 		return fmt.Errorf("unknown artifact %q; want one of %s", *which,
-			strings.Join([]string{"all", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "cpu", "mem", "cve", "chaos"}, " "))
+			strings.Join([]string{"all", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "cpu", "mem", "cve", "chaos", "pipeline"}, " "))
 	}
-	if *metricsOn {
+	if cfg.Metrics {
 		fmt.Println(bench.TableText())
 	}
-	if telRec != nil {
-		telRec.Metrics().Merge(bench)
-		if *linger > 0 {
-			fmt.Printf("telemetry: run finished, serving for another %s\n", *linger)
-			time.Sleep(*linger)
-		}
+	if rt.Telemetry != nil && rt.Recorder != nil {
+		rt.Recorder.Metrics().Merge(bench)
+	}
+	if err := rt.Finish(); err != nil {
+		return err
 	}
 	if *benchJSON != "" {
 		f, err := os.Create(*benchJSON)
@@ -217,16 +199,4 @@ func run() error {
 		fmt.Printf("metrics written to %s\n", *benchJSON)
 	}
 	return nil
-}
-
-func writeChromeTrace(rec *obs.Recorder, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	werr := rec.WriteChromeTrace(f)
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	return werr
 }

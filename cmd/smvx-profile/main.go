@@ -21,7 +21,7 @@ import (
 	"smvx/internal/apps/nbench"
 	"smvx/internal/apps/nginx"
 	"smvx/internal/boot"
-	"smvx/internal/obs"
+	"smvx/internal/cli"
 	"smvx/internal/perfprof"
 	"smvx/internal/sim/clock"
 	"smvx/internal/sim/image"
@@ -42,10 +42,23 @@ func run() error {
 		symbols = flag.Bool("symbols", false, "print a symbol summary after the profile")
 		flame   = flag.Bool("flame", false, "run a short vanilla workload and print a libc flame summary plus folded call stacks")
 	)
+	var cfg cli.Config
+	cfg.Register(flag.CommandLine)
 	flag.Parse()
 
 	if *flame {
-		return runFlame(*app)
+		// Flame mode always needs the trace and the sampler, whatever the
+		// observability flags say.
+		cfg.NeedRecorder = true
+		cfg.NeedSampler = true
+		rt, err := cfg.Resolve(map[string]string{"app": *app, "artifact": "flame"})
+		if err != nil {
+			return err
+		}
+		if err := runFlame(*app, cfg.Seed, rt); err != nil {
+			return err
+		}
+		return rt.Finish()
 	}
 
 	var img *image.Image
@@ -74,12 +87,10 @@ func run() error {
 // cycles went: the libc flame summary reconstructed from the event trace
 // (perfprof.FromTrace) and the sampler's folded call stacks, ready for
 // flamegraph.pl / inferno.
-func runFlame(app string) error {
-	const seed = 42
-	rec := obs.NewRecorder(obs.Config{})
-	sampler := perfprof.NewSampler(0)
+func runFlame(app string, seed int64, rt *cli.Runtime) error {
+	rec, sampler := rt.Recorder, rt.Sampler
 	k := kernel.New(clock.DefaultCosts(), seed)
-	opts := []boot.Option{boot.WithSeed(seed), boot.WithRecorder(rec), boot.WithSampler(sampler)}
+	opts := rt.BootOptions(seed)
 
 	var env *boot.Env
 	var err error

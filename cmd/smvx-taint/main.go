@@ -17,6 +17,7 @@ import (
 
 	"smvx/internal/apps/nginx"
 	"smvx/internal/boot"
+	"smvx/internal/cli"
 	"smvx/internal/experiments"
 	"smvx/internal/sim/clock"
 	"smvx/internal/sim/image"
@@ -36,17 +37,24 @@ func run() error {
 	var (
 		abN     = flag.Int("ab", 20, "ApacheBench requests")
 		fuzzN   = flag.Int("fuzz", 100, "fuzzer probes")
-		seed    = flag.Int64("seed", 42, "determinism seed")
 		showDFT = flag.Bool("dft", false, "dump the raw dft.out")
 	)
+	var cfg cli.Config
+	cfg.Register(flag.CommandLine)
 	flag.Parse()
+
+	rt, err := cfg.Resolve(map[string]string{"app": "nginx", "artifact": "taint"})
+	if err != nil {
+		return err
+	}
+	seed := &cfg.Seed
 
 	k := kernel.New(clock.DefaultCosts(), *seed)
 	srv := nginx.NewServer(nginx.Config{
 		Port: 8080, MaxRequests: *abN + *fuzzN,
 		AuthUser: "admin", AuthPass: "s3cret",
 	})
-	env, err := boot.NewEnv(k, srv.Program(), boot.WithSeed(*seed), boot.WithTaint())
+	env, err := boot.NewEnv(k, srv.Program(), append(rt.BootOptions(*seed), boot.WithTaint())...)
 	if err != nil {
 		return err
 	}
@@ -94,5 +102,5 @@ func run() error {
 	for _, fn := range fns {
 		fmt.Println("  " + fn)
 	}
-	return nil
+	return rt.Finish()
 }

@@ -7,6 +7,7 @@
 //	smvx -app nginx -mode smvx -protect ngx_worker_process_cycle -requests 50
 //	smvx -app lighttpd -mode remon -requests 50
 //	smvx -app nbench -bench neural_net -iters 10 -mode smvx
+//	smvx -app nginx -mode smvx -lockstep pipelined -lag-window 16
 package main
 
 import (
@@ -14,20 +15,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"smvx/internal/apps/lighttpd"
 	"smvx/internal/apps/nbench"
 	"smvx/internal/apps/nginx"
 	"smvx/internal/boot"
+	"smvx/internal/cli"
 	"smvx/internal/core"
 	"smvx/internal/experiments"
-	"smvx/internal/faultinject"
 	"smvx/internal/mvx/remon"
-	"smvx/internal/obs"
-	"smvx/internal/obs/blackbox"
-	"smvx/internal/obs/telemetry"
-	"smvx/internal/perfprof"
 	"smvx/internal/sim/clock"
 	"smvx/internal/sim/kernel"
 	"smvx/internal/sim/machine"
@@ -38,54 +34,6 @@ import (
 // policy absorbed: the process exits with status 2 so scripts and CI can
 // tell "diverged" from "broken invocation" (status 1).
 var errUnhandledAlarms = errors.New("unhandled divergence alarms")
-
-// obsPlane bundles the run's observability: the flight recorder everything
-// traces into, the virtual-cycle sampler, and the live telemetry server.
-// All fields may be nil — the zero plane is "observability off".
-type obsPlane struct {
-	rec     *obs.Recorder
-	sampler *perfprof.Sampler
-	tel     *telemetry.Server
-	bb      *blackbox.Writer
-
-	// monOpts carries the divergence-policy configuration into every
-	// monitor this run creates; chaos is the fault-injection plan the
-	// -chaos flag installed (nil when chaos is off).
-	monOpts []core.Option
-	chaos   *faultinject.Plan
-}
-
-// bootOpts returns the boot options that attach the plane to a process.
-func (pl *obsPlane) bootOpts(seed int64) []boot.Option {
-	opts := []boot.Option{boot.WithSeed(seed)}
-	if pl.rec != nil {
-		opts = append(opts, boot.WithRecorder(pl.rec))
-	}
-	if pl.sampler != nil {
-		opts = append(opts, boot.WithSampler(pl.sampler))
-	}
-	return opts
-}
-
-// attachMonitor points /healthz at a freshly created monitor.
-func (pl *obsPlane) attachMonitor(mon *core.Monitor) {
-	if pl.tel != nil && mon != nil {
-		pl.tel.SetHealth(telemetry.Health{Phase: mon.Phase, FollowerLive: mon.FollowerLive})
-	}
-}
-
-// newMonitor builds the run's sMVX monitor with the policy options from the
-// command line, installs the chaos plan (if any) at the machine's libc choke
-// point, and wires telemetry.
-func (pl *obsPlane) newMonitor(env *boot.Env, seed int64) *core.Monitor {
-	opts := append([]core.Option{core.WithSeed(seed), core.WithRecorder(env.Obs)}, pl.monOpts...)
-	mon := core.New(env.Machine, env.LibC, opts...)
-	if pl.chaos != nil {
-		pl.chaos.Install(env.Machine, env.Obs)
-	}
-	pl.attachMonitor(mon)
-	return mon
-}
 
 func main() {
 	if err := run(); err != nil {
@@ -99,99 +47,44 @@ func main() {
 
 func run() error {
 	var (
-		app       = flag.String("app", "nginx", "application: nginx | lighttpd | nbench")
-		mode      = flag.String("mode", "smvx", "execution mode: vanilla | smvx | remon")
-		protect   = flag.String("protect", "", "protected root function (smvx mode; default: app-specific)")
-		requests  = flag.Int("requests", 20, "HTTP requests to drive (servers)")
-		bench     = flag.String("bench", "numeric_sort", "nbench kernel (nbench app)")
-		iters     = flag.Int("iters", 5, "nbench iterations")
-		version   = flag.String("version", nginx.VersionFixed, "nginx version (1.3.9 = vulnerable)")
-		seed      = flag.Int64("seed", 42, "determinism seed")
-		traceOut  = flag.String("trace", "", "write a Chrome trace_event JSON of the run to this file")
-		metrics   = flag.Bool("metrics", false, "print the flight recorder's metrics table after the run")
-		forensic  = flag.Bool("forensics", false, "print flight-recorder forensics reports for any alarms")
-		telemAddr = flag.String("telemetry", "", "serve live telemetry on this address (e.g. :9090): /metrics /healthz /trace.json /forensics /profile /blackbox")
-		linger    = flag.Duration("linger", 0, "keep the telemetry server up this long after the run (with -telemetry)")
-		bbDir     = flag.String("blackbox", "", "spill every recorded event to a black-box trace WAL in this directory (inspect with smvx-replay)")
-		policy    = flag.String("policy", "kill-both", "divergence policy: kill-both | leader-continue | restart-follower")
-		budget    = flag.Int("restart-budget", core.DefaultRestartBudget, "follower re-clones before restart-follower degrades to leader-continue")
-		deadline  = flag.Uint64("rendezvous-deadline", uint64(core.DefaultRendezvousDeadline), "virtual-cycle rendezvous deadline (0 disables the watchdog)")
-		chaosSpec = flag.String("chaos", "", "inject follower faults: comma-separated kind[@call][:bit] (follower-crash, arg-flip, ipc-truncate, stall, emu-corrupt)")
-		chaosSeed = flag.Int64("chaos-seed", 0, "seed deriving @call-less chaos ordinals (default: -seed)")
+		app      = flag.String("app", "nginx", "application: nginx | lighttpd | nbench")
+		mode     = flag.String("mode", "smvx", "execution mode: vanilla | smvx | remon")
+		protect  = flag.String("protect", "", "protected root function (smvx mode; default: app-specific)")
+		requests = flag.Int("requests", 20, "HTTP requests to drive (servers)")
+		bench    = flag.String("bench", "numeric_sort", "nbench kernel (nbench app)")
+		iters    = flag.Int("iters", 5, "nbench iterations")
+		version  = flag.String("version", nginx.VersionFixed, "nginx version (1.3.9 = vulnerable)")
 	)
+	var cfg cli.Config
+	cfg.Register(flag.CommandLine)
 	flag.Parse()
+	// -metrics prints the flight recorder's table here, so it needs one
+	// even when no tracing flag asked for it.
+	cfg.NeedRecorder = cfg.Metrics
 
-	pol, err := core.ParsePolicy(*policy)
+	rt, err := cfg.Resolve(map[string]string{
+		"app":  *app,
+		"mode": *mode,
+		"seed": fmt.Sprint(cfg.Seed),
+	})
 	if err != nil {
 		return err
-	}
-
-	var pl obsPlane
-	pl.monOpts = []core.Option{
-		core.WithPolicy(pol),
-		core.WithRestartBudget(*budget),
-		core.WithRendezvousDeadline(clock.Cycles(*deadline)),
-	}
-	if *chaosSpec != "" {
-		cs := *chaosSeed
-		if cs == 0 {
-			cs = *seed
-		}
-		plan, err := faultinject.Parse(*chaosSpec, cs)
-		if err != nil {
-			return err
-		}
-		pl.chaos = plan
-	}
-	if *traceOut != "" || *metrics || *forensic || *telemAddr != "" || *bbDir != "" {
-		pl.rec = obs.NewRecorder(obs.Config{})
-	}
-	if *bbDir != "" {
-		cfg := pl.rec.Config()
-		w, err := blackbox.Open(*bbDir, blackbox.Meta{
-			Capacity: cfg.Capacity, ForensicWindow: cfg.ForensicWindow,
-			Labels: map[string]string{
-				"app":  *app,
-				"mode": *mode,
-				"seed": fmt.Sprint(*seed),
-			},
-		}, blackbox.Options{Metrics: pl.rec.Metrics()})
-		if err != nil {
-			return err
-		}
-		pl.bb = w
-		pl.rec.SetSink(w)
-	}
-	if *telemAddr != "" {
-		pl.sampler = perfprof.NewSampler(0)
-		wd := telemetry.NewWatchdog(pl.rec, telemetry.SLO{MaxAlarms: 0})
-		pl.tel = telemetry.New(pl.rec,
-			telemetry.WithWatchdog(wd),
-			telemetry.WithProfile(pl.sampler),
-			telemetry.WithBlackbox(pl.bb))
-		addr, err := pl.tel.Start(*telemAddr)
-		if err != nil {
-			return err
-		}
-		defer pl.tel.Close()
-		wd.Start(0)
-		fmt.Printf("telemetry: http://%s/metrics (healthz, trace.json, forensics, profile, blackbox)\n", addr)
 	}
 
 	var appErr error
 	switch *app {
 	case "nbench":
-		appErr = runNbench(*bench, *iters, *mode, *seed, &pl)
+		appErr = runNbench(*bench, *iters, *mode, cfg.Seed, rt)
 	case "nginx":
 		if *protect == "" {
 			*protect = "ngx_worker_process_cycle"
 		}
-		appErr = runNginx(*mode, *protect, *requests, *version, *seed, &pl)
+		appErr = runNginx(*mode, *protect, *requests, *version, cfg.Seed, rt)
 	case "lighttpd":
 		if *protect == "" {
 			*protect = "server_main_loop"
 		}
-		appErr = runLighttpd(*mode, *protect, *requests, *seed, &pl)
+		appErr = runLighttpd(*mode, *protect, *requests, cfg.Seed, rt)
 	default:
 		return fmt.Errorf("unknown app %q", *app)
 	}
@@ -200,62 +93,14 @@ func run() error {
 	}
 	// An unhandled-alarm exit still emits the observability artifacts — the
 	// forensics are the whole point of a diverged run.
-	if pl.tel != nil && *linger > 0 {
-		fmt.Printf("telemetry: run finished, serving for another %s\n", *linger)
-		time.Sleep(*linger)
-	}
-	if err := finishObs(&pl, *traceOut, *metrics, *forensic); err != nil {
+	if err := rt.Finish(); err != nil {
 		return err
 	}
 	return appErr
 }
 
-// finishObs emits the observability artifacts the flags asked for, after
-// the run has quiesced, and seals the black-box WAL.
-func finishObs(pl *obsPlane, traceOut string, metrics, forensic bool) error {
-	rec := pl.rec
-	if rec == nil {
-		return nil
-	}
-	if pl.bb != nil {
-		if err := pl.bb.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "smvx: blackbox WAL incomplete: %v\n", err)
-		} else {
-			fmt.Printf("blackbox WAL sealed in %s (inspect with smvx-replay)\n", pl.bb.Dir())
-		}
-	}
-	rec.PublishDerived()
-	if metrics {
-		fmt.Println(rec.Metrics().TableText())
-	}
-	if forensic {
-		reports := rec.ForensicReports()
-		if len(reports) == 0 {
-			fmt.Println("forensics: no alarms recorded")
-		}
-		for _, rep := range reports {
-			fmt.Println(rep)
-		}
-	}
-	if traceOut != "" {
-		f, err := os.Create(traceOut)
-		if err != nil {
-			return err
-		}
-		werr := rec.WriteChromeTrace(f)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			return werr
-		}
-		fmt.Printf("chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", traceOut)
-	}
-	return nil
-}
-
-func runNbench(name string, iters int, mode string, seed int64, pl *obsPlane) error {
-	env, err := boot.NewEnv(kernel.New(clock.DefaultCosts(), seed), nbench.Program(), pl.bootOpts(seed)...)
+func runNbench(name string, iters int, mode string, seed int64, rt *cli.Runtime) error {
+	env, err := boot.NewEnv(kernel.New(clock.DefaultCosts(), seed), nbench.Program(), rt.BootOptions(seed)...)
 	if err != nil {
 		return err
 	}
@@ -263,7 +108,7 @@ func runNbench(name string, iters int, mode string, seed int64, pl *obsPlane) er
 	var mon *core.Monitor
 	var mvx machine.MVX
 	if mode == "smvx" {
-		mon = pl.newMonitor(env, seed)
+		mon = rt.NewMonitor(env, seed)
 		mvx = mon
 	}
 	cycles, err := nbench.RunOne(env, mvx, name, iters)
@@ -275,19 +120,19 @@ func runNbench(name string, iters int, mode string, seed int64, pl *obsPlane) er
 	return printAlarms(mon)
 }
 
-func runNginx(mode, protect string, requests int, version string, seed int64, pl *obsPlane) error {
+func runNginx(mode, protect string, requests int, version string, seed int64, rt *cli.Runtime) error {
 	k := kernel.New(clock.DefaultCosts(), seed)
 	cfg := nginx.Config{Port: 8080, MaxRequests: requests, AccessLog: true, Version: version}
 	if mode == "smvx" {
 		cfg.Protect = protect
 	}
-	if pl.rec != nil {
+	if rt.Recorder != nil {
 		cfg.OnRequest = func(total uint64) {
-			pl.rec.Metrics().SetGauge("http.requests.served", float64(total))
+			rt.Recorder.Metrics().SetGauge("http.requests.served", float64(total))
 		}
 	}
 	srv := nginx.NewServer(cfg)
-	env, err := boot.NewEnv(k, srv.Program(), pl.bootOpts(seed)...)
+	env, err := boot.NewEnv(k, srv.Program(), rt.BootOptions(seed)...)
 	if err != nil {
 		return err
 	}
@@ -305,7 +150,7 @@ func runNginx(mode, protect string, requests int, version string, seed int64, pl
 		}
 		go func() { done <- srv.Run(th) }()
 	case "smvx":
-		mon = pl.newMonitor(env, seed)
+		mon = rt.NewMonitor(env, seed)
 		srv.SetMVX(mon)
 		th, err := env.MainThread()
 		if err != nil {
@@ -337,19 +182,19 @@ func runNginx(mode, protect string, requests int, version string, seed int64, pl
 	return printAlarms(mon)
 }
 
-func runLighttpd(mode, protect string, requests int, seed int64, pl *obsPlane) error {
+func runLighttpd(mode, protect string, requests int, seed int64, rt *cli.Runtime) error {
 	k := kernel.New(clock.DefaultCosts(), seed)
 	cfg := lighttpd.Config{Port: 8080, MaxRequests: requests}
 	if mode == "smvx" {
 		cfg.Protect = protect
 	}
-	if pl.rec != nil {
+	if rt.Recorder != nil {
 		cfg.OnRequest = func(total uint64) {
-			pl.rec.Metrics().SetGauge("http.requests.served", float64(total))
+			rt.Recorder.Metrics().SetGauge("http.requests.served", float64(total))
 		}
 	}
 	srv := lighttpd.NewServer(cfg)
-	env, err := boot.NewEnv(k, srv.Program(), pl.bootOpts(seed)...)
+	env, err := boot.NewEnv(k, srv.Program(), rt.BootOptions(seed)...)
 	if err != nil {
 		return err
 	}
@@ -361,7 +206,7 @@ func runLighttpd(mode, protect string, requests int, seed int64, pl *obsPlane) e
 	switch mode {
 	case "vanilla":
 	case "smvx":
-		mon = pl.newMonitor(env, seed)
+		mon = rt.NewMonitor(env, seed)
 		srv.SetMVX(mon)
 	case "remon":
 		rem := remon.New(env.Machine, env.LibC)

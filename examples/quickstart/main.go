@@ -70,4 +70,23 @@ func main() {
 	} else {
 		fmt.Printf("  ALARMS                    : %v\n", alarms)
 	}
+
+	// 5. The same region under pipelined lockstep: results-emulation calls
+	// (gettimeofday) and local calls (malloc/free) no longer block the
+	// leader — only the open/write/close barriers pay a full rendezvous.
+	// A containment policy keeps the leader alive if the follower diverges.
+	sys2, err := smvx.NewSystem(smvx.NewKernel(1), prog, smvx.WithBootSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys2.Protect(smvx.WithSeed(1),
+		smvx.WithLockstepMode(smvx.LockstepPipelined),
+		smvx.WithLagWindow(smvx.DefaultLagWindow),
+		smvx.WithPolicy(smvx.PolicyLeaderContinue))
+	report2, err := sys2.RunProtected("handle_input")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipelined region %q completed: diverged=%v, alarms=%d\n",
+		report2.Function, report2.Diverged, len(sys2.Alarms()))
 }

@@ -1,0 +1,262 @@
+// Package cli is the shared run-configuration surface of the smvx
+// binaries. Every tool (smvx, experiments, smvx-profile, smvx-taint)
+// registers the same flag set — observability plane, divergence policy,
+// chaos injection, lockstep mode — and resolves it through one
+// Config → Runtime step that yields the boot options and core options the
+// rest of the run consumes. Before this package each binary re-derived
+// the wiring by hand and the surfaces drifted; now a flag learned by one
+// tool is learned by all of them.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"smvx/internal/boot"
+	"smvx/internal/core"
+	"smvx/internal/faultinject"
+	"smvx/internal/obs"
+	"smvx/internal/obs/blackbox"
+	"smvx/internal/obs/telemetry"
+	"smvx/internal/perfprof"
+	"smvx/internal/sim/clock"
+)
+
+// Config is the parsed shared flag surface. Zero value + Register +
+// flag.Parse is the normal path; tests may fill fields directly.
+type Config struct {
+	Seed               int64
+	Trace              string
+	Metrics            bool
+	Forensics          bool
+	Telemetry          string
+	Linger             time.Duration
+	Blackbox           string
+	Policy             string
+	RestartBudget      int
+	RendezvousDeadline uint64
+	Chaos              string
+	ChaosSeed          int64
+	Lockstep           string
+	LagWindow          int
+
+	// NeedRecorder forces a flight recorder even when no tracing flag asked
+	// for one (cmd/smvx prints the recorder's own metrics table for
+	// -metrics; cmd/experiments keeps a separate benchmark registry).
+	NeedRecorder bool
+	// NeedSampler forces the virtual-cycle sampler on even without
+	// -telemetry (smvx-profile's flame mode reads it directly).
+	NeedSampler bool
+	// Quiet suppresses Finish's metrics/forensics/trace emission for
+	// binaries that render those artifacts themselves.
+	Quiet bool
+}
+
+// Register installs the shared flags on fs (usually flag.CommandLine).
+func (c *Config) Register(fs *flag.FlagSet) {
+	fs.Int64Var(&c.Seed, "seed", 42, "determinism seed")
+	fs.StringVar(&c.Trace, "trace", "", "write a Chrome trace_event JSON of the run to this file")
+	fs.BoolVar(&c.Metrics, "metrics", false, "print the collected metrics table after the run")
+	fs.BoolVar(&c.Forensics, "forensics", false, "print flight-recorder forensics reports for any alarms")
+	fs.StringVar(&c.Telemetry, "telemetry", "", "serve live telemetry on this address (e.g. :9090): /metrics /healthz /trace.json /forensics /profile /blackbox")
+	fs.DurationVar(&c.Linger, "linger", 0, "keep the telemetry server up this long after the run (with -telemetry)")
+	fs.StringVar(&c.Blackbox, "blackbox", "", "spill every recorded event to a black-box trace WAL in this directory (inspect with smvx-replay)")
+	fs.StringVar(&c.Policy, "policy", "kill-both", "divergence policy: kill-both | leader-continue | restart-follower")
+	fs.IntVar(&c.RestartBudget, "restart-budget", core.DefaultRestartBudget, "follower re-clones before restart-follower degrades to leader-continue")
+	fs.Uint64Var(&c.RendezvousDeadline, "rendezvous-deadline", uint64(core.DefaultRendezvousDeadline), "virtual-cycle rendezvous deadline (0 disables the watchdog)")
+	fs.StringVar(&c.Chaos, "chaos", "", "inject follower faults: comma-separated kind[@call][:bit] (follower-crash, arg-flip, ipc-truncate, stall, emu-corrupt)")
+	fs.Int64Var(&c.ChaosSeed, "chaos-seed", 0, "seed deriving @call-less chaos ordinals (default: -seed)")
+	fs.StringVar(&c.Lockstep, "lockstep", "strict", "lockstep mode: strict | pipelined")
+	fs.IntVar(&c.LagWindow, "lag-window", core.DefaultLagWindow, "pipelined lockstep run-ahead window, in libc calls")
+}
+
+// EffectiveChaosSeed is the seed chaos ordinals derive from: -chaos-seed,
+// falling back to -seed.
+func (c *Config) EffectiveChaosSeed() int64 {
+	if c.ChaosSeed != 0 {
+		return c.ChaosSeed
+	}
+	return c.Seed
+}
+
+// Runtime is the resolved run plumbing: the observability plane plus the
+// monitor options every core.Monitor of this run shares. All pointer
+// fields may be nil — a zero plane is "observability off".
+type Runtime struct {
+	Recorder  *obs.Recorder
+	Sampler   *perfprof.Sampler
+	Telemetry *telemetry.Server
+	Blackbox  *blackbox.Writer
+	Chaos     *faultinject.Plan
+
+	cfg     *Config
+	monOpts []core.Option
+}
+
+// Resolve validates the configuration and builds the run plumbing. labels
+// annotate the black-box WAL's metadata (app name, artifact, ...).
+func (c *Config) Resolve(labels map[string]string) (*Runtime, error) {
+	rt := &Runtime{cfg: c}
+
+	pol, err := core.ParsePolicy(c.Policy)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := core.ParseLockstepMode(c.Lockstep)
+	if err != nil {
+		return nil, err
+	}
+	rt.monOpts = []core.Option{
+		core.WithPolicy(pol),
+		core.WithRestartBudget(c.RestartBudget),
+		core.WithRendezvousDeadline(clock.Cycles(c.RendezvousDeadline)),
+		core.WithLockstepMode(mode),
+		core.WithLagWindow(c.LagWindow),
+	}
+
+	if c.Chaos != "" {
+		plan, err := faultinject.Parse(c.Chaos, c.EffectiveChaosSeed())
+		if err != nil {
+			return nil, err
+		}
+		rt.Chaos = plan
+	}
+
+	if c.Trace != "" || c.Forensics || c.Telemetry != "" || c.Blackbox != "" || c.NeedRecorder {
+		rt.Recorder = obs.NewRecorder(obs.Config{})
+	}
+	if c.Blackbox != "" {
+		cfg := rt.Recorder.Config()
+		w, err := blackbox.Open(c.Blackbox, blackbox.Meta{
+			Capacity: cfg.Capacity, ForensicWindow: cfg.ForensicWindow,
+			Labels: labels,
+		}, blackbox.Options{Metrics: rt.Recorder.Metrics()})
+		if err != nil {
+			return nil, err
+		}
+		rt.Blackbox = w
+		rt.Recorder.SetSink(w)
+	}
+	if c.NeedSampler {
+		rt.Sampler = perfprof.NewSampler(0)
+	}
+	if c.Telemetry != "" {
+		if rt.Sampler == nil {
+			rt.Sampler = perfprof.NewSampler(0)
+		}
+		wd := telemetry.NewWatchdog(rt.Recorder, telemetry.SLO{MaxAlarms: 0})
+		rt.Telemetry = telemetry.New(rt.Recorder,
+			telemetry.WithWatchdog(wd),
+			telemetry.WithProfile(rt.Sampler),
+			telemetry.WithBlackbox(rt.Blackbox))
+		addr, err := rt.Telemetry.Start(c.Telemetry)
+		if err != nil {
+			return nil, err
+		}
+		wd.Start(0)
+		fmt.Printf("telemetry: http://%s/metrics (healthz, trace.json, forensics, profile, blackbox)\n", addr)
+	}
+	return rt, nil
+}
+
+// BootOptions returns the boot options that attach the plane to a process.
+func (rt *Runtime) BootOptions(seed int64) []boot.Option {
+	opts := []boot.Option{boot.WithSeed(seed)}
+	if rt.Recorder != nil {
+		opts = append(opts, boot.WithRecorder(rt.Recorder))
+	}
+	if rt.Sampler != nil {
+		opts = append(opts, boot.WithSampler(rt.Sampler))
+	}
+	return opts
+}
+
+// MonitorOptions returns a copy of the resolved core options — policy,
+// restart budget, rendezvous deadline, lockstep mode, lag window — for
+// callers that build monitors themselves (the experiments drivers).
+func (rt *Runtime) MonitorOptions() []core.Option {
+	return append([]core.Option{}, rt.monOpts...)
+}
+
+// NewMonitor builds a monitor with the resolved options, installs the
+// chaos plan (if any) at the machine's libc choke point, and points
+// telemetry's /healthz at it.
+func (rt *Runtime) NewMonitor(env *boot.Env, seed int64) *core.Monitor {
+	opts := append([]core.Option{core.WithSeed(seed), core.WithRecorder(env.Obs)}, rt.monOpts...)
+	mon := core.New(env.Machine, env.LibC, opts...)
+	if rt.Chaos != nil {
+		rt.Chaos.Install(env.Machine, env.Obs)
+	}
+	rt.AttachMonitor(mon)
+	return mon
+}
+
+// AttachMonitor points /healthz at a freshly created monitor.
+func (rt *Runtime) AttachMonitor(mon *core.Monitor) {
+	if rt.Telemetry != nil && mon != nil {
+		rt.Telemetry.SetHealth(telemetry.Health{Phase: mon.Phase, FollowerLive: mon.FollowerLive})
+	}
+}
+
+// Finish quiesces the plane after the run: linger the telemetry server,
+// seal the black-box WAL, publish derived metrics, and — unless Quiet —
+// emit the metrics table, forensics reports, and Chrome trace the flags
+// asked for. Safe to call on a plane with nothing attached.
+func (rt *Runtime) Finish() error {
+	if rt.Telemetry != nil {
+		defer rt.Telemetry.Close()
+		if rt.cfg.Linger > 0 {
+			fmt.Printf("telemetry: run finished, serving for another %s\n", rt.cfg.Linger)
+			time.Sleep(rt.cfg.Linger)
+		}
+	}
+	rec := rt.Recorder
+	if rec == nil {
+		return nil
+	}
+	if rt.Blackbox != nil {
+		if err := rt.Blackbox.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "blackbox WAL incomplete: %v\n", err)
+		} else {
+			fmt.Printf("blackbox WAL sealed in %s (inspect with smvx-replay)\n", rt.Blackbox.Dir())
+		}
+	}
+	rec.PublishDerived()
+	if rt.cfg.Quiet {
+		return nil
+	}
+	if rt.cfg.Metrics {
+		fmt.Println(rec.Metrics().TableText())
+	}
+	if rt.cfg.Forensics {
+		reports := rec.ForensicReports()
+		if len(reports) == 0 {
+			fmt.Println("forensics: no alarms recorded")
+		}
+		for _, rep := range reports {
+			fmt.Println(rep)
+		}
+	}
+	if rt.cfg.Trace != "" {
+		if err := WriteChromeTrace(rec, rt.cfg.Trace); err != nil {
+			return err
+		}
+		fmt.Printf("chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", rt.cfg.Trace)
+	}
+	return nil
+}
+
+// WriteChromeTrace dumps the recorder's events as Chrome trace_event JSON.
+func WriteChromeTrace(rec *obs.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := rec.WriteChromeTrace(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}

@@ -1,0 +1,106 @@
+package cli
+
+import (
+	"flag"
+	"testing"
+
+	"smvx/internal/core"
+)
+
+func TestRegisterDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var cfg Config
+	cfg.Register(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 42 {
+		t.Errorf("seed = %d, want 42", cfg.Seed)
+	}
+	if cfg.Policy != "kill-both" || cfg.Lockstep != "strict" {
+		t.Errorf("policy/lockstep defaults = %q/%q", cfg.Policy, cfg.Lockstep)
+	}
+	if cfg.LagWindow != core.DefaultLagWindow {
+		t.Errorf("lag window = %d, want %d", cfg.LagWindow, core.DefaultLagWindow)
+	}
+	if cfg.RendezvousDeadline != uint64(core.DefaultRendezvousDeadline) {
+		t.Errorf("rendezvous deadline = %d", cfg.RendezvousDeadline)
+	}
+}
+
+func TestRegisterParsesSharedSurface(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	var cfg Config
+	cfg.Register(fs)
+	err := fs.Parse([]string{
+		"-seed", "7", "-policy", "leader-continue",
+		"-lockstep", "pipelined", "-lag-window", "4",
+		"-chaos", "stall@2", "-chaos-seed", "9",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.EffectiveChaosSeed() != 9 {
+		t.Errorf("chaos seed = %d, want 9", cfg.EffectiveChaosSeed())
+	}
+	rt, err := cfg.Resolve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Chaos == nil {
+		t.Error("chaos plan not built")
+	}
+	if n := len(rt.MonitorOptions()); n != 5 {
+		t.Errorf("monitor options = %d, want 5 (policy, budget, deadline, mode, lag)", n)
+	}
+}
+
+func TestEffectiveChaosSeedFallsBackToSeed(t *testing.T) {
+	cfg := Config{Seed: 13}
+	if got := cfg.EffectiveChaosSeed(); got != 13 {
+		t.Errorf("chaos seed = %d, want the run seed 13", got)
+	}
+}
+
+func TestResolveRejectsBadEnums(t *testing.T) {
+	if _, err := (&Config{Policy: "bogus", Lockstep: "strict"}).Resolve(nil); err == nil {
+		t.Error("bad policy accepted")
+	}
+	if _, err := (&Config{Policy: "kill-both", Lockstep: "bogus"}).Resolve(nil); err == nil {
+		t.Error("bad lockstep mode accepted")
+	}
+	if _, err := (&Config{Policy: "kill-both", Chaos: "not-a-fault"}).Resolve(nil); err == nil {
+		t.Error("bad chaos spec accepted")
+	}
+}
+
+func TestZeroPlaneIsObservabilityOff(t *testing.T) {
+	cfg := Config{Policy: "kill-both", Lockstep: "strict"}
+	rt, err := cfg.Resolve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Recorder != nil || rt.Sampler != nil || rt.Telemetry != nil || rt.Blackbox != nil {
+		t.Error("zero config built observability plumbing")
+	}
+	if len(rt.BootOptions(1)) != 1 {
+		t.Errorf("boot options = %d, want just the seed", len(rt.BootOptions(1)))
+	}
+	if err := rt.Finish(); err != nil {
+		t.Errorf("Finish on empty plane: %v", err)
+	}
+}
+
+func TestNeedRecorderForcesRecorder(t *testing.T) {
+	cfg := Config{Policy: "kill-both", Lockstep: "strict", NeedRecorder: true, NeedSampler: true}
+	rt, err := cfg.Resolve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Recorder == nil || rt.Sampler == nil {
+		t.Error("NeedRecorder/NeedSampler not honored")
+	}
+	if len(rt.BootOptions(1)) != 3 {
+		t.Errorf("boot options = %d, want seed+recorder+sampler", len(rt.BootOptions(1)))
+	}
+}

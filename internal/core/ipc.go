@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"smvx/internal/sim/kernel"
 )
 
 // The lockstep IPC ring carries one framed record per follower libc call:
@@ -91,4 +93,93 @@ func decodeCallRecord(wire []byte) (name string, args []uint64, err error) {
 		return "", nil, fmt.Errorf("%w: %d trailing bytes", errCorruptCallRecord, len(wire))
 	}
 	return name, args, nil
+}
+
+// Pipelined lockstep pushes results the other way: the leader frames its
+// return value, errno, and output-buffer snapshots into a result record
+// that rides the rendezvous ring, and the follower decodes what crossed
+// the ring before applying it — the same decode-before-trust discipline
+// as the call record above.
+//
+//	uvarint  return value
+//	uvarint  errno
+//	uvarint  buffer count
+//	per buffer:
+//	  uvarint  argument index
+//	  uvarint  byte length
+//	  bytes    snapshot
+const (
+	maxResultBufs    = 8
+	maxResultBufLen  = 1 << 20
+	errnoResultLimit = 1 << 16
+)
+
+// errCorruptResultRecord is wrapped by every decodeResultRecord failure.
+var errCorruptResultRecord = errors.New("corrupt result record")
+
+// encodeResultRecord frames a pipelined call's result for the ring.
+func encodeResultRecord(ret uint64, errno kernel.Errno, bufs []emuBuf) []byte {
+	n := 3 * binary.MaxVarintLen64
+	for _, b := range bufs {
+		n += 2*binary.MaxVarintLen64 + len(b.data)
+	}
+	wire := make([]byte, 0, n)
+	wire = binary.AppendUvarint(wire, ret)
+	wire = binary.AppendUvarint(wire, uint64(errno))
+	wire = binary.AppendUvarint(wire, uint64(len(bufs)))
+	for _, b := range bufs {
+		wire = binary.AppendUvarint(wire, uint64(b.argIdx))
+		wire = binary.AppendUvarint(wire, uint64(len(b.data)))
+		wire = append(wire, b.data...)
+	}
+	return wire
+}
+
+// decodeResultRecord parses a framed result record. Like decodeCallRecord
+// it never panics on arbitrary input and rejects trailing garbage.
+func decodeResultRecord(wire []byte) (ret uint64, errno kernel.Errno, bufs []emuBuf, err error) {
+	ret, w := readUvarint(wire)
+	if w <= 0 {
+		return 0, 0, nil, fmt.Errorf("%w: bad return value", errCorruptResultRecord)
+	}
+	wire = wire[w:]
+	e, w := readUvarint(wire)
+	if w <= 0 || e > errnoResultLimit {
+		return 0, 0, nil, fmt.Errorf("%w: bad errno", errCorruptResultRecord)
+	}
+	wire = wire[w:]
+	count, w := readUvarint(wire)
+	if w <= 0 {
+		return 0, 0, nil, fmt.Errorf("%w: bad buffer count", errCorruptResultRecord)
+	}
+	wire = wire[w:]
+	if count > maxResultBufs {
+		return 0, 0, nil, fmt.Errorf("%w: buffer count %d exceeds %d", errCorruptResultRecord, count, maxResultBufs)
+	}
+	for i := uint64(0); i < count; i++ {
+		idx, w := readUvarint(wire)
+		if w <= 0 || idx > maxCallArgs {
+			return 0, 0, nil, fmt.Errorf("%w: buffer %d index", errCorruptResultRecord, i)
+		}
+		wire = wire[w:]
+		n, w := readUvarint(wire)
+		if w <= 0 {
+			return 0, 0, nil, fmt.Errorf("%w: buffer %d length", errCorruptResultRecord, i)
+		}
+		wire = wire[w:]
+		if n > maxResultBufLen {
+			return 0, 0, nil, fmt.Errorf("%w: buffer %d length %d exceeds %d", errCorruptResultRecord, i, n, maxResultBufLen)
+		}
+		if uint64(len(wire)) < n {
+			return 0, 0, nil, fmt.Errorf("%w: buffer %d truncated", errCorruptResultRecord, i)
+		}
+		data := make([]byte, n)
+		copy(data, wire[:n])
+		wire = wire[n:]
+		bufs = append(bufs, emuBuf{argIdx: int(idx), data: data})
+	}
+	if len(wire) != 0 {
+		return 0, 0, nil, fmt.Errorf("%w: %d trailing bytes", errCorruptResultRecord, len(wire))
+	}
+	return ret, kernel.Errno(e), bufs, nil
 }

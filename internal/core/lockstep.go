@@ -65,6 +65,13 @@ type session struct {
 	leaderDone chan struct{}
 	thread     *kernel.Thread
 
+	// Pipelined lockstep state (see pipeline.go): ring is the bounded
+	// run-ahead queue of leader call records; drained counts records the
+	// follower has verified (follower goroutine only).
+	pipelined bool
+	ring      chan *leaderRecord
+	drained   uint64
+
 	deadOnce     sync.Once
 	followerDead chan struct{}
 	followerErr  error
@@ -106,6 +113,8 @@ func newSession(mon *Monitor, fn string, delta int64, leaderTID int) *session {
 		detachCh:     make(chan struct{}),
 		timedOut:     make(chan struct{}),
 		watchStop:    make(chan struct{}),
+		pipelined:    mon.opts.Lockstep == LockstepPipelined,
+		ring:         make(chan *leaderRecord, mon.opts.LagWindow),
 	}
 }
 
@@ -226,7 +235,11 @@ func (s *session) watch(deadline clock.Cycles) {
 // leaderCall runs the leader's side of one lockstep libc call: wait for the
 // follower to arrive at its own call, compare, execute (leader-only for
 // kernel-facing calls), emulate results to the follower, and reply.
+// Pipelined sessions branch into the run-ahead engine (pipeline.go).
 func (s *session) leaderCall(t *machine.Thread, name string, args []uint64) uint64 {
+	if s.pipelined {
+		return s.leaderCallPipelined(t, name, args)
+	}
 	idx := s.calls.Add(1)
 	if s.detached() {
 		// Degraded single-variant mode after a policy detach: no
@@ -247,8 +260,11 @@ func (s *session) leaderCall(t *machine.Thread, name string, args []uint64) uint
 	case rec := <-s.req:
 		s.waitingSince.Store(0)
 		now := s.mon.m.Counter().Cycles()
+		t.AddWaitCycles(now - waitStart)
 		if obsRec != nil {
 			obsRec.Metrics().Observe("lockstep.wait.cycles", uint64(now-waitStart))
+			obsRec.Metrics().Observe(obs.MetricRendezvousLeaderCycles,
+				uint64(s.mon.m.Costs().LockstepRendezvous+(now-waitStart)))
 		}
 		if d := s.mon.opts.RendezvousDeadline; d > 0 && (rec.lag > d || now-waitStart > d) {
 			// The follower did arrive, but only after stalling past the
@@ -409,8 +425,12 @@ func (s *session) rendezvousSnapshots(leader *machine.Thread, rec *callRecord) [
 }
 
 // followerCall runs the follower's side: publish the call, wait for the
-// leader's verdict.
+// leader's verdict. Pipelined sessions drain the rendezvous ring instead
+// (pipeline.go).
 func (s *session) followerCall(t *machine.Thread, name string, args []uint64) uint64 {
+	if s.pipelined {
+		return s.followerCallPipelined(t, name, args)
+	}
 	cyc := t.UserCycles()
 	rec := &callRecord{
 		name: name, args: args, wire: encodeCallRecord(name, args),

@@ -224,6 +224,16 @@ type Options struct {
 	// deadline; the default is DefaultRendezvousDeadline, generous enough
 	// that only a wedged variant trips it.
 	RendezvousDeadline clock.Cycles
+	// Lockstep selects the rendezvous discipline: LockstepStrict (paper
+	// default, stop-and-wait at every libc call) or LockstepPipelined
+	// (bounded run-ahead over the rendezvous ring with drain-time
+	// verification).
+	Lockstep LockstepMode
+	// LagWindow bounds the leader's run-ahead under LockstepPipelined:
+	// the rendezvous ring holds at most this many unverified call records
+	// (default DefaultLagWindow, clamped to >= 1). Ignored under
+	// LockstepStrict.
+	LagWindow int
 }
 
 // Option mutates Options.
@@ -275,6 +285,17 @@ func WithRestartBackoff(c clock.Cycles) Option {
 // (0 disables the watchdog).
 func WithRendezvousDeadline(c clock.Cycles) Option {
 	return func(o *Options) { o.RendezvousDeadline = c }
+}
+
+// WithLockstepMode selects strict or pipelined lockstep.
+func WithLockstepMode(m LockstepMode) Option {
+	return func(o *Options) { o.Lockstep = m }
+}
+
+// WithLagWindow bounds the pipelined leader's run-ahead to n unverified
+// libc calls (clamped to >= 1; ignored under LockstepStrict).
+func WithLagWindow(n int) Option {
+	return func(o *Options) { o.LagWindow = n }
 }
 
 // Monitor is the in-process sMVX monitor.
@@ -329,12 +350,16 @@ func New(m *machine.Machine, lib *libc.LibC, opts ...Option) *Monitor {
 		RestartBudget:      DefaultRestartBudget,
 		RestartBackoff:     DefaultRestartBackoff,
 		RendezvousDeadline: DefaultRendezvousDeadline,
+		LagWindow:          DefaultLagWindow,
 	}
 	for _, fn := range opts {
 		fn(&o)
 	}
 	if o.RestartBudget < 0 {
 		o.RestartBudget = 0
+	}
+	if o.LagWindow < 1 {
+		o.LagWindow = 1
 	}
 	return &Monitor{
 		m:           m,

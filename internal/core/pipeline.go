@@ -1,0 +1,684 @@
+package core
+
+// Pipelined lockstep: the bounded run-ahead rendezvous ring.
+//
+// Strict lockstep (lockstep.go) stops the leader at every libc call until
+// the follower arrives — rendezvous RTT dominates protected-region
+// overhead. In pipelined mode the roles invert: the leader executes its
+// call, publishes a framed record (the canonical-varint IPC codec plus a
+// result snapshot) on a bounded ring, and keeps running up to LagWindow
+// unverified calls ahead; the follower drains the ring asynchronously and
+// performs the exact same decode-before-compare divergence checks at
+// drain time, attributing any alarm to the ordinal the leader stamped on
+// the record. The three emulation categories become sync classes
+// (libc.SyncClassOf): results-emulation calls pipeline freely, local
+// calls pipeline with no result payload, and state-changing or
+// externally-visible calls are hard barriers — the leader drains the ring
+// and completes a full strict rendezvous (leaderPaired) before the call's
+// effects leave the process.
+
+import (
+	"fmt"
+	"time"
+
+	"smvx/internal/libc"
+	"smvx/internal/obs"
+	"smvx/internal/sim/clock"
+	"smvx/internal/sim/machine"
+	"smvx/internal/sim/mem"
+)
+
+// LockstepMode selects the rendezvous discipline for protected regions.
+type LockstepMode int
+
+const (
+	// LockstepStrict is the paper's stop-and-wait lockstep: the leader
+	// blocks at every libc call until the follower catches up.
+	LockstepStrict LockstepMode = iota
+	// LockstepPipelined decouples the variants over the bounded
+	// rendezvous ring with drain-time verification and category-aware
+	// sync barriers.
+	LockstepPipelined
+)
+
+// String names the mode as accepted by ParseLockstepMode.
+func (m LockstepMode) String() string {
+	switch m {
+	case LockstepStrict:
+		return "strict"
+	case LockstepPipelined:
+		return "pipelined"
+	default:
+		return fmt.Sprintf("lockstep(%d)", int(m))
+	}
+}
+
+// ParseLockstepMode maps a -lockstep flag value to a mode. The empty
+// string selects strict, the paper's default.
+func ParseLockstepMode(s string) (LockstepMode, error) {
+	switch s {
+	case "", "strict":
+		return LockstepStrict, nil
+	case "pipelined":
+		return LockstepPipelined, nil
+	default:
+		return 0, fmt.Errorf("unknown lockstep mode %q (strict, pipelined)", s)
+	}
+}
+
+// DefaultLagWindow bounds the pipelined leader's run-ahead when no
+// WithLagWindow option is given.
+const DefaultLagWindow = 16
+
+// pipelineGrace is the real-time window the leader grants a tripped
+// watchdog before concluding the follower is wedged off-CPU: a stalled
+// but still-charging follower detects its own blown deadline at drain
+// time (with the precise originating ordinal) well inside this window,
+// so only a follower that charges nothing at all reaches the leader-side
+// timeout path.
+const pipelineGrace = 200 * time.Millisecond
+
+// leaderRecord is one entry on the pipelined rendezvous ring: the
+// leader's half of a libc call, published ahead of verification. wire is
+// the canonical-varint call record (name + args); result — present for
+// pipelined-class calls — frames the return value, errno, and output
+// buffer snapshots captured at call time. The follower decodes both
+// rather than trusting in-process fields. Barrier records carry a reply
+// channel instead: the follower hands its own callRecord back and the
+// pair completes a full strict rendezvous.
+type leaderRecord struct {
+	idx     uint64 // 1-based libc-call ordinal, stamped by the leader
+	name    string
+	wire    []byte
+	cat     libc.Category
+	barrier bool
+	local   bool
+	result  []byte
+	reply   chan *callRecord
+}
+
+// emuBuf is one output-buffer snapshot inside a result record: the bytes
+// the leader's call wrote through its argIdx-th pointer argument.
+type emuBuf struct {
+	argIdx int
+	data   []byte
+}
+
+// appendRecord outcomes.
+type appendVerdict int
+
+const (
+	appendOK appendVerdict = iota
+	appendDead
+	appendDetached
+	appendTimedOut
+)
+
+// leaderCallPipelined runs the leader's side of one pipelined libc call:
+// classify, execute, publish on the ring (blocking only when the lag
+// window is exhausted), and barrier where the effects become externally
+// visible.
+func (s *session) leaderCallPipelined(t *machine.Thread, name string, args []uint64) uint64 {
+	idx := s.calls.Add(1)
+	if s.detached() {
+		// Degraded single-variant mode after a policy detach.
+		return s.mon.lib.Call(t, name, args)
+	}
+	select {
+	case <-s.followerDead:
+		// The follower died mid-region; the variant waiter raises the
+		// alarm, the leader continues un-replicated (as in strict mode).
+		s.diverged.Store(true)
+		return s.mon.lib.Call(t, name, args)
+	default:
+	}
+	if libc.SyncClassOf(name) == libc.SyncBarrier {
+		return s.leaderBarrier(t, name, args, idx)
+	}
+
+	costs := s.mon.m.Costs()
+	s.mon.m.ChargeThread(t, costs.LockstepEnqueue)
+	// Execute before publishing: the record carries the concrete result
+	// (and output-buffer snapshots) the follower will verify and apply.
+	// Snapshots are taken now, so the leader overwriting the buffer
+	// while running ahead cannot corrupt the follower's copy.
+	ret := s.mon.lib.Call(t, name, args)
+	errno := t.Errno()
+	rec := &leaderRecord{
+		idx:  idx,
+		name: name,
+		wire: encodeCallRecord(name, args),
+		cat:  libc.CategoryOf(name),
+	}
+	if libc.SyncClassOf(name) == libc.SyncLocal {
+		rec.local = true
+	} else {
+		rec.result = encodeResultRecord(ret, errno, s.captureOutputs(name, args, ret))
+	}
+	enqStart := s.mon.m.Counter().Cycles()
+	switch s.appendRecord(t, rec) {
+	case appendDead:
+		s.diverged.Store(true)
+	case appendTimedOut:
+		s.enqueueTimedOut(t, name, idx)
+	case appendDetached:
+		// The follower severed itself at drain time; bookkeeping and the
+		// alarm already happened on its goroutine.
+	case appendOK:
+		if obsRec := s.mon.rec; obsRec != nil {
+			m := obsRec.Metrics()
+			m.Observe(obs.MetricRendezvousLeaderCycles,
+				uint64(costs.LockstepEnqueue+(s.mon.m.Counter().Cycles()-enqStart)))
+			m.SetGauge(obs.MetricPipelineDepth, float64(len(s.ring)))
+		}
+	}
+	return ret
+}
+
+// appendRecord publishes one record on the ring, blocking when the lag
+// window is exhausted — the bounded run-ahead backpressure. The wait is
+// parked under waitingSince like a strict rendezvous so the watchdog can
+// see it.
+func (s *session) appendRecord(t *machine.Thread, rec *leaderRecord) appendVerdict {
+	select {
+	case <-s.followerDead:
+		return appendDead
+	case <-s.detachCh:
+		return appendDetached
+	default:
+	}
+	select {
+	case s.ring <- rec:
+		return appendOK
+	default:
+	}
+	waitStart := s.mon.m.Counter().Cycles()
+	s.waitingSince.Store(int64(waitStart) + 1)
+	defer s.waitingSince.Store(0)
+	unblocked := func() appendVerdict {
+		now := s.mon.m.Counter().Cycles()
+		t.AddWaitCycles(now - waitStart)
+		if obsRec := s.mon.rec; obsRec != nil {
+			obsRec.Metrics().Observe("lockstep.wait.cycles", uint64(now-waitStart))
+		}
+		return appendOK
+	}
+	select {
+	case s.ring <- rec:
+		return unblocked()
+	case <-s.followerDead:
+		return appendDead
+	case <-s.detachCh:
+		return appendDetached
+	case <-s.timedOut:
+		// Grace: a stalled-but-charging follower raises its own timeout
+		// (or frees a slot) within this window; see pipelineGrace.
+		select {
+		case s.ring <- rec:
+			return unblocked()
+		case <-s.followerDead:
+			return appendDead
+		case <-s.detachCh:
+			return appendDetached
+		case <-time.After(pipelineGrace):
+			return appendTimedOut
+		}
+	}
+}
+
+// enqueueTimedOut handles a blown deadline while the leader was parked on
+// a full ring: the call itself already executed, so — unlike
+// leaderTimedOut — there is nothing to re-run, only the alarm and the
+// policy detach.
+func (s *session) enqueueTimedOut(t *machine.Thread, name string, idx uint64) {
+	deadline := s.mon.opts.RendezvousDeadline
+	var snaps []obs.ThreadSnapshot
+	if s.mon.rec != nil {
+		snaps = []obs.ThreadSnapshot{s.mon.snapshot("leader", t)}
+	}
+	s.mon.raiseAlarm(Alarm{
+		Reason: AlarmRendezvousTimeout, CallIndex: idx, Function: s.fn,
+		LeaderCall: name,
+		Detail: fmt.Sprintf("follower stopped draining the rendezvous ring inside the %d-cycle deadline",
+			deadline),
+	}, snaps...)
+	s.diverged.Store(true)
+	s.mon.rec.Metrics().Inc("rendezvous.timeout")
+	s.mon.detachFollower(s, "rendezvous-timeout")
+}
+
+// leaderBarrier completes a hard sync point: publish the barrier record,
+// wait for the follower to drain everything before it and hand back its
+// own callRecord, then run the full strict rendezvous (leaderPaired) —
+// compare, execute, emulate — before the call's effects become
+// externally visible.
+func (s *session) leaderBarrier(t *machine.Thread, name string, args []uint64, idx uint64) uint64 {
+	costs := s.mon.m.Costs()
+	s.mon.m.ChargeThread(t, costs.LockstepRendezvous)
+	obsRec := s.mon.rec
+	var span obs.RendezvousSpan
+	if obsRec != nil {
+		obsRec.Metrics().Inc(obs.MetricLockstepBarrier)
+		span = obsRec.BeginRendezvousSpan(obs.VariantLeader, t.TID(), name,
+			uint64(libc.CategoryOf(name)))
+	}
+	rec := &leaderRecord{
+		idx: idx, name: name, wire: encodeCallRecord(name, args),
+		cat: libc.CategoryOf(name), barrier: true,
+		reply: make(chan *callRecord, 1),
+	}
+	waitStart := s.mon.m.Counter().Cycles()
+	switch s.appendRecord(t, rec) {
+	case appendDead:
+		s.diverged.Store(true)
+		ret := s.mon.lib.Call(t, name, args)
+		span.End(ret)
+		return ret
+	case appendDetached:
+		ret := s.mon.lib.Call(t, name, args)
+		span.End(ret)
+		return ret
+	case appendTimedOut:
+		ret := s.leaderTimedOut(t, name, args, nil, idx, 0)
+		span.End(ret)
+		return ret
+	}
+
+	paired := func(frec *callRecord) uint64 {
+		s.waitingSince.Store(0)
+		now := s.mon.m.Counter().Cycles()
+		t.AddWaitCycles(now - waitStart)
+		if obsRec != nil {
+			obsRec.Metrics().Observe("lockstep.wait.cycles", uint64(now-waitStart))
+			obsRec.Metrics().Observe(obs.MetricRendezvousLeaderCycles,
+				uint64(costs.LockstepRendezvous+(now-waitStart)))
+		}
+		if d := s.mon.opts.RendezvousDeadline; d > 0 && (frec.lag > d || now-waitStart > d) {
+			// Backstop: the follower self-checks its lag at drain time,
+			// so this only fires on pathological multi-thread charging.
+			late := now - waitStart
+			if frec.lag > d {
+				late = frec.lag
+			}
+			return s.leaderTimedOut(t, name, args, frec, idx, late)
+		}
+		return s.leaderPaired(t, name, args, frec, idx)
+	}
+
+	s.waitingSince.Store(int64(waitStart) + 1)
+	defer s.waitingSince.Store(0)
+	select {
+	case frec := <-rec.reply:
+		ret := paired(frec)
+		span.End(ret)
+		return ret
+	case <-s.followerDead:
+		s.diverged.Store(true)
+		ret := s.mon.lib.Call(t, name, args)
+		span.End(ret)
+		return ret
+	case <-s.detachCh:
+		ret := s.mon.lib.Call(t, name, args)
+		span.End(ret)
+		return ret
+	case <-s.timedOut:
+		// Same grace as appendRecord: only a zero-charging follower gets
+		// past the reply/death cases here.
+		select {
+		case frec := <-rec.reply:
+			ret := paired(frec)
+			span.End(ret)
+			return ret
+		case <-s.followerDead:
+			s.diverged.Store(true)
+			ret := s.mon.lib.Call(t, name, args)
+			span.End(ret)
+			return ret
+		case <-s.detachCh:
+			ret := s.mon.lib.Call(t, name, args)
+			span.End(ret)
+			return ret
+		case <-time.After(pipelineGrace):
+			ret := s.leaderTimedOut(t, name, args, nil, idx, 0)
+			span.End(ret)
+			return ret
+		}
+	}
+}
+
+// followerCallPipelined runs the follower's side: drain the next leader
+// record from the ring and verify it — the strict rendezvous's
+// decode-before-compare checks, moved to drain time and attributed to the
+// ordinal the leader stamped on the record.
+func (s *session) followerCallPipelined(t *machine.Thread, name string, args []uint64) uint64 {
+	costs := s.mon.m.Costs()
+	s.mon.m.ChargeThread(t, costs.LockstepEnqueue)
+	cyc := t.UserCycles()
+	lag := cyc - s.fCycles
+	s.fCycles = cyc
+	// The deterministic deadline verdict lives on the follower in
+	// pipelined mode: at every drain it knows its own lag and the exact
+	// ordinal of the call that stalled, where the leader — running ahead
+	// — could only attribute a timeout to whatever barrier it is parked
+	// on.
+	if d := s.mon.opts.RendezvousDeadline; d > 0 && lag > d {
+		s.followerTimedOut(t, name, s.drained+1, lag) // never returns
+	}
+	rec := s.dequeueRecord(t, name) // panics on detach / sequence overrun
+	s.drained++
+
+	obsRec := s.mon.rec
+	var arriveTS clock.Cycles
+	var a0, a1 uint64
+	if obsRec != nil {
+		arriveTS = s.mon.m.Counter().Cycles()
+		if len(args) > 0 {
+			a0 = args[0]
+		}
+		if len(args) > 1 {
+			a1 = args[1]
+		}
+	}
+	var dspan obs.DrainSpan
+	if obsRec != nil {
+		dspan = obsRec.BeginDrainSpan(obs.VariantFollower, t.TID(), name, uint64(rec.cat))
+	}
+
+	// Drain-time divergence checks: decode what crossed the ring, then
+	// the same name/scalar comparison as the strict rendezvous.
+	lname, largs, derr := decodeCallRecord(rec.wire)
+	if derr != nil {
+		s.drainDiverged(t, Alarm{
+			Reason: AlarmCallMismatch, CallIndex: rec.idx, Function: s.fn,
+			FollowerCall: name,
+			Detail:       fmt.Sprintf("corrupt IPC call record: %v", derr),
+		}, "ipc-corruption")
+	}
+	if lname != name {
+		s.drainDiverged(t, Alarm{
+			Reason: AlarmCallMismatch, CallIndex: rec.idx, Function: s.fn,
+			LeaderCall: lname, FollowerCall: name,
+			Detail: fmt.Sprintf("leader called %s, follower called %s", lname, name),
+		}, "call-mismatch")
+	}
+	if bad, li, fi := scalarMismatch(name, largs, args); bad {
+		s.drainDiverged(t, Alarm{
+			Reason: AlarmArgMismatch, CallIndex: rec.idx, Function: s.fn,
+			LeaderCall: lname, FollowerCall: name,
+			Detail: fmt.Sprintf("%s arg mismatch: leader %#x vs follower %#x", name, li, fi),
+		}, "arg-mismatch")
+	}
+
+	if obsRec != nil {
+		obsRec.Record(obs.EvLockstep, obs.VariantFollower, t.TID(), name, uint64(rec.cat), rec.idx, 0)
+		m := obsRec.Metrics()
+		m.Inc("lockstep.category." + rec.cat.Slug())
+		m.Observe(obs.MetricRendezvousLag, s.calls.Load()-rec.idx)
+	}
+
+	if rec.barrier {
+		ret := s.followerBarrier(t, name, args, rec, lag, arriveTS, a0, a1)
+		dspan.End(ret)
+		return ret
+	}
+	if rec.local {
+		// User-space call: execute in the follower's own window.
+		// lib.Call records the follower's enter/exit events itself.
+		ret := s.mon.lib.Call(t, name, args)
+		dspan.End(ret)
+		return ret
+	}
+
+	// Pipelined record: decode and apply the leader's result snapshot.
+	ret, errno, bufs, rerr := decodeResultRecord(rec.result)
+	if rerr != nil {
+		s.drainDiverged(t, Alarm{
+			Reason: AlarmCallMismatch, CallIndex: rec.idx, Function: s.fn,
+			LeaderCall: lname, FollowerCall: name,
+			Detail: fmt.Sprintf("corrupt IPC result record: %v", rerr),
+		}, "ipc-corruption")
+	}
+	copied, faulted := s.applyResult(t, name, rec.idx, largs, args, bufs)
+	s.emulatedBytes.Add(uint64(copied))
+	if obsRec != nil {
+		obsRec.Record(obs.EvEmulated, obs.VariantFollower, t.TID(), name, uint64(copied), 0, ret)
+		obsRec.Metrics().Add("lockstep.emulated.bytes", uint64(copied))
+		obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, obs.VariantFollower, t.TID(), name, a0, a1, 0)
+		obsRec.RecordIn(t.Fn(), obs.EvLibcExit, obs.VariantFollower, t.TID(), name, 0, 0, ret)
+	}
+	if faulted && s.mon.contain() {
+		// The follower's result buffer is gone; it cannot keep up.
+		dspan.End(ret)
+		s.mon.detachFollower(s, "emulation-fault")
+		panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDetached})
+	}
+	t.SetErrno(errno)
+	dspan.End(ret)
+	return ret
+}
+
+// dequeueRecord takes the next leader record off the ring, blocking until
+// the leader publishes one. The ring is checked before (and after) the
+// leaderDone signal: all appends happen-before leaderDone closes, and
+// select picks ready cases at random, so a tail record must not be
+// mistaken for a sequence overrun.
+func (s *session) dequeueRecord(t *machine.Thread, name string) *leaderRecord {
+	select {
+	case rec := <-s.ring:
+		return rec
+	default:
+	}
+	select {
+	case rec := <-s.ring:
+		return rec
+	case <-s.detachCh:
+		panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDetached})
+	case <-s.leaderDone:
+		select {
+		case rec := <-s.ring:
+			return rec
+		default:
+		}
+		if s.detached() {
+			panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDetached})
+		}
+		// The leader already left the region: the follower is executing
+		// calls the leader never made.
+		var snaps []obs.ThreadSnapshot
+		if s.mon.rec != nil {
+			snaps = []obs.ThreadSnapshot{s.mon.snapshot("follower", t)}
+		}
+		s.mon.raiseAlarm(Alarm{
+			Reason: AlarmSequenceLength, CallIndex: s.calls.Load(), Function: s.fn,
+			FollowerCall: name,
+			Detail:       fmt.Sprintf("follower issued %s after leader finished the region", name),
+		}, snaps...)
+		s.diverged.Store(true)
+		panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDivergence})
+	}
+}
+
+// followerBarrier hands the follower's own callRecord back through the
+// barrier record's reply channel and completes a strict rendezvous:
+// everything before this call has drained, so the leader's verdict
+// arrives exactly as in strict lockstep.
+func (s *session) followerBarrier(t *machine.Thread, name string, args []uint64, rec *leaderRecord, lag clock.Cycles, arriveTS clock.Cycles, a0, a1 uint64) uint64 {
+	frec := &callRecord{
+		name: name, args: args, wire: encodeCallRecord(name, args),
+		thread: t, resp: make(chan callResult, 1),
+		lag: lag,
+	}
+	rec.reply <- frec // cap 1: never blocks
+	obsRec := s.mon.rec
+	var res callResult
+	select {
+	case res = <-frec.resp:
+	case <-s.detachCh:
+		// A buffered verdict beats the detach signal (select picks ready
+		// cases at random; the reply may already be in flight).
+		select {
+		case res = <-frec.resp:
+		default:
+			panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDetached})
+		}
+	}
+	switch res.mode {
+	case modeLocal:
+		return s.mon.lib.Call(t, name, args)
+	case modeEmulated:
+		if obsRec != nil {
+			obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, obs.VariantFollower, t.TID(), name, a0, a1, 0)
+			obsRec.RecordIn(t.Fn(), obs.EvLibcExit, obs.VariantFollower, t.TID(), name, 0, 0, res.ret)
+		}
+		t.SetErrno(res.errno)
+		return res.ret
+	case modeDetach:
+		if obsRec != nil {
+			obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, obs.VariantFollower, t.TID(), name, a0, a1, 0)
+		}
+		panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDetached})
+	default:
+		if obsRec != nil {
+			obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, obs.VariantFollower, t.TID(), name, a0, a1, 0)
+		}
+		panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDivergence})
+	}
+}
+
+// drainDiverged raises a drain-time divergence alarm from the follower's
+// goroutine and severs the session per the policy. Only the follower's
+// own thread may be snapshotted here — the leader is running ahead
+// concurrently. Never returns.
+func (s *session) drainDiverged(t *machine.Thread, a Alarm, cause string) {
+	var snaps []obs.ThreadSnapshot
+	if s.mon.rec != nil {
+		snaps = []obs.ThreadSnapshot{s.mon.snapshot("follower", t)}
+	}
+	s.mon.raiseAlarm(a, snaps...)
+	s.diverged.Store(true)
+	s.mon.severFromFollower(s, t, cause)
+}
+
+// followerTimedOut raises the drain-time deadline alarm with the stalled
+// call's own ordinal and severs the session per the policy. Never
+// returns.
+func (s *session) followerTimedOut(t *machine.Thread, name string, ordinal uint64, lag clock.Cycles) {
+	deadline := s.mon.opts.RendezvousDeadline
+	var snaps []obs.ThreadSnapshot
+	if s.mon.rec != nil {
+		snaps = []obs.ThreadSnapshot{s.mon.snapshot("follower", t)}
+	}
+	s.mon.raiseAlarm(Alarm{
+		Reason: AlarmRendezvousTimeout, CallIndex: ordinal, Function: s.fn,
+		FollowerCall: name,
+		Detail: fmt.Sprintf("follower stalled %d cycles against a %d-cycle rendezvous deadline",
+			lag, deadline),
+	}, snaps...)
+	s.diverged.Store(true)
+	s.mon.rec.Metrics().Inc("rendezvous.timeout")
+	s.mon.severFromFollower(s, t, "rendezvous-timeout")
+}
+
+// captureOutputs snapshots the buffers the leader's call wrote through
+// its pointer arguments — the per-call rules of emulate (lockstep.go),
+// applied at call time so the record is immune to the leader overwriting
+// the buffer while it runs ahead. epoll_data entries that point into the
+// leader's space are rebased into the follower's window here, while the
+// leader's heap watermark still reflects the moment of the call.
+func (s *session) captureOutputs(name string, args []uint64, ret uint64) []emuBuf {
+	as := s.mon.m.AddressSpace()
+	grab := func(argIdx, n int) []emuBuf {
+		if n <= 0 {
+			return nil
+		}
+		src := mem.Addr(argAt(args, argIdx))
+		if src == 0 {
+			return nil
+		}
+		buf := make([]byte, n)
+		if err := as.ReadAt(src, buf); err != nil {
+			return nil
+		}
+		return []emuBuf{{argIdx: argIdx, data: buf}}
+	}
+	retN := 0
+	if int64(ret) > 0 {
+		retN = int(int64(ret))
+	}
+	switch name {
+	case "read", "recv":
+		return grab(1, retN)
+	case "stat", "fstat":
+		return grab(1, 24)
+	case "gettimeofday":
+		return grab(0, 16)
+	case "time":
+		return grab(0, 8)
+	case "localtime_r":
+		return grab(1, 64)
+	case "getsockopt":
+		return grab(2, 8)
+	case "accept4":
+		return nil // peer-address buffer unused by the simulated apps
+	case "epoll_wait", "epoll_pwait":
+		src := mem.Addr(argAt(args, 1))
+		data := make([]byte, 0, retN*16)
+		for i := 0; i < retN; i++ {
+			var entry [16]byte
+			if err := as.ReadAt(src+mem.Addr(i*16), entry[:]); err != nil {
+				break
+			}
+			d := fromLE(entry[8:])
+			if s.inLeaderSpace(mem.Addr(d)) {
+				toLE(entry[8:], uint64(int64(d)+s.delta))
+			}
+			data = append(data, entry[:]...)
+		}
+		if len(data) == 0 {
+			return nil
+		}
+		return []emuBuf{{argIdx: 1, data: data}}
+	}
+	return nil
+}
+
+// applyResult writes the decoded buffer snapshots into the follower's own
+// argument buffers, with the same fault attribution as the strict
+// emulate. The per-byte copy cost is charged to the follower thread —
+// off the leader's critical path, unlike strict mode where the copy
+// happens inside the rendezvous.
+func (s *session) applyResult(t *machine.Thread, name string, idx uint64, largs, fargs []uint64, bufs []emuBuf) (int, bool) {
+	as := s.mon.m.AddressSpace()
+	costs := s.mon.m.Costs()
+	copied := 0
+	faulted := false
+	for _, b := range bufs {
+		dst := mem.Addr(argAt(fargs, b.argIdx))
+		src := mem.Addr(argAt(largs, b.argIdx))
+		if dst == 0 || len(b.data) == 0 {
+			continue
+		}
+		if err := as.WriteAt(dst, b.data); err != nil {
+			s.mon.raiseAlarm(Alarm{
+				Reason: AlarmEmulationFault, CallIndex: idx, Function: s.fn,
+				LeaderCall: name,
+				Detail: fmt.Sprintf("emulation copy of %d bytes into follower buffer %#x failed: %v",
+					len(b.data), dst, err),
+			})
+			s.diverged.Store(true)
+			faulted = true
+			continue
+		}
+		_ = as.CopyTaint(dst, src, len(b.data))
+		s.mon.m.ChargeThread(t, costs.LockstepCopyPerByte*cyclesOf(len(b.data)))
+		copied += len(b.data)
+	}
+	return copied, faulted
+}
+
+func argAt(a []uint64, i int) uint64 {
+	if i >= 0 && i < len(a) {
+		return a[i]
+	}
+	return 0
+}

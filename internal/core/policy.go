@@ -5,6 +5,7 @@ import (
 
 	"smvx/internal/obs"
 	"smvx/internal/sim/clock"
+	"smvx/internal/sim/machine"
 )
 
 // DivergencePolicy decides what raiseAlarm and follower faults do to the
@@ -104,6 +105,21 @@ func (mo *Monitor) UnhandledAlarmCount() int {
 		}
 	}
 	return n
+}
+
+// severFromFollower ends the follower's participation after it detected a
+// divergence (or a blown deadline) at drain time, on its own goroutine:
+// containment policies detach and wind the thread down with ErrDetached
+// (no secondary alarm), while kill-both panics with ErrDivergence so the
+// variant waiter raises the paper's follower-fault alarm — the same
+// split the strict rendezvous reaches through rejectFollower. Never
+// returns.
+func (mo *Monitor) severFromFollower(s *session, t *machine.Thread, cause string) {
+	if mo.contain() {
+		mo.detachFollower(s, cause)
+		panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDetached})
+	}
+	panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDivergence})
 }
 
 // detachFollower severs a session's follower from lockstep, exactly once:

@@ -428,6 +428,13 @@ func (mo *Monitor) End(t *machine.Thread) error {
 		}
 	}
 	s.stopWatch()
+	// A pipelined follower that left the region early strands unverified
+	// leader records on the ring — a sequence divergence even when nothing
+	// faulted (strict mode reaches the same verdict via followerDead at
+	// the leader's next call).
+	if s.pipelined && len(s.ring) > 0 {
+		s.diverged.Store(true)
+	}
 
 	report := RegionReport{
 		Function:          s.fn,

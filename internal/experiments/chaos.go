@@ -74,6 +74,11 @@ type ChaosCell struct {
 	Injected  int
 	Alarms    map[string]int
 	Unhandled int
+	// AlarmKeys maps ordinal-attributed alarm keys ("reason@call", or bare
+	// "reason" for the fault-class alarms whose ordinal is
+	// interleaving-dependent) to counts — the identity the strict-vs-
+	// pipelined parity check compares.
+	AlarmKeys map[string]int
 	// Detached/Restarts/Degraded describe the policy's response.
 	Detached bool
 	Restarts int
@@ -88,7 +93,20 @@ type ChaosCell struct {
 // ChaosResult is the full survival matrix.
 type ChaosResult struct {
 	Seed  int64
+	Mode  core.LockstepMode
 	Cells []ChaosCell
+}
+
+// alarmKey is the cross-mode identity of an alarm: reason plus originating
+// call ordinal for the divergence-class alarms whose attribution is
+// deterministic, bare reason for the fault-class alarms (follower crash,
+// sequence overrun) whose ordinal depends on where the crash interleaved.
+func alarmKey(a core.Alarm) string {
+	switch a.Reason {
+	case core.AlarmFollowerFault, core.AlarmSequenceLength:
+		return a.Reason.String()
+	}
+	return fmt.Sprintf("%s@%d", a.Reason, a.CallIndex)
 }
 
 // chaosEnv boots the chaos application: a fresh kernel, machine, and flight
@@ -131,8 +149,8 @@ func chaosEnv(seed int64) (*boot.Env, *obs.Recorder, error) {
 }
 
 // runChaosCell runs one (fault, policy) cell in a fresh environment.
-func runChaosCell(seed int64, fault string, faults []faultinject.Fault, pol core.DivergencePolicy) (ChaosCell, error) {
-	cell := ChaosCell{Fault: fault, Policy: pol.String(), Alarms: map[string]int{}}
+func runChaosCell(seed int64, fault string, faults []faultinject.Fault, pol core.DivergencePolicy, mode core.LockstepMode) (ChaosCell, error) {
+	cell := ChaosCell{Fault: fault, Policy: pol.String(), Alarms: map[string]int{}, AlarmKeys: map[string]int{}}
 	env, rec, err := chaosEnv(seed)
 	if err != nil {
 		return cell, err
@@ -140,6 +158,7 @@ func runChaosCell(seed int64, fault string, faults []faultinject.Fault, pol core
 	mon := core.New(env.Machine, env.LibC,
 		core.WithSeed(seed), core.WithRecorder(rec),
 		core.WithPolicy(pol),
+		core.WithLockstepMode(mode),
 		core.WithRendezvousDeadline(chaosDeadline),
 		core.WithRestartBudget(chaosRestartBudget),
 		core.WithRestartBackoff(chaosRestartBackoff))
@@ -181,6 +200,7 @@ func runChaosCell(seed int64, fault string, faults []faultinject.Fault, pol core
 	}
 	for _, a := range mon.Alarms() {
 		cell.Alarms[a.Reason.String()]++
+		cell.AlarmKeys[alarmKey(a)]++
 	}
 	cell.Unhandled = mon.UnhandledAlarmCount()
 	cell.Detached = rec.Metrics().Counter("policy.follower_detached") > 0
@@ -203,16 +223,23 @@ func runChaosCell(seed int64, fault string, faults []faultinject.Fault, pol core
 	return cell, nil
 }
 
-// Chaos runs the full fault x policy survival matrix. Every cell is an
-// independent deterministic simulation; the same seed reproduces the same
-// matrix byte-for-byte.
+// Chaos runs the full fault x policy survival matrix under strict lockstep.
+// Every cell is an independent deterministic simulation; the same seed
+// reproduces the same matrix byte-for-byte.
 func Chaos(seed int64) (*ChaosResult, error) {
-	res := &ChaosResult{Seed: seed}
+	return ChaosMode(seed, core.LockstepStrict)
+}
+
+// ChaosMode is Chaos with the lockstep mode as a third matrix axis: the same
+// fault plans replayed under pipelined lockstep must surface the same alarm
+// keys — detection moved to drain time, not dropped.
+func ChaosMode(seed int64, mode core.LockstepMode) (*ChaosResult, error) {
+	res := &ChaosResult{Seed: seed, Mode: mode}
 	for _, f := range chaosFaults {
 		for _, pol := range chaosPolicies {
-			cell, err := runChaosCell(seed, f.Name, f.Faults, pol)
+			cell, err := runChaosCell(seed, f.Name, f.Faults, pol, mode)
 			if err != nil {
-				return nil, fmt.Errorf("chaos cell (%s, %s): %w", f.Name, pol, err)
+				return nil, fmt.Errorf("chaos cell (%s, %s, %s): %w", f.Name, pol, mode, err)
 			}
 			res.Cells = append(res.Cells, cell)
 		}
@@ -233,7 +260,7 @@ func (r *ChaosResult) cell(fault, policy string) *ChaosCell {
 // String renders the survival matrix plus a per-cell detail block.
 func (r *ChaosResult) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "sMVX chaos survival matrix (fault x policy), seed %d\n", r.Seed)
+	fmt.Fprintf(&b, "sMVX chaos survival matrix (fault x policy), seed %d, %s lockstep\n", r.Seed, r.Mode)
 	fmt.Fprintf(&b, "%d regions per cell, rendezvous deadline %d cycles, restart budget %d\n\n",
 		chaosRegions, chaosDeadline, chaosRestartBudget)
 

@@ -46,7 +46,13 @@ func CVE() (*CVEResult, error) { return CVEObserved(nil) }
 // the final events of both variants plus the faulted follower's register
 // and stack snapshot, including the gadget address — are copied into
 // res.Forensics. A nil rec runs the experiment unobserved.
-func CVEObserved(rec *obs.Recorder) (*CVEResult, error) {
+func CVEObserved(rec *obs.Recorder) (*CVEResult, error) { return CVEObservedOpts(rec) }
+
+// CVEObservedOpts is CVEObserved with extra monitor options applied to the
+// protected run — how the exploit is replayed under pipelined lockstep or a
+// containment policy to show detection does not depend on the strict
+// rendezvous.
+func CVEObservedOpts(rec *obs.Recorder, monOpts ...core.Option) (*CVEResult, error) {
 	res := &CVEResult{}
 
 	// 1. Vulnerable, unprotected.
@@ -66,11 +72,11 @@ func CVEObserved(rec *obs.Recorder) (*CVEResult, error) {
 	res.VanillaPwned = h.env.Kernel.FS().DirExists("/pwned")
 
 	// 2. Vulnerable under sMVX, optionally with the flight recorder.
-	h, err = startNginx(nginx.Config{
+	h, err = startNginxOpts(nginx.Config{
 		Port: 8080, MaxRequests: 1,
 		Version: nginx.VersionVulnerable,
 		Protect: "ngx_http_process_request_line",
-	}, true, boot.WithRecorder(rec))
+	}, true, monOpts, boot.WithRecorder(rec))
 	if err != nil {
 		return nil, err
 	}

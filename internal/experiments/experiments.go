@@ -40,6 +40,13 @@ type nginxHandle struct {
 
 // startNginx boots and launches nginx; withMon attaches an sMVX monitor.
 func startNginx(cfg nginx.Config, withMon bool, opts ...boot.Option) (*nginxHandle, error) {
+	return startNginxOpts(cfg, withMon, nil, opts...)
+}
+
+// startNginxOpts is startNginx with extra monitor options layered on top of
+// the defaults — how the CVE scenario re-runs under a containment policy or
+// pipelined lockstep without its own boot path.
+func startNginxOpts(cfg nginx.Config, withMon bool, monOpts []core.Option, opts ...boot.Option) (*nginxHandle, error) {
 	k := kernel.New(clock.DefaultCosts(), Seed)
 	srv := nginx.NewServer(cfg)
 	env, err := boot.NewEnv(k, srv.Program(), append([]boot.Option{boot.WithSeed(Seed)}, opts...)...)
@@ -49,7 +56,8 @@ func startNginx(cfg nginx.Config, withMon bool, opts ...boot.Option) (*nginxHand
 	k.FS().WriteFile("/var/www/index.html", Page4K)
 	h := &nginxHandle{srv: srv, env: env, client: k.NewProcess(clock.NewCounter())}
 	if withMon {
-		h.mon = core.New(env.Machine, env.LibC, core.WithSeed(Seed), core.WithRecorder(env.Obs))
+		h.mon = core.New(env.Machine, env.LibC,
+			append([]core.Option{core.WithSeed(Seed), core.WithRecorder(env.Obs)}, monOpts...)...)
 		srv.SetMVX(h.mon)
 	}
 	th, err := env.MainThread()
@@ -71,6 +79,11 @@ type lighttpdHandle struct {
 }
 
 func startLighttpd(cfg lighttpd.Config, withMon bool, opts ...boot.Option) (*lighttpdHandle, error) {
+	return startLighttpdOpts(cfg, withMon, nil, opts...)
+}
+
+// startLighttpdOpts mirrors startNginxOpts for the lighttpd scenarios.
+func startLighttpdOpts(cfg lighttpd.Config, withMon bool, monOpts []core.Option, opts ...boot.Option) (*lighttpdHandle, error) {
 	k := kernel.New(clock.DefaultCosts(), Seed)
 	srv := lighttpd.NewServer(cfg)
 	env, err := boot.NewEnv(k, srv.Program(), append([]boot.Option{boot.WithSeed(Seed)}, opts...)...)
@@ -80,7 +93,8 @@ func startLighttpd(cfg lighttpd.Config, withMon bool, opts ...boot.Option) (*lig
 	k.FS().WriteFile("/srv/www/index.html", Page4K)
 	h := &lighttpdHandle{srv: srv, env: env, client: k.NewProcess(clock.NewCounter())}
 	if withMon {
-		h.mon = core.New(env.Machine, env.LibC, core.WithSeed(Seed), core.WithRecorder(env.Obs))
+		h.mon = core.New(env.Machine, env.LibC,
+			append([]core.Option{core.WithSeed(Seed), core.WithRecorder(env.Obs)}, monOpts...)...)
 		srv.SetMVX(h.mon)
 	}
 	th, err := env.MainThread()

@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"smvx/internal/boot"
+	"smvx/internal/core"
+	"smvx/internal/libc"
+	"smvx/internal/obs"
+	"smvx/internal/sim/clock"
+	"smvx/internal/sim/image"
+	"smvx/internal/sim/kernel"
+	"smvx/internal/sim/machine"
+	"smvx/internal/sim/mem"
+)
+
+// The pipeline experiment quantifies what the bounded run-ahead ring buys:
+// the same protected region — dominated by results-emulation calls, with a
+// hard barrier at each end — runs under strict lockstep and under pipelined
+// lockstep at several lag windows, and the table compares the leader's mean
+// rendezvous cost per libc call (the rendezvous.leader.cycles histogram,
+// recorded identically in both modes). Strict pays a full rendezvous on
+// every call; pipelined pays an enqueue on the results-emulation calls and a
+// rendezvous only at the barriers.
+const (
+	// pipeLoopIters is how many {read, gettimeofday, malloc/free} rounds the
+	// protected body runs between its open/close barriers.
+	pipeLoopIters = 32
+	// pipeRegions is how many protected regions each configuration runs.
+	pipeRegions = 3
+)
+
+// pipeLags is the lag-window axis (0 = strict lockstep).
+var pipeLags = []int{0, 4, 16, 64}
+
+// PipelineRow is one lockstep configuration's measurement.
+type PipelineRow struct {
+	// Config names the configuration: "strict" or "lag=N".
+	Config string
+	// Lag is the run-ahead window (0 for strict).
+	Lag int
+	// Rendezvous is how many leader-side rendezvous/enqueue costs were
+	// observed (one per protected libc call in both modes).
+	Rendezvous uint64
+	// MeanCycles is the leader's mean rendezvous cost per call.
+	MeanCycles float64
+	// ReductionPct is the improvement over the strict row, in percent.
+	ReductionPct float64
+	// Alarms counts alarms raised (must be zero: the region is honest).
+	Alarms int
+}
+
+// PipelineResult is the strict-vs-pipelined overhead comparison.
+type PipelineResult struct {
+	Seed int64
+	Rows []PipelineRow
+}
+
+// pipeEnv boots the pipeline application: a protected function whose body is
+// an open barrier, pipeLoopIters rounds of results-emulation plus local
+// calls, and a close barrier.
+func pipeEnv(seed int64) (*boot.Env, *obs.Recorder, error) {
+	img := image.NewBuilder("pipeapp", 0x400000).
+		AddFunc("main", 128).
+		AddFunc("protected_func", 512).
+		AddBSS("g_buf", 8192).
+		NeedLibc(libc.Names()...).
+		Build()
+	prog := machine.NewProgram(img)
+	rec := obs.NewRecorder(obs.Config{})
+	env, err := boot.NewEnv(kernel.New(clock.DefaultCosts(), seed), prog,
+		boot.WithSeed(seed), boot.WithRecorder(rec))
+	if err != nil {
+		return nil, nil, err
+	}
+	env.Kernel.FS().WriteFile("/pipe.txt", Page4K)
+	env.Prog.MustDefine("protected_func", func(th *machine.Thread, args []uint64) uint64 {
+		g := th.Global("g_buf")
+		path := g + 4096
+		th.WriteCString(path, "/pipe.txt")
+		// SyncBarrier: externally-visible open drains the ring.
+		fd := th.Libc("open", uint64(path), 0)
+		var sum uint64
+		for i := 0; i < pipeLoopIters; i++ {
+			// SyncPipelined: the read result is emulated into the follower
+			// at drain time; the leader does not wait.
+			th.Libc("read", fd, uint64(g), 64)
+			sum += th.Load64(g)
+			th.Libc("gettimeofday", uint64(g+1024), 0)
+			// SyncLocal: each variant runs its own allocator.
+			p := th.Libc("malloc", 32)
+			th.Store64(mem.Addr(p), sum)
+			th.Libc("free", p)
+		}
+		th.Libc("close", fd)
+		return sum
+	})
+	return env, rec, nil
+}
+
+// runPipelineCell measures one lockstep configuration.
+func runPipelineCell(seed int64, lag int) (PipelineRow, error) {
+	row := PipelineRow{Config: "strict", Lag: lag}
+	mode := core.LockstepStrict
+	if lag > 0 {
+		mode = core.LockstepPipelined
+		row.Config = fmt.Sprintf("lag=%d", lag)
+	}
+	env, rec, err := pipeEnv(seed)
+	if err != nil {
+		return row, err
+	}
+	mon := core.New(env.Machine, env.LibC,
+		core.WithSeed(seed), core.WithRecorder(rec),
+		core.WithLockstepMode(mode), core.WithLagWindow(lag))
+	th, err := env.MainThread()
+	if err != nil {
+		return row, err
+	}
+	if err := mon.Init(th); err != nil {
+		return row, err
+	}
+	var loopErr error
+	runErr := th.Run(func(t *machine.Thread) {
+		for i := 0; i < pipeRegions; i++ {
+			if loopErr = mon.Start(t, "protected_func"); loopErr != nil {
+				return
+			}
+			t.Call("protected_func")
+			if loopErr = mon.End(t); loopErr != nil {
+				return
+			}
+		}
+	})
+	if runErr == nil {
+		runErr = loopErr
+	}
+	if runErr != nil {
+		return row, fmt.Errorf("pipeline cell %s: %w", row.Config, runErr)
+	}
+	row.Alarms = len(mon.Alarms())
+	h := rec.Metrics().Histogram(obs.MetricRendezvousLeaderCycles)
+	row.Rendezvous = h.Count
+	row.MeanCycles = h.Mean()
+	return row, nil
+}
+
+// PipelineOverhead runs the strict-vs-pipelined comparison across the lag
+// windows and computes each row's reduction against the strict baseline.
+func PipelineOverhead() (*PipelineResult, error) {
+	res := &PipelineResult{Seed: Seed}
+	var strict float64
+	for _, lag := range pipeLags {
+		row, err := runPipelineCell(Seed, lag)
+		if err != nil {
+			return nil, err
+		}
+		if lag == 0 {
+			strict = row.MeanCycles
+		}
+		if strict > 0 {
+			row.ReductionPct = (1 - row.MeanCycles/strict) * 100
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the comparison table.
+func (r *PipelineResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pipelined lockstep overhead (seed %d): %d regions x %d-call loop, open/close barriers\n",
+		r.Seed, pipeRegions, pipeLoopIters*4+2)
+	fmt.Fprintf(&b, "%-10s %12s %18s %12s %8s\n", "config", "rendezvous", "mean cycles/call", "reduction", "alarms")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-10s %12d %18.0f %11.1f%% %8d\n",
+			row.Config, row.Rendezvous, row.MeanCycles, row.ReductionPct, row.Alarms)
+	}
+	return b.String()
+}
+
+// RecordMetrics folds the comparison into the benchmark registry.
+func (r *PipelineResult) RecordMetrics(bench *obs.Metrics) {
+	for _, row := range r.Rows {
+		slug := "strict"
+		if row.Lag > 0 {
+			slug = fmt.Sprintf("lag%d", row.Lag)
+		}
+		bench.SetGauge("pipeline.overhead."+slug+".rendezvous_cycles_mean", row.MeanCycles)
+		bench.SetGauge("pipeline.overhead."+slug+".reduction_pct", row.ReductionPct)
+	}
+}

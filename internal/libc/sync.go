@@ -1,0 +1,80 @@
+package libc
+
+// SyncClass classifies a libc call by how much run-ahead the pipelined
+// lockstep mode may tolerate before verifying it. The three emulation
+// categories of Table 1 map onto three synchronization disciplines:
+// results-emulation calls only move data from leader to follower, so the
+// leader can publish the result on the rendezvous ring and keep running;
+// state-changing or externally-visible calls must not retire before the
+// follower has verified every earlier call, because their effects cannot
+// be recalled once they leave the process.
+type SyncClass int
+
+const (
+	// SyncLocal: each variant executes the call in its own address range
+	// (CatLocal). Nothing crosses the ring beyond the name/argument record
+	// used for divergence checking, so the call pipelines freely.
+	SyncLocal SyncClass = iota + 1
+	// SyncPipelined: the leader executes the call, snapshots the return
+	// value and output buffers into the ring record, and runs ahead; the
+	// follower verifies and applies the snapshot at drain time.
+	SyncPipelined
+	// SyncBarrier: the call's effects are externally visible (file and
+	// socket writes, fd lifecycle, kernel configuration). The leader
+	// drains the ring — waiting for the follower to verify every earlier
+	// call — and performs a full strict rendezvous before executing.
+	SyncBarrier
+)
+
+// String names the sync class for metrics labels and docs.
+func (c SyncClass) String() string {
+	switch c {
+	case SyncLocal:
+		return "local"
+	case SyncPipelined:
+		return "pipelined"
+	case SyncBarrier:
+		return "barrier"
+	default:
+		return "unknown"
+	}
+}
+
+// syncOverrides lists the calls whose sync class does not follow from
+// their emulation category alone.
+var syncOverrides = map[string]SyncClass{
+	// sendfile emulates a buffer (CatRetBuf) but pushes bytes onto a
+	// socket — externally visible, so it must not run ahead of
+	// verification.
+	"sendfile": SyncBarrier,
+	// ioctl is special-emulation but configures kernel objects.
+	"ioctl": SyncBarrier,
+	// epoll waits only report readiness; the epoll_data rebase is part of
+	// the buffer snapshot, so they pipeline like other input calls.
+	"epoll_wait":  SyncPipelined,
+	"epoll_pwait": SyncPipelined,
+	// time and random return scalars read from the kernel without
+	// changing observable state: safe to pipeline despite CatRetOnly.
+	"time":   SyncPipelined,
+	"random": SyncPipelined,
+}
+
+// SyncClassOf returns the pipelined-lockstep sync class for a libc call
+// name. Unknown calls synchronize as barriers — the conservative choice:
+// a call the monitor cannot classify must not retire unverified work.
+func SyncClassOf(name string) SyncClass {
+	if c, ok := syncOverrides[name]; ok {
+		return c
+	}
+	switch CategoryOf(name) {
+	case CatLocal:
+		return SyncLocal
+	case CatRetBuf, CatSpecial:
+		// Input/result emulation: the follower only consumes data.
+		return SyncPipelined
+	default:
+		// CatRetOnly and anything unknown: state-changing leader-only
+		// execution (open/write/close/socket configuration).
+		return SyncBarrier
+	}
+}

@@ -1,0 +1,49 @@
+package libc
+
+import "testing"
+
+func TestSyncClassStrings(t *testing.T) {
+	for c, want := range map[SyncClass]string{
+		SyncLocal: "local", SyncPipelined: "pipelined", SyncBarrier: "barrier",
+		SyncClass(0): "unknown",
+	} {
+		if got := c.String(); got != want {
+			t.Errorf("SyncClass(%d).String() = %q, want %q", int(c), got, want)
+		}
+	}
+}
+
+func TestSyncClassOf(t *testing.T) {
+	cases := map[string]SyncClass{
+		// Local category: each variant computes in its own window.
+		"malloc": SyncLocal, "free": SyncLocal, "memcpy": SyncLocal,
+		// Results-emulation calls pipeline freely.
+		"read": SyncPipelined, "gettimeofday": SyncPipelined, "fstat": SyncPipelined,
+		// Special category pipelines by default (results flow one way)…
+		"epoll_wait": SyncPipelined,
+		// …but ioctl can mutate device state: barrier by override.
+		"ioctl": SyncBarrier,
+		// State-changing / externally-visible calls are hard barriers.
+		"open": SyncBarrier, "write": SyncBarrier, "close": SyncBarrier,
+		"send": SyncBarrier, "sendfile": SyncBarrier, "mkdir": SyncBarrier,
+		// Unknown names fail safe: full rendezvous.
+		"frobnicate": SyncBarrier,
+	}
+	for name, want := range cases {
+		if got := SyncClassOf(name); got != want {
+			t.Errorf("SyncClassOf(%q) = %v, want %v (category %v)",
+				name, got, want, CategoryOf(name))
+		}
+	}
+}
+
+// Every call the emulation table knows must map to a definite sync class —
+// no call may silently fall through to the zero value.
+func TestSyncClassTotal(t *testing.T) {
+	for _, name := range Names() {
+		c := SyncClassOf(name)
+		if c != SyncLocal && c != SyncPipelined && c != SyncBarrier {
+			t.Errorf("SyncClassOf(%q) = %v, not a defined class", name, c)
+		}
+	}
+}

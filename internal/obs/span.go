@@ -36,6 +36,28 @@ func CategoryLabel(code uint64) string {
 var (
 	rendezvousMetricNames = categoryMetricNames("rendezvous.cycles")
 	emulationMetricNames  = categoryMetricNames("emulation.cycles")
+	drainMetricNames      = categoryMetricNames("drain.cycles")
+)
+
+// Pipelined-lockstep metric names, shared between the core producer and
+// the experiments/telemetry consumers so the strict-vs-pipelined overhead
+// comparison reads the exact series the monitor writes.
+const (
+	// MetricRendezvousLeaderCycles is the per-libc-call synchronization
+	// cost on the leader's critical path (histogram): rendezvous entry
+	// plus wait under strict lockstep, ring enqueue plus any backpressure
+	// wait under pipelined lockstep. This is the series the strict-vs-
+	// pipelined overhead benchmark compares.
+	MetricRendezvousLeaderCycles = "rendezvous.leader.cycles"
+	// MetricRendezvousLag is how many calls the leader had run ahead when
+	// the follower drained a record (histogram, pipelined mode only).
+	MetricRendezvousLag = "rendezvous.lag"
+	// MetricPipelineDepth is the rendezvous ring's occupancy after the
+	// leader's latest append (gauge, pipelined mode only).
+	MetricPipelineDepth = "pipeline.depth"
+	// MetricLockstepBarrier counts pipelined calls that forced a full
+	// ring-draining rendezvous (counter, pipelined mode only).
+	MetricLockstepBarrier = "lockstep.barrier"
 )
 
 func categoryMetricNames(base string) [6]string {
@@ -138,6 +160,34 @@ func (sp EmulationSpan) End(bytesCopied uint64) clock.Cycles {
 		return 0
 	}
 	return sp.s.end(emulationMetricNames[sp.category], sp.category, bytesCopied)
+}
+
+// DrainSpan measures the follower's side of one pipelined-lockstep drain:
+// dequeue, divergence verification, and result application for a single
+// ring record. Its duration lands in drain.cycles{category=...}.
+type DrainSpan struct {
+	s        span
+	category uint64
+}
+
+// BeginDrainSpan opens a drain span for a libc call of the given Table 1
+// category code. Nil-safe.
+func (r *Recorder) BeginDrainSpan(v Variant, tid int, call string, category uint64) DrainSpan {
+	if r == nil {
+		return DrainSpan{}
+	}
+	if category >= uint64(len(drainMetricNames)) {
+		category = 0
+	}
+	return DrainSpan{s: r.beginSpan(v, tid, "drain:"+call, category), category: category}
+}
+
+// End closes the drain with the follower's return value.
+func (sp DrainSpan) End(ret uint64) clock.Cycles {
+	if sp.s.rec == nil {
+		return 0
+	}
+	return sp.s.end(drainMetricNames[sp.category], sp.category, ret)
 }
 
 // VariantCreateSpan measures one end-to-end mvx_start variant creation

@@ -120,6 +120,12 @@ type CostTable struct {
 	// LockstepCopyPerByte is the per-byte cost of copying emulated results
 	// from leader to follower through the IPC ring.
 	LockstepCopyPerByte Cycles
+	// LockstepEnqueue is the cost of appending (or draining) one call
+	// record on the pipelined rendezvous ring without waking the peer: a
+	// bounds check, a record copy, and a head/tail update. Much cheaper
+	// than a full LockstepRendezvous because no futex wake or blocking
+	// compare is on the producer's critical path.
+	LockstepEnqueue Cycles
 	// PtraceStop is the monitor-side cost of one ptrace-style interception
 	// (four context switches plus monitor work), used by cross-process
 	// baselines.
@@ -159,6 +165,7 @@ func DefaultCosts() CostTable {
 		StackPivot:          40,
 		LockstepRendezvous:  2_000,
 		LockstepCopyPerByte: 1,
+		LockstepEnqueue:     250,
 		PtraceStop:          4*1_400 + 1_200,
 		ThreadClone:         17_000,
 		ForkBase:            1_300_000,

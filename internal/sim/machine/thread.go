@@ -114,6 +114,13 @@ type Thread struct {
 	// IPC channel does this to measure follower lag).
 	userCycles clock.Cycles
 
+	// waitCycles totals the virtual cycles this thread spent blocked at a
+	// lockstep rendezvous (waiting for its peer variant or for ring
+	// space), kept separate from userCycles so overhead accounting can
+	// split "work done" from "time spent synchronizing". Owning-goroutine
+	// access only, like userCycles.
+	waitCycles clock.Cycles
+
 	depth int
 }
 
@@ -202,6 +209,14 @@ func (t *Thread) ChargeUser(c clock.Cycles) { t.m.ChargeThread(t, c) }
 // UserCycles returns the total cycles charged to this thread. Safe to call
 // only from the owning goroutine or across a happens-before edge.
 func (t *Thread) UserCycles() clock.Cycles { return t.userCycles }
+
+// AddWaitCycles records virtual cycles this thread spent blocked at a
+// lockstep rendezvous. Owning-goroutine access only.
+func (t *Thread) AddWaitCycles(c clock.Cycles) { t.waitCycles += c }
+
+// WaitCycles returns the accumulated rendezvous wait time. Safe to call
+// only from the owning goroutine or across a happens-before edge.
+func (t *Thread) WaitCycles() clock.Cycles { return t.waitCycles }
 
 // Fn returns the simulated function the thread is currently executing
 // ("" before the first Call). Instrumentation reads it to attribute a

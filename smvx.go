@@ -21,8 +21,11 @@ package smvx
 
 import (
 	"smvx/internal/boot"
+	"smvx/internal/cli"
 	"smvx/internal/core"
 	"smvx/internal/libc"
+	"smvx/internal/obs"
+	"smvx/internal/perfprof"
 	"smvx/internal/sim/clock"
 	"smvx/internal/sim/image"
 	"smvx/internal/sim/kernel"
@@ -80,14 +83,71 @@ type (
 	Env = boot.Env
 	// LibC is the simulated C library.
 	LibC = libc.LibC
+
+	// BootOption configures the simulated process at boot time.
+	BootOption = boot.Option
+	// DivergencePolicy decides what a detected divergence does to the
+	// running variants (kill both, detach, or restart the follower).
+	DivergencePolicy = core.DivergencePolicy
+	// LockstepMode selects strict per-call rendezvous or the pipelined
+	// bounded run-ahead ring.
+	LockstepMode = core.LockstepMode
+	// SyncClass is a libc call's rendezvous discipline under pipelined
+	// lockstep (local, pipelined, or hard barrier).
+	SyncClass = libc.SyncClass
+
+	// Recorder is the flight-recorder observability plane.
+	Recorder = obs.Recorder
+	// Sink receives every recorded event (the black-box WAL implements it).
+	Sink = obs.Sink
+	// Sampler is the virtual-cycle profiling sampler.
+	Sampler = perfprof.Sampler
+
+	// RunConfig is the shared run-configuration surface of the smvx
+	// binaries (observability, policy, chaos, lockstep flags), usable by
+	// embedders that want the same flag set.
+	RunConfig = cli.Config
+	// Runtime is a resolved RunConfig: the observability plane plus the
+	// monitor options of the run.
+	Runtime = cli.Runtime
 )
 
 // Alarm reasons, re-exported.
 const (
-	AlarmCallMismatch   = core.AlarmCallMismatch
-	AlarmArgMismatch    = core.AlarmArgMismatch
-	AlarmFollowerFault  = core.AlarmFollowerFault
-	AlarmSequenceLength = core.AlarmSequenceLength
+	AlarmCallMismatch      = core.AlarmCallMismatch
+	AlarmArgMismatch       = core.AlarmArgMismatch
+	AlarmFollowerFault     = core.AlarmFollowerFault
+	AlarmSequenceLength    = core.AlarmSequenceLength
+	AlarmRendezvousTimeout = core.AlarmRendezvousTimeout
+	AlarmEmulationFault    = core.AlarmEmulationFault
+)
+
+// Divergence policies, re-exported.
+const (
+	PolicyKillBoth        = core.PolicyKillBoth
+	PolicyLeaderContinue  = core.PolicyLeaderContinue
+	PolicyRestartFollower = core.PolicyRestartFollower
+)
+
+// Lockstep modes, re-exported.
+const (
+	LockstepStrict    = core.LockstepStrict
+	LockstepPipelined = core.LockstepPipelined
+)
+
+// Sync classes, re-exported.
+const (
+	SyncLocal     = libc.SyncLocal
+	SyncPipelined = libc.SyncPipelined
+	SyncBarrier   = libc.SyncBarrier
+)
+
+// Containment and pipelining defaults, re-exported.
+const (
+	DefaultRestartBudget      = core.DefaultRestartBudget
+	DefaultRestartBackoff     = core.DefaultRestartBackoff
+	DefaultRendezvousDeadline = core.DefaultRendezvousDeadline
+	DefaultLagWindow          = core.DefaultLagWindow
 )
 
 // Monitor option constructors, re-exported.
@@ -101,6 +161,32 @@ var (
 	WithScanHints = core.WithScanHints
 	// WithoutSafeStack disables the trampoline stack pivot (ablation).
 	WithoutSafeStack = core.WithoutSafeStack
+	// WithVariantReuse keeps the follower across protected regions.
+	WithVariantReuse = core.WithVariantReuse
+	// WithRecorder attaches a flight recorder to the monitor.
+	WithRecorder = core.WithRecorder
+	// WithPolicy selects the divergence-response policy.
+	WithPolicy = core.WithPolicy
+	// WithRestartBudget bounds PolicyRestartFollower's re-clones.
+	WithRestartBudget = core.WithRestartBudget
+	// WithRestartBackoff delays the next restart after a detach.
+	WithRestartBackoff = core.WithRestartBackoff
+	// WithRendezvousDeadline arms the rendezvous watchdog (0 disables).
+	WithRendezvousDeadline = core.WithRendezvousDeadline
+	// WithLockstepMode selects strict or pipelined lockstep.
+	WithLockstepMode = core.WithLockstepMode
+	// WithLagWindow bounds the pipelined leader's run-ahead, in libc calls.
+	WithLagWindow = core.WithLagWindow
+)
+
+// Parsers for the flag spellings of the enumerated options, re-exported.
+var (
+	// ParsePolicy parses "kill-both", "leader-continue", "restart-follower".
+	ParsePolicy = core.ParsePolicy
+	// ParseLockstepMode parses "strict" or "pipelined".
+	ParseLockstepMode = core.ParseLockstepMode
+	// SyncClassOf reports a libc call's sync class under pipelined lockstep.
+	SyncClassOf = libc.SyncClassOf
 )
 
 // DefaultCosts returns the calibrated cycle cost model.
@@ -195,4 +281,14 @@ var (
 	WithHeapPages = boot.WithHeapPages
 	// WithTaint enables byte-granularity taint tracking.
 	WithTaint = boot.WithTaint
+	// WithCosts overrides the cycle cost model.
+	WithCosts = boot.WithCosts
+	// WithoutProfile skips writing the /tmp binary profile.
+	WithoutProfile = boot.WithoutProfile
+	// WithBootRecorder attaches a flight recorder to the booted process.
+	WithBootRecorder = boot.WithRecorder
+	// WithSampler attaches the virtual-cycle profiling sampler.
+	WithSampler = boot.WithSampler
+	// WithBlackbox spills every recorded event to a black-box WAL sink.
+	WithBlackbox = boot.WithBlackbox
 )

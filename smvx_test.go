@@ -1,6 +1,12 @@
 package smvx
 
 import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -101,6 +107,151 @@ func TestDivergenceSurfacesThroughFacade(t *testing.T) {
 func TestDefaultCostsExposed(t *testing.T) {
 	if DefaultCosts().SyscallCost() == 0 {
 		t.Error("cost table empty")
+	}
+}
+
+func TestPipelinedModeThroughFacade(t *testing.T) {
+	sys := buildDemo(t)
+	sys.Protect(WithSeed(4), WithLockstepMode(LockstepPipelined), WithLagWindow(8))
+	rep, err := sys.RunProtected("handle_input")
+	if err != nil {
+		t.Fatalf("RunProtected: %v", err)
+	}
+	if rep.Diverged {
+		t.Fatalf("benign pipelined region diverged: %+v", rep)
+	}
+	if len(sys.Alarms()) != 0 {
+		t.Errorf("alarms = %v", sys.Alarms())
+	}
+}
+
+func TestEnumParsersRoundTrip(t *testing.T) {
+	for _, p := range []DivergencePolicy{PolicyKillBoth, PolicyLeaderContinue, PolicyRestartFollower} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p, got, err)
+		}
+	}
+	for _, m := range []LockstepMode{LockstepStrict, LockstepPipelined} {
+		got, err := ParseLockstepMode(m.String())
+		if err != nil || got != m {
+			t.Errorf("ParseLockstepMode(%q) = %v, %v", m, got, err)
+		}
+	}
+	if SyncClassOf("gettimeofday") != SyncPipelined || SyncClassOf("write") != SyncBarrier {
+		t.Error("SyncClassOf disagrees with the documented classes")
+	}
+}
+
+// optionSurface parses a package directory (tests excluded) and returns the
+// names that belong on the public facade: exported option constructors
+// (With... returning Option) and exported constants of the enumerated
+// configuration types.
+func optionSurface(t *testing.T, dir string) []string {
+	t.Helper()
+	enumTypes := map[string]bool{
+		"AlarmReason": true, "DivergencePolicy": true, "LockstepMode": true,
+	}
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Recv != nil || !d.Name.IsExported() || !strings.HasPrefix(d.Name.Name, "With") {
+					continue
+				}
+				if r := d.Type.Results; r != nil && len(r.List) == 1 {
+					if id, ok := r.List[0].Type.(*ast.Ident); ok && id.Name == "Option" {
+						names = append(names, d.Name.Name)
+					}
+				}
+			case *ast.GenDecl:
+				if d.Tok != token.CONST {
+					continue
+				}
+				// Within one const block, specs without an explicit type
+				// inherit the previous spec's (the iota idiom).
+				cur := ""
+				for _, spec := range d.Specs {
+					vs := spec.(*ast.ValueSpec)
+					if vs.Type != nil {
+						cur = ""
+						if id, ok := vs.Type.(*ast.Ident); ok {
+							cur = id.Name
+						}
+					}
+					if !enumTypes[cur] {
+						continue
+					}
+					for _, n := range vs.Names {
+						if n.IsExported() {
+							names = append(names, n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return names
+}
+
+// facadeRefs returns, per imported package name, the set of selector names
+// smvx.go references (core.WithSeed -> refs["core"]["WithSeed"]).
+func facadeRefs(t *testing.T) map[string]map[string]bool {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "smvx.go", nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := map[string]map[string]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if refs[id.Name] == nil {
+				refs[id.Name] = map[string]bool{}
+			}
+			refs[id.Name][sel.Sel.Name] = true
+		}
+		return true
+	})
+	return refs
+}
+
+// Every exported option constructor and enumerated configuration constant of
+// internal/core and internal/boot must be re-exported (referenced) by the
+// public facade — a new core/boot option without a smvx alias fails here, so
+// the public surface cannot silently drift behind the internal one again.
+func TestPublicSurfaceCoversInternalOptions(t *testing.T) {
+	refs := facadeRefs(t)
+	for _, pkg := range []struct{ dir, name string }{
+		{"internal/core", "core"},
+		{"internal/boot", "boot"},
+	} {
+		surface := optionSurface(t, pkg.dir)
+		if len(surface) == 0 {
+			t.Fatalf("no option surface found in %s (parser broken?)", pkg.dir)
+		}
+		for _, name := range surface {
+			if !refs[pkg.name][name] {
+				t.Errorf("%s.%s has no re-export in smvx.go", pkg.name, name)
+			}
+		}
 	}
 }
 
