@@ -5,9 +5,11 @@
 //
 //	experiments                # run everything
 //	experiments -run fig7      # one artifact: table1 table2 fig6 fig7 fig8
-//	                           # fig9 cpu mem cve chaos pipeline
+//	                           # fig9 cpu mem cve chaos pipeline ledger
 //	experiments -requests 60   # heavier server workloads
 //	experiments -run pipeline  # strict-vs-pipelined rendezvous overhead
+//	experiments -run ledger    # rendezvous phase/allocation cost breakdown
+//	experiments -run ledger -gate BENCH_ledger.json   # CI perf-regression gate
 package main
 
 import (
@@ -31,14 +33,24 @@ func main() {
 
 func run() error {
 	var (
-		which     = flag.String("run", "all", "artifact: all | table1 | table2 | fig6 | fig7 | fig8 | fig9 | cpu | mem | cve | chaos | pipeline")
+		which     = flag.String("run", "all", "artifact: all | table1 | table2 | fig6 | fig7 | fig8 | fig9 | cpu | mem | cve | chaos | pipeline | ledger")
 		requests  = flag.Int("requests", 40, "server workload size")
 		target    = flag.Uint64("nbench-cycles", 1_500_000, "nbench per-kernel cycle target")
 		benchJSON = flag.String("bench-json", "BENCH_experiments.json", "write metric name -> value JSON here (empty to skip)")
+		gate      = flag.String("gate", "", "committed BENCH_*.json baseline: fail if any gated metric regresses past its tolerance band")
 	)
 	var cfg cli.Config
 	cfg.Register(flag.CommandLine)
 	flag.Parse()
+	// Load the baseline before any artifact runs: -gate and -bench-json may
+	// name the same file, and the artifact write must not race the read.
+	var baseline map[string]float64
+	if *gate != "" {
+		var err error
+		if baseline, err = experiments.LoadBench(*gate); err != nil {
+			return err
+		}
+	}
 	// The artifacts render their own tables — Finish must not re-emit the
 	// forensics block the CI replay-roundtrip job extracts byte-identically.
 	cfg.Quiet = true
@@ -171,9 +183,18 @@ func run() error {
 		fmt.Println(res)
 		res.RecordMetrics(bench)
 	}
+	if want("ledger") {
+		ran = true
+		res, err := experiments.LedgerBreakdown()
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		res.RecordMetrics(bench)
+	}
 	if !ran {
 		return fmt.Errorf("unknown artifact %q; want one of %s", *which,
-			strings.Join([]string{"all", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "cpu", "mem", "cve", "chaos", "pipeline"}, " "))
+			strings.Join([]string{"all", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "cpu", "mem", "cve", "chaos", "pipeline", "ledger"}, " "))
 	}
 	if cfg.Metrics {
 		fmt.Println(bench.TableText())
@@ -197,6 +218,16 @@ func run() error {
 			return werr
 		}
 		fmt.Printf("metrics written to %s\n", *benchJSON)
+	}
+	if baseline != nil {
+		violations := experiments.GateBench(baseline, bench.Snapshot(), experiments.DefaultGateRules())
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "bench gate:", v)
+			}
+			return fmt.Errorf("bench gate: %d metric(s) regressed against %s", len(violations), *gate)
+		}
+		fmt.Printf("bench gate: all gated metrics within tolerance of %s\n", *gate)
 	}
 	return nil
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	smvx-replay inspect <wal-dir>
+//	smvx-replay inspect [-ledger] <wal-dir>
 //	smvx-replay forensics <wal-dir>
 //	smvx-replay diff [-variant leader|follower] [-context 5] <wal-a> <wal-b>
 //	smvx-replay diff -variants <wal-dir>
@@ -77,17 +77,22 @@ func load(dir string) (*replay.Replay, error) {
 
 func cmdInspect(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
+	led := fs.Bool("ledger", false, "also rebuild and print the rendezvous cost ledger from the WAL")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: smvx-replay inspect <wal-dir>")
+		return fmt.Errorf("usage: smvx-replay inspect [-ledger] <wal-dir>")
 	}
 	r, err := load(fs.Arg(0))
 	if err != nil {
 		return err
 	}
 	fmt.Fprint(out, r.Summary())
+	if *led {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, r.RebuildLedger().TableText())
+	}
 	return nil
 }
 

@@ -19,6 +19,7 @@ import (
 	"smvx/internal/faultinject"
 	"smvx/internal/obs"
 	"smvx/internal/obs/blackbox"
+	"smvx/internal/obs/ledger"
 	"smvx/internal/obs/telemetry"
 	"smvx/internal/perfprof"
 	"smvx/internal/sim/clock"
@@ -41,6 +42,7 @@ type Config struct {
 	ChaosSeed          int64
 	Lockstep           string
 	LagWindow          int
+	Ledger             bool
 
 	// NeedRecorder forces a flight recorder even when no tracing flag asked
 	// for one (cmd/smvx prints the recorder's own metrics table for
@@ -70,6 +72,7 @@ func (c *Config) Register(fs *flag.FlagSet) {
 	fs.Int64Var(&c.ChaosSeed, "chaos-seed", 0, "seed deriving @call-less chaos ordinals (default: -seed)")
 	fs.StringVar(&c.Lockstep, "lockstep", "strict", "lockstep mode: strict | pipelined")
 	fs.IntVar(&c.LagWindow, "lag-window", core.DefaultLagWindow, "pipelined lockstep run-ahead window, in libc calls")
+	fs.BoolVar(&c.Ledger, "ledger", false, "account every protected-region libc call phase-by-phase in the rendezvous cost ledger (served at /ledger, printed with -metrics)")
 }
 
 // EffectiveChaosSeed is the seed chaos ordinals derive from: -chaos-seed,
@@ -90,6 +93,7 @@ type Runtime struct {
 	Telemetry *telemetry.Server
 	Blackbox  *blackbox.Writer
 	Chaos     *faultinject.Plan
+	Ledger    *ledger.Ledger
 
 	cfg     *Config
 	monOpts []core.Option
@@ -115,6 +119,11 @@ func (c *Config) Resolve(labels map[string]string) (*Runtime, error) {
 		core.WithLockstepMode(mode),
 		core.WithLagWindow(c.LagWindow),
 	}
+	if c.Ledger {
+		rt.Ledger = ledger.New()
+		rt.Ledger.SetRun(mode.String(), pol.String(), c.LagWindow)
+		rt.monOpts = append(rt.monOpts, core.WithLedger(rt.Ledger))
+	}
 
 	if c.Chaos != "" {
 		plan, err := faultinject.Parse(c.Chaos, c.EffectiveChaosSeed())
@@ -127,11 +136,23 @@ func (c *Config) Resolve(labels map[string]string) (*Runtime, error) {
 	if c.Trace != "" || c.Forensics || c.Telemetry != "" || c.Blackbox != "" || c.NeedRecorder {
 		rt.Recorder = obs.NewRecorder(obs.Config{})
 	}
+	// Mirror ledger charges into the recorder (and through it into the
+	// WAL) so smvx-replay can rebuild the ledger offline.
+	rt.Ledger.SetRecorder(rt.Recorder)
 	if c.Blackbox != "" {
 		cfg := rt.Recorder.Config()
+		// Stamp the run configuration into the WAL meta so an offline
+		// ledger rebuild is labeled like the live one.
+		wl := make(map[string]string, len(labels)+3)
+		for k, v := range labels {
+			wl[k] = v
+		}
+		wl["lockstep"] = mode.String()
+		wl["policy"] = pol.String()
+		wl["lag-window"] = fmt.Sprintf("%d", c.LagWindow)
 		w, err := blackbox.Open(c.Blackbox, blackbox.Meta{
 			Capacity: cfg.Capacity, ForensicWindow: cfg.ForensicWindow,
-			Labels: labels,
+			Labels: wl,
 		}, blackbox.Options{Metrics: rt.Recorder.Metrics()})
 		if err != nil {
 			return nil, err
@@ -150,13 +171,14 @@ func (c *Config) Resolve(labels map[string]string) (*Runtime, error) {
 		rt.Telemetry = telemetry.New(rt.Recorder,
 			telemetry.WithWatchdog(wd),
 			telemetry.WithProfile(rt.Sampler),
-			telemetry.WithBlackbox(rt.Blackbox))
+			telemetry.WithBlackbox(rt.Blackbox),
+			telemetry.WithLedger(rt.Ledger))
 		addr, err := rt.Telemetry.Start(c.Telemetry)
 		if err != nil {
 			return nil, err
 		}
 		wd.Start(0)
-		fmt.Printf("telemetry: http://%s/metrics (healthz, trace.json, forensics, profile, blackbox)\n", addr)
+		fmt.Printf("telemetry: http://%s/metrics (healthz, trace.json, forensics, profile, blackbox, ledger)\n", addr)
 	}
 	return rt, nil
 }
@@ -196,7 +218,11 @@ func (rt *Runtime) NewMonitor(env *boot.Env, seed int64) *core.Monitor {
 // AttachMonitor points /healthz at a freshly created monitor.
 func (rt *Runtime) AttachMonitor(mon *core.Monitor) {
 	if rt.Telemetry != nil && mon != nil {
-		rt.Telemetry.SetHealth(telemetry.Health{Phase: mon.Phase, FollowerLive: mon.FollowerLive})
+		rt.Telemetry.SetHealth(telemetry.Health{
+			Phase:        mon.Phase,
+			FollowerLive: mon.FollowerLive,
+			Lockstep:     mon.LockstepConfig,
+		})
 	}
 }
 
@@ -229,6 +255,9 @@ func (rt *Runtime) Finish() error {
 	}
 	if rt.cfg.Metrics {
 		fmt.Println(rec.Metrics().TableText())
+		if rt.Ledger != nil {
+			fmt.Println(rt.Ledger.TableText())
+		}
 	}
 	if rt.cfg.Forensics {
 		reports := rec.ForensicReports()

@@ -8,6 +8,7 @@ import (
 
 	"smvx/internal/libc"
 	"smvx/internal/obs"
+	"smvx/internal/obs/ledger"
 	"smvx/internal/sim/clock"
 	"smvx/internal/sim/kernel"
 	"smvx/internal/sim/machine"
@@ -99,6 +100,10 @@ type session struct {
 	calls         atomic.Uint64
 	emulatedBytes atomic.Uint64
 	diverged      atomic.Bool
+
+	// lr is this region's cost-ledger bucket (nil when no ledger is
+	// attached; every method on a nil Region is a free no-op).
+	lr *ledger.Region
 }
 
 func newSession(mon *Monitor, fn string, delta int64, leaderTID int) *session {
@@ -115,6 +120,7 @@ func newSession(mon *Monitor, fn string, delta int64, leaderTID int) *session {
 		watchStop:    make(chan struct{}),
 		pipelined:    mon.opts.Lockstep == LockstepPipelined,
 		ring:         make(chan *leaderRecord, mon.opts.LagWindow),
+		lr:           mon.led.Region(fn),
 	}
 }
 
@@ -266,6 +272,16 @@ func (s *session) leaderCall(t *machine.Thread, name string, args []uint64) uint
 			obsRec.Metrics().Observe(obs.MetricRendezvousLeaderCycles,
 				uint64(s.mon.m.Costs().LockstepRendezvous+(now-waitStart)))
 		}
+		if lr := s.lr; lr != nil {
+			// The two charges below sum to exactly what the
+			// rendezvous.leader.cycles histogram observed above — the
+			// ledger/histogram reconciliation invariant.
+			cls := ledger.ClassOf(name)
+			lr.Add(ledger.PhaseRendezvous, obs.VariantLeader, cls,
+				s.mon.m.Costs().LockstepRendezvous, ledger.Mark{}, 0)
+			lr.Add(ledger.PhaseWait, obs.VariantLeader, cls,
+				now-waitStart, ledger.Mark{}, 0)
+		}
 		if d := s.mon.opts.RendezvousDeadline; d > 0 && (rec.lag > d || now-waitStart > d) {
 			// The follower did arrive, but only after stalling past the
 			// deadline. rec.lag (the follower's own cycles since its last
@@ -334,6 +350,7 @@ func (s *session) leaderTimedOut(t *machine.Thread, name string, args []uint64, 
 // leaderPaired handles a rendezvous where both variants arrived.
 func (s *session) leaderPaired(t *machine.Thread, name string, args []uint64, rec *callRecord, idx uint64) uint64 {
 	obsRec := s.mon.rec
+	cmpMark := s.lr.Mark()
 	// Lockstep check 0: the IPC record itself must decode. A record that
 	// does not frame correctly cannot be compared, which is itself a
 	// divergence (the follower's monitor half wrote garbage).
@@ -376,6 +393,13 @@ func (s *session) leaderPaired(t *machine.Thread, name string, args []uint64, re
 		obsRec.Record(obs.EvLockstep, obs.VariantLeader, t.TID(), name, uint64(cat), idx, 0)
 		obsRec.Metrics().Inc("lockstep.category." + cat.Slug())
 	}
+	if lr := s.lr; lr != nil {
+		// Decode+compare charges no virtual cycles (the cost model folds it
+		// into the rendezvous entry); the ledger still counts occurrences,
+		// allocations, and the wire volume verified.
+		lr.Add(ledger.PhaseCompare, obs.VariantLeader, ledger.ClassOf(name),
+			0, cmpMark, uint64(len(rec.wire)))
+	}
 	switch cat {
 	case libc.CatLocal:
 		// User-space call: each variant executes in its own space.
@@ -391,8 +415,13 @@ func (s *session) leaderPaired(t *machine.Thread, name string, args []uint64, re
 		if obsRec != nil {
 			esp = obsRec.BeginEmulationSpan(obs.VariantLeader, t.TID(), name, uint64(cat))
 		}
+		emuMark := s.lr.Mark()
 		copied, efault := s.emulate(name, args, fargs, ret, idx)
 		esp.End(uint64(copied))
+		if lr := s.lr; lr != nil {
+			lr.Add(ledger.PhaseEmulate, obs.VariantLeader, ledger.ClassOf(name),
+				s.mon.m.Costs().LockstepCopyPerByte*cyclesOf(copied), emuMark, uint64(copied))
+		}
 		s.emulatedBytes.Add(uint64(copied))
 		if obsRec != nil {
 			obsRec.Record(obs.EvEmulated, obs.VariantLeader, t.TID(), name, uint64(copied), 0, ret)
@@ -432,12 +461,21 @@ func (s *session) followerCall(t *machine.Thread, name string, args []uint64) ui
 		return s.followerCallPipelined(t, name, args)
 	}
 	cyc := t.UserCycles()
+	mshMark := s.lr.Mark()
 	rec := &callRecord{
 		name: name, args: args, wire: encodeCallRecord(name, args),
 		thread: t, resp: make(chan callResult, 1),
 		lag: cyc - s.fCycles,
 	}
 	s.fCycles = cyc
+	lr := s.lr
+	var cls ledger.Class
+	var fwaitStart clock.Cycles
+	if lr != nil {
+		cls = ledger.ClassOf(name)
+		lr.Add(ledger.PhaseMarshal, obs.VariantFollower, cls, 0, mshMark, uint64(len(rec.wire)))
+		fwaitStart = s.mon.m.Counter().Cycles()
+	}
 	obsRec := s.mon.rec
 	var arriveTS clock.Cycles
 	var a0, a1 uint64
@@ -453,6 +491,10 @@ func (s *session) followerCall(t *machine.Thread, name string, args []uint64) ui
 	select {
 	case s.req <- rec:
 		res := <-rec.resp
+		if lr != nil {
+			lr.Add(ledger.PhaseWait, obs.VariantFollower, cls,
+				s.mon.m.Counter().Cycles()-fwaitStart, ledger.Mark{}, 0)
+		}
 		switch res.mode {
 		case modeLocal:
 			// lib.Call records the follower's enter/exit events itself.

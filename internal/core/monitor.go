@@ -24,9 +24,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"smvx/internal/libc"
 	"smvx/internal/obs"
+	"smvx/internal/obs/ledger"
 	"smvx/internal/sim/clock"
 	"smvx/internal/sim/image"
 	"smvx/internal/sim/kernel"
@@ -234,6 +236,11 @@ type Options struct {
 	// (default DefaultLagWindow, clamped to >= 1). Ignored under
 	// LockstepStrict.
 	LagWindow int
+	// Ledger, when non-nil, receives per-call phase-level cost accounting
+	// (trampoline, marshal, rendezvous, wait, compare, emulate, drain,
+	// barrier, libc) from every protected-region libc call. Nil (the
+	// default) keeps the hot path ledger-free.
+	Ledger *ledger.Ledger
 }
 
 // Option mutates Options.
@@ -298,6 +305,11 @@ func WithLagWindow(n int) Option {
 	return func(o *Options) { o.LagWindow = n }
 }
 
+// WithLedger attaches a rendezvous cost ledger to the monitor.
+func WithLedger(l *ledger.Ledger) Option {
+	return func(o *Options) { o.Ledger = l }
+}
+
 // Monitor is the in-process sMVX monitor.
 type Monitor struct {
 	m    *machine.Machine
@@ -305,6 +317,11 @@ type Monitor struct {
 	lib  *libc.LibC
 	opts Options
 	rec  *obs.Recorder
+	led  *ledger.Ledger
+
+	// curRegion is the active session's ledger region, read lock-free by
+	// the libc ledger hook (nil outside protected regions).
+	curRegion atomic.Pointer[ledger.Region]
 
 	profile *image.Profile
 
@@ -361,16 +378,33 @@ func New(m *machine.Machine, lib *libc.LibC, opts ...Option) *Monitor {
 	if o.LagWindow < 1 {
 		o.LagWindow = 1
 	}
-	return &Monitor{
+	mo := &Monitor{
 		m:           m,
 		img:         m.Program().Image(),
 		lib:         lib,
 		opts:        o,
 		rec:         o.Recorder,
+		led:         o.Ledger,
 		safeStacks:  make(map[int]mem.Addr),
 		regionCalls: make(map[string]uint64),
 		quarantined: make(map[int]bool),
 	}
+	if mo.led != nil {
+		// Charge the libc dispatch itself to the ledger's libc phase. The
+		// hook loads the active region lock-free; outside a region it is
+		// nil and Add is a no-op.
+		lib.SetLedgerHook(func(t *machine.Thread, name string, d clock.Cycles) {
+			mo.curRegion.Load().Add(ledger.PhaseLibc, variantOf(t),
+				ledger.ClassOf(name), d, ledger.Mark{}, 0)
+		})
+	}
+	return mo
+}
+
+// LockstepConfig reports the configured lockstep mode and lag window for
+// the telemetry plane's health endpoint.
+func (mo *Monitor) LockstepConfig() (mode string, lagWindow int) {
+	return mo.opts.Lockstep.String(), mo.opts.LagWindow
 }
 
 // Setup is the setup_mvx() constructor: it loads the profile file, maps and

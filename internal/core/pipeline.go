@@ -23,6 +23,7 @@ import (
 
 	"smvx/internal/libc"
 	"smvx/internal/obs"
+	"smvx/internal/obs/ledger"
 	"smvx/internal/sim/clock"
 	"smvx/internal/sim/machine"
 	"smvx/internal/sim/mem"
@@ -144,6 +145,7 @@ func (s *session) leaderCallPipelined(t *machine.Thread, name string, args []uin
 	// while running ahead cannot corrupt the follower's copy.
 	ret := s.mon.lib.Call(t, name, args)
 	errno := t.Errno()
+	mshMark := s.lr.Mark()
 	rec := &leaderRecord{
 		idx:  idx,
 		name: name,
@@ -155,6 +157,13 @@ func (s *session) leaderCallPipelined(t *machine.Thread, name string, args []uin
 	} else {
 		rec.result = encodeResultRecord(ret, errno, s.captureOutputs(name, args, ret))
 	}
+	lr := s.lr
+	var cls ledger.Class
+	if lr != nil {
+		cls = ledger.ClassOf(name)
+		lr.Add(ledger.PhaseMarshal, obs.VariantLeader, cls, 0, mshMark,
+			uint64(len(rec.wire)+len(rec.result)))
+	}
 	enqStart := s.mon.m.Counter().Cycles()
 	switch s.appendRecord(t, rec) {
 	case appendDead:
@@ -165,11 +174,20 @@ func (s *session) leaderCallPipelined(t *machine.Thread, name string, args []uin
 		// The follower severed itself at drain time; bookkeeping and the
 		// alarm already happened on its goroutine.
 	case appendOK:
+		now := s.mon.m.Counter().Cycles()
 		if obsRec := s.mon.rec; obsRec != nil {
 			m := obsRec.Metrics()
 			m.Observe(obs.MetricRendezvousLeaderCycles,
-				uint64(costs.LockstepEnqueue+(s.mon.m.Counter().Cycles()-enqStart)))
+				uint64(costs.LockstepEnqueue+(now-enqStart)))
 			m.SetGauge(obs.MetricPipelineDepth, float64(len(s.ring)))
+		}
+		if lr != nil {
+			// Enqueue+wait sum to the rendezvous.leader.cycles observation
+			// above — the ledger/histogram reconciliation invariant.
+			lr.Add(ledger.PhaseEnqueue, obs.VariantLeader, cls,
+				costs.LockstepEnqueue, ledger.Mark{}, 0)
+			lr.Add(ledger.PhaseWait, obs.VariantLeader, cls,
+				now-enqStart, ledger.Mark{}, 0)
 		}
 	}
 	return ret
@@ -262,10 +280,15 @@ func (s *session) leaderBarrier(t *machine.Thread, name string, args []uint64, i
 		span = obsRec.BeginRendezvousSpan(obs.VariantLeader, t.TID(), name,
 			uint64(libc.CategoryOf(name)))
 	}
+	mshMark := s.lr.Mark()
 	rec := &leaderRecord{
 		idx: idx, name: name, wire: encodeCallRecord(name, args),
 		cat: libc.CategoryOf(name), barrier: true,
 		reply: make(chan *callRecord, 1),
+	}
+	if lr := s.lr; lr != nil {
+		lr.Add(ledger.PhaseMarshal, obs.VariantLeader, ledger.ClassOf(name),
+			0, mshMark, uint64(len(rec.wire)))
 	}
 	waitStart := s.mon.m.Counter().Cycles()
 	switch s.appendRecord(t, rec) {
@@ -292,6 +315,16 @@ func (s *session) leaderBarrier(t *machine.Thread, name string, args []uint64, i
 			obsRec.Metrics().Observe("lockstep.wait.cycles", uint64(now-waitStart))
 			obsRec.Metrics().Observe(obs.MetricRendezvousLeaderCycles,
 				uint64(costs.LockstepRendezvous+(now-waitStart)))
+		}
+		if lr := s.lr; lr != nil {
+			// Barrier+wait sum to the rendezvous.leader.cycles observation
+			// above; the wait started before the ring append, so it folds
+			// in any backpressure the barrier record hit.
+			cls := ledger.ClassOf(name)
+			lr.Add(ledger.PhaseBarrier, obs.VariantLeader, cls,
+				costs.LockstepRendezvous, ledger.Mark{}, 0)
+			lr.Add(ledger.PhaseWait, obs.VariantLeader, cls,
+				now-waitStart, ledger.Mark{}, 0)
 		}
 		if d := s.mon.opts.RendezvousDeadline; d > 0 && (frec.lag > d || now-waitStart > d) {
 			// Backstop: the follower self-checks its lag at drain time,
@@ -364,8 +397,21 @@ func (s *session) followerCallPipelined(t *machine.Thread, name string, args []u
 	if d := s.mon.opts.RendezvousDeadline; d > 0 && lag > d {
 		s.followerTimedOut(t, name, s.drained+1, lag) // never returns
 	}
+	lr := s.lr
+	var cls ledger.Class
+	var dqStart clock.Cycles
+	if lr != nil {
+		cls = ledger.ClassOf(name)
+		lr.Add(ledger.PhaseDrain, obs.VariantFollower, cls,
+			costs.LockstepEnqueue, ledger.Mark{}, 0)
+		dqStart = s.mon.m.Counter().Cycles()
+	}
 	rec := s.dequeueRecord(t, name) // panics on detach / sequence overrun
 	s.drained++
+	if lr != nil {
+		lr.Add(ledger.PhaseWait, obs.VariantFollower, cls,
+			s.mon.m.Counter().Cycles()-dqStart, ledger.Mark{}, 0)
+	}
 
 	obsRec := s.mon.rec
 	var arriveTS clock.Cycles
@@ -386,6 +432,7 @@ func (s *session) followerCallPipelined(t *machine.Thread, name string, args []u
 
 	// Drain-time divergence checks: decode what crossed the ring, then
 	// the same name/scalar comparison as the strict rendezvous.
+	cmpMark := s.lr.Mark()
 	lname, largs, derr := decodeCallRecord(rec.wire)
 	if derr != nil {
 		s.drainDiverged(t, Alarm{
@@ -415,6 +462,10 @@ func (s *session) followerCallPipelined(t *machine.Thread, name string, args []u
 		m.Inc("lockstep.category." + rec.cat.Slug())
 		m.Observe(obs.MetricRendezvousLag, s.calls.Load()-rec.idx)
 	}
+	if lr != nil {
+		lr.Add(ledger.PhaseCompare, obs.VariantFollower, cls,
+			0, cmpMark, uint64(len(rec.wire)))
+	}
 
 	if rec.barrier {
 		ret := s.followerBarrier(t, name, args, rec, lag, arriveTS, a0, a1)
@@ -430,6 +481,7 @@ func (s *session) followerCallPipelined(t *machine.Thread, name string, args []u
 	}
 
 	// Pipelined record: decode and apply the leader's result snapshot.
+	emuMark := s.lr.Mark()
 	ret, errno, bufs, rerr := decodeResultRecord(rec.result)
 	if rerr != nil {
 		s.drainDiverged(t, Alarm{
@@ -439,6 +491,10 @@ func (s *session) followerCallPipelined(t *machine.Thread, name string, args []u
 		}, "ipc-corruption")
 	}
 	copied, faulted := s.applyResult(t, name, rec.idx, largs, args, bufs)
+	if lr != nil {
+		lr.Add(ledger.PhaseEmulate, obs.VariantFollower, cls,
+			costs.LockstepCopyPerByte*cyclesOf(copied), emuMark, uint64(copied))
+	}
 	s.emulatedBytes.Add(uint64(copied))
 	if obsRec != nil {
 		obsRec.Record(obs.EvEmulated, obs.VariantFollower, t.TID(), name, uint64(copied), 0, ret)
@@ -503,10 +559,19 @@ func (s *session) dequeueRecord(t *machine.Thread, name string) *leaderRecord {
 // everything before this call has drained, so the leader's verdict
 // arrives exactly as in strict lockstep.
 func (s *session) followerBarrier(t *machine.Thread, name string, args []uint64, rec *leaderRecord, lag clock.Cycles, arriveTS clock.Cycles, a0, a1 uint64) uint64 {
+	mshMark := s.lr.Mark()
 	frec := &callRecord{
 		name: name, args: args, wire: encodeCallRecord(name, args),
 		thread: t, resp: make(chan callResult, 1),
 		lag: lag,
+	}
+	lr := s.lr
+	var cls ledger.Class
+	var fwaitStart clock.Cycles
+	if lr != nil {
+		cls = ledger.ClassOf(name)
+		lr.Add(ledger.PhaseMarshal, obs.VariantFollower, cls, 0, mshMark, uint64(len(frec.wire)))
+		fwaitStart = s.mon.m.Counter().Cycles()
 	}
 	rec.reply <- frec // cap 1: never blocks
 	obsRec := s.mon.rec
@@ -521,6 +586,10 @@ func (s *session) followerBarrier(t *machine.Thread, name string, args []uint64,
 		default:
 			panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDetached})
 		}
+	}
+	if lr != nil {
+		lr.Add(ledger.PhaseWait, obs.VariantFollower, cls,
+			s.mon.m.Counter().Cycles()-fwaitStart, ledger.Mark{}, 0)
 	}
 	switch res.mode {
 	case modeLocal:

@@ -2,9 +2,25 @@ package core
 
 import (
 	"smvx/internal/obs"
+	"smvx/internal/obs/ledger"
+	"smvx/internal/sim/clock"
 	"smvx/internal/sim/machine"
 	"smvx/internal/sim/mem"
 )
+
+// ledgerTrampoline charges one interception's fixed entry cost (WRPKRU
+// dance plus the optional stack pivot) to the cost ledger.
+func (s *session) ledgerTrampoline(v obs.Variant, name string, costs clock.CostTable, pivoted bool) {
+	lr := s.lr
+	if lr == nil {
+		return
+	}
+	c := costs.TrampolineEntry
+	if pivoted {
+		c += costs.StackPivot
+	}
+	lr.Add(ledger.PhaseTrampoline, v, ledger.ClassOf(name), c, ledger.Mark{}, 0)
+}
 
 // Intercept implements machine.Interposer: the MPK trampoline of Figure 4.
 //
@@ -74,8 +90,10 @@ func (mo *Monitor) Intercept(t *machine.Thread, slot int, name string, args []ui
 	}
 	switch t.TID() {
 	case s.leaderTID:
+		s.ledgerTrampoline(obs.VariantLeader, name, costs, pivoted)
 		return s.leaderCall(t, name, args)
 	case s.followerTID:
+		s.ledgerTrampoline(obs.VariantFollower, name, costs, pivoted)
 		return s.followerCall(t, name, args)
 	default:
 		// Unrelated thread (e.g. another worker): passthrough.

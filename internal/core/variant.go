@@ -194,6 +194,7 @@ func (mo *Monitor) Start(t *machine.Thread, fn string, args ...uint64) error {
 
 	mo.mu.Lock()
 	mo.session = s
+	mo.curRegion.Store(s.lr)
 	mo.lastCreation = stats // clone cycles patched below
 	mo.followerBases = append([]mem.Addr{}, newBases...)
 	mo.variantReady = true
@@ -324,6 +325,7 @@ func (mo *Monitor) startLeaderOnly(t *machine.Thread, fn string) error {
 	s.markDead(nil)
 	mo.mu.Lock()
 	mo.session = s
+	mo.curRegion.Store(s.lr)
 	mo.mu.Unlock()
 	t.WRPKRU(mo.appPKRU(t))
 	mo.rec.Record(obs.EvRegionStart, obs.VariantLeader, t.TID(), fn, 1, 0, 0)
@@ -453,6 +455,7 @@ func (mo *Monitor) End(t *machine.Thread) error {
 	mo.regionCalls[s.fn] += report.LibcCalls
 	mo.reports = append(mo.reports, report)
 	mo.session = nil
+	mo.curRegion.Store(nil)
 	mo.mu.Unlock()
 
 	if rec := mo.rec; rec != nil {

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The bench gate turns the committed BENCH_*.json artifacts from a record
+// into a contract: CI re-runs the benchmark, loads the committed baseline,
+// and fails the build when a gated metric regresses past its tolerance
+// band. The simulation's virtual clock makes most series deterministic,
+// but wait-phase cycles depend on real goroutine interleaving and the
+// allocation probe reads a process-global runtime counter — hence
+// per-family bands instead of exact comparison.
+
+// GateRule matches a family of metric names and sets its tolerance band.
+// Rules are first-match-wins, so put specific rules before broad ones.
+type GateRule struct {
+	// Name labels the rule in violation messages.
+	Name string
+	// Suffix and Contains select metrics (either may be empty; a rule with
+	// both empty matches everything — the usual terminal rule).
+	Suffix   string
+	Contains string
+	// Skip exempts matched metrics from gating entirely.
+	Skip bool
+	// Tolerance is the allowed relative increase of fresh over baseline
+	// (0.10 = +10%). Regressions are increases: every gated series is
+	// lower-is-better.
+	Tolerance float64
+	// Slack is an absolute additive allowance on top of the relative band,
+	// for small-valued noisy series where a ratio alone is too strict.
+	Slack float64
+	// Max, when positive, is an absolute ceiling on the fresh value,
+	// checked in addition to the relative band.
+	Max float64
+}
+
+func (r GateRule) matches(key string) bool {
+	if r.Suffix != "" && !strings.HasSuffix(key, r.Suffix) {
+		return false
+	}
+	if r.Contains != "" && !strings.Contains(key, r.Contains) {
+		return false
+	}
+	return true
+}
+
+// DefaultGateRules is the band set CI applies to the committed pipeline
+// and ledger baselines.
+func DefaultGateRules() []GateRule {
+	return []GateRule{
+		// The ledger must keep reconciling with the rendezvous histogram:
+		// this is the acceptance bound, absolute, regardless of baseline.
+		{Name: "reconcile", Suffix: ".reconcile_pct", Max: 2.0, Tolerance: 1.0, Slack: 1.0},
+		// Structural counts are deterministic — any drift is a real change
+		// in how many times a phase runs.
+		{Name: "phase-count", Contains: ".phase.", Suffix: ".count", Tolerance: 0},
+		{Name: "calls", Suffix: ".calls", Tolerance: 0},
+		// Heap traffic per call: the probe is process-global and GC-timing
+		// sensitive, so allow generous noise but catch a new per-call
+		// allocation creeping into the hot path.
+		{Name: "allocs", Suffix: ".allocs_per_call", Tolerance: 0.5, Slack: 2.0},
+		// Wait-phase cycles include real scheduling variance.
+		{Name: "wait-cycles", Contains: ".phase.wait.", Tolerance: 0.35, Slack: 5000},
+		// Everything else cycle-shaped: the perf contract proper.
+		{Name: "cycles", Suffix: ".cycles", Tolerance: 0.15, Slack: 1000},
+		{Name: "cycles-total", Suffix: ".cycles_total", Tolerance: 0.15, Slack: 1000},
+		{Name: "rendezvous-mean", Suffix: ".rendezvous_cycles_mean", Tolerance: 0.15, Slack: 50},
+		// Ratios derived from the above (reduction_pct is higher-is-better
+		// and bounded by its cycle inputs) and anything ungated.
+		{Name: "ungated", Skip: true},
+	}
+}
+
+// LoadBench reads a BENCH_*.json artifact (flat metric name → value map,
+// the obs.Metrics WriteJSON format).
+func LoadBench(path string) (map[string]float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, fmt.Errorf("bench baseline %s: %w", path, err)
+	}
+	return out, nil
+}
+
+// GateBench compares fresh against base under rules and returns one
+// violation message per gated metric that regressed (or vanished). An
+// empty slice is a pass. Metrics present only in fresh are ignored — new
+// series are additions, not regressions.
+func GateBench(base, fresh map[string]float64, rules []GateRule) []string {
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var violations []string
+	for _, key := range keys {
+		var rule *GateRule
+		for i := range rules {
+			if rules[i].matches(key) {
+				rule = &rules[i]
+				break
+			}
+		}
+		if rule == nil || rule.Skip {
+			continue
+		}
+		bv := base[key]
+		fv, ok := fresh[key]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("%s: baseline metric missing from fresh run (rule %s)", key, rule.Name))
+			continue
+		}
+		limit := bv*(1+rule.Tolerance) + rule.Slack
+		if fv > limit {
+			violations = append(violations,
+				fmt.Sprintf("%s: %.4g exceeds baseline %.4g by more than %+.0f%%+%.4g (rule %s)",
+					key, fv, bv, rule.Tolerance*100, rule.Slack, rule.Name))
+		}
+		if rule.Max > 0 && fv > rule.Max {
+			violations = append(violations,
+				fmt.Sprintf("%s: %.4g exceeds absolute ceiling %.4g (rule %s)", key, fv, rule.Max, rule.Name))
+		}
+	}
+	return violations
+}

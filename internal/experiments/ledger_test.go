@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLedgerBreakdownReconciles is the ledger experiment's acceptance
+// criterion: every configuration reports at least six distinct phases, and
+// the ledger's leader-side sync total reconciles with the
+// rendezvous.leader.cycles histogram within the 2% bound.
+func TestLedgerBreakdownReconciles(t *testing.T) {
+	res, err := LedgerBreakdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want strict + lag 4/16/64", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if len(row.Phases) < 6 {
+			t.Errorf("%s: %d phases, want >= 6: %+v", row.Config, len(row.Phases), row.Phases)
+		}
+		if row.ReconcilePct > 2.0 {
+			t.Errorf("%s: ledger sync cycles %d vs histogram %d — reconcile %.2f%% exceeds the 2%% bound",
+				row.Config, row.LeaderSyncCycles, row.HistSumCycles, row.ReconcilePct)
+		}
+		if row.Calls == 0 || row.Cycles == 0 {
+			t.Errorf("%s: empty row (%d calls, %d cycles)", row.Config, row.Calls, row.Cycles)
+		}
+	}
+	// The pipelined rows must exercise the ring phases strict cannot.
+	for _, row := range res.Rows[1:] {
+		names := make(map[string]bool, len(row.Phases))
+		for _, ph := range row.Phases {
+			names[ph.Phase] = true
+		}
+		for _, want := range []string{"enqueue", "drain", "barrier"} {
+			if !names[want] {
+				t.Errorf("%s: missing pipelined phase %q", row.Config, want)
+			}
+		}
+	}
+	if s := res.String(); !strings.Contains(s, "reconcile") || !strings.Contains(s, "strict") {
+		t.Errorf("rendered table incomplete:\n%s", s)
+	}
+}

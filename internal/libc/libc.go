@@ -43,7 +43,8 @@ type LibC struct {
 	counts map[string]uint64
 	total  atomic.Uint64
 
-	rec *obs.Recorder
+	rec     *obs.Recorder
+	ledHook func(t *machine.Thread, name string, d clock.Cycles)
 }
 
 var _ machine.LibcDispatcher = (*LibC)(nil)
@@ -68,6 +69,15 @@ func (l *LibC) Proc() *kernel.Process { return l.proc }
 // threads run; a nil recorder (the default) keeps the call path free of any
 // observability work.
 func (l *LibC) SetRecorder(r *obs.Recorder) { l.rec = r }
+
+// SetLedgerHook attaches a per-call cost-ledger callback: after every
+// dispatched call, hook(t, name, d) receives the call's measured cycle
+// delta. The monitor installs it to charge the ledger's libc phase — libc
+// itself never imports the ledger. Must be set before threads run; nil
+// (the default) keeps the call path hook-free.
+func (l *LibC) SetLedgerHook(hook func(t *machine.Thread, name string, d clock.Cycles)) {
+	l.ledHook = hook
+}
 
 // RegisterHeap attaches an allocator for the variant whose symbol bias is
 // bias, serving malloc from [base, base+size). The leader registers bias 0
@@ -193,32 +203,44 @@ func ok(t *machine.Thread, v uint64) uint64 {
 // in the calling thread's variant space. Unknown names crash the thread, as
 // an unresolvable PLT entry would.
 func (l *LibC) Call(t *machine.Thread, name string, args []uint64) uint64 {
-	r := l.rec
-	if r == nil {
+	r, hook := l.rec, l.ledHook
+	if r == nil && hook == nil {
 		return l.dispatch(t, name, args)
 	}
-	v := obs.VariantLeader
-	if t.Bias() != 0 {
-		v = obs.VariantFollower
+	var fn string
+	if r != nil {
+		v := obs.VariantLeader
+		if t.Bias() != 0 {
+			v = obs.VariantFollower
+		}
+		var a0, a1 uint64
+		if len(args) > 0 {
+			a0 = args[0]
+		}
+		if len(args) > 1 {
+			a1 = args[1]
+		}
+		fn = t.Fn()
+		r.RecordIn(fn, obs.EvLibcEnter, v, t.TID(), name, a0, a1, 0)
 	}
-	var a0, a1 uint64
-	if len(args) > 0 {
-		a0 = args[0]
-	}
-	if len(args) > 1 {
-		a1 = args[1]
-	}
-	fn := t.Fn()
-	r.RecordIn(fn, obs.EvLibcEnter, v, t.TID(), name, a0, a1, 0)
 	start := l.counter.Cycles()
 	ret := l.dispatch(t, name, args)
 	// The virtual clock is shared between concurrently executing variants,
 	// so samples include any cycles the other variant charged meanwhile —
 	// the histograms are indicative, not exact per-call costs.
-	d := uint64(l.counter.Cycles() - start)
-	r.Metrics().Observe("libc.cycles."+name, d)
-	r.Metrics().Observe(categoryCycleMetric[CategoryOf(name)], d)
-	r.RecordIn(fn, obs.EvLibcExit, v, t.TID(), name, 0, 0, ret)
+	d := l.counter.Cycles() - start
+	if hook != nil {
+		hook(t, name, d)
+	}
+	if r != nil {
+		v := obs.VariantLeader
+		if t.Bias() != 0 {
+			v = obs.VariantFollower
+		}
+		r.Metrics().Observe("libc.cycles."+name, uint64(d))
+		r.Metrics().Observe(categoryCycleMetric[CategoryOf(name)], uint64(d))
+		r.RecordIn(fn, obs.EvLibcExit, v, t.TID(), name, 0, 0, ret)
+	}
 	return ret
 }
 

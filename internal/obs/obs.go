@@ -85,6 +85,11 @@ const (
 	// follower at a region entry: Name is the protected function, Arg0 the
 	// restart ordinal (1-based).
 	EvFollowerRestarted
+	// EvLedger is one rendezvous cost-ledger phase charge: Fn is the
+	// protected region, Name the interned "phase/class" pair, Arg0 the
+	// cycles, Arg1 the allocation count, Ret the bytes moved. The stream of
+	// these events is what lets replay rebuild the ledger from the WAL.
+	EvLedger
 )
 
 // String names the event kind.
@@ -126,6 +131,8 @@ func (k EventKind) String() string {
 		return "follower-detached"
 	case EvFollowerRestarted:
 		return "follower-restarted"
+	case EvLedger:
+		return "ledger"
 	default:
 		return "unknown"
 	}

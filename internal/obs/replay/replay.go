@@ -20,9 +20,11 @@ package replay
 import (
 	"fmt"
 	"io"
+	"strconv"
 
 	"smvx/internal/obs"
 	"smvx/internal/obs/blackbox"
+	"smvx/internal/obs/ledger"
 )
 
 // Replay is one run reconstructed from its WAL directory.
@@ -124,6 +126,34 @@ func (r *Replay) RebuildMetrics() *obs.Metrics {
 	m.SetGauge("replay.bytes", float64(r.Run.Bytes))
 	m.SetGauge("replay.damage.notes", float64(len(r.Run.Damage)))
 	return m
+}
+
+// RebuildLedger re-derives the rendezvous cost ledger from the full event
+// stream. Unlike RebuildMetrics this reconstruction is exact: every live
+// ledger charge is mirrored as one EvLedger event (Fn = region, Name =
+// "phase/class", Arg0/Arg1/Ret = cycles/allocs/bytes), so folding the
+// stream back through AddRaw reproduces the live ledger field-for-field —
+// the same byte-identity discipline as the forensics reports. The run
+// labels (lockstep mode, policy, lag window) come from the WAL meta.
+func (r *Replay) RebuildLedger() *ledger.Ledger {
+	led := ledger.New()
+	labels := r.Run.Meta.Labels
+	lag := 0
+	if v, err := strconv.Atoi(labels["lag-window"]); err == nil {
+		lag = v
+	}
+	led.SetRun(labels["lockstep"], labels["policy"], lag)
+	for _, e := range r.Run.Events {
+		if e.Kind != obs.EvLedger {
+			continue
+		}
+		p, c, ok := ledger.ParsePhaseClass(e.Name)
+		if !ok {
+			continue
+		}
+		led.Region(e.Fn).AddRaw(p, e.Variant, c, 1, e.Arg0, e.Arg1, e.Ret)
+	}
+	return led
 }
 
 // spanKind splits the "<kind>:<detail>" span naming convention.

@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smvx/internal/obs"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestHealthzGolden pins the /healthz body shape — status, monitor phase,
+// lockstep mode, lag window, pipeline depth, alarm and eviction counters —
+// against a golden file, so a field rename or reordering is a reviewed
+// change, not a silent one dashboards discover in production.
+func TestHealthzGolden(t *testing.T) {
+	rec := obs.NewRecorder(obs.Config{})
+	rec.Metrics().SetGauge(obs.MetricPipelineDepth, 12)
+	s := New(rec, WithHealth(Health{
+		Phase:        func() string { return "region" },
+		FollowerLive: func() bool { return true },
+		Lockstep:     func() (string, int) { return "pipelined", 16 },
+	}))
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body := get(t, ts, "/healthz")
+	if code != 200 {
+		t.Fatalf("/healthz status = %d", code)
+	}
+	golden := filepath.Join("testdata", "healthz.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal([]byte(body), want) {
+		t.Errorf("/healthz drifted from golden file:\n--- got ---\n%s--- want ---\n%s", body, want)
+	}
+}

@@ -17,9 +17,10 @@ import (
 
 	"smvx/internal/obs"
 	"smvx/internal/obs/blackbox"
+	"smvx/internal/obs/ledger"
 )
 
-// Health exposes monitor liveness to /healthz. Both funcs may be nil
+// Health exposes monitor liveness to /healthz. All funcs may be nil
 // (reported as "unknown" / true).
 type Health struct {
 	// Phase returns the monitor phase: "init", "idle", or "region".
@@ -27,6 +28,8 @@ type Health struct {
 	// FollowerLive reports whether the follower variant is still running
 	// its lockstep loop.
 	FollowerLive func() bool
+	// Lockstep returns the configured lockstep mode and lag window.
+	Lockstep func() (mode string, lagWindow int)
 }
 
 // FoldedSource provides folded-stack profile text for /profile
@@ -44,6 +47,7 @@ type Server struct {
 	wd      *Watchdog
 	profile FoldedSource
 	bb      *blackbox.Writer
+	led     *ledger.Ledger
 
 	ln net.Listener
 }
@@ -64,6 +68,10 @@ func WithProfile(f FoldedSource) Option { return func(s *Server) { s.profile = f
 // the live WAL directory (flushing buffered frames first, so the reported
 // sizes are the on-disk truth).
 func WithBlackbox(w *blackbox.Writer) Option { return func(s *Server) { s.bb = w } }
+
+// WithLedger attaches a rendezvous cost ledger; /ledger then serves its
+// JSON snapshot and /metrics gains the labeled smvx_ledger_* series.
+func WithLedger(l *ledger.Ledger) Option { return func(s *Server) { s.led = l } }
 
 // New creates a telemetry server over rec (which may be nil: every
 // endpoint still answers, with empty metrics and trivially-healthy state).
@@ -105,6 +113,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/forensics", s.handleForensics)
 	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/blackbox", s.handleBlackbox)
+	mux.HandleFunc("/ledger", s.handleLedger)
 	mux.HandleFunc("/", s.handleIndex)
 	return mux
 }
@@ -143,6 +152,10 @@ func (s *Server) Close() error {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.rec.PublishDerived()
+	s.mu.Lock()
+	led := s.led
+	s.mu.Unlock()
+	led.PublishTo(s.rec.Metrics())
 	s.rec.Metrics().WritePrometheus(w) //nolint:errcheck // client went away
 }
 
@@ -151,6 +164,9 @@ type healthState struct {
 	Status          string   `json:"status"`
 	Phase           string   `json:"phase"`
 	FollowerLive    bool     `json:"follower_live"`
+	LockstepMode    string   `json:"lockstep_mode"`
+	LagWindow       int      `json:"lag_window"`
+	PipelineDepth   float64  `json:"pipeline_depth"`
 	Alarms          int      `json:"alarms"`
 	EventsEvicted   uint64   `json:"events_evicted"`
 	WatchdogTripped bool     `json:"watchdog_tripped"`
@@ -162,13 +178,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h, wd := s.health, s.wd
 	s.mu.Unlock()
 
-	st := healthState{Status: "ok", Phase: "unknown", FollowerLive: true}
+	st := healthState{Status: "ok", Phase: "unknown", FollowerLive: true, LockstepMode: "unknown"}
 	if h.Phase != nil {
 		st.Phase = h.Phase()
 	}
 	if h.FollowerLive != nil {
 		st.FollowerLive = h.FollowerLive()
 	}
+	if h.Lockstep != nil {
+		st.LockstepMode, st.LagWindow = h.Lockstep()
+	}
+	st.PipelineDepth, _ = s.rec.Metrics().Gauge(obs.MetricPipelineDepth)
 	st.Alarms = s.rec.AlarmCount()
 	st.EventsEvicted = s.rec.Evicted()
 	if wd != nil {
@@ -236,11 +256,23 @@ func (s *Server) handleBlackbox(w http.ResponseWriter, r *http.Request) {
 	enc.Encode(bb.Snapshot()) //nolint:errcheck // client went away
 }
 
+func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	led := s.led
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if led == nil {
+		fmt.Fprintln(w, `{"enabled": false}`)
+		return
+	}
+	led.WriteJSON(w) //nolint:errcheck // client went away
+}
+
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, "smvx telemetry\n\n/metrics    Prometheus text format\n/healthz    monitor health (503 when SLO watchdog tripped)\n/trace.json Chrome trace of recorded events and spans\n/forensics  divergence forensics reports\n/profile    folded stacks from the virtual-cycle sampler\n/blackbox   live trace-WAL directory snapshot\n")
+	fmt.Fprint(w, "smvx telemetry\n\n/metrics    Prometheus text format\n/healthz    monitor health (503 when SLO watchdog tripped)\n/trace.json Chrome trace of recorded events and spans\n/forensics  divergence forensics reports\n/profile    folded stacks from the virtual-cycle sampler\n/blackbox   live trace-WAL directory snapshot\n/ledger     rendezvous cost ledger (phase-level cycle/alloc breakdown)\n")
 }

@@ -314,7 +314,7 @@ func TestTelemetryNilRecorder(t *testing.T) {
 	defer ts.Close()
 	for path, want := range map[string]int{
 		"/metrics": 200, "/healthz": 200, "/trace.json": 200,
-		"/forensics": 200, "/profile": 200, "/nope": 404,
+		"/forensics": 200, "/profile": 200, "/ledger": 200, "/nope": 404,
 	} {
 		if code, _ := get(t, ts, path); code != want {
 			t.Errorf("%s status = %d, want %d", path, code, want)

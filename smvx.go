@@ -25,6 +25,7 @@ import (
 	"smvx/internal/core"
 	"smvx/internal/libc"
 	"smvx/internal/obs"
+	"smvx/internal/obs/ledger"
 	"smvx/internal/perfprof"
 	"smvx/internal/sim/clock"
 	"smvx/internal/sim/image"
@@ -98,6 +99,9 @@ type (
 
 	// Recorder is the flight-recorder observability plane.
 	Recorder = obs.Recorder
+	// Ledger is the rendezvous cost ledger: phase-level cycle/allocation
+	// accounting for protected-region libc calls.
+	Ledger = ledger.Ledger
 	// Sink receives every recorded event (the black-box WAL implements it).
 	Sink = obs.Sink
 	// Sampler is the virtual-cycle profiling sampler.
@@ -177,7 +181,12 @@ var (
 	WithLockstepMode = core.WithLockstepMode
 	// WithLagWindow bounds the pipelined leader's run-ahead, in libc calls.
 	WithLagWindow = core.WithLagWindow
+	// WithLedger attaches a rendezvous cost ledger to the monitor.
+	WithLedger = core.WithLedger
 )
+
+// NewLedger creates an enabled, empty rendezvous cost ledger.
+func NewLedger() *Ledger { return ledger.New() }
 
 // Parsers for the flag spellings of the enumerated options, re-exported.
 var (
