@@ -10,12 +10,15 @@
 //	experiments -run pipeline  # strict-vs-pipelined rendezvous overhead
 //	experiments -run ledger    # rendezvous phase/allocation cost breakdown
 //	experiments -run ledger -gate BENCH_ledger.json   # CI perf-regression gate
+//	experiments -run fleet -fleet-c 1,64,1024         # requests/sec concurrency sweep
+//	experiments -run fleet -gate BENCH_fleet.json     # CI throughput gate
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"smvx/internal/cli"
@@ -33,9 +36,10 @@ func main() {
 
 func run() error {
 	var (
-		which     = flag.String("run", "all", "artifact: all | table1 | table2 | fig6 | fig7 | fig8 | fig9 | cpu | mem | cve | chaos | pipeline | ledger")
+		which     = flag.String("run", "all", "artifact: all | table1 | table2 | fig6 | fig7 | fig8 | fig9 | cpu | mem | cve | chaos | pipeline | ledger | fleet")
 		requests  = flag.Int("requests", 40, "server workload size")
 		target    = flag.Uint64("nbench-cycles", 1_500_000, "nbench per-kernel cycle target")
+		fleetC    = flag.String("fleet-c", "1,64", "fleet sweep concurrency levels, comma-separated")
 		benchJSON = flag.String("bench-json", "BENCH_experiments.json", "write metric name -> value JSON here (empty to skip)")
 		gate      = flag.String("gate", "", "committed BENCH_*.json baseline: fail if any gated metric regresses past its tolerance band")
 	)
@@ -192,9 +196,22 @@ func run() error {
 		fmt.Println(res)
 		res.RecordMetrics(bench)
 	}
+	if want("fleet") {
+		ran = true
+		levels, err := parseLevels(*fleetC)
+		if err != nil {
+			return err
+		}
+		res, err := experiments.FleetSweep(levels)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		res.RecordMetrics(bench)
+	}
 	if !ran {
 		return fmt.Errorf("unknown artifact %q; want one of %s", *which,
-			strings.Join([]string{"all", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "cpu", "mem", "cve", "chaos", "pipeline", "ledger"}, " "))
+			strings.Join([]string{"all", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "cpu", "mem", "cve", "chaos", "pipeline", "ledger", "fleet"}, " "))
 	}
 	if cfg.Metrics {
 		fmt.Println(bench.TableText())
@@ -230,4 +247,21 @@ func run() error {
 		fmt.Printf("bench gate: all gated metrics within tolerance of %s\n", *gate)
 	}
 	return nil
+}
+
+// parseLevels parses the -fleet-c concurrency list.
+func parseLevels(s string) ([]int, error) {
+	var levels []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-fleet-c: bad concurrency level %q", part)
+		}
+		levels = append(levels, n)
+	}
+	return levels, nil
 }

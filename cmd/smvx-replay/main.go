@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	smvx-replay inspect [-ledger] <wal-dir>
+//	smvx-replay inspect [-ledger] [-fleet] <wal-dir>
 //	smvx-replay forensics <wal-dir>
 //	smvx-replay diff [-variant leader|follower] [-context 5] <wal-a> <wal-b>
 //	smvx-replay diff -variants <wal-dir>
@@ -78,11 +78,12 @@ func load(dir string) (*replay.Replay, error) {
 func cmdInspect(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("inspect", flag.ContinueOnError)
 	led := fs.Bool("ledger", false, "also rebuild and print the rendezvous cost ledger from the WAL")
+	fleet := fs.Bool("fleet", false, "also rebuild and print the request-fleet summary from the WAL")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: smvx-replay inspect [-ledger] <wal-dir>")
+		return fmt.Errorf("usage: smvx-replay inspect [-ledger] [-fleet] <wal-dir>")
 	}
 	r, err := load(fs.Arg(0))
 	if err != nil {
@@ -92,6 +93,10 @@ func cmdInspect(args []string, out io.Writer) error {
 	if *led {
 		fmt.Fprintln(out)
 		fmt.Fprint(out, r.RebuildLedger().TableText())
+	}
+	if *fleet {
+		fmt.Fprintln(out)
+		fmt.Fprint(out, r.RebuildFleet().TableText())
 	}
 	return nil
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"smvx/internal/apps/apputil"
 	"smvx/internal/apps/lighttpd"
 	"smvx/internal/apps/nbench"
 	"smvx/internal/apps/nginx"
@@ -131,6 +132,9 @@ func runNginx(mode, protect string, requests int, version string, seed int64, rt
 			rt.Recorder.Metrics().SetGauge("http.requests.served", float64(total))
 		}
 	}
+	if rt.Fleet != nil {
+		cfg.Track = &apputil.RequestTracker{App: "nginx", Rec: rt.Recorder, Fleet: rt.Fleet}
+	}
 	srv := nginx.NewServer(cfg)
 	env, err := boot.NewEnv(k, srv.Program(), rt.BootOptions(seed)...)
 	if err != nil {
@@ -192,6 +196,9 @@ func runLighttpd(mode, protect string, requests int, seed int64, rt *cli.Runtime
 		cfg.OnRequest = func(total uint64) {
 			rt.Recorder.Metrics().SetGauge("http.requests.served", float64(total))
 		}
+	}
+	if rt.Fleet != nil {
+		cfg.Track = &apputil.RequestTracker{App: "lighttpd", Rec: rt.Recorder, Fleet: rt.Fleet}
 	}
 	srv := lighttpd.NewServer(cfg)
 	env, err := boot.NewEnv(k, srv.Program(), rt.BootOptions(seed)...)

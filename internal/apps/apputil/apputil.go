@@ -1,7 +1,12 @@
 // Package apputil holds helpers shared by the evaluation applications.
 package apputil
 
-import "smvx/internal/sim/machine"
+import (
+	"sync"
+
+	"smvx/internal/obs"
+	"smvx/internal/sim/machine"
+)
 
 // CallProtected invokes fn(args) on t, wrapping the call in
 // mvx_start()/mvx_end() when fn is the configured protected root — the
@@ -16,4 +21,89 @@ func CallProtected(t *machine.Thread, mvx machine.MVX, protect, fn string, args 
 		}
 	}
 	return t.Call(fn, args...)
+}
+
+// RequestTracker stitches a server's accept → read → protected-region →
+// write lifecycle into per-request obs spans. The servers call the hooks
+// from their serve goroutine with the connection-slot address as the key
+// (slots are reused, but never by two live connections at once); all
+// hooks are nil-safe, so an untracked run costs nothing.
+//
+// A request is Accept()ed when its connection enters the epoll set,
+// Served() when a response has been written, and Close()d at connection
+// teardown — a close without a prior Served records an aborted span
+// (client EOF, shutdown drain), which the fleet aggregate counts
+// separately from the latency distribution.
+type RequestTracker struct {
+	// App labels the spans (the fleet table's row key).
+	App string
+	// Rec mirrors span events into the flight recorder/WAL.
+	Rec *obs.Recorder
+	// Fleet aggregates the spans.
+	Fleet *obs.Fleet
+
+	mu   sync.Mutex
+	open map[uint64]*openSpan
+}
+
+type openSpan struct {
+	span   obs.RequestSpan
+	served bool
+}
+
+// Accept opens a span for the connection slot at key.
+func (rt *RequestTracker) Accept(key uint64) {
+	if rt == nil {
+		return
+	}
+	sp := rt.Fleet.Begin(rt.Rec, rt.App)
+	rt.mu.Lock()
+	if rt.open == nil {
+		rt.open = make(map[uint64]*openSpan)
+	}
+	rt.open[key] = &openSpan{span: sp}
+	rt.mu.Unlock()
+}
+
+// Served marks the slot's request as answered; the span stays open until
+// the connection closes so teardown cost is part of the measured latency.
+func (rt *RequestTracker) Served(key uint64) {
+	if rt == nil {
+		return
+	}
+	rt.mu.Lock()
+	if o := rt.open[key]; o != nil {
+		o.served = true
+	}
+	rt.mu.Unlock()
+}
+
+// Close ends the slot's span. Unknown keys are ignored (double close,
+// untracked slot).
+func (rt *RequestTracker) Close(key uint64) {
+	if rt == nil {
+		return
+	}
+	rt.mu.Lock()
+	o := rt.open[key]
+	delete(rt.open, key)
+	rt.mu.Unlock()
+	if o != nil {
+		o.span.End(o.served)
+	}
+}
+
+// CloseAll aborts every span still open — the worker-exit drain, so
+// requests in flight at shutdown are accounted rather than leaked.
+func (rt *RequestTracker) CloseAll() {
+	if rt == nil {
+		return
+	}
+	rt.mu.Lock()
+	open := rt.open
+	rt.open = nil
+	rt.mu.Unlock()
+	for _, o := range open {
+		o.span.End(o.served)
+	}
 }

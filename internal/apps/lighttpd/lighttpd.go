@@ -11,6 +11,7 @@
 package lighttpd
 
 import (
+	"smvx/internal/apps/apputil"
 	"smvx/internal/sim/image"
 	"smvx/internal/sim/machine"
 	"smvx/internal/sim/mem"
@@ -40,6 +41,10 @@ type Config struct {
 	// plane's progress hook. It runs on the server goroutine and must not
 	// touch simulated state.
 	OnRequest func(total uint64)
+	// Track, when non-nil, records per-request latency spans
+	// (accept → response → close) keyed by connection slot. Hooks run on
+	// the server goroutine and must not touch simulated state.
+	Track *apputil.RequestTracker
 }
 
 // Candidate protected roots.
@@ -237,6 +242,17 @@ func (s *Server) fnMainLoop(t *machine.Thread, _ []uint64) uint64 {
 		s.protectCall(t, "fdevent_poll")
 	}
 	t.Block("main-loop-exit")
+	// Drain connections still open at shutdown so their clients see EOF
+	// instead of hanging, and their spans are accounted as aborted.
+	for i := 0; i < connMax; i++ {
+		slot := t.Global("srv_connections") + mem.Addr(i*connSlotSize)
+		if t.Load64(slot+connOffFD) != 0 {
+			s.protectCall(t, "connection_close", uint64(slot))
+		}
+	}
+	if t.Bias() == 0 { // follower re-runs the loop; only the leader tracks spans
+		s.cfg.Track.CloseAll()
+	}
 	t.Libc("close", t.Load64(t.Global("srv_epoll_fd")))
 	t.Libc("close", t.Load64(t.Global("srv_listen_fd")))
 	return 0
@@ -274,12 +290,10 @@ func (s *Server) fnFdeventPoll(t *machine.Thread, _ []uint64) uint64 {
 }
 
 func (s *Server) fnAccept(t *machine.Thread, _ []uint64) uint64 {
-	lfd := t.Load64(t.Global("srv_listen_fd"))
-	fd := t.Libc("accept4", lfd)
-	if int64(fd) < 0 {
-		t.Store64(t.Global("srv_stop_flag"), 1)
-		return 0
-	}
+	// Deferred accept: find a free connection slot before accepting, so a
+	// full connection table leaves the client queued in the listener
+	// backlog instead of accepted-and-dropped (the level-triggered epoll
+	// event re-fires once a slot frees up).
 	conns := t.Global("srv_connections")
 	var slot mem.Addr
 	for i := 0; i < connMax; i++ {
@@ -290,7 +304,12 @@ func (s *Server) fnAccept(t *machine.Thread, _ []uint64) uint64 {
 		}
 	}
 	if slot == 0 {
-		t.Libc("close", fd)
+		return 0
+	}
+	lfd := t.Load64(t.Global("srv_listen_fd"))
+	fd := t.Libc("accept4", lfd)
+	if int64(fd) < 0 {
+		t.Store64(t.Global("srv_stop_flag"), 1)
 		return 0
 	}
 	buf := t.Libc("malloc", recvBufSize)
@@ -301,6 +320,9 @@ func (s *Server) fnAccept(t *machine.Thread, _ []uint64) uint64 {
 	t.Store64(scratch, 1|0x10)
 	t.Store64(scratch+8, uint64(slot))
 	t.Libc("epoll_ctl", t.Load64(t.Global("srv_epoll_fd")), 1, fd, uint64(scratch))
+	if t.Bias() == 0 {
+		s.cfg.Track.Accept(uint64(slot))
+	}
 	return fd
 }
 
@@ -538,6 +560,9 @@ func (s *Server) fnResponseWrite(t *machine.Thread, args []uint64) uint64 {
 		n := t.Libc("strlen", uint64(scratch+960))
 		t.Libc("memcpy", uint64(resp), uint64(scratch+960), n+1)
 		t.Libc("send", fd, uint64(resp), n)
+		if t.Bias() == 0 {
+			s.cfg.Track.Served(uint64(conn))
+		}
 		return t.Call("connection_close", uint64(conn))
 	}
 	size := t.Load64(t.Global("srv_cache_sizes") + mem.Addr(slot*8))
@@ -560,6 +585,9 @@ func (s *Server) fnResponseWrite(t *machine.Thread, args []uint64) uint64 {
 	t.Libc("writev", fd, uint64(iov), 1)
 	body := t.Global("srv_cache_data") + mem.Addr(slot*cacheSlotBytes)
 	t.Libc("write", fd, uint64(body), size)
+	if t.Bias() == 0 {
+		s.cfg.Track.Served(uint64(conn))
+	}
 	return t.Call("connection_close", uint64(conn))
 }
 
@@ -579,5 +607,8 @@ func (s *Server) fnConnectionClose(t *machine.Thread, args []uint64) uint64 {
 	t.Store64(conn+connOffFD, 0)
 	t.Store64(conn+connOffBuf, 0)
 	t.Store64(conn+connOffLen, 0)
+	if t.Bias() == 0 {
+		s.cfg.Track.Close(uint64(conn))
+	}
 	return 0
 }

@@ -8,6 +8,7 @@
 package nginx
 
 import (
+	"smvx/internal/apps/apputil"
 	"smvx/internal/sim/image"
 	"smvx/internal/sim/machine"
 	"smvx/internal/sim/mem"
@@ -67,6 +68,10 @@ type Config struct {
 	// plane's progress hook. It runs on the worker goroutine and must not
 	// touch simulated state.
 	OnRequest func(total uint64)
+	// Track, when non-nil, records per-request latency spans
+	// (accept → response → close) keyed by connection slot. Hooks run on
+	// the worker goroutine and must not touch simulated state.
+	Track *apputil.RequestTracker
 }
 
 // connection-slot layout in ngx_connections (.bss): 4 words per slot.
@@ -295,6 +300,17 @@ func (s *server) fnWorkerCycle(t *machine.Thread, _ []uint64) uint64 {
 	}
 
 	t.Block("worker-exit")
+	// Drain connections still open at shutdown so their clients see EOF
+	// instead of hanging, and their spans are accounted as aborted.
+	for i := 0; i < connMax; i++ {
+		slot := t.Global("ngx_connections") + mem.Addr(i*connSlotSize)
+		if t.Load64(slot+connOffFD) != 0 {
+			s.protectCall(t, "ngx_close_connection", uint64(slot))
+		}
+	}
+	if t.Bias() == 0 { // follower re-runs the loop; only the leader tracks spans
+		s.cfg.Track.CloseAll()
+	}
 	if logFD := t.Load64(t.Global("ngx_log_fd")); int64(logFD) >= 0 {
 		t.Libc("close", logFD)
 	}
@@ -344,14 +360,11 @@ func (s *server) fnEpollProcessEvents(t *machine.Thread, _ []uint64) uint64 {
 }
 
 func (s *server) fnEventAccept(t *machine.Thread, _ []uint64) uint64 {
-	lfd := t.Load64(t.Global("ngx_listen_fd"))
-	fd := t.Libc("accept4", lfd)
-	if int64(fd) < 0 {
-		t.Store64(t.Global("ngx_stop_flag"), 1)
-		return 0
-	}
-	t.Libc("setsockopt", fd, 1 /* TCP_NODELAY */, 1)
-	// Find a free connection slot.
+	// Deferred accept: find a free connection slot before accepting. With
+	// every slot busy the connection stays in the listener backlog instead
+	// of being accepted-and-dropped, so a high-concurrency sweep queues
+	// rather than fails (the epoll listener event is level-triggered and
+	// re-fires once a slot frees up).
 	conns := t.Global("ngx_connections")
 	var slot mem.Addr
 	for i := 0; i < connMax; i++ {
@@ -362,9 +375,15 @@ func (s *server) fnEventAccept(t *machine.Thread, _ []uint64) uint64 {
 		}
 	}
 	if slot == 0 {
-		t.Libc("close", fd)
 		return 0
 	}
+	lfd := t.Load64(t.Global("ngx_listen_fd"))
+	fd := t.Libc("accept4", lfd)
+	if int64(fd) < 0 {
+		t.Store64(t.Global("ngx_stop_flag"), 1)
+		return 0
+	}
+	t.Libc("setsockopt", fd, 1 /* TCP_NODELAY */, 1)
 	buf := t.Libc("malloc", recvBufSize)
 	t.Store64(slot+connOffFD, fd)
 	t.Store64(slot+connOffBuf, buf)
@@ -375,6 +394,9 @@ func (s *server) fnEventAccept(t *machine.Thread, _ []uint64) uint64 {
 	t.Store64(scratch, 1|0x10 /* EPOLLIN|EPOLLHUP */)
 	t.Store64(scratch+8, uint64(slot))
 	t.Libc("epoll_ctl", t.Load64(t.Global("ngx_epoll_fd")), 1, fd, uint64(scratch))
+	if t.Bias() == 0 {
+		s.cfg.Track.Accept(uint64(slot))
+	}
 	return fd
 }
 
@@ -805,6 +827,9 @@ func (s *server) fnLogHandler(t *machine.Thread, args []uint64) uint64 {
 func (s *server) fnFinalizeRequest(t *machine.Thread, args []uint64) uint64 {
 	t.Block("finalize")
 	t.Compute(150)
+	if t.Bias() == 0 {
+		s.cfg.Track.Served(args[0])
+	}
 	return t.Call("ngx_close_connection", args[0])
 }
 
@@ -824,5 +849,8 @@ func (s *server) fnCloseConnection(t *machine.Thread, args []uint64) uint64 {
 	t.Store64(conn+connOffBuf, 0)
 	t.Store64(conn+connOffLen, 0)
 	t.Store64(conn+connOffState, 0)
+	if t.Bias() == 0 {
+		s.cfg.Track.Close(uint64(conn))
+	}
 	return 0
 }

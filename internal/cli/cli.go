@@ -43,6 +43,7 @@ type Config struct {
 	Lockstep           string
 	LagWindow          int
 	Ledger             bool
+	RequestP99         uint64
 
 	// NeedRecorder forces a flight recorder even when no tracing flag asked
 	// for one (cmd/smvx prints the recorder's own metrics table for
@@ -73,6 +74,7 @@ func (c *Config) Register(fs *flag.FlagSet) {
 	fs.StringVar(&c.Lockstep, "lockstep", "strict", "lockstep mode: strict | pipelined")
 	fs.IntVar(&c.LagWindow, "lag-window", core.DefaultLagWindow, "pipelined lockstep run-ahead window, in libc calls")
 	fs.BoolVar(&c.Ledger, "ledger", false, "account every protected-region libc call phase-by-phase in the rendezvous cost ledger (served at /ledger, printed with -metrics)")
+	fs.Uint64Var(&c.RequestP99, "request-p99", 0, "SLO watchdog: degrade /healthz when the served-request p99 exceeds this many virtual cycles (0 disables)")
 }
 
 // EffectiveChaosSeed is the seed chaos ordinals derive from: -chaos-seed,
@@ -94,6 +96,7 @@ type Runtime struct {
 	Blackbox  *blackbox.Writer
 	Chaos     *faultinject.Plan
 	Ledger    *ledger.Ledger
+	Fleet     *obs.Fleet
 
 	cfg     *Config
 	monOpts []core.Option
@@ -135,6 +138,10 @@ func (c *Config) Resolve(labels map[string]string) (*Runtime, error) {
 
 	if c.Trace != "" || c.Forensics || c.Telemetry != "" || c.Blackbox != "" || c.NeedRecorder {
 		rt.Recorder = obs.NewRecorder(obs.Config{})
+		// A recorder implies request spans are wanted: the fleet aggregate
+		// is cheap and feeds /fleet, /healthz, and the -metrics summary.
+		rt.Fleet = obs.NewFleet()
+		rt.Fleet.SetRun(mode.String())
 	}
 	// Mirror ledger charges into the recorder (and through it into the
 	// WAL) so smvx-replay can rebuild the ledger offline.
@@ -167,18 +174,20 @@ func (c *Config) Resolve(labels map[string]string) (*Runtime, error) {
 		if rt.Sampler == nil {
 			rt.Sampler = perfprof.NewSampler(0)
 		}
-		wd := telemetry.NewWatchdog(rt.Recorder, telemetry.SLO{MaxAlarms: 0})
+		wd := telemetry.NewWatchdog(rt.Recorder, telemetry.SLO{MaxAlarms: 0, MaxRequestP99: c.RequestP99})
+		wd.SetFleet(rt.Fleet)
 		rt.Telemetry = telemetry.New(rt.Recorder,
 			telemetry.WithWatchdog(wd),
 			telemetry.WithProfile(rt.Sampler),
 			telemetry.WithBlackbox(rt.Blackbox),
-			telemetry.WithLedger(rt.Ledger))
+			telemetry.WithLedger(rt.Ledger),
+			telemetry.WithFleet(rt.Fleet))
 		addr, err := rt.Telemetry.Start(c.Telemetry)
 		if err != nil {
 			return nil, err
 		}
 		wd.Start(0)
-		fmt.Printf("telemetry: http://%s/metrics (healthz, trace.json, forensics, profile, blackbox, ledger)\n", addr)
+		fmt.Printf("telemetry: http://%s/metrics (healthz, trace.json, forensics, profile, blackbox, ledger, fleet)\n", addr)
 	}
 	return rt, nil
 }
@@ -257,6 +266,11 @@ func (rt *Runtime) Finish() error {
 		fmt.Println(rec.Metrics().TableText())
 		if rt.Ledger != nil {
 			fmt.Println(rt.Ledger.TableText())
+		}
+		if rt.Fleet != nil {
+			if _, completed, aborted, _ := rt.Fleet.Totals(); completed+aborted > 0 {
+				fmt.Println(rt.Fleet.TableText())
+			}
 		}
 	}
 	if rt.cfg.Forensics {

@@ -56,6 +56,20 @@ func DefaultGateRules() []GateRule {
 		// The ledger must keep reconciling with the rendezvous histogram:
 		// this is the acceptance bound, absolute, regardless of baseline.
 		{Name: "reconcile", Suffix: ".reconcile_pct", Max: 2.0, Tolerance: 1.0, Slack: 1.0},
+		// Fleet sweep: the closed-loop design makes completed counts exact
+		// (every sent request is served before the stop flag trips), so any
+		// drift there is a dropped request. Serial cost per request and the
+		// median are the real perf contract; tail percentiles at C>1 measure
+		// queueing delay set by host goroutine scheduling (observed 2x
+		// run-to-run) so they only gate order-of-magnitude blowups, and the
+		// single worst request is pure scheduling artifact — ungated. rps
+		// and pct_native are higher-is-better and stay ungated.
+		{Name: "fleet-served", Contains: "fleet.", Suffix: ".completed", Tolerance: 0},
+		{Name: "fleet-throughput", Contains: "fleet.", Suffix: ".cycles_per_request", Tolerance: 0.35, Slack: 20000},
+		{Name: "fleet-p50", Contains: "fleet.", Suffix: ".p50_cycles", Tolerance: 0.5, Slack: 50000},
+		{Name: "fleet-max", Contains: "fleet.", Suffix: ".max_cycles", Skip: true},
+		{Name: "fleet-tail", Contains: "fleet.", Suffix: "_cycles", Tolerance: 3.0, Slack: 100000},
+		{Name: "fleet-ungated", Contains: "fleet.", Skip: true},
 		// Structural counts are deterministic — any drift is a real change
 		// in how many times a phase runs.
 		{Name: "phase-count", Contains: ".phase.", Suffix: ".count", Tolerance: 0},

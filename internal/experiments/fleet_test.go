@@ -1,0 +1,48 @@
+package experiments
+
+import "testing"
+
+// TestFleetSweepClosedLoop runs a reduced sweep and checks the closed-loop
+// invariant the benchmark gate relies on: every sent request is served, so
+// completed counts are exact, not statistical.
+func TestFleetSweepClosedLoop(t *testing.T) {
+	res, err := FleetSweep([]int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 2 * (len(fleetNginxModes) + 2)
+	if len(res.Rows) != wantRows {
+		t.Fatalf("rows = %d, want %d", len(res.Rows), wantRows)
+	}
+	for _, row := range res.Rows {
+		if row.Completed != uint64(row.Requests) {
+			t.Errorf("%s/%s c=%d: completed %d != requests %d",
+				row.App, row.Mode, row.Concurrency, row.Completed, row.Requests)
+		}
+		if row.Aborted != 0 {
+			t.Errorf("%s/%s c=%d: %d aborted requests in a closed loop",
+				row.App, row.Mode, row.Concurrency, row.Aborted)
+		}
+		if row.RPS <= 0 || row.CyclesPerReq <= 0 {
+			t.Errorf("%s/%s c=%d: degenerate throughput rps=%v cyc/req=%v",
+				row.App, row.Mode, row.Concurrency, row.RPS, row.CyclesPerReq)
+		}
+		if row.PctNative <= 0 {
+			t.Errorf("%s/%s c=%d: pct_native %v not derived",
+				row.App, row.Mode, row.Concurrency, row.PctNative)
+		}
+		if row.P50Cycles == 0 || row.P99Cycles < row.P50Cycles {
+			t.Errorf("%s/%s c=%d: implausible percentiles p50=%d p99=%d",
+				row.App, row.Mode, row.Concurrency, row.P50Cycles, row.P99Cycles)
+		}
+	}
+	// The monitored modes must attribute some rendezvous cost; native none.
+	for _, row := range res.Rows {
+		if row.Mode == "native" && row.MVXMean != 0 {
+			t.Errorf("%s native c=%d: nonzero mvx attribution %v", row.App, row.Concurrency, row.MVXMean)
+		}
+		if row.Mode == "strict" && row.MVXMean == 0 {
+			t.Errorf("%s strict c=%d: zero mvx attribution", row.App, row.Concurrency)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package obs
+
+import "math/bits"
+
+// LatencyHist is an HDR-style log-linear histogram of uint64 cycle
+// observations, built for request-latency tails. The existing Hist uses
+// one bucket per power of two — at microsecond-scale request latencies a
+// p99.9 read off it can be off by almost 2x. LatencyHist subdivides every
+// octave into 2^latSubBits linear sub-buckets, bounding the relative
+// quantile error at 1/2^latSubBits (~3.1%) while staying a fixed-size,
+// allocation-free value type like Hist.
+//
+// Values below latSubCount are recorded exactly (one bucket per value);
+// larger values land in bucket latSubCount + (octave-latSubBits)*latSubCount
+// + sub where octave = bits.Len64(v)-1 and sub is the next latSubBits bits
+// below the leading one.
+type LatencyHist struct {
+	Count uint64
+	Sum   uint64
+	Min   uint64
+	Max   uint64
+
+	buckets [latBucketCount]uint64
+}
+
+const (
+	// latSubBits sets the per-octave resolution: 2^5 = 32 sub-buckets,
+	// ~3.1% worst-case relative error.
+	latSubBits  = 5
+	latSubCount = 1 << latSubBits
+	// latBucketCount covers the full uint64 range: latSubCount exact
+	// low-value buckets plus latSubCount per octave above them.
+	latBucketCount = latSubCount + (64-latSubBits)*latSubCount
+)
+
+// latBucketIndex maps an observation to its bucket.
+func latBucketIndex(v uint64) int {
+	if v < latSubCount {
+		return int(v)
+	}
+	octave := bits.Len64(v) - 1 // >= latSubBits
+	shift := uint(octave - latSubBits)
+	sub := int((v >> shift) & (latSubCount - 1))
+	return latSubCount + (octave-latSubBits)*latSubCount + sub
+}
+
+// latBucketUB returns the largest value a bucket can hold — the quantile
+// read-out value.
+func latBucketUB(i int) uint64 {
+	if i < latSubCount {
+		return uint64(i)
+	}
+	rel := i - latSubCount
+	shift := uint(rel / latSubCount)
+	sub := uint64(rel % latSubCount)
+	return ((latSubCount+sub+1)<<shift - 1)
+}
+
+// Observe records one value.
+func (h *LatencyHist) Observe(v uint64) {
+	if h.Count == 0 || v < h.Min {
+		h.Min = v
+	}
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Count++
+	h.Sum += v
+	h.buckets[latBucketIndex(v)]++
+}
+
+// Mean returns the average observation.
+func (h *LatencyHist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Quantile returns an upper bound for the q-quantile (0 < q <= 1), within
+// 1/latSubCount relative error of the true rank value and clamped to the
+// observed Max so q=1.0 never exceeds a real observation.
+func (h *LatencyHist) Quantile(q float64) uint64 {
+	if h.Count == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(h.Count))
+	if float64(rank) < q*float64(h.Count) {
+		rank++
+	}
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > h.Count {
+		rank = h.Count
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= rank {
+			ub := latBucketUB(i)
+			if ub > h.Max {
+				ub = h.Max
+			}
+			return ub
+		}
+	}
+	return h.Max
+}
+
+// Merge folds src into h bucket-wise. Merging is associative and
+// commutative, so per-shard histograms can be combined in any order.
+func (h *LatencyHist) Merge(src *LatencyHist) {
+	if src == nil || src.Count == 0 {
+		return
+	}
+	if h.Count == 0 || src.Min < h.Min {
+		h.Min = src.Min
+	}
+	if src.Max > h.Max {
+		h.Max = src.Max
+	}
+	h.Count += src.Count
+	h.Sum += src.Sum
+	for i := range h.buckets {
+		h.buckets[i] += src.buckets[i]
+	}
+}

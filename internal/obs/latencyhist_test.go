@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// oracleQuantile is the exact sorted-slice quantile the histogram is
+// checked against: the ceil(q*n)-th smallest observation.
+func oracleQuantile(sorted []uint64, q float64) uint64 {
+	rank := int(q * float64(len(sorted)))
+	if float64(rank) < q*float64(len(sorted)) {
+		rank++
+	}
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestLatencyHistQuantileOracle drives value sets that straddle the
+// log-bucket boundaries and checks every reported quantile against the
+// sorted-slice oracle: the histogram may only round up, and by at most
+// the advertised 1/32 relative error.
+func TestLatencyHistQuantileOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sets := map[string][]uint64{
+		"exact-low":  {0, 1, 2, 3, 30, 31},
+		"boundaries": {31, 32, 33, 63, 64, 65, 127, 128, 129, 1023, 1024, 1025},
+		"single":     {777},
+		"wide":       nil,
+	}
+	for i := 0; i < 5000; i++ {
+		// Exponentially distributed magnitudes so every octave gets hits.
+		v := uint64(rng.Int63()) >> uint(rng.Intn(60))
+		sets["wide"] = append(sets["wide"], v)
+	}
+	quantiles := []float64{0.5, 0.9, 0.99, 0.999, 1.0}
+	for name, values := range sets {
+		var h LatencyHist
+		for _, v := range values {
+			h.Observe(v)
+		}
+		sorted := append([]uint64(nil), values...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for _, q := range quantiles {
+			got := h.Quantile(q)
+			want := oracleQuantile(sorted, q)
+			if got < want {
+				t.Errorf("%s: Quantile(%v) = %d below oracle %d", name, q, got, want)
+			}
+			limit := want + want/latSubCount + 1
+			if got > limit {
+				t.Errorf("%s: Quantile(%v) = %d exceeds oracle %d by more than 1/%d",
+					name, q, got, want, latSubCount)
+			}
+			if got > h.Max {
+				t.Errorf("%s: Quantile(%v) = %d exceeds Max %d", name, q, got, h.Max)
+			}
+		}
+	}
+}
+
+// TestLatencyHistBucketRoundTrip checks the index/upper-bound pair across
+// every octave boundary: a value must never land in a bucket whose upper
+// bound is below it.
+func TestLatencyHistBucketRoundTrip(t *testing.T) {
+	probe := []uint64{0, 1, 31, 32, 33, 63, 64, 65, 1 << 20, 1<<20 + 1, 1<<40 - 1, 1 << 40, 1<<63 + 12345}
+	for _, v := range probe {
+		i := latBucketIndex(v)
+		ub := latBucketUB(i)
+		if ub < v {
+			t.Errorf("value %d landed in bucket %d with upper bound %d < value", v, i, ub)
+		}
+		if v >= latSubCount && ub > v+v/latSubCount {
+			t.Errorf("value %d bucket %d upper bound %d overshoots 1/%d resolution", v, i, ub, latSubCount)
+		}
+	}
+}
+
+// TestLatencyHistMergeAssociativity checks (a+b)+c == a+(b+c) == one-shot,
+// field-for-field — what makes sharded collection order-independent.
+func TestLatencyHistMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	parts := make([][]uint64, 3)
+	var all []uint64
+	for i := range parts {
+		for j := 0; j < 500; j++ {
+			v := uint64(rng.Int63()) >> uint(rng.Intn(55))
+			parts[i] = append(parts[i], v)
+			all = append(all, v)
+		}
+	}
+	fill := func(values []uint64) *LatencyHist {
+		var h LatencyHist
+		for _, v := range values {
+			h.Observe(v)
+		}
+		return &h
+	}
+	left := fill(parts[0])
+	left.Merge(fill(parts[1]))
+	left.Merge(fill(parts[2]))
+
+	bc := fill(parts[1])
+	bc.Merge(fill(parts[2]))
+	right := fill(parts[0])
+	right.Merge(bc)
+
+	oneShot := fill(all)
+	if !reflect.DeepEqual(left, right) {
+		t.Errorf("merge not associative: (a+b)+c != a+(b+c)")
+	}
+	if !reflect.DeepEqual(left, oneShot) {
+		t.Errorf("merged histogram differs from one-shot histogram")
+	}
+}

@@ -166,6 +166,22 @@ func (m *Metrics) Histogram(name string) Hist {
 	return Hist{}
 }
 
+// HistSum returns a histogram's running Sum (0 if absent) — a cheap
+// point-read for instrumentation that charges deltas of an accumulating
+// series (the request span's MVX-overhead attribution) without copying
+// the whole bucket array.
+func (m *Metrics) HistSum(name string) uint64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h := m.hists[name]; h != nil {
+		return h.Sum
+	}
+	return 0
+}
+
 // Snapshot flattens the registry into metric-name → value pairs. Counters
 // keep their name, gauges keep theirs, and each histogram expands into
 // .count, .sum, .mean, .min, .max and .p95 entries.

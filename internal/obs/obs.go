@@ -90,6 +90,16 @@ const (
 	// cycles, Arg1 the allocation count, Ret the bytes moved. The stream of
 	// these events is what lets replay rebuild the ledger from the WAL.
 	EvLedger
+	// EvRequestStart opens one application request span at accept time:
+	// Name is the application, Arg0 the request id, TS the accept-time
+	// clock reading.
+	EvRequestStart
+	// EvRequestEnd closes a request span at connection teardown: Name is
+	// the application, Fn is "served" or "aborted", Arg0 the span duration
+	// in cycles, Arg1 the MVX synchronization cycles attributed to the
+	// span, Ret the request id. Start/end pairs are what let replay
+	// rebuild the fleet latency table from the WAL.
+	EvRequestEnd
 )
 
 // String names the event kind.
@@ -133,6 +143,10 @@ func (k EventKind) String() string {
 		return "follower-restarted"
 	case EvLedger:
 		return "ledger"
+	case EvRequestStart:
+		return "request-start"
+	case EvRequestEnd:
+		return "request-end"
 	default:
 		return "unknown"
 	}
@@ -317,6 +331,18 @@ func (r *Recorder) now() clock.Cycles {
 		return c.Cycles()
 	}
 	return 0
+}
+
+// Now returns the recorder's current virtual-clock reading (0 when
+// disabled or clockless). Request-span instrumentation samples it once and
+// passes the reading to RecordInAt so the aggregate it updates and the
+// event it persists carry the identical timestamp — the byte-for-byte
+// replay discipline.
+func (r *Recorder) Now() clock.Cycles {
+	if r == nil {
+		return 0
+	}
+	return r.now()
 }
 
 // Record appends one event stamped with the current virtual-clock reading.

@@ -156,6 +156,21 @@ func (r *Replay) RebuildLedger() *ledger.Ledger {
 	return led
 }
 
+// RebuildFleet re-derives the request-fleet aggregate from the event
+// stream. Exact like RebuildLedger: every live span mirrors an
+// EvRequestStart/EvRequestEnd pair carrying the span's own timestamps and
+// durations, and live mutation and this fold go through the same apply
+// functions, so the rebuilt fleet's table renders byte-for-byte identical
+// to the live one. The lockstep label comes from the WAL meta.
+func (r *Replay) RebuildFleet() *obs.Fleet {
+	f := obs.NewFleet()
+	f.SetRun(r.Run.Meta.Labels["lockstep"])
+	for _, e := range r.Run.Events {
+		f.Apply(e)
+	}
+	return f
+}
+
 // spanKind splits the "<kind>:<detail>" span naming convention.
 func spanKind(name string) string {
 	for i := 0; i < len(name); i++ {

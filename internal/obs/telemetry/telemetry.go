@@ -48,6 +48,7 @@ type Server struct {
 	profile FoldedSource
 	bb      *blackbox.Writer
 	led     *ledger.Ledger
+	fleet   *obs.Fleet
 
 	ln net.Listener
 }
@@ -72,6 +73,10 @@ func WithBlackbox(w *blackbox.Writer) Option { return func(s *Server) { s.bb = w
 // WithLedger attaches a rendezvous cost ledger; /ledger then serves its
 // JSON snapshot and /metrics gains the labeled smvx_ledger_* series.
 func WithLedger(l *ledger.Ledger) Option { return func(s *Server) { s.led = l } }
+
+// WithFleet attaches a request-fleet aggregate; /fleet then serves its
+// JSON snapshot and /metrics gains the labeled smvx_fleet_* series.
+func WithFleet(f *obs.Fleet) Option { return func(s *Server) { s.fleet = f } }
 
 // New creates a telemetry server over rec (which may be nil: every
 // endpoint still answers, with empty metrics and trivially-healthy state).
@@ -114,6 +119,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/profile", s.handleProfile)
 	mux.HandleFunc("/blackbox", s.handleBlackbox)
 	mux.HandleFunc("/ledger", s.handleLedger)
+	mux.HandleFunc("/fleet", s.handleFleet)
 	mux.HandleFunc("/", s.handleIndex)
 	return mux
 }
@@ -153,9 +159,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.rec.PublishDerived()
 	s.mu.Lock()
-	led := s.led
+	led, fleet := s.led, s.fleet
 	s.mu.Unlock()
 	led.PublishTo(s.rec.Metrics())
+	fleet.PublishTo(s.rec.Metrics())
 	s.rec.Metrics().WritePrometheus(w) //nolint:errcheck // client went away
 }
 
@@ -169,13 +176,16 @@ type healthState struct {
 	PipelineDepth   float64  `json:"pipeline_depth"`
 	Alarms          int      `json:"alarms"`
 	EventsEvicted   uint64   `json:"events_evicted"`
+	RequestsTotal   uint64   `json:"requests_total"`
+	FleetP99Cycles  uint64   `json:"fleet_p99_cycles"`
+	Concurrency     int64    `json:"concurrency"`
 	WatchdogTripped bool     `json:"watchdog_tripped"`
 	WatchdogReasons []string `json:"watchdog_reasons,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	h, wd := s.health, s.wd
+	h, wd, fleet := s.health, s.wd, s.fleet
 	s.mu.Unlock()
 
 	st := healthState{Status: "ok", Phase: "unknown", FollowerLive: true, LockstepMode: "unknown"}
@@ -191,6 +201,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st.PipelineDepth, _ = s.rec.Metrics().Gauge(obs.MetricPipelineDepth)
 	st.Alarms = s.rec.AlarmCount()
 	st.EventsEvicted = s.rec.Evicted()
+	if fleet != nil {
+		_, completed, aborted, active := fleet.Totals()
+		st.RequestsTotal = completed + aborted
+		st.Concurrency = active
+		if h := fleet.MergedLatency(); h.Count > 0 {
+			st.FleetP99Cycles = h.Quantile(0.99)
+		}
+	}
 	if wd != nil {
 		// Evaluate on scrape too, so a watchdog without a Start loop (or
 		// between ticks) still reflects the latest recorder state.
@@ -268,11 +286,23 @@ func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
 	led.WriteJSON(w) //nolint:errcheck // client went away
 }
 
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	fleet := s.fleet
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if fleet == nil {
+		fmt.Fprintln(w, `{"enabled": false}`)
+		return
+	}
+	fleet.WriteJSON(w) //nolint:errcheck // client went away
+}
+
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, "smvx telemetry\n\n/metrics    Prometheus text format\n/healthz    monitor health (503 when SLO watchdog tripped)\n/trace.json Chrome trace of recorded events and spans\n/forensics  divergence forensics reports\n/profile    folded stacks from the virtual-cycle sampler\n/blackbox   live trace-WAL directory snapshot\n/ledger     rendezvous cost ledger (phase-level cycle/alloc breakdown)\n")
+	fmt.Fprint(w, "smvx telemetry\n\n/metrics    Prometheus text format\n/healthz    monitor health (503 when SLO watchdog tripped)\n/trace.json Chrome trace of recorded events and spans\n/forensics  divergence forensics reports\n/profile    folded stacks from the virtual-cycle sampler\n/blackbox   live trace-WAL directory snapshot\n/ledger     rendezvous cost ledger (phase-level cycle/alloc breakdown)\n/fleet      per-app request latency/throughput aggregate\n")
 }

@@ -26,6 +26,10 @@ type SLO struct {
 	// MaxFollowerLag trips when the leader's recorded event stream is more
 	// than this many events ahead of the follower's (0 disables).
 	MaxFollowerLag uint64
+	// MaxRequestP99 trips when the p99 of the fleet's merged served-request
+	// latency exceeds this many virtual cycles (0 disables; requires a
+	// fleet attached via SetFleet).
+	MaxRequestP99 uint64
 }
 
 // Watchdog evaluates SLO thresholds against a flight recorder. A trip is
@@ -38,6 +42,7 @@ type Watchdog struct {
 	slo SLO
 
 	mu      sync.Mutex
+	fleet   *obs.Fleet
 	tripped bool
 	reasons []string
 	seen    map[string]bool
@@ -57,6 +62,17 @@ func NewWatchdog(rec *obs.Recorder, slo SLO) *Watchdog {
 		stop: make(chan struct{}),
 		done: make(chan struct{}),
 	}
+}
+
+// SetFleet attaches the request-fleet aggregate the MaxRequestP99
+// threshold reads. Safe to call after Start.
+func (w *Watchdog) SetFleet(f *obs.Fleet) {
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	w.fleet = f
+	w.mu.Unlock()
 }
 
 // Check evaluates every configured threshold once and returns whether the
@@ -86,6 +102,16 @@ func (w *Watchdog) Check() bool {
 		leader, follower := w.rec.VariantTotals()
 		if leader > follower && leader-follower > w.slo.MaxFollowerLag {
 			viols = append(viols, fmt.Sprintf("follower lag %d events > max %d", leader-follower, w.slo.MaxFollowerLag))
+		}
+	}
+	if w.slo.MaxRequestP99 > 0 {
+		w.mu.Lock()
+		fleet := w.fleet
+		w.mu.Unlock()
+		if h := fleet.MergedLatency(); h.Count > 0 {
+			if p99 := h.Quantile(0.99); p99 > w.slo.MaxRequestP99 {
+				viols = append(viols, fmt.Sprintf("request p99 %d cycles > max %d", p99, w.slo.MaxRequestP99))
+			}
 		}
 	}
 

@@ -77,10 +77,17 @@ type Kernel struct {
 	fs  *FS
 	rng *rand.Rand
 
-	nextPID   int
-	ports     map[uint16]*listener
-	baseTime  time.Time
-	processes map[int]*Process
+	nextPID int
+	ports   map[uint16]*listener
+	// portsCond is broadcast on Bind and listener close, so ConnectWait can
+	// block for a port instead of spinning. portsClosed remembers ports a
+	// listener once served and then released: connecting there refuses
+	// immediately (the server is gone — a real RST), while a never-bound
+	// port blocks (the server is still starting).
+	portsCond   *sync.Cond
+	portsClosed map[uint16]bool
+	baseTime    time.Time
+	processes   map[int]*Process
 }
 
 // New creates a kernel under the given cost table, with urandom seeded
@@ -88,17 +95,20 @@ type Kernel struct {
 // counter, so client and server workloads never pollute each other's
 // measurements.
 func New(costs clock.CostTable, seed int64) *Kernel {
-	return &Kernel{
+	k := &Kernel{
 		costs:   costs,
 		fs:      newFS(),
 		rng:     rand.New(rand.NewSource(seed)),
 		nextPID: 100,
 		// Simulated epoch: a fixed instant so localtime/gettimeofday are
 		// deterministic.
-		baseTime:  time.Date(2024, 12, 2, 9, 0, 0, 0, time.UTC),
-		ports:     make(map[uint16]*listener),
-		processes: make(map[int]*Process),
+		baseTime:    time.Date(2024, 12, 2, 9, 0, 0, 0, time.UTC),
+		ports:       make(map[uint16]*listener),
+		portsClosed: make(map[uint16]bool),
+		processes:   make(map[int]*Process),
 	}
+	k.portsCond = sync.NewCond(&k.mu)
+	return k
 }
 
 // Costs returns the kernel's cycle cost table.
@@ -293,6 +303,8 @@ func (p *Process) Close(fd int) Errno {
 		if p.k.ports[f.listener.port] == f.listener {
 			delete(p.k.ports, f.listener.port)
 		}
+		p.k.portsClosed[f.listener.port] = true
+		p.k.portsCond.Broadcast() // waiters must see the refusal, not time out
 		p.k.mu.Unlock()
 	case fdEpoll:
 		f.epoll.close()

@@ -1,6 +1,9 @@
 package kernel
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // listener is a bound, listening TCP socket on the loopback interface.
 type listener struct {
@@ -239,8 +242,10 @@ func (p *Process) Bind(fd int, port uint16) Errno {
 	}
 	l := newListener(port)
 	k.ports[port] = l
+	delete(k.portsClosed, port) // rebinding revives the port
 	f.kind = fdListener
 	f.listener = l
+	k.portsCond.Broadcast()
 	return OK
 }
 
@@ -302,6 +307,55 @@ func (p *Process) Connect(fd int, port uint16) Errno {
 	if !ok {
 		return ECONNREFUSED
 	}
+	return connectTo(f, l)
+}
+
+// ConnectWait is Connect with SYN-retransmit semantics: when nothing
+// listens on port yet it blocks in the kernel — parked on the ports
+// condition instead of spinning in userspace — until a listener binds or
+// timeout of host time elapses (then ECONNREFUSED). A port whose listener
+// already came and went refuses immediately, like a real RST. This is how
+// clients race server startup without burning the scheduler.
+func (p *Process) ConnectWait(fd int, port uint16, timeout time.Duration) Errno {
+	p.enter("connect")
+	f, e := p.lookup(fd)
+	if e != OK {
+		return e
+	}
+	if f.kind != fdConn {
+		return ENOTSOCK
+	}
+	k := p.k
+	deadline := time.Now().Add(timeout)
+	k.mu.Lock()
+	l, ok := k.ports[port]
+	for !ok {
+		if k.portsClosed[port] {
+			k.mu.Unlock()
+			return ECONNREFUSED
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			k.mu.Unlock()
+			return ECONNREFUSED
+		}
+		// Cond has no timed wait; a timer broadcast bounds this one.
+		t := time.AfterFunc(remain, func() {
+			k.mu.Lock()
+			k.portsCond.Broadcast()
+			k.mu.Unlock()
+		})
+		k.portsCond.Wait()
+		t.Stop()
+		l, ok = k.ports[port]
+	}
+	k.mu.Unlock()
+	return connectTo(f, l)
+}
+
+// connectTo completes the handshake against a resolved listener: queue the
+// server end, wake acceptors and epoll watchers, attach the client end.
+func connectTo(f *FD, l *listener) Errno {
 	serverEnd, clientEnd := newConnPair()
 	l.mu.Lock()
 	if l.closed {

@@ -7,9 +7,12 @@ package workload
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"smvx/internal/sim/clock"
 	"smvx/internal/sim/kernel"
 )
 
@@ -23,24 +26,23 @@ type ABResult struct {
 	BytesRead int
 }
 
-// connectRetries bounds the wait for the server to start listening.
-const connectRetries = 1_000_000
+// DialTimeout bounds the wait for the server to start listening — the
+// deadline that replaced the old 1M-iteration Gosched busy-wait; the
+// client now parks inside the kernel until the port binds.
+const DialTimeout = 5 * time.Second
 
-// dialRetry connects to port, yielding to the scheduler while the server
-// is still binding.
+// dialRetry connects to port, blocking in the kernel while the server is
+// still binding.
 func dialRetry(client *kernel.Process, port uint16) (int, error) {
 	fd, e := client.Socket()
 	if e != kernel.OK {
 		return -1, fmt.Errorf("ab: socket: %w", e)
 	}
-	for i := 0; i < connectRetries; i++ {
-		if e := client.Connect(fd, port); e == kernel.OK {
-			return fd, nil
-		}
-		runtime.Gosched()
+	if e := client.ConnectWait(fd, port, DialTimeout); e != kernel.OK {
+		_ = client.Close(fd)
+		return -1, fmt.Errorf("ab: connect to port %d: %w", port, e)
 	}
-	_ = client.Close(fd)
-	return -1, fmt.Errorf("ab: connect to port %d: %w", port, kernel.ECONNREFUSED)
+	return fd, nil
 }
 
 // GetRequest renders the request ab sends for a path.
@@ -93,5 +95,64 @@ func RunAB(client *kernel.Process, port uint16, path string, requests int) ABRes
 		res.Completed++
 		res.BytesRead += len(resp)
 	}
+	return res
+}
+
+// LoadResult summarizes one closed-loop concurrent load run.
+type LoadResult struct {
+	// Concurrency is the number of simultaneously in-flight clients.
+	Concurrency int
+	// Completed is the number of successful request/response exchanges.
+	Completed int
+	// Failed counts requests that errored or returned nothing.
+	Failed int
+	// BytesRead is the total response volume.
+	BytesRead int
+}
+
+// RunConcurrent drives requests GETs for path through concurrency
+// closed-loop clients, as `ab -n requests -c concurrency`: each worker is
+// its own kernel process (an external machine) that keeps exactly one
+// request in flight, taking the next ticket as soon as the previous
+// exchange completes. Closed-loop means the offered load self-throttles to
+// the server's service rate, so every sent request is served — the
+// completed count is deterministic even though interleaving is not.
+func RunConcurrent(k *kernel.Kernel, port uint16, path string, requests, concurrency int) LoadResult {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	if concurrency > requests {
+		concurrency = requests
+	}
+	req := GetRequest(path)
+	var tickets atomic.Int64
+	tickets.Store(int64(requests))
+
+	res := LoadResult{Concurrency: concurrency}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := k.NewProcess(clock.NewCounter())
+			var local LoadResult
+			for tickets.Add(-1) >= 0 {
+				resp, err := RequestPath(client, port, req)
+				if err != nil || len(resp) == 0 {
+					local.Failed++
+					continue
+				}
+				local.Completed++
+				local.BytesRead += len(resp)
+			}
+			mu.Lock()
+			res.Completed += local.Completed
+			res.Failed += local.Failed
+			res.BytesRead += local.BytesRead
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
 	return res
 }

@@ -20,6 +20,7 @@
 package smvx
 
 import (
+	"smvx/internal/apps/apputil"
 	"smvx/internal/boot"
 	"smvx/internal/cli"
 	"smvx/internal/core"
@@ -104,6 +105,14 @@ type (
 	Ledger = ledger.Ledger
 	// Sink receives every recorded event (the black-box WAL implements it).
 	Sink = obs.Sink
+	// Fleet aggregates per-request latency spans into HDR-style percentile
+	// histograms and throughput counters (served at /fleet).
+	Fleet = obs.Fleet
+	// LatencyHist is the log-bucketed latency histogram behind Fleet.
+	LatencyHist = obs.LatencyHist
+	// RequestTracker stitches a server's accept/serve/close lifecycle into
+	// Fleet request spans.
+	RequestTracker = apputil.RequestTracker
 	// Sampler is the virtual-cycle profiling sampler.
 	Sampler = perfprof.Sampler
 
@@ -187,6 +196,9 @@ var (
 
 // NewLedger creates an enabled, empty rendezvous cost ledger.
 func NewLedger() *Ledger { return ledger.New() }
+
+// NewFleet creates an empty request-fleet aggregate.
+func NewFleet() *Fleet { return obs.NewFleet() }
 
 // Parsers for the flag spellings of the enumerated options, re-exported.
 var (
