@@ -7,13 +7,16 @@
 //
 //	smvx-replay inspect [-ledger] [-fleet] <wal-dir>
 //	smvx-replay forensics <wal-dir>
+//	smvx-replay incidents [-window N] [-json] <wal-dir>
 //	smvx-replay diff [-variant leader|follower] [-context 5] <wal-a> <wal-b>
 //	smvx-replay diff -variants <wal-dir>
 //	smvx-replay export [-format chrome|table|metrics] [-o out] <wal-dir>
 //
-// `forensics` and `export -format chrome` are byte-identical to what the
-// recorded run itself would have printed: the replayer truncates the WAL
-// stream to the ring view the live exporters saw. `diff` extends the
+// `forensics`, `incidents`, and `export -format chrome` are byte-identical
+// to what the recorded run itself would have printed: the replayer
+// truncates the WAL stream to the ring view the live exporters saw, and
+// folds the full stream through the same incident correlator the live tap
+// ran. `diff` extends the
 // Section 3.2 first-divergence analysis from in-memory basic-block logs
 // to recorded libc-call streams: diff a success-login WAL against a
 // failed-login WAL and the first divergent call — attributed to its
@@ -30,6 +33,7 @@ import (
 
 	"smvx/internal/obs"
 	"smvx/internal/obs/replay"
+	"smvx/internal/sim/clock"
 )
 
 func main() {
@@ -40,7 +44,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: smvx-replay <inspect|forensics|diff|export> [flags] <wal-dir> [<wal-dir>]")
+	return fmt.Errorf("usage: smvx-replay <inspect|forensics|incidents|diff|export> [flags] <wal-dir> [<wal-dir>]")
 }
 
 func run(args []string, out io.Writer) error {
@@ -52,6 +56,8 @@ func run(args []string, out io.Writer) error {
 		return cmdInspect(rest, out)
 	case "forensics":
 		return cmdForensics(rest, out)
+	case "incidents":
+		return cmdIncidents(rest, out)
 	case "diff":
 		return cmdDiff(rest, out)
 	case "export":
@@ -122,6 +128,28 @@ func cmdForensics(args []string, out io.Writer) error {
 		fmt.Fprint(out, rep)
 	}
 	return nil
+}
+
+func cmdIncidents(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("incidents", flag.ContinueOnError)
+	window := fs.Uint64("window", 0, "correlation window in virtual cycles (default: the WAL's incident-window label, else the engine default)")
+	asJSON := fs.Bool("json", false, "emit the JSON snapshot instead of the canonical table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: smvx-replay incidents [-window N] [-json] <wal-dir>")
+	}
+	r, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	eng := r.RebuildIncidents(clock.Cycles(*window))
+	if *asJSON {
+		return eng.WriteJSON(out)
+	}
+	_, werr := io.WriteString(out, eng.TableText())
+	return werr
 }
 
 func cmdDiff(args []string, out io.Writer) error {

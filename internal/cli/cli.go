@@ -18,7 +18,9 @@ import (
 	"smvx/internal/core"
 	"smvx/internal/faultinject"
 	"smvx/internal/obs"
+	"smvx/internal/obs/anomaly"
 	"smvx/internal/obs/blackbox"
+	"smvx/internal/obs/incident"
 	"smvx/internal/obs/ledger"
 	"smvx/internal/obs/telemetry"
 	"smvx/internal/perfprof"
@@ -44,6 +46,9 @@ type Config struct {
 	LagWindow          int
 	Ledger             bool
 	RequestP99         uint64
+	Anomaly            bool
+	Incidents          bool
+	IncidentWindow     uint64
 
 	// NeedRecorder forces a flight recorder even when no tracing flag asked
 	// for one (cmd/smvx prints the recorder's own metrics table for
@@ -75,6 +80,9 @@ func (c *Config) Register(fs *flag.FlagSet) {
 	fs.IntVar(&c.LagWindow, "lag-window", core.DefaultLagWindow, "pipelined lockstep run-ahead window, in libc calls")
 	fs.BoolVar(&c.Ledger, "ledger", false, "account every protected-region libc call phase-by-phase in the rendezvous cost ledger (served at /ledger, printed with -metrics)")
 	fs.Uint64Var(&c.RequestP99, "request-p99", 0, "SLO watchdog: degrade /healthz when the served-request p99 exceeds this many virtual cycles (0 disables)")
+	fs.BoolVar(&c.Anomaly, "anomaly", false, "run streaming anomaly detectors (EWMA z-score, rate-of-change, static threshold) over the recorder's metric series")
+	fs.BoolVar(&c.Incidents, "incidents", false, "correlate alarms, faults, detaches, watchdog trips, and anomalies into incidents (served at /incidents, rebuilt offline with smvx-replay incidents); implies -anomaly")
+	fs.Uint64Var(&c.IncidentWindow, "incident-window", 0, "incident correlation window in virtual cycles (0 uses the default)")
 }
 
 // EffectiveChaosSeed is the seed chaos ordinals derive from: -chaos-seed,
@@ -97,6 +105,8 @@ type Runtime struct {
 	Chaos     *faultinject.Plan
 	Ledger    *ledger.Ledger
 	Fleet     *obs.Fleet
+	Anomaly   *anomaly.Detector
+	Incidents *incident.Engine
 
 	cfg     *Config
 	monOpts []core.Option
@@ -136,7 +146,8 @@ func (c *Config) Resolve(labels map[string]string) (*Runtime, error) {
 		rt.Chaos = plan
 	}
 
-	if c.Trace != "" || c.Forensics || c.Telemetry != "" || c.Blackbox != "" || c.NeedRecorder {
+	if c.Trace != "" || c.Forensics || c.Telemetry != "" || c.Blackbox != "" ||
+		c.Anomaly || c.Incidents || c.NeedRecorder {
 		rt.Recorder = obs.NewRecorder(obs.Config{})
 		// A recorder implies request spans are wanted: the fleet aggregate
 		// is cheap and feeds /fleet, /healthz, and the -metrics summary.
@@ -157,6 +168,11 @@ func (c *Config) Resolve(labels map[string]string) (*Runtime, error) {
 		wl["lockstep"] = mode.String()
 		wl["policy"] = pol.String()
 		wl["lag-window"] = fmt.Sprintf("%d", c.LagWindow)
+		if c.Incidents {
+			// Stamp the correlation window so smvx-replay incidents folds
+			// the stream with exactly the live engine's window.
+			wl["incident-window"] = fmt.Sprintf("%d", incidentWindow(c.IncidentWindow))
+		}
 		w, err := blackbox.Open(c.Blackbox, blackbox.Meta{
 			Capacity: cfg.Capacity, ForensicWindow: cfg.ForensicWindow,
 			Labels: wl,
@@ -166,6 +182,22 @@ func (c *Config) Resolve(labels map[string]string) (*Runtime, error) {
 		}
 		rt.Blackbox = w
 		rt.Recorder.SetSink(w)
+	}
+	if c.Incidents {
+		// The engine taps the recorder: it sees every event under the
+		// recorder lock, in exactly WAL order, which is what makes the
+		// offline rebuild byte-identical. Sources are attached after the
+		// WAL opens so bundles can reference the live segment.
+		rt.Incidents = incident.New(clock.Cycles(c.IncidentWindow))
+		rt.Incidents.SetSources(rt.Ledger, rt.Fleet, rt.Blackbox)
+		rt.Recorder.SetTap(rt.Incidents)
+	}
+	if c.Anomaly || c.Incidents {
+		// The detector consumes the series feed outside the recorder lock,
+		// so its firings can record EvAnomaly events back into the stream
+		// (and through it, the WAL and the incident tap).
+		rt.Anomaly = anomaly.New(rt.Recorder, anomaly.Defaults())
+		rt.Recorder.SetSeriesSink(rt.Anomaly)
 	}
 	if c.NeedSampler {
 		rt.Sampler = perfprof.NewSampler(0)
@@ -181,7 +213,8 @@ func (c *Config) Resolve(labels map[string]string) (*Runtime, error) {
 			telemetry.WithProfile(rt.Sampler),
 			telemetry.WithBlackbox(rt.Blackbox),
 			telemetry.WithLedger(rt.Ledger),
-			telemetry.WithFleet(rt.Fleet))
+			telemetry.WithFleet(rt.Fleet),
+			telemetry.WithIncidents(rt.Incidents))
 		addr, err := rt.Telemetry.Start(c.Telemetry)
 		if err != nil {
 			return nil, err
@@ -272,6 +305,9 @@ func (rt *Runtime) Finish() error {
 				fmt.Println(rt.Fleet.TableText())
 			}
 		}
+		if rt.Incidents != nil {
+			fmt.Println(rt.Incidents.TableText())
+		}
 	}
 	if rt.cfg.Forensics {
 		reports := rec.ForensicReports()
@@ -289,6 +325,15 @@ func (rt *Runtime) Finish() error {
 		fmt.Printf("chrome trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", rt.cfg.Trace)
 	}
 	return nil
+}
+
+// incidentWindow resolves the -incident-window flag value to the
+// effective correlation window.
+func incidentWindow(v uint64) clock.Cycles {
+	if v == 0 {
+		return incident.DefaultWindowCycles
+	}
+	return clock.Cycles(v)
 }
 
 // WriteChromeTrace dumps the recorder's events as Chrome trace_event JSON.

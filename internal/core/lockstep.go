@@ -271,6 +271,8 @@ func (s *session) leaderCall(t *machine.Thread, name string, args []uint64) uint
 			obsRec.Metrics().Observe("lockstep.wait.cycles", uint64(now-waitStart))
 			obsRec.Metrics().Observe(obs.MetricRendezvousLeaderCycles,
 				uint64(s.mon.m.Costs().LockstepRendezvous+(now-waitStart)))
+			obsRec.ObserveSeries(obs.SeriesRendezvous,
+				uint64(s.mon.m.Costs().LockstepRendezvous+(now-waitStart)))
 		}
 		if lr := s.lr; lr != nil {
 			// The two charges below sum to exactly what the

@@ -180,6 +180,9 @@ func (s *session) leaderCallPipelined(t *machine.Thread, name string, args []uin
 			m.Observe(obs.MetricRendezvousLeaderCycles,
 				uint64(costs.LockstepEnqueue+(now-enqStart)))
 			m.SetGauge(obs.MetricPipelineDepth, float64(len(s.ring)))
+			obsRec.ObserveSeries(obs.SeriesRendezvous,
+				uint64(costs.LockstepEnqueue+(now-enqStart)))
+			obsRec.ObserveSeries(obs.SeriesPipelineDepth, uint64(len(s.ring)))
 		}
 		if lr != nil {
 			// Enqueue+wait sum to the rendezvous.leader.cycles observation
@@ -314,6 +317,8 @@ func (s *session) leaderBarrier(t *machine.Thread, name string, args []uint64, i
 		if obsRec != nil {
 			obsRec.Metrics().Observe("lockstep.wait.cycles", uint64(now-waitStart))
 			obsRec.Metrics().Observe(obs.MetricRendezvousLeaderCycles,
+				uint64(costs.LockstepRendezvous+(now-waitStart)))
+			obsRec.ObserveSeries(obs.SeriesRendezvous,
 				uint64(costs.LockstepRendezvous+(now-waitStart)))
 		}
 		if lr := s.lr; lr != nil {
@@ -461,6 +466,7 @@ func (s *session) followerCallPipelined(t *machine.Thread, name string, args []u
 		m := obsRec.Metrics()
 		m.Inc("lockstep.category." + rec.cat.Slug())
 		m.Observe(obs.MetricRendezvousLag, s.calls.Load()-rec.idx)
+		obsRec.ObserveSeries(obs.SeriesLag, s.calls.Load()-rec.idx)
 	}
 	if lr != nil {
 		lr.Add(ledger.PhaseCompare, obs.VariantFollower, cls,

@@ -70,6 +70,14 @@ func DefaultGateRules() []GateRule {
 		{Name: "fleet-max", Contains: "fleet.", Suffix: ".max_cycles", Skip: true},
 		{Name: "fleet-tail", Contains: "fleet.", Suffix: "_cycles", Tolerance: 3.0, Slack: 100000},
 		{Name: "fleet-ungated", Contains: "fleet.", Skip: true},
+		// Incident matrix: the per-cell incident count is the detection
+		// contract (the artifact itself also asserts exactly one per fault)
+		// and gates exactly; detection latency is a virtual-cycle delta with
+		// interleaving noise, so it only gates doublings. The anomaly firing
+		// total and window constant stay ungated.
+		{Name: "incident-count", Contains: "incidents.", Suffix: ".count", Tolerance: 0},
+		{Name: "incident-latency", Contains: "incidents.", Suffix: ".detect_cycles", Tolerance: 1.0, Slack: 100000},
+		{Name: "incidents-ungated", Contains: "incidents.", Skip: true},
 		// Structural counts are deterministic — any drift is a real change
 		// in how many times a phase runs.
 		{Name: "phase-count", Contains: ".phase.", Suffix: ".count", Tolerance: 0},

@@ -1,0 +1,195 @@
+// Package anomaly is the detection half of the sMVX incident plane:
+// deterministic streaming detectors over the recorder's metric series.
+//
+// The monitor already *measures* everything that matters — rendezvous
+// cost, pipeline lag and depth, divergence alarms, request latency — but
+// a measurement only becomes operable when something watches it. This
+// package implements three classic streaming rules, all driven off the
+// virtual-cycle clock so detection is a pure function of the observation
+// sequence (same inputs → same firings, byte for byte):
+//
+//   - EWMA z-score: an exponentially weighted mean/variance pair per
+//     series; an observation more than ZThreshold standard deviations
+//     above the mean fires (DMON-style statistical divergence detection).
+//   - rate-of-change: an observation RateFactor times the previous one
+//     fires — the cheap detector for step changes a slow EWMA absorbs.
+//   - static threshold: an absolute per-series ceiling, for series where
+//     any observation is already meaningful (one divergence alarm is an
+//     incident's worth of signal).
+//
+// A firing records one obs.EvAnomaly event (series, rule, value, score,
+// sample count) into the flight recorder — and therefore into the WAL and
+// the incident correlator's tap. Every label the hot path touches is
+// interned at package init; the non-firing path performs no allocation
+// and no string formatting.
+package anomaly
+
+import (
+	"math"
+	"sync"
+
+	"smvx/internal/obs"
+	"smvx/internal/sim/clock"
+)
+
+// Config tunes the detectors. The zero value is unusable; start from
+// Defaults().
+type Config struct {
+	// Alpha is the EWMA smoothing factor (0 < Alpha <= 1).
+	Alpha float64
+	// Warmup is the minimum per-series observation count before the
+	// z-score and rate rules may fire — raw startup transients are not
+	// anomalies.
+	Warmup uint64
+	// ZThreshold is the z-score firing bar, in standard deviations.
+	ZThreshold float64
+	// RateFactor fires when an observation exceeds the previous one by
+	// this multiple (after warmup). 0 disables the rule.
+	RateFactor float64
+	// Cooldown suppresses further firings on a series until this many
+	// virtual cycles after its last firing — one spike, one anomaly.
+	Cooldown clock.Cycles
+	// Static maps a series to an absolute firing ceiling (observation >=
+	// ceiling fires, no warmup). Zero entries disable the rule.
+	Static [obs.SeriesCount]uint64
+}
+
+// Defaults returns the detector configuration the CLI's -anomaly flag
+// enables: a slow EWMA with a high bar (protected-call cost series are
+// heavy-tailed by design — hard barriers cost 10x a local call), an 8x
+// rate rule, and a static threshold on the divergence series so every
+// alarm stream registers as a detection.
+func Defaults() Config {
+	cfg := Config{
+		Alpha:      1.0 / 64,
+		Warmup:     32,
+		ZThreshold: 8,
+		RateFactor: 8,
+		Cooldown:   clock.FrequencyHz / 1000, // 1 simulated millisecond
+	}
+	cfg.Static[obs.SeriesDivergence] = 1
+	return cfg
+}
+
+// Interned rule names (EvAnomaly.Name).
+const (
+	RuleZScore = "ewma-z"
+	RuleRate   = "rate"
+	RuleStatic = "static"
+)
+
+// seriesState is one series' streaming state.
+type seriesState struct {
+	count    uint64
+	mean     float64
+	variance float64
+	prev     uint64
+	lastFire clock.Cycles
+	fired    uint64
+}
+
+// Detector consumes the recorder's ObserveSeries feed and records
+// EvAnomaly events for rule violations. It implements obs.SeriesSink.
+type Detector struct {
+	rec *obs.Recorder
+	cfg Config
+
+	mu    sync.Mutex
+	state [obs.SeriesCount]seriesState
+}
+
+// New creates a detector recording into rec. Attach it with
+// rec.SetSeriesSink(d).
+func New(rec *obs.Recorder, cfg Config) *Detector {
+	if cfg.Alpha <= 0 || cfg.Alpha > 1 {
+		cfg.Alpha = 1.0 / 64
+	}
+	return &Detector{rec: rec, cfg: cfg}
+}
+
+// ObserveSeries feeds one observation through the rules. It is invoked
+// outside the recorder lock (see obs.SeriesSink), so a firing may record
+// back into the recorder directly.
+func (d *Detector) ObserveSeries(id obs.SeriesID, ts clock.Cycles, v uint64) {
+	if d == nil || id >= obs.SeriesCount {
+		return
+	}
+	rule, score := "", 0.0
+	d.mu.Lock()
+	s := &d.state[id]
+	prev, count := s.prev, s.count
+	mean, variance := s.mean, s.variance
+
+	// Update the EWMA pair first (Welford-style exponential form): the
+	// score compares v against the *pre-observation* estimate, but the
+	// estimate must absorb every sample whether or not it fires.
+	fv := float64(v)
+	if count == 0 {
+		s.mean, s.variance = fv, 0
+	} else {
+		diff := fv - mean
+		incr := d.cfg.Alpha * diff
+		s.mean = mean + incr
+		s.variance = (1 - d.cfg.Alpha) * (variance + diff*incr)
+	}
+	s.prev = v
+	s.count = count + 1
+
+	cooled := ts >= s.lastFire+d.cfg.Cooldown || (s.lastFire == 0 && s.fired == 0)
+	if cooled {
+		switch {
+		case d.cfg.Static[id] > 0 && v >= d.cfg.Static[id]:
+			rule, score = RuleStatic, fv/float64(d.cfg.Static[id])
+		case count >= d.cfg.Warmup && variance > 0 &&
+			d.cfg.ZThreshold > 0 && fv > mean:
+			if z := (fv - mean) / math.Sqrt(variance); z >= d.cfg.ZThreshold {
+				rule, score = RuleZScore, z
+			}
+		}
+		if rule == "" && d.cfg.RateFactor > 0 && count >= d.cfg.Warmup &&
+			prev > 0 && fv >= float64(prev)*d.cfg.RateFactor {
+			rule, score = RuleRate, fv/float64(prev)
+		}
+		if rule != "" {
+			s.lastFire = ts
+			s.fired++
+		}
+	}
+	d.mu.Unlock()
+
+	if rule == "" {
+		return
+	}
+	scaled := uint64(0)
+	if score > 0 && !math.IsInf(score, 1) {
+		scaled = uint64(score * 100)
+	}
+	// Fn = series, Name = rule: both interned, so the firing path stays
+	// allocation-free too.
+	d.rec.RecordIn(id.String(), obs.EvAnomaly, obs.VariantNone, 0, rule, v, scaled, count+1)
+	d.rec.Metrics().Inc(anomalyCounterNames[id])
+}
+
+// anomalyCounterNames are the interned per-series firing counters.
+var anomalyCounterNames = func() [obs.SeriesCount]string {
+	var out [obs.SeriesCount]string
+	for id := obs.SeriesID(0); id < obs.SeriesCount; id++ {
+		out[id] = "anomaly.fired{series=" + id.String() + "}"
+	}
+	return out
+}()
+
+// Fired returns how many times each series has fired — test and
+// experiment introspection, not a hot path.
+func (d *Detector) Fired() [obs.SeriesCount]uint64 {
+	var out [obs.SeriesCount]uint64
+	if d == nil {
+		return out
+	}
+	d.mu.Lock()
+	for i := range d.state {
+		out[i] = d.state[i].fired
+	}
+	d.mu.Unlock()
+	return out
+}

@@ -1,0 +1,153 @@
+package anomaly
+
+import (
+	"testing"
+
+	"smvx/internal/obs"
+	"smvx/internal/sim/clock"
+)
+
+// feed pushes a deterministic observation sequence through a detector:
+// a stable baseline, then a large spike that must fire the z-score rule.
+func feed(d *Detector) {
+	ts := clock.Cycles(0)
+	for i := 0; i < 100; i++ {
+		ts += 1000
+		d.ObserveSeries(obs.SeriesRendezvous, ts, 100+uint64(i%3))
+	}
+	ts += 1000
+	d.ObserveSeries(obs.SeriesRendezvous, ts, 100000) // spike
+	for i := 0; i < 10; i++ {
+		ts += 1000
+		d.ObserveSeries(obs.SeriesRendezvous, ts, 100)
+	}
+}
+
+func TestZScoreFiresOnSpike(t *testing.T) {
+	rec := obs.NewRecorder(obs.Config{})
+	d := New(rec, Defaults())
+	feed(d)
+	fired := d.Fired()
+	if fired[obs.SeriesRendezvous] != 1 {
+		t.Fatalf("rendezvous series fired %d times, want exactly 1 (spike)", fired[obs.SeriesRendezvous])
+	}
+	var anom []obs.Event
+	for _, e := range rec.Events() {
+		if e.Kind == obs.EvAnomaly {
+			anom = append(anom, e)
+		}
+	}
+	if len(anom) != 1 {
+		t.Fatalf("recorded %d EvAnomaly events, want 1", len(anom))
+	}
+	e := anom[0]
+	if e.Fn != obs.SeriesRendezvous.String() {
+		t.Errorf("EvAnomaly.Fn = %q, want the offending series name %q", e.Fn, obs.SeriesRendezvous)
+	}
+	if e.Name != RuleZScore && e.Name != RuleRate {
+		t.Errorf("EvAnomaly.Name = %q, want a detector rule", e.Name)
+	}
+	if e.Arg0 != 100000 {
+		t.Errorf("EvAnomaly.Arg0 = %d, want the observed value 100000", e.Arg0)
+	}
+	if rec.Metrics().Counter("anomaly.fired{series=rendezvous.cycles}") != 1 {
+		t.Error("firing counter not bumped")
+	}
+}
+
+func TestStaticRuleNeedsNoWarmup(t *testing.T) {
+	rec := obs.NewRecorder(obs.Config{})
+	d := New(rec, Defaults())
+	// Defaults set a static threshold of 1 on the divergence series: the
+	// very first observation is a detection, warmup notwithstanding.
+	d.ObserveSeries(obs.SeriesDivergence, 10, 1)
+	if got := d.Fired()[obs.SeriesDivergence]; got != 1 {
+		t.Fatalf("divergence static rule fired %d times, want 1", got)
+	}
+}
+
+func TestWarmupSuppressesEarlyFirings(t *testing.T) {
+	rec := obs.NewRecorder(obs.Config{})
+	d := New(rec, Defaults())
+	// Wild swings inside the warmup window are startup transients, not
+	// anomalies — the z-score and rate rules must stay quiet.
+	vals := []uint64{1, 1000, 2, 5000, 3, 90000, 1}
+	for i, v := range vals {
+		d.ObserveSeries(obs.SeriesLag, clock.Cycles((i+1)*1000), v)
+	}
+	if got := d.Fired()[obs.SeriesLag]; got != 0 {
+		t.Fatalf("detector fired %d times inside warmup, want 0", got)
+	}
+}
+
+func TestCooldownSuppressesRepeatFirings(t *testing.T) {
+	rec := obs.NewRecorder(obs.Config{})
+	cfg := Defaults()
+	cfg.Cooldown = 1 << 40 // effectively forever
+	d := New(rec, cfg)
+	d.ObserveSeries(obs.SeriesDivergence, 10, 1)
+	d.ObserveSeries(obs.SeriesDivergence, 20, 1)
+	d.ObserveSeries(obs.SeriesDivergence, 30, 1)
+	if got := d.Fired()[obs.SeriesDivergence]; got != 1 {
+		t.Fatalf("detector fired %d times under cooldown, want 1", got)
+	}
+}
+
+// TestDetectorDeterminism is the incident plane's foundation: identical
+// observation sequences must yield byte-identical event streams —
+// same firings, same rules, same scores — across detector instances.
+func TestDetectorDeterminism(t *testing.T) {
+	render := func() []obs.Event {
+		rec := obs.NewRecorder(obs.Config{})
+		d := New(rec, Defaults())
+		feed(d)
+		d.ObserveSeries(obs.SeriesDivergence, 999999, 1)
+		var out []obs.Event
+		for _, e := range rec.Events() {
+			if e.Kind == obs.EvAnomaly {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	a, b := render(), render()
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs:\n  a: %+v\n  b: %+v", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("determinism check saw no anomaly events")
+	}
+}
+
+// TestObserveSeriesDoesNotAllocate pins the hot-path contract: the
+// non-firing path (the overwhelmingly common case — every protected call
+// feeds the series) must not allocate.
+func TestObserveSeriesDoesNotAllocate(t *testing.T) {
+	rec := obs.NewRecorder(obs.Config{})
+	d := New(rec, Defaults())
+	rec.SetSeriesSink(d)
+	// Warm past the warmup window with a stable series.
+	for i := 0; i < 100; i++ {
+		rec.ObserveSeries(obs.SeriesRendezvous, 100)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		rec.ObserveSeries(obs.SeriesRendezvous, 100)
+		rec.ObserveSeries(obs.SeriesLag, 2)
+	})
+	if allocs != 0 {
+		t.Errorf("non-firing ObserveSeries allocates %.1f per op", allocs)
+	}
+}
+
+func TestNilDetectorSafe(t *testing.T) {
+	var d *Detector
+	d.ObserveSeries(obs.SeriesRendezvous, 1, 1) // must not panic
+	if got := d.Fired(); got != ([obs.SeriesCount]uint64{}) {
+		t.Errorf("nil detector fired = %v", got)
+	}
+}

@@ -94,6 +94,17 @@ func Open(dir string, meta Meta, opts Options) (*Writer, error) {
 // Dir returns the WAL directory.
 func (w *Writer) Dir() string { return w.dir }
 
+// CurrentSegment returns the filename of the segment currently being
+// written — the incident bundle's WAL reference. Nil-safe.
+func (w *Writer) CurrentSegment() string {
+	if w == nil {
+		return ""
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return segmentName(w.segIndex)
+}
+
 // segmentName renders the canonical segment filename for an index.
 func segmentName(idx int) string { return fmt.Sprintf("smvx-%08d.wal", idx) }
 

@@ -28,6 +28,13 @@ type Fleet struct {
 	lockstep string
 	nextID   uint64
 	apps     map[string]*fleetApp
+	// maxTS is the newest event timestamp seen fleet-wide (starts and
+	// ends, all apps) — the aggregate's notion of "now". The windowed
+	// rate is anchored to it rather than to each app's own last
+	// completion, so an app whose traffic stopped decays to 0 while the
+	// rest of the fleet keeps moving. Because it is derived purely from
+	// the event stream, live and replay agree on it byte-for-byte.
+	maxTS clock.Cycles
 }
 
 // FleetWindowCycles is the windowed-throughput horizon: completions within
@@ -87,6 +94,9 @@ func (f *Fleet) appLocked(name string) *fleetApp {
 // Begin and replay Apply both come through here with event-payload data
 // only, which is what guarantees live/replay byte identity.
 func (f *Fleet) applyStartLocked(app string, ts clock.Cycles) {
+	if ts > f.maxTS {
+		f.maxTS = ts
+	}
 	a := f.appLocked(app)
 	a.started++
 	a.active++
@@ -101,6 +111,9 @@ func (f *Fleet) applyStartLocked(app string, ts clock.Cycles) {
 
 // applyEndLocked is the single mutation path for a span end.
 func (f *Fleet) applyEndLocked(app string, ts clock.Cycles, dur, mvx uint64, served bool) {
+	if ts > f.maxTS {
+		f.maxTS = ts
+	}
 	a := f.appLocked(app)
 	if a.active > 0 {
 		a.active--
@@ -179,6 +192,9 @@ func (sp RequestSpan) End(served bool) {
 		verdict = "aborted"
 	}
 	sp.rec.RecordInAt(ts, verdict, EvRequestEnd, VariantNone, 0, sp.app, dur, mvx, sp.id)
+	if served {
+		sp.rec.ObserveSeries(SeriesFleetLatency, dur)
+	}
 }
 
 // Apply folds one recorded event into the aggregate — the replay
@@ -296,12 +312,13 @@ func (f *Fleet) Snapshot() FleetSnapshot {
 			row.RPS = float64(a.completed) / (float64(row.ElapsedCycles) / clock.FrequencyHz)
 		}
 		// Windowed rate: completions within the trailing window of the
-		// newest completion, over the window (or total elapsed when the
-		// run is shorter than the window).
+		// fleet-wide newest event — not this app's own last completion,
+		// which would freeze the rate forever once its traffic stops.
+		// An app idle for longer than the window reports 0.
 		if a.endLen > 0 {
 			horizon := clock.Cycles(0)
-			if a.lastTS > FleetWindowCycles {
-				horizon = a.lastTS - FleetWindowCycles
+			if f.maxTS > FleetWindowCycles {
+				horizon = f.maxTS - FleetWindowCycles
 			}
 			var inWindow uint64
 			for i := 0; i < a.endLen; i++ {
@@ -309,7 +326,7 @@ func (f *Fleet) Snapshot() FleetSnapshot {
 					inWindow++
 				}
 			}
-			span := uint64(a.lastTS - horizon)
+			span := uint64(f.maxTS - horizon)
 			if span > uint64(row.ElapsedCycles) && row.ElapsedCycles > 0 {
 				span = row.ElapsedCycles
 			}

@@ -71,6 +71,11 @@ func (r *Recorder) Alarm(a AlarmInfo) {
 	if sink != nil {
 		sink.Flush() //nolint:errcheck // sink counts its own failures
 	}
+	// Feed the divergence-rate series after the recorder lock is released:
+	// a firing detector records an EvAnomaly event back into this recorder,
+	// which lands (in the ring, the WAL, and the incident tap) strictly
+	// after the EvAlarm event that caused it.
+	r.ObserveSeries(SeriesDivergence, 1)
 }
 
 // AlarmCount returns the number of alarms recorded.
@@ -242,6 +247,8 @@ func formatEventLine(e Event) string {
 		return fmt.Sprintf("%-12s %s after %d calls", e.Kind, e.Name, e.Arg0)
 	case EvFollowerRestarted:
 		return fmt.Sprintf("%-12s %s restart #%d", e.Kind, e.Name, e.Arg0)
+	case EvAnomaly:
+		return fmt.Sprintf("%-12s %s on %s value=%d score=%d.%02d", e.Kind, e.Name, e.Fn, e.Arg0, e.Arg1/100, e.Arg1%100)
 	default:
 		return fmt.Sprintf("%-12s %s 0x%x 0x%x -> 0x%x", e.Kind, e.Name, e.Arg0, e.Arg1, e.Ret)
 	}

@@ -49,14 +49,24 @@ func (h *Hist) Mean() float64 {
 // Quantile returns an upper bound for the q-quantile (0 < q <= 1) from the
 // bucket boundaries — coarse (power-of-two resolution) but allocation-free.
 // The bound is clamped to the observed Max, so q=1.0 never reports a value
-// larger than any real observation.
+// larger than any real observation. Degenerate inputs stay total: an empty
+// histogram answers 0 for every q, a NaN or non-positive q reads as the
+// minimum rank, and q > 1 clamps to the maximum.
 func (h *Hist) Quantile(q float64) uint64 {
 	if h.Count == 0 {
 		return 0
 	}
+	if math.IsNaN(q) || q <= 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
 	rank := uint64(math.Ceil(q * float64(h.Count)))
 	if rank == 0 {
 		rank = 1
+	}
+	if rank > h.Count {
+		rank = h.Count
 	}
 	var seen uint64
 	for i, c := range h.Buckets {

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistDegenerateInputs pins Hist's behavior on the edges: an empty
+// histogram and out-of-range quantile arguments must stay total (return 0
+// or a clamped rank) instead of indexing garbage — the /fleet and
+// /healthz derivations call Quantile with operator-supplied values.
+func TestHistDegenerateInputs(t *testing.T) {
+	var empty Hist
+	one := Hist{}
+	one.observe(100)
+	three := Hist{}
+	for _, v := range []uint64{10, 100, 1000} {
+		three.observe(v)
+	}
+	zeroOnly := Hist{}
+	zeroOnly.observe(0)
+
+	cases := []struct {
+		name string
+		h    *Hist
+		q    float64
+		want uint64
+	}{
+		{"empty q=0.5", &empty, 0.5, 0},
+		{"empty q=1", &empty, 1, 0},
+		{"empty q=NaN", &empty, math.NaN(), 0},
+		{"empty q>1", &empty, 2.5, 0},
+		{"one q=NaN reads min rank", &one, math.NaN(), 100},
+		{"one q=0 reads min rank", &one, 0, 100},
+		{"one q<0 reads min rank", &one, -3, 100},
+		{"one q>1 clamps to max", &one, 7, 100},
+		{"one q=+Inf clamps to max", &one, math.Inf(1), 100},
+		{"one q=-Inf reads min rank", &one, math.Inf(-1), 100},
+		{"three q=0 is the min bucket bound", &three, 0, 15},
+		{"three q=1 clamps to observed max", &three, 1, 1000},
+		{"three q>1 clamps to observed max", &three, 1e9, 1000},
+		{"zero-valued observation q=1", &zeroOnly, 1, 0},
+	}
+	for _, tc := range cases {
+		if got := tc.h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %d, want %d", tc.name, tc.q, got, tc.want)
+		}
+	}
+
+	if got := empty.Mean(); got != 0 {
+		t.Errorf("empty Mean = %v, want 0", got)
+	}
+	if empty.Min != 0 || empty.Max != 0 {
+		t.Errorf("empty Min/Max = %d/%d, want 0/0", empty.Min, empty.Max)
+	}
+}
+
+// TestHistQuantileMonotone checks the quantile bound never decreases as q
+// rises — the property the percentile tables rely on to read sensibly.
+func TestHistQuantileMonotone(t *testing.T) {
+	h := Hist{}
+	for v := uint64(1); v <= 1024; v *= 2 {
+		h.observe(v)
+	}
+	prev := uint64(0)
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile(%v) = %d < previous %d: not monotone", q, got, prev)
+		}
+		prev = got
+	}
+}

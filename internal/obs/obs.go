@@ -100,6 +100,13 @@ const (
 	// span, Ret the request id. Start/end pairs are what let replay
 	// rebuild the fleet latency table from the WAL.
 	EvRequestEnd
+	// EvAnomaly is one streaming-detector firing: Fn is the offending
+	// series name, Name the detector rule ("ewma-z", "rate", "static"),
+	// Arg0 the observed value, Arg1 the detection score scaled by 100,
+	// Ret the series' observation count at firing. Anomaly events flow
+	// through the WAL like any other kind, so the offline incident
+	// rebuild sees exactly the detections the live correlator saw.
+	EvAnomaly
 )
 
 // String names the event kind.
@@ -147,6 +154,8 @@ func (k EventKind) String() string {
 		return "request-start"
 	case EvRequestEnd:
 		return "request-end"
+	case EvAnomaly:
+		return "anomaly"
 	default:
 		return "unknown"
 	}
@@ -228,6 +237,65 @@ const DefaultCapacity = 4096
 // DefaultForensicWindow is the per-variant event tail a report shows.
 const DefaultForensicWindow = 16
 
+// SeriesID names one of the fixed metric series the streaming anomaly
+// detectors (internal/obs/anomaly) consume. The enum is small and closed
+// on purpose: feed sites pass an integer, the detector keeps a fixed
+// array of per-series state, and the hot path never hashes a string.
+type SeriesID uint8
+
+// The detector-fed series.
+const (
+	// SeriesRendezvous is the leader's per-call synchronization cost —
+	// the rendezvous.leader.cycles observations from the lockstep engine.
+	SeriesRendezvous SeriesID = iota
+	// SeriesLag is the pipelined follower's drain lag in calls.
+	SeriesLag
+	// SeriesPipelineDepth is the run-ahead ring occupancy after an append.
+	SeriesPipelineDepth
+	// SeriesDivergence is the alarm stream (one observation per alarm).
+	SeriesDivergence
+	// SeriesFleetLatency is the served-request latency in cycles.
+	SeriesFleetLatency
+	// SeriesCount bounds per-series state arrays.
+	SeriesCount
+)
+
+// seriesNames are the interned series labels EvAnomaly events carry in Fn,
+// matching the recorder metric series each one is fed from.
+var seriesNames = [SeriesCount]string{
+	SeriesRendezvous:    "rendezvous.cycles",
+	SeriesLag:           "rendezvous.lag",
+	SeriesPipelineDepth: "pipeline.depth",
+	SeriesDivergence:    "divergence.rate",
+	SeriesFleetLatency:  "fleet.latency.cycles",
+}
+
+// String names the series (the Fn attribution of its EvAnomaly events).
+func (id SeriesID) String() string {
+	if id >= SeriesCount {
+		return "unknown"
+	}
+	return seriesNames[id]
+}
+
+// SeriesSink consumes metric-series observations — the anomaly detector's
+// input feed. ObserveSeries is invoked OUTSIDE the recorder lock, so an
+// implementation may call back into the Recorder (to record EvAnomaly
+// events); it must be internally synchronized and allocation-free on the
+// non-firing path.
+type SeriesSink interface {
+	ObserveSeries(id SeriesID, ts clock.Cycles, v uint64)
+}
+
+// Tap receives every recorded event immediately after the durable sink —
+// the incident correlator's input feed. TapEvent is invoked under the
+// recorder's lock, in exact record order (which is also WAL order, the
+// property that makes the offline incident rebuild byte-identical), so
+// implementations must be fast and must NOT call back into the Recorder.
+type Tap interface {
+	TapEvent(e Event)
+}
+
 // Sink receives every recorded event and alarm *before* ring eviction can
 // lose it — the hook the black-box trace WAL (internal/obs/blackbox) hangs
 // off. Sink methods are invoked under the recorder's lock, in exact record
@@ -258,7 +326,13 @@ type Recorder struct {
 	alarms  []AlarmInfo
 	evicted uint64
 	sink    Sink
+	tap     Tap
+	series  atomic.Value // SeriesSink, boxed in seriesBox
 }
+
+// seriesBox wraps a SeriesSink so atomic.Value stores stay type-consistent
+// (including the detach case, which stores a box holding nil).
+type seriesBox struct{ s SeriesSink }
 
 // NewRecorder creates an enabled flight recorder.
 func NewRecorder(cfg Config) *Recorder {
@@ -298,6 +372,43 @@ func (r *Recorder) SetSink(s Sink) {
 	r.mu.Lock()
 	r.sink = s
 	r.mu.Unlock()
+}
+
+// SetTap attaches (or, with nil, detaches) an event tap. The tap sees
+// every subsequently recorded event under the recorder lock, in record
+// order — the incident correlator's feed.
+func (r *Recorder) SetTap(t Tap) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tap = t
+	r.mu.Unlock()
+}
+
+// SetSeriesSink attaches (or, with nil, detaches) the metric-series sink
+// the ObserveSeries feed sites deliver to — the anomaly detector's input.
+func (r *Recorder) SetSeriesSink(s SeriesSink) {
+	if r == nil {
+		return
+	}
+	r.series.Store(seriesBox{s: s})
+}
+
+// ObserveSeries delivers one observation of a detector-fed series, stamped
+// with the current virtual-clock reading. Nil-safe and allocation-free; a
+// no-op until SetSeriesSink attaches a consumer. Feed sites call it
+// outside any recorder-internal lock, so the sink may record EvAnomaly
+// events back into this recorder.
+func (r *Recorder) ObserveSeries(id SeriesID, v uint64) {
+	if r == nil {
+		return
+	}
+	box, _ := r.series.Load().(seriesBox)
+	if box.s == nil {
+		return
+	}
+	box.s.ObserveSeries(id, r.now(), v)
 }
 
 // Config returns the recorder's effective configuration (Clock omitted) —
@@ -408,6 +519,9 @@ func (r *Recorder) recordAt(ts clock.Cycles, kind EventKind, v Variant, tid int,
 	if r.sink != nil {
 		r.sink.SinkEvent(e)
 	}
+	if r.tap != nil {
+		r.tap.TapEvent(e)
+	}
 	r.mu.Unlock()
 }
 
@@ -470,6 +584,7 @@ func (r *Recorder) PublishDerived() {
 	r.metrics.SetGauge("events.evicted", float64(evicted))
 	r.metrics.SetGauge("events.total", float64(total))
 	r.metrics.SetGauge("events.buffered", float64(buffered))
+	r.metrics.SetGauge("uptime.cycles", float64(r.now()))
 }
 
 // VariantTotals returns how many events each variant has ever recorded.

@@ -1,0 +1,59 @@
+package replay
+
+import (
+	"testing"
+
+	"smvx/internal/core"
+	"smvx/internal/experiments"
+	"smvx/internal/obs"
+	"smvx/internal/obs/blackbox"
+	"smvx/internal/obs/incident"
+)
+
+// The incident parity criterion: the canonical incident table re-derived
+// offline from the black-box WAL must be byte-identical to the live tap's
+// table. The tap consumes events under the recorder lock in WAL append
+// order, so the offline fold through the same TapEvent sees exactly the
+// live sequence. The run is the paper's CVE exploit replay — a real
+// divergence alarm, not a synthetic stream.
+func TestRebuildIncidentsMatchesLiveCVERun(t *testing.T) {
+	dir := t.TempDir()
+	rec := obs.NewRecorder(obs.Config{})
+	cfg := rec.Config()
+	w, err := blackbox.Open(dir, blackbox.Meta{
+		Capacity: cfg.Capacity, ForensicWindow: cfg.ForensicWindow,
+		Labels: map[string]string{
+			"artifact": "cve", "lockstep": "strict",
+			"incident-window": "12000000",
+		},
+	}, blackbox.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.SetSink(w)
+
+	live := incident.New(12_000_000)
+	rec.SetTap(live)
+	if _, err := experiments.CVEObservedOpts(rec, core.WithPolicy(core.PolicyLeaderContinue)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if live.Count() == 0 {
+		t.Fatal("live CVE run opened no incidents: the exploit alarm should have")
+	}
+
+	r, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 0: the rebuild must pick up the WAL's incident-window label.
+	rebuilt := r.RebuildIncidents(0)
+	if got, want := rebuilt.Window(), live.Window(); got != want {
+		t.Fatalf("rebuilt window = %d, want the WAL label's %d", got, want)
+	}
+	if a, b := live.TableText(), rebuilt.TableText(); a != b {
+		t.Errorf("rebuilt incident table differs from live\nlive:\n%s\nrebuilt:\n%s", a, b)
+	}
+}

@@ -24,7 +24,9 @@ import (
 
 	"smvx/internal/obs"
 	"smvx/internal/obs/blackbox"
+	"smvx/internal/obs/incident"
 	"smvx/internal/obs/ledger"
+	"smvx/internal/sim/clock"
 )
 
 // Replay is one run reconstructed from its WAL directory.
@@ -169,6 +171,26 @@ func (r *Replay) RebuildFleet() *obs.Fleet {
 		f.Apply(e)
 	}
 	return f
+}
+
+// RebuildIncidents re-derives the incident table from the full event
+// stream. Exact like RebuildLedger: the live incident engine is a
+// recorder tap, consuming events under the recorder lock in exactly the
+// order they were appended to the WAL, so folding the stream back through
+// the same TapEvent reproduces the live correlation state and a
+// byte-identical canonical table (forensic bundles are live-only captures
+// and excluded from that table). The correlation window comes from the
+// WAL's "incident-window" meta label when present; window <= 0 with no
+// label uses the engine default.
+func (r *Replay) RebuildIncidents(window clock.Cycles) *incident.Engine {
+	if v, err := strconv.ParseUint(r.Run.Meta.Labels["incident-window"], 10, 64); err == nil && v > 0 {
+		window = clock.Cycles(v)
+	}
+	eng := incident.New(window)
+	for _, e := range r.Run.Events {
+		eng.TapEvent(e)
+	}
+	return eng
 }
 
 // spanKind splits the "<kind>:<detail>" span naming convention.

@@ -17,6 +17,7 @@ import (
 
 	"smvx/internal/obs"
 	"smvx/internal/obs/blackbox"
+	"smvx/internal/obs/incident"
 	"smvx/internal/obs/ledger"
 )
 
@@ -49,6 +50,7 @@ type Server struct {
 	bb      *blackbox.Writer
 	led     *ledger.Ledger
 	fleet   *obs.Fleet
+	inc     *incident.Engine
 
 	ln net.Listener
 }
@@ -77,6 +79,11 @@ func WithLedger(l *ledger.Ledger) Option { return func(s *Server) { s.led = l } 
 // WithFleet attaches a request-fleet aggregate; /fleet then serves its
 // JSON snapshot and /metrics gains the labeled smvx_fleet_* series.
 func WithFleet(f *obs.Fleet) Option { return func(s *Server) { s.fleet = f } }
+
+// WithIncidents attaches an incident engine; /incidents then serves its
+// JSON snapshot, /metrics gains the smvx_incidents_* series, and /healthz
+// reports the active-incident count.
+func WithIncidents(e *incident.Engine) Option { return func(s *Server) { s.inc = e } }
 
 // New creates a telemetry server over rec (which may be nil: every
 // endpoint still answers, with empty metrics and trivially-healthy state).
@@ -120,6 +127,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/blackbox", s.handleBlackbox)
 	mux.HandleFunc("/ledger", s.handleLedger)
 	mux.HandleFunc("/fleet", s.handleFleet)
+	mux.HandleFunc("/incidents", s.handleIncidents)
 	mux.HandleFunc("/", s.handleIndex)
 	return mux
 }
@@ -159,10 +167,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.rec.PublishDerived()
 	s.mu.Lock()
-	led, fleet := s.led, s.fleet
+	led, fleet, inc := s.led, s.fleet, s.inc
 	s.mu.Unlock()
 	led.PublishTo(s.rec.Metrics())
 	fleet.PublishTo(s.rec.Metrics())
+	inc.PublishTo(s.rec.Metrics())
 	s.rec.Metrics().WritePrometheus(w) //nolint:errcheck // client went away
 }
 
@@ -179,13 +188,15 @@ type healthState struct {
 	RequestsTotal   uint64   `json:"requests_total"`
 	FleetP99Cycles  uint64   `json:"fleet_p99_cycles"`
 	Concurrency     int64    `json:"concurrency"`
+	UptimeCycles    uint64   `json:"uptime_cycles"`
+	IncidentsActive int      `json:"incidents_active"`
 	WatchdogTripped bool     `json:"watchdog_tripped"`
 	WatchdogReasons []string `json:"watchdog_reasons,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	h, wd, fleet := s.health, s.wd, s.fleet
+	h, wd, fleet, inc := s.health, s.wd, s.fleet, s.inc
 	s.mu.Unlock()
 
 	st := healthState{Status: "ok", Phase: "unknown", FollowerLive: true, LockstepMode: "unknown"}
@@ -201,6 +212,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st.PipelineDepth, _ = s.rec.Metrics().Gauge(obs.MetricPipelineDepth)
 	st.Alarms = s.rec.AlarmCount()
 	st.EventsEvicted = s.rec.Evicted()
+	st.UptimeCycles = uint64(s.rec.Now())
+	st.IncidentsActive = inc.ActiveAt(s.rec.Now())
 	if fleet != nil {
 		_, completed, aborted, active := fleet.Totals()
 		st.RequestsTotal = completed + aborted
@@ -298,11 +311,23 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	fleet.WriteJSON(w) //nolint:errcheck // client went away
 }
 
+func (s *Server) handleIncidents(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	inc := s.inc
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if inc == nil {
+		fmt.Fprintln(w, `{"enabled": false}`)
+		return
+	}
+	inc.WriteJSON(w) //nolint:errcheck // client went away
+}
+
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, "smvx telemetry\n\n/metrics    Prometheus text format\n/healthz    monitor health (503 when SLO watchdog tripped)\n/trace.json Chrome trace of recorded events and spans\n/forensics  divergence forensics reports\n/profile    folded stacks from the virtual-cycle sampler\n/blackbox   live trace-WAL directory snapshot\n/ledger     rendezvous cost ledger (phase-level cycle/alloc breakdown)\n/fleet      per-app request latency/throughput aggregate\n")
+	fmt.Fprint(w, "smvx telemetry\n\n/metrics    Prometheus text format\n/healthz    monitor health (503 when SLO watchdog tripped)\n/trace.json Chrome trace of recorded events and spans\n/forensics  divergence forensics reports\n/profile    folded stacks from the virtual-cycle sampler\n/blackbox   live trace-WAL directory snapshot\n/ledger     rendezvous cost ledger (phase-level cycle/alloc breakdown)\n/fleet      per-app request latency/throughput aggregate\n/incidents  correlated incident timeline with root-cause attribution\n")
 }

@@ -26,6 +26,8 @@ import (
 	"smvx/internal/core"
 	"smvx/internal/libc"
 	"smvx/internal/obs"
+	"smvx/internal/obs/anomaly"
+	"smvx/internal/obs/incident"
 	"smvx/internal/obs/ledger"
 	"smvx/internal/perfprof"
 	"smvx/internal/sim/clock"
@@ -115,6 +117,20 @@ type (
 	RequestTracker = apputil.RequestTracker
 	// Sampler is the virtual-cycle profiling sampler.
 	Sampler = perfprof.Sampler
+	// AnomalyDetector runs deterministic streaming detectors (EWMA
+	// z-score, rate-of-change, static threshold) over the recorder's
+	// metric series; firings record EvAnomaly events.
+	AnomalyDetector = anomaly.Detector
+	// AnomalyConfig tunes the detector rules (start from DefaultAnomalyConfig).
+	AnomalyConfig = anomaly.Config
+	// IncidentEngine correlates alarms, faults, detaches, watchdog trips,
+	// and anomalies into incidents with causal timelines and root-cause
+	// attribution (served at /incidents).
+	IncidentEngine = incident.Engine
+	// Incident is one correlated group of signal events.
+	Incident = incident.Incident
+	// IncidentSeverity ranks an incident (info through critical).
+	IncidentSeverity = incident.Severity
 
 	// RunConfig is the shared run-configuration surface of the smvx
 	// binaries (observability, policy, chaos, lockstep flags), usable by
@@ -199,6 +215,20 @@ func NewLedger() *Ledger { return ledger.New() }
 
 // NewFleet creates an empty request-fleet aggregate.
 func NewFleet() *Fleet { return obs.NewFleet() }
+
+// DefaultAnomalyConfig returns the detector configuration the -anomaly
+// flag enables.
+func DefaultAnomalyConfig() AnomalyConfig { return anomaly.Defaults() }
+
+// NewAnomalyDetector creates a detector recording into rec; attach it
+// with rec.SetSeriesSink.
+func NewAnomalyDetector(rec *Recorder, cfg AnomalyConfig) *AnomalyDetector {
+	return anomaly.New(rec, cfg)
+}
+
+// NewIncidentEngine creates an incident correlator with the given window
+// in cycles (0 uses the default); attach it with rec.SetTap.
+func NewIncidentEngine(window Cycles) *IncidentEngine { return incident.New(window) }
 
 // Parsers for the flag spellings of the enumerated options, re-exported.
 var (
