@@ -2,6 +2,7 @@
 package apputil
 
 import (
+	"errors"
 	"sync"
 
 	"smvx/internal/obs"
@@ -10,17 +11,21 @@ import (
 
 // CallProtected invokes fn(args) on t, wrapping the call in
 // mvx_start()/mvx_end() when fn is the configured protected root — the
-// three-line instrumentation of Listing 1. With mvx nil or a different
-// protected root, it is a plain call.
-func CallProtected(t *machine.Thread, mvx machine.MVX, protect, fn string, args ...uint64) uint64 {
+// three-line instrumentation of Listing 1. The region runs through
+// MVX.Invoke, so a survivable policy can unwind a compromised region back
+// to this boundary instead of crashing the caller. With mvx nil or a
+// different protected root, it is a plain call.
+//
+// The second result reports that the region was rolled back to its entry
+// checkpoint: none of the region's work happened, and the caller must
+// discard any external state the region was serving (drop the connection
+// whose request was being parsed) rather than carry on as if it completed.
+func CallProtected(t *machine.Thread, mvx machine.MVX, protect, fn string, args ...uint64) (uint64, bool) {
 	if mvx != nil && protect == fn {
-		if err := mvx.Start(t, fn, args...); err == nil {
-			ret := t.Call(fn, args...)
-			_ = mvx.End(t)
-			return ret
-		}
+		ret, err := mvx.Invoke(t, fn, args...)
+		return ret, errors.Is(err, machine.ErrRegionRolledBack)
 	}
-	return t.Call(fn, args...)
+	return t.Call(fn, args...), false
 }
 
 // RequestTracker stitches a server's accept → read → protected-region →

@@ -11,6 +11,7 @@ import (
 type recordingMVX struct {
 	calls    []string
 	startErr error
+	endErr   error
 }
 
 func (r *recordingMVX) Init(*machine.Thread) error { r.calls = append(r.calls, "init"); return nil }
@@ -18,7 +19,18 @@ func (r *recordingMVX) Start(_ *machine.Thread, fn string, _ ...uint64) error {
 	r.calls = append(r.calls, "start:"+fn)
 	return r.startErr
 }
-func (r *recordingMVX) End(*machine.Thread) error { r.calls = append(r.calls, "end"); return nil }
+func (r *recordingMVX) End(*machine.Thread) error { r.calls = append(r.calls, "end"); return r.endErr }
+
+// Invoke mirrors Monitor.Invoke's shape on the recording fake: a failed
+// Start falls back to a plain call, otherwise the call runs between the
+// Start and End hooks.
+func (r *recordingMVX) Invoke(t *machine.Thread, fn string, args ...uint64) (uint64, error) {
+	if err := r.Start(t, fn, args...); err != nil {
+		return t.Call(fn, args...), nil
+	}
+	ret := t.Call(fn, args...)
+	return ret, r.End(t)
+}
 
 func TestCallProtectedWrapsMatchingRoot(t *testing.T) {
 	th, prog := testThread(t)
@@ -26,7 +38,7 @@ func TestCallProtectedWrapsMatchingRoot(t *testing.T) {
 	mvx := &recordingMVX{}
 	var got uint64
 	_ = th.Run(func(tt *machine.Thread) {
-		got = CallProtected(tt, mvx, "target", "target", 1, 2)
+		got, _ = CallProtected(tt, mvx, "target", "target", 1, 2)
 	})
 	if got != 7 {
 		t.Errorf("ret = %d", got)
@@ -53,10 +65,35 @@ func TestCallProtectedNilMVXPlainCall(t *testing.T) {
 	prog.MustDefine("target", func(*machine.Thread, []uint64) uint64 { return 3 })
 	var got uint64
 	_ = th.Run(func(tt *machine.Thread) {
-		got = CallProtected(tt, nil, "target", "target")
+		got, _ = CallProtected(tt, nil, "target", "target")
 	})
 	if got != 3 {
 		t.Errorf("ret = %d", got)
+	}
+}
+
+func TestCallProtectedReportsRollback(t *testing.T) {
+	th, prog := testThread(t)
+	prog.MustDefine("target", func(*machine.Thread, []uint64) uint64 { return 5 })
+	mvx := &recordingMVX{endErr: machine.ErrRegionRolledBack}
+	var got uint64
+	var rolled bool
+	_ = th.Run(func(tt *machine.Thread) {
+		got, rolled = CallProtected(tt, mvx, "target", "target")
+	})
+	if !rolled {
+		t.Error("rolled-back region not reported to the caller")
+	}
+	if got != 5 {
+		t.Errorf("ret = %d", got)
+	}
+	// Any other End error stays advisory-free: no rollback flag.
+	mvx = &recordingMVX{endErr: errors.New("rendezvous timeout")}
+	_ = th.Run(func(tt *machine.Thread) {
+		_, rolled = CallProtected(tt, mvx, "target", "target")
+	})
+	if rolled {
+		t.Error("non-rollback End error misreported as a rollback")
 	}
 }
 
@@ -66,7 +103,7 @@ func TestCallProtectedStartFailureFallsBack(t *testing.T) {
 	mvx := &recordingMVX{startErr: errors.New("variant creation failed")}
 	var got uint64
 	_ = th.Run(func(tt *machine.Thread) {
-		got = CallProtected(tt, mvx, "target", "target")
+		got, _ = CallProtected(tt, mvx, "target", "target")
 	})
 	if got != 9 {
 		t.Error("failed Start must still execute the function unprotected")

@@ -145,15 +145,12 @@ func (s *Server) Config() Config { return s.cfg }
 // SetMVX installs the protection engine after construction.
 func (s *Server) SetMVX(m machine.MVX) { s.cfg.MVX = m }
 
+// protectCall wraps t.Call in mvx_start/mvx_end (via MVX.Invoke, so a
+// survivable policy can unwind a compromised region to this boundary) when
+// name is the protected root.
 func (s *Server) protectCall(t *machine.Thread, name string, args ...uint64) uint64 {
-	if s.cfg.MVX != nil && s.cfg.Protect == name {
-		if err := s.cfg.MVX.Start(t, name, args...); err == nil {
-			ret := t.Call(name, args...)
-			_ = s.cfg.MVX.End(t)
-			return ret
-		}
-	}
-	return t.Call(name, args...)
+	ret, _ := apputil.CallProtected(t, s.cfg.MVX, s.cfg.Protect, name, args...)
+	return ret
 }
 
 func (s *Server) define() {
@@ -281,7 +278,14 @@ func (s *Server) fnFdeventPoll(t *machine.Thread, _ []uint64) uint64 {
 			continue
 		}
 		t.Block("conn-ready")
-		s.protectCall(t, "connection_state_machine", data)
+		_, rolled := apputil.CallProtected(t, s.cfg.MVX, s.cfg.Protect,
+			"connection_state_machine", data)
+		if rolled {
+			// The region's request processing was undone and its response
+			// never sent — drop the connection so the client sees EOF
+			// instead of blocking on the vanished response.
+			t.Call("connection_close", data)
+		}
 		if t.Load64(t.Global("srv_stop_flag")) != 0 {
 			break
 		}

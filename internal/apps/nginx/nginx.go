@@ -185,16 +185,12 @@ func (s *Server) Config() Config { return s.cfg }
 func (s *Server) SetMVX(m machine.MVX) { s.cfg.MVX = m }
 
 // protectCall wraps t.Call in mvx_start/mvx_end when name is the protected
-// root.
+// root. The region runs through MVX.Invoke: a survivable policy (rollback)
+// can unwind a hijacked region back to this boundary — the worker survives
+// the exploit instead of dying mid-ROP-chain.
 func (s *server) protectCall(t *machine.Thread, name string, args ...uint64) uint64 {
-	if s.cfg.MVX != nil && s.cfg.Protect == name {
-		if err := s.cfg.MVX.Start(t, name, args...); err == nil {
-			ret := t.Call(name, args...)
-			_ = s.cfg.MVX.End(t)
-			return ret
-		}
-	}
-	return t.Call(name, args...)
+	ret, _ := apputil.CallProtected(t, s.cfg.MVX, s.cfg.Protect, name, args...)
+	return ret
 }
 
 func (s *server) define(prog *machine.Program) {
@@ -417,10 +413,19 @@ func (s *server) fnWaitRequestHandler(t *machine.Thread, args []uint64) uint64 {
 	// ngx_http_create_request does.
 	req := t.Libc("calloc", 1, 256)
 	t.Store64(conn+connOffState, req)
-	s.protectCall(t, "ngx_http_process_request_line", uint64(conn))
+	_, rolled := apputil.CallProtected(t, s.cfg.MVX, s.cfg.Protect,
+		"ngx_http_process_request_line", uint64(conn))
 	if r := t.Load64(conn + connOffState); r != 0 {
 		t.Libc("free", r)
 		t.Store64(conn+connOffState, 0)
+	}
+	if rolled {
+		// The region was undone: the request was never served and the
+		// response path (send + close inside the region) never executed.
+		// Drop the connection so the client sees EOF instead of waiting on
+		// a response that no longer exists — the rolled-back request costs
+		// one connection reset, not the worker.
+		s.protectCall(t, "ngx_close_connection", uint64(conn))
 	}
 
 	// Account the request and stop at the configured limit.

@@ -39,6 +39,8 @@ type Config struct {
 	Blackbox           string
 	Policy             string
 	RestartBudget      int
+	SnapshotInterval   uint64
+	RollbackBudget     int
 	RendezvousDeadline uint64
 	Chaos              string
 	ChaosSeed          int64
@@ -71,10 +73,12 @@ func (c *Config) Register(fs *flag.FlagSet) {
 	fs.StringVar(&c.Telemetry, "telemetry", "", "serve live telemetry on this address (e.g. :9090): /metrics /healthz /trace.json /forensics /profile /blackbox")
 	fs.DurationVar(&c.Linger, "linger", 0, "keep the telemetry server up this long after the run (with -telemetry)")
 	fs.StringVar(&c.Blackbox, "blackbox", "", "spill every recorded event to a black-box trace WAL in this directory (inspect with smvx-replay)")
-	fs.StringVar(&c.Policy, "policy", "kill-both", "divergence policy: kill-both | leader-continue | restart-follower")
+	fs.StringVar(&c.Policy, "policy", "kill-both", "divergence policy: kill-both | leader-continue | restart-follower | rollback")
 	fs.IntVar(&c.RestartBudget, "restart-budget", core.DefaultRestartBudget, "follower re-clones before restart-follower degrades to leader-continue")
+	fs.Uint64Var(&c.SnapshotInterval, "snapshot-interval", uint64(core.DefaultSnapshotInterval), "virtual-cycle cadence between rollback checkpoints (with -policy rollback; 0 keeps only each region's entry checkpoint)")
+	fs.IntVar(&c.RollbackBudget, "rollback-budget", core.DefaultRollbackBudget, "consecutive same-ordinal rollbacks before the rollback policy escalates to kill-both")
 	fs.Uint64Var(&c.RendezvousDeadline, "rendezvous-deadline", uint64(core.DefaultRendezvousDeadline), "virtual-cycle rendezvous deadline (0 disables the watchdog)")
-	fs.StringVar(&c.Chaos, "chaos", "", "inject follower faults: comma-separated kind[@call][:bit] (follower-crash, arg-flip, ipc-truncate, stall, emu-corrupt)")
+	fs.StringVar(&c.Chaos, "chaos", "", "inject follower faults: comma-separated kind[@call][:bit][:repeat-every:N] (follower-crash, arg-flip, ipc-truncate, stall, emu-corrupt)")
 	fs.Int64Var(&c.ChaosSeed, "chaos-seed", 0, "seed deriving @call-less chaos ordinals (default: -seed)")
 	fs.StringVar(&c.Lockstep, "lockstep", "strict", "lockstep mode: strict | pipelined")
 	fs.IntVar(&c.LagWindow, "lag-window", core.DefaultLagWindow, "pipelined lockstep run-ahead window, in libc calls")
@@ -128,6 +132,8 @@ func (c *Config) Resolve(labels map[string]string) (*Runtime, error) {
 	rt.monOpts = []core.Option{
 		core.WithPolicy(pol),
 		core.WithRestartBudget(c.RestartBudget),
+		core.WithSnapshotInterval(clock.Cycles(c.SnapshotInterval)),
+		core.WithRollbackBudget(c.RollbackBudget),
 		core.WithRendezvousDeadline(clock.Cycles(c.RendezvousDeadline)),
 		core.WithLockstepMode(mode),
 		core.WithLagWindow(c.LagWindow),
@@ -168,6 +174,12 @@ func (c *Config) Resolve(labels map[string]string) (*Runtime, error) {
 		wl["lockstep"] = mode.String()
 		wl["policy"] = pol.String()
 		wl["lag-window"] = fmt.Sprintf("%d", c.LagWindow)
+		if pol == core.PolicyRollback {
+			// Stamp the survivable-MVX knobs so an offline rebuild of a
+			// rollback run is labeled like the live one.
+			wl["snapshot-interval"] = fmt.Sprintf("%d", c.SnapshotInterval)
+			wl["rollback-budget"] = fmt.Sprintf("%d", c.RollbackBudget)
+		}
 		if c.Incidents {
 			// Stamp the correlation window so smvx-replay incidents folds
 			// the stream with exactly the live engine's window.
@@ -264,6 +276,9 @@ func (rt *Runtime) AttachMonitor(mon *core.Monitor) {
 			Phase:        mon.Phase,
 			FollowerLive: mon.FollowerLive,
 			Lockstep:     mon.LockstepConfig,
+			Rollback: func() (int, int, bool) {
+				return mon.Snapshots(), mon.Rollbacks(), mon.Escalated()
+			},
 		})
 	}
 }

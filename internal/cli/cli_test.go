@@ -2,6 +2,7 @@ package cli
 
 import (
 	"flag"
+	"strings"
 	"testing"
 
 	"smvx/internal/core"
@@ -50,8 +51,8 @@ func TestRegisterParsesSharedSurface(t *testing.T) {
 	if rt.Chaos == nil {
 		t.Error("chaos plan not built")
 	}
-	if n := len(rt.MonitorOptions()); n != 5 {
-		t.Errorf("monitor options = %d, want 5 (policy, budget, deadline, mode, lag)", n)
+	if n := len(rt.MonitorOptions()); n != 7 {
+		t.Errorf("monitor options = %d, want 7 (policy, restart budget, snapshot interval, rollback budget, deadline, mode, lag)", n)
 	}
 }
 
@@ -62,15 +63,43 @@ func TestEffectiveChaosSeedFallsBackToSeed(t *testing.T) {
 	}
 }
 
-func TestResolveRejectsBadEnums(t *testing.T) {
-	if _, err := (&Config{Policy: "bogus", Lockstep: "strict"}).Resolve(nil); err == nil {
-		t.Error("bad policy accepted")
+// TestResolveRejectsBadFlagValues tables every Resolve parse-failure path:
+// the error must name the rejected value and teach the valid spellings.
+func TestResolveRejectsBadFlagValues(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want []string // substrings the error must carry
+	}{
+		{"unknown policy", Config{Policy: "bogus", Lockstep: "strict"},
+			[]string{"bogus", "kill-both", "leader-continue", "restart-follower", "rollback"}},
+		{"policy typo near rollback", Config{Policy: "roll-back", Lockstep: "strict"},
+			[]string{"roll-back", "rollback"}},
+		{"unknown lockstep", Config{Policy: "kill-both", Lockstep: "bogus"},
+			[]string{"bogus", "strict", "pipelined"}},
+		{"unknown chaos kind", Config{Policy: "kill-both", Chaos: "not-a-fault"},
+			[]string{"not-a-fault", "follower-crash", "arg-flip", "ipc-truncate", "stall", "emu-corrupt"}},
+		{"zero chaos ordinal", Config{Policy: "kill-both", Chaos: "follower-crash@0"},
+			[]string{"bad call ordinal", "follower-crash@0"}},
+		{"non-numeric chaos bit", Config{Policy: "kill-both", Chaos: "arg-flip@3:boom"},
+			[]string{"bad bit", "arg-flip@3:boom"}},
+		{"zero repeat-every period", Config{Policy: "kill-both", Chaos: "arg-flip@3:repeat-every:0"},
+			[]string{"bad repeat-every period"}},
+		{"empty chaos spec", Config{Policy: "kill-both", Chaos: " , "},
+			[]string{"empty chaos spec"}},
 	}
-	if _, err := (&Config{Policy: "kill-both", Lockstep: "bogus"}).Resolve(nil); err == nil {
-		t.Error("bad lockstep mode accepted")
-	}
-	if _, err := (&Config{Policy: "kill-both", Chaos: "not-a-fault"}).Resolve(nil); err == nil {
-		t.Error("bad chaos spec accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := tc.cfg.Resolve(nil)
+			if err == nil {
+				t.Fatal("bad value accepted")
+			}
+			for _, w := range tc.want {
+				if !strings.Contains(err.Error(), w) {
+					t.Errorf("error %q missing %q", err, w)
+				}
+			}
+		})
 	}
 }
 

@@ -92,6 +92,14 @@ type session struct {
 
 	leaderOnly bool // degraded session that never had a follower
 	restarted  bool // session whose follower is a policy re-clone
+	abortable  bool // region entered via Invoke: a guarded frame can catch a mid-flight abort
+
+	// Rollback state (PolicyRollback; see snapshot.go): snapped marks that
+	// this region captured its entry checkpoint (leader goroutine only);
+	// rollbackCause holds the root-cause ordinal of the region's first
+	// alarm, stored as ordinal+1 so zero means "no alarm yet".
+	snapped       bool
+	rollbackCause atomic.Uint64
 
 	// fCycles is the follower thread's cycle total at its previous
 	// rendezvous; only the follower goroutine touches it (lag bookkeeping).
@@ -249,7 +257,9 @@ func (s *session) leaderCall(t *machine.Thread, name string, args []uint64) uint
 	idx := s.calls.Add(1)
 	if s.detached() {
 		// Degraded single-variant mode after a policy detach: no
-		// rendezvous to charge or wait for.
+		// rendezvous to charge or wait for. Under rollback the detach means
+		// the follower faulted — unwind instead of running un-replicated.
+		s.maybeAbortRegion(t, name, idx)
 		return s.mon.lib.Call(t, name, args)
 	}
 	s.mon.m.ChargeThread(t, s.mon.m.Costs().LockstepRendezvous)
@@ -304,9 +314,12 @@ func (s *session) leaderCall(t *machine.Thread, name string, args []uint64) uint
 	case <-s.followerDead:
 		s.waitingSince.Store(0)
 		// The follower died mid-region (e.g. faulted on a gadget
-		// address). The alarm is raised by the variant waiter; the leader
-		// continues un-replicated so the region can wind down.
+		// address). The alarm is raised by the variant waiter; under
+		// rollback the region is unwound right here — the leader may be
+		// executing hijacked control flow — otherwise the leader continues
+		// un-replicated so the region can wind down.
 		s.diverged.Store(true)
+		s.maybeAbortRegion(t, name, idx)
 		ret := s.mon.lib.Call(t, name, args)
 		span.End(ret)
 		return ret
@@ -352,6 +365,15 @@ func (s *session) leaderTimedOut(t *machine.Thread, name string, args []uint64, 
 // leaderPaired handles a rendezvous where both variants arrived.
 func (s *session) leaderPaired(t *machine.Thread, name string, args []uint64, rec *callRecord, idx uint64) uint64 {
 	obsRec := s.mon.rec
+	if s.mon.snapshotDue(s) {
+		// A quiescent anchor point: both variants are parked at the same
+		// ordinal (in pipelined mode this is a barrier, so the ring is
+		// drained) and no emulation is in flight. The checkpoint lands
+		// before this call's divergence checks — a rendezvous that fails
+		// them below was still quiescent when captured, and the budget
+		// catches a checkpoint that keeps absorbing the same divergence.
+		s.mon.captureCheckpoint(s, t, rec, name, idx)
+	}
 	cmpMark := s.lr.Mark()
 	// Lockstep check 0: the IPC record itself must decode. A record that
 	// does not frame correctly cannot be compared, which is itself a
@@ -593,6 +615,12 @@ func (s *session) emulate(name string, leaderArgs, followerArgs []uint64, ret ui
 		}
 		_ = as.CopyTaint(dst, src, n)
 		s.mon.m.ChargeThread(nil, costs.LockstepCopyPerByte*cyclesOf(n))
+		if s.mon.opts.Policy == PolicyRollback {
+			// The kernel-sourced bytes just landed in the follower's
+			// buffer; log them so a rollback can replay the post-snapshot
+			// libc tail (buf is freshly allocated per call — safe to keep).
+			s.mon.redo.Append(idx, name, dst, buf)
+		}
 		return n
 	}
 
@@ -640,6 +668,9 @@ func (s *session) emulate(name string, leaderArgs, followerArgs []uint64, ret ui
 			}
 			if err := as.WriteAt(dst+mem.Addr(i*16), entry[:]); err != nil {
 				break
+			}
+			if s.mon.opts.Policy == PolicyRollback {
+				s.mon.redo.Append(idx, name, dst+mem.Addr(i*16), append([]byte(nil), entry[:]...))
 			}
 			total += 16
 		}

@@ -186,6 +186,10 @@ type RegionReport struct {
 	// FollowerRestarted reports that PolicyRestartFollower re-cloned a
 	// fresh follower at this region's entry.
 	FollowerRestarted bool
+	// RolledBack reports that PolicyRollback restored both variants to
+	// the last checkpoint and replayed the redo tail at this region's
+	// exit; the next region re-arms full lockstep.
+	RolledBack bool
 }
 
 // Options configures the monitor.
@@ -241,6 +245,18 @@ type Options struct {
 	// barrier, libc) from every protected-region libc call. Nil (the
 	// default) keeps the hot path ledger-free.
 	Ledger *ledger.Ledger
+	// SnapshotInterval is PolicyRollback's checkpoint cadence in virtual
+	// cycles: a copy-on-write checkpoint of both variants is captured at
+	// the first quiescent rendezvous after the interval elapses (default
+	// DefaultSnapshotInterval; zero disables mid-region checkpoints, so
+	// only the per-region entry checkpoint is kept). Ignored under other
+	// policies.
+	SnapshotInterval clock.Cycles
+	// RollbackBudget bounds how many consecutive rollbacks PolicyRollback
+	// absorbs at the same root-cause ordinal before escalating to
+	// kill-both (default DefaultRollbackBudget). A clean region resets
+	// the streak.
+	RollbackBudget int
 }
 
 // Option mutates Options.
@@ -310,6 +326,18 @@ func WithLedger(l *ledger.Ledger) Option {
 	return func(o *Options) { o.Ledger = l }
 }
 
+// WithSnapshotInterval sets PolicyRollback's checkpoint cadence in virtual
+// cycles (0 keeps only the per-region entry checkpoint).
+func WithSnapshotInterval(c clock.Cycles) Option {
+	return func(o *Options) { o.SnapshotInterval = c }
+}
+
+// WithRollbackBudget bounds PolicyRollback's consecutive same-ordinal
+// rollbacks before escalating to kill-both.
+func WithRollbackBudget(n int) Option {
+	return func(o *Options) { o.RollbackBudget = n }
+}
+
 // Monitor is the in-process sMVX monitor.
 type Monitor struct {
 	m    *machine.Machine
@@ -353,6 +381,21 @@ type Monitor struct {
 	degraded      bool         // a follower was detached; regions run leader-only
 	restartsUsed  int
 	nextRestartAt clock.Cycles // earliest virtual time a restart may happen
+
+	// Rollback state (PolicyRollback; see snapshot.go). ckpt is the last
+	// captured variant checkpoint and redo the emulation-write log since
+	// its capture. lastSnapAt is leader-goroutine-only (checkpoints are
+	// captured inside a rendezvous). The streak fields count consecutive
+	// rollbacks at the same root-cause ordinal; escalated flips once the
+	// RollbackBudget is exhausted and is read lock-free by contain().
+	ckpt                *VariantSnapshot
+	redo                *RedoLog
+	lastSnapAt          clock.Cycles
+	snapshots           int
+	rollbacks           int
+	lastRollbackOrdinal uint64
+	rollbackStreak      int
+	escalated           atomic.Bool
 }
 
 var _ machine.MVX = (*Monitor)(nil)
@@ -368,6 +411,8 @@ func New(m *machine.Machine, lib *libc.LibC, opts ...Option) *Monitor {
 		RestartBackoff:     DefaultRestartBackoff,
 		RendezvousDeadline: DefaultRendezvousDeadline,
 		LagWindow:          DefaultLagWindow,
+		SnapshotInterval:   DefaultSnapshotInterval,
+		RollbackBudget:     DefaultRollbackBudget,
 	}
 	for _, fn := range opts {
 		fn(&o)
@@ -377,6 +422,9 @@ func New(m *machine.Machine, lib *libc.LibC, opts ...Option) *Monitor {
 	}
 	if o.LagWindow < 1 {
 		o.LagWindow = 1
+	}
+	if o.RollbackBudget < 0 {
+		o.RollbackBudget = 0
 	}
 	mo := &Monitor{
 		m:           m,
@@ -388,6 +436,7 @@ func New(m *machine.Machine, lib *libc.LibC, opts ...Option) *Monitor {
 		safeStacks:  make(map[int]mem.Addr),
 		regionCalls: make(map[string]uint64),
 		quarantined: make(map[int]bool),
+		redo:        NewRedoLog(),
 	}
 	if mo.led != nil {
 		// Charge the libc dispatch itself to the ledger's libc phase. The
@@ -609,6 +658,11 @@ func (mo *Monitor) raiseAlarm(a Alarm, snaps ...obs.ThreadSnapshot) {
 	mo.mu.Lock()
 	mo.alarms = append(mo.alarms, a)
 	handler := mo.alarmHandler
+	if s := mo.session; s != nil {
+		// The region's first alarm is the rollback root cause (stored as
+		// ordinal+1 so an ordinal-0 alarm still marks the slot taken).
+		s.rollbackCause.CompareAndSwap(0, a.CallIndex+1)
+	}
 	mo.mu.Unlock()
 	mo.rec.Alarm(obs.AlarmInfo{
 		Reason:       a.Reason.String(),

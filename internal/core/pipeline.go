@@ -122,14 +122,20 @@ const (
 func (s *session) leaderCallPipelined(t *machine.Thread, name string, args []uint64) uint64 {
 	idx := s.calls.Add(1)
 	if s.detached() {
-		// Degraded single-variant mode after a policy detach.
+		// Degraded single-variant mode after a policy detach. Under
+		// rollback the detach means the follower was severed mid-region —
+		// unwind instead of running un-replicated.
+		s.maybeAbortRegion(t, name, idx)
 		return s.mon.lib.Call(t, name, args)
 	}
 	select {
 	case <-s.followerDead:
 		// The follower died mid-region; the variant waiter raises the
-		// alarm, the leader continues un-replicated (as in strict mode).
+		// alarm. Under rollback the region is unwound here (the leader's
+		// remaining control flow is suspect); otherwise the leader
+		// continues un-replicated (as in strict mode).
 		s.diverged.Store(true)
+		s.maybeAbortRegion(t, name, idx)
 		return s.mon.lib.Call(t, name, args)
 	default:
 	}
@@ -168,11 +174,13 @@ func (s *session) leaderCallPipelined(t *machine.Thread, name string, args []uin
 	switch s.appendRecord(t, rec) {
 	case appendDead:
 		s.diverged.Store(true)
+		s.maybeAbortRegion(t, name, idx)
 	case appendTimedOut:
 		s.enqueueTimedOut(t, name, idx)
 	case appendDetached:
 		// The follower severed itself at drain time; bookkeeping and the
-		// alarm already happened on its goroutine.
+		// alarm already happened on its goroutine. Rollback unwinds here.
+		s.maybeAbortRegion(t, name, idx)
 	case appendOK:
 		now := s.mon.m.Counter().Cycles()
 		if obsRec := s.mon.rec; obsRec != nil {
@@ -297,10 +305,12 @@ func (s *session) leaderBarrier(t *machine.Thread, name string, args []uint64, i
 	switch s.appendRecord(t, rec) {
 	case appendDead:
 		s.diverged.Store(true)
+		s.maybeAbortRegion(t, name, idx)
 		ret := s.mon.lib.Call(t, name, args)
 		span.End(ret)
 		return ret
 	case appendDetached:
+		s.maybeAbortRegion(t, name, idx)
 		ret := s.mon.lib.Call(t, name, args)
 		span.End(ret)
 		return ret
@@ -352,10 +362,12 @@ func (s *session) leaderBarrier(t *machine.Thread, name string, args []uint64, i
 		return ret
 	case <-s.followerDead:
 		s.diverged.Store(true)
+		s.maybeAbortRegion(t, name, idx)
 		ret := s.mon.lib.Call(t, name, args)
 		span.End(ret)
 		return ret
 	case <-s.detachCh:
+		s.maybeAbortRegion(t, name, idx)
 		ret := s.mon.lib.Call(t, name, args)
 		span.End(ret)
 		return ret
@@ -369,10 +381,12 @@ func (s *session) leaderBarrier(t *machine.Thread, name string, args []uint64, i
 			return ret
 		case <-s.followerDead:
 			s.diverged.Store(true)
+			s.maybeAbortRegion(t, name, idx)
 			ret := s.mon.lib.Call(t, name, args)
 			span.End(ret)
 			return ret
 		case <-s.detachCh:
+			s.maybeAbortRegion(t, name, idx)
 			ret := s.mon.lib.Call(t, name, args)
 			span.End(ret)
 			return ret
@@ -746,6 +760,11 @@ func (s *session) applyResult(t *machine.Thread, name string, idx uint64, largs,
 		}
 		_ = as.CopyTaint(dst, src, len(b.data))
 		s.mon.m.ChargeThread(t, costs.LockstepCopyPerByte*cyclesOf(len(b.data)))
+		if s.mon.opts.Policy == PolicyRollback {
+			// Same redo capture as the strict emulate: the decoded result
+			// snapshot is owned by this record and never reused.
+			s.mon.redo.Append(idx, name, dst, b.data)
+		}
 		copied += len(b.data)
 	}
 	return copied, faulted

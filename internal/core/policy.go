@@ -30,6 +30,15 @@ const (
 	// subject to a bounded restart budget and a virtual-cycle backoff;
 	// once the budget is spent it degrades to leader-continue.
 	PolicyRestartFollower
+	// PolicyRollback survives a divergence by rewinding: both variants'
+	// memory is restored to the last copy-on-write checkpoint (captured at
+	// a quiescent rendezvous every SnapshotInterval virtual cycles), the
+	// post-snapshot libc tail is replayed from the redo log through the
+	// emulation path, and the next protected region re-arms full lockstep
+	// with a freshly cloned follower — no degraded single-variant window.
+	// Repeated rollbacks at the same root-cause ordinal (no forward
+	// progress) exhaust RollbackBudget and escalate to kill-both.
+	PolicyRollback
 )
 
 // String names the policy (the same spelling ParsePolicy accepts).
@@ -41,6 +50,8 @@ func (p DivergencePolicy) String() string {
 		return "leader-continue"
 	case PolicyRestartFollower:
 		return "restart-follower"
+	case PolicyRollback:
+		return "rollback"
 	default:
 		return fmt.Sprintf("policy(%d)", int(p))
 	}
@@ -55,8 +66,10 @@ func ParsePolicy(s string) (DivergencePolicy, error) {
 		return PolicyLeaderContinue, nil
 	case "restart-follower":
 		return PolicyRestartFollower, nil
+	case "rollback":
+		return PolicyRollback, nil
 	default:
-		return 0, fmt.Errorf("smvx: unknown divergence policy %q (want kill-both, leader-continue, or restart-follower)", s)
+		return 0, fmt.Errorf("smvx: unknown divergence policy %q (want kill-both, leader-continue, restart-follower, or rollback)", s)
 	}
 }
 
@@ -72,11 +85,25 @@ const (
 	// (~1s at 2.1GHz): no legitimate lockstep wait in the reproduced
 	// workloads comes within orders of magnitude of it.
 	DefaultRendezvousDeadline clock.Cycles = 2_100_000_000
+	// DefaultSnapshotInterval is PolicyRollback's checkpoint cadence
+	// (~50µs at the simulated 2.1GHz): a checkpoint is captured at the
+	// first quiescent rendezvous after this many virtual cycles elapse.
+	DefaultSnapshotInterval clock.Cycles = 100_000
+	// DefaultRollbackBudget is how many consecutive rollbacks at the same
+	// root-cause ordinal PolicyRollback absorbs before concluding the
+	// region makes no forward progress and escalating to kill-both.
+	DefaultRollbackBudget = 3
 )
 
 // contain reports whether a containment policy is active (anything but the
-// paper's kill-both).
-func (mo *Monitor) contain() bool { return mo.opts.Policy != PolicyKillBoth }
+// paper's kill-both). A rollback monitor that has exhausted its budget has
+// escalated to kill-both and stops containing.
+func (mo *Monitor) contain() bool {
+	if mo.opts.Policy == PolicyRollback && mo.escalated.Load() {
+		return false
+	}
+	return mo.opts.Policy != PolicyKillBoth
+}
 
 // Degraded reports whether the monitor is running without a follower after
 // a policy detach (cleared when PolicyRestartFollower re-clones one).
@@ -140,8 +167,15 @@ func (mo *Monitor) detachFollower(s *session, cause string) {
 		}
 		wasDegraded := mo.degraded
 		if mo.contain() {
-			mo.degraded = true
-			mo.nextRestartAt = mo.m.Counter().Cycles() + mo.opts.RestartBackoff
+			if mo.opts.Policy == PolicyRollback {
+				// Rollback recovers at region exit and the next region
+				// re-arms full lockstep with a fresh clone unconditionally:
+				// the monitor never enters the degraded single-variant mode,
+				// so no backoff is armed either.
+			} else {
+				mo.degraded = true
+				mo.nextRestartAt = mo.m.Counter().Cycles() + mo.opts.RestartBackoff
+			}
 		}
 		mo.mu.Unlock()
 		close(s.detachCh)

@@ -11,7 +11,7 @@ import (
 )
 
 func TestPolicyStringAndParse(t *testing.T) {
-	for _, p := range []DivergencePolicy{PolicyKillBoth, PolicyLeaderContinue, PolicyRestartFollower} {
+	for _, p := range []DivergencePolicy{PolicyKillBoth, PolicyLeaderContinue, PolicyRestartFollower, PolicyRollback} {
 		got, err := ParsePolicy(p.String())
 		if err != nil || got != p {
 			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
@@ -77,7 +77,7 @@ func runRegions(t *testing.T, env *boot.Env, mon *Monitor, fn string, n int) (co
 				return
 			}
 			tt.Call(fn)
-			if err := mon.End(tt); err != nil {
+			if err := mon.End(tt); err != nil && !errors.Is(err, machine.ErrRegionRolledBack) {
 				t.Errorf("End %d: %v", i, err)
 				return
 			}

@@ -221,6 +221,14 @@ func (mo *Monitor) Start(t *machine.Thread, fn string, args ...uint64) error {
 		}
 	}
 
+	// Entry checkpoint: the follower clone is fully built but not yet
+	// launched, so this is the region's one guaranteed quiescent anchor.
+	// Strict mode re-captures at rendezvous cadence; pipelined mode only at
+	// barriers — a region that diverges before any barrier rewinds here.
+	if mo.snapshotDue(s) {
+		mo.captureCheckpoint(s, t, nil, fn, 0)
+	}
+
 	cloneMark := ctr.Cycles()
 	imgLo := mem.Addr(int64(mo.img.Base) + delta)
 	imgHi := mem.Addr(int64(mo.img.End()) + delta)
@@ -438,6 +446,11 @@ func (mo *Monitor) End(t *machine.Thread) error {
 		s.diverged.Store(true)
 	}
 
+	// Rollback recovery runs here — the severed follower has wound down,
+	// the watchdog is stopped, and the leader is the only thread touching
+	// the address space, so the in-place restore cannot race a variant.
+	outcome := mo.maybeRollback(s, t.TID(), s.diverged.Load() || followerErr != nil)
+
 	report := RegionReport{
 		Function:          s.fn,
 		LibcCalls:         s.calls.Load(),
@@ -446,6 +459,7 @@ func (mo *Monitor) End(t *machine.Thread) error {
 		FollowerErr:       followerErr,
 		Degraded:          s.leaderOnly || s.detached(),
 		FollowerRestarted: s.restarted,
+		RolledBack:        outcome == rollbackDone,
 	}
 
 	mo.mu.Lock()
@@ -467,8 +481,43 @@ func (mo *Monitor) End(t *machine.Thread) error {
 		if report.Degraded {
 			m.Inc("region.degraded")
 		}
+		if report.RolledBack {
+			m.Inc("region.rolled_back")
+		}
+	}
+	if report.RolledBack {
+		// Advisory, not fatal: the caller's thread is healthy, but any
+		// external state tied to the undone region (an accepted connection
+		// mid-request) must be discarded by whoever holds it.
+		return machine.ErrRegionRolledBack
 	}
 	return nil
+}
+
+// Invoke implements machine.MVX: one protected region end-to-end —
+// mvx_start, the guarded call, mvx_end. Unlike the raw Start/Call/End
+// sequence, Invoke arms the region for a mid-flight monitor abort: under
+// PolicyRollback a region whose follower has died is unwound back to this
+// boundary at the leader's next rendezvous (see maybeAbortRegion) instead
+// of running compromised to completion, and End's rollback restores the
+// checkpoint before the caller resumes. Every other policy behaves exactly
+// as the raw sequence. A Start failure degrades to an unprotected call,
+// matching the evaluation applications' historical mvx_start handling.
+func (mo *Monitor) Invoke(t *machine.Thread, fn string, args ...uint64) (uint64, error) {
+	if err := mo.Start(t, fn, args...); err != nil {
+		return t.Call(fn, args...), nil
+	}
+	mo.mu.Lock()
+	if s := mo.session; s != nil {
+		s.abortable = true
+	}
+	mo.mu.Unlock()
+	ret, abort := t.CallGuarded(fn, args...)
+	err := mo.End(t)
+	if abort != nil && mo.rec != nil {
+		mo.rec.Record(obs.EvRegionAbort, obs.VariantLeader, t.TID(), fn, 0, 0, 0)
+	}
+	return ret, err
 }
 
 // DestroyFollower unmaps the follower variant's regions and drops its heap,

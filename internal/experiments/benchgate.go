@@ -78,6 +78,19 @@ func DefaultGateRules() []GateRule {
 		{Name: "incident-count", Contains: "incidents.", Suffix: ".count", Tolerance: 0},
 		{Name: "incident-latency", Contains: "incidents.", Suffix: ".detect_cycles", Tolerance: 1.0, Slack: 100000},
 		{Name: "incidents-ungated", Contains: "incidents.", Skip: true},
+		// Survival benchmark: integrity/detection series are recorded as
+		// lower-is-better violation counts (undetected, benign_failed,
+		// pwned, leader_only, worker_dead) with deterministic baselines, so
+		// they gate exactly. Throughput stays ungated (higher-is-better,
+		// which the one-sided band cannot express), cycle/byte costs get a
+		// wide band, and snapshot counts a small absolute slack for cadence
+		// jitter against the region clock.
+		{Name: "survival-rps", Contains: "survival.", Suffix: ".rps", Skip: true},
+		{Name: "survival-pct", Contains: "survival.", Suffix: ".pct_native", Skip: true},
+		{Name: "survival-cycles", Contains: "survival.", Suffix: "_cycles", Tolerance: 0.5, Slack: 200000},
+		{Name: "survival-snapshots", Contains: "survival.", Suffix: ".snapshots", Tolerance: 0, Slack: 2},
+		{Name: "survival-redo", Contains: "survival.", Suffix: ".redo_bytes", Tolerance: 0.5, Slack: 64},
+		{Name: "survival-exact", Contains: "survival.", Tolerance: 0},
 		// Structural counts are deterministic — any drift is a real change
 		// in how many times a phase runs.
 		{Name: "phase-count", Contains: ".phase.", Suffix: ".count", Tolerance: 0},

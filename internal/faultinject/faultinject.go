@@ -2,9 +2,11 @@
 // monitor: seed-driven fault plans injected at the machine's libc choke
 // point, used to prove the divergence-response policies contain what the
 // paper's kill-both monitor merely reports. Faults target the follower
-// variant only (the leader is the availability story the policies defend),
-// fire at exact follower libc-call ordinals, and fire at most once each, so
-// every (fault, policy) outcome is reproducible from its plan alone.
+// variant only (the leader is the availability story the policies defend)
+// and fire at exact follower libc-call ordinals — at most once each by
+// default, or on a fixed cadence with the repeat-every modifier (the
+// continuous-attack shape the survival benchmark drives) — so every
+// (fault, policy) outcome is reproducible from its plan alone.
 package faultinject
 
 import (
@@ -95,6 +97,10 @@ type Fault struct {
 	Call uint64
 	// Bit selects the flipped bit for ArgFlip (mod 64).
 	Bit uint
+	// Every, when non-zero, repeats the fault at every Every-th follower
+	// call from Call onward (calls Call, Call+Every, Call+2*Every, ...) —
+	// a continuous attack instead of a single shot.
+	Every uint64
 }
 
 // Plan is an installed set of faults. Install it once per machine; the
@@ -118,10 +124,16 @@ func New(seed int64, faults ...Fault) *Plan {
 	}
 }
 
+// repeatEveryMod is the spec suffix that turns a single-shot fault into a
+// repeating one.
+const repeatEveryMod = ":repeat-every:"
+
 // Parse builds a plan from a -chaos spec: comma-separated
-// "kind[@call][:bit]" entries, e.g. "follower-crash@12,arg-flip@7:3,stall@5".
-// An entry without @call gets a seed-derived ordinal in [1,8], which is what
-// makes a bare "follower-crash" spec deterministic per seed.
+// "kind[@call][:bit][:repeat-every:N]" entries, e.g.
+// "follower-crash@12,arg-flip@7:3,stall@5" or the continuous
+// "arg-flip@4:repeat-every:6". An entry without @call gets a seed-derived
+// ordinal in [1,8], which is what makes a bare "follower-crash" spec
+// deterministic per seed.
 func Parse(spec string, seed int64) (*Plan, error) {
 	rng := rand.New(rand.NewSource(seed))
 	var faults []Fault
@@ -132,6 +144,14 @@ func Parse(spec string, seed int64) (*Plan, error) {
 		}
 		f := Fault{Call: uint64(1 + rng.Intn(8))}
 		body := entry
+		if i := strings.Index(body, repeatEveryMod); i >= 0 {
+			every, err := strconv.ParseUint(body[i+len(repeatEveryMod):], 10, 32)
+			if err != nil || every == 0 {
+				return nil, fmt.Errorf("faultinject: bad repeat-every period in %q", entry)
+			}
+			f.Every = every
+			body = body[:i]
+		}
 		if i := strings.IndexByte(body, ':'); i >= 0 {
 			bit, err := strconv.ParseUint(body[i+1:], 10, 8)
 			if err != nil {
@@ -199,11 +219,17 @@ func (p *Plan) hook(t *machine.Thread, name string, args []uint64) []uint64 {
 	n := p.calls.Add(1)
 	for i := range p.faults {
 		f := p.faults[i]
-		if p.fired[i].Load() || !p.triggers(f, n, name) {
+		if !p.triggers(f, n, name) {
 			continue
 		}
-		if !p.fired[i].CompareAndSwap(false, true) {
-			continue
+		if f.Every == 0 {
+			// Single shot: exactly one winner claims the slot.
+			if p.fired[i].Load() || !p.fired[i].CompareAndSwap(false, true) {
+				continue
+			}
+		} else {
+			// Repeating: fired only records that the plan went live.
+			p.fired[i].Store(true)
 		}
 		p.record(t, f, n, name)
 		args = p.apply(t, f, n, name, args)
@@ -213,6 +239,13 @@ func (p *Plan) hook(t *machine.Thread, name string, args []uint64) []uint64 {
 
 // triggers decides whether fault f fires at follower call n to name.
 func (p *Plan) triggers(f Fault, n uint64, name string) bool {
+	if f.Every > 0 {
+		if n < f.Call || (n-f.Call)%f.Every != 0 {
+			return false
+		}
+		// A repeating EmulBufCorrupt still only bites CatRetBuf calls.
+		return f.Kind != EmulBufCorrupt || libc.CategoryOf(name) == libc.CatRetBuf
+	}
 	if f.Kind == EmulBufCorrupt {
 		return n >= f.Call && libc.CategoryOf(name) == libc.CatRetBuf
 	}

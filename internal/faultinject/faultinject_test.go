@@ -39,6 +39,26 @@ func TestParseSpec(t *testing.T) {
 	}
 }
 
+func TestParseRepeatEvery(t *testing.T) {
+	p, err := Parse("arg-flip@7:3:repeat-every:6,follower-crash@4:repeat-every:9", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Kind: ArgFlip, Call: 7, Bit: 3, Every: 6},
+		{Kind: FollowerCrash, Call: 4, Every: 9},
+	}
+	got := p.Faults()
+	if len(got) != len(want) {
+		t.Fatalf("faults = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("fault %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestParseSeedDerivedOrdinal(t *testing.T) {
 	// No @call: the ordinal comes from the seed, deterministically.
 	a, err := Parse("follower-crash", 77)
@@ -68,6 +88,8 @@ func TestParseErrors(t *testing.T) {
 		{"follower-crash@0", "bad call ordinal"},
 		{"follower-crash@x", "bad call ordinal"},
 		{"arg-flip@3:boom", "bad bit"},
+		{"arg-flip@3:repeat-every:0", "bad repeat-every period"},
+		{"arg-flip@3:repeat-every:x", "bad repeat-every period"},
 	}
 	for _, c := range cases {
 		if _, err := Parse(c.spec, 1); err == nil || !strings.Contains(err.Error(), c.wantSub) {
@@ -104,6 +126,38 @@ func TestTriggers(t *testing.T) {
 	}
 	if !p.triggers(f, 5, "gettimeofday") {
 		t.Error("emu-corrupt missed a RetBuf call past its ordinal")
+	}
+}
+
+// TestTriggersRepeatEvery pins the repeating-fault ordinal arithmetic
+// against the single-shot rule: a repeat-every:N fault fires exactly at
+// Call, Call+N, Call+2N, ... and nowhere else.
+func TestTriggersRepeatEvery(t *testing.T) {
+	p := New(1)
+	single := Fault{Kind: ArgFlip, Call: 4}
+	repeat := Fault{Kind: ArgFlip, Call: 4, Every: 6}
+	for n := uint64(1); n <= 40; n++ {
+		wantRepeat := n >= 4 && (n-4)%6 == 0
+		if got := p.triggers(repeat, n, "write"); got != wantRepeat {
+			t.Errorf("repeat triggers at call %d = %v, want %v", n, got, wantRepeat)
+		}
+		// At the anchor ordinal the two rules agree; before it neither fires.
+		if n <= 4 {
+			if p.triggers(single, n, "write") != p.triggers(repeat, n, "write") {
+				t.Errorf("single and repeat disagree at call %d", n)
+			}
+		}
+	}
+	// A repeating emu-corrupt keeps the CatRetBuf gate on top of the cadence.
+	ec := Fault{Kind: EmulBufCorrupt, Call: 2, Every: 3}
+	if p.triggers(ec, 5, "close") {
+		t.Error("repeating emu-corrupt fired on a non-RetBuf call")
+	}
+	if !p.triggers(ec, 5, "gettimeofday") {
+		t.Error("repeating emu-corrupt missed an on-cadence RetBuf call")
+	}
+	if p.triggers(ec, 6, "gettimeofday") {
+		t.Error("repeating emu-corrupt fired off-cadence")
 	}
 }
 

@@ -1,7 +1,8 @@
 // Package incident is the correlation half of the sMVX incident plane: it
 // stitches temporally adjacent signal events — divergence alarms, injected
-// faults, policy detaches and restarts, watchdog trips, anomaly-detector
-// firings — into incident objects an operator can read top-down, instead
+// faults, policy detaches and restarts, rollback recoveries, watchdog
+// trips, anomaly-detector firings — into incident objects an operator can
+// read top-down, instead
 // of hand-correlating four telemetry endpoints during a chaos run.
 //
 // The engine hangs off the flight recorder as an obs.Tap: it consumes
@@ -75,15 +76,16 @@ func (s Severity) String() string {
 
 // severityOf ranks one signal event kind. Alarms are the detection the
 // whole system exists to produce; a detach means the run degraded; a
-// watchdog trip or anomaly is an early warning; an injected fault or a
-// follower restart is context, not damage.
+// watchdog trip, anomaly, or state rollback is an early warning — the
+// rollback recovered, but only because real divergence forced a rewind; an
+// injected fault or a follower restart is context, not damage.
 func severityOf(k obs.EventKind) Severity {
 	switch k {
 	case obs.EvAlarm:
 		return SevCritical
 	case obs.EvFollowerDetached:
 		return SevError
-	case obs.EvWatchdog, obs.EvAnomaly:
+	case obs.EvWatchdog, obs.EvAnomaly, obs.EvRollback:
 		return SevWarning
 	default:
 		return SevInfo
@@ -94,7 +96,8 @@ func severityOf(k obs.EventKind) Severity {
 func signal(k obs.EventKind) bool {
 	switch k {
 	case obs.EvAlarm, obs.EvFaultInjected, obs.EvFollowerDetached,
-		obs.EvFollowerRestarted, obs.EvWatchdog, obs.EvAnomaly:
+		obs.EvFollowerRestarted, obs.EvWatchdog, obs.EvAnomaly,
+		obs.EvRollback:
 		return true
 	}
 	return false
@@ -174,6 +177,32 @@ func (in *Incident) DetectionLatency() (clock.Cycles, bool) {
 	return 0, false
 }
 
+// RecoveryLatency returns the virtual cycles from the first
+// detection-class event (alarm, watchdog, anomaly) to the first rollback
+// completion in the timeline — how long the survivable path took to rewind
+// both variants and resume. ok is false when the incident has no
+// detection/rollback pair to measure.
+func (in *Incident) RecoveryLatency() (clock.Cycles, bool) {
+	var detTS clock.Cycles
+	haveDet := false
+	for _, e := range in.Events {
+		switch e.Kind {
+		case obs.EvAlarm, obs.EvWatchdog, obs.EvAnomaly:
+			if !haveDet {
+				detTS, haveDet = e.TS, true
+			}
+		case obs.EvRollback:
+			if haveDet {
+				if e.TS < detTS {
+					return 0, true
+				}
+				return e.TS - detTS, true
+			}
+		}
+	}
+	return 0, false
+}
+
 // describeSignal renders one signal event without its raw timestamp, in
 // the fixed vocabulary the canonical table is built from.
 func describeSignal(e obs.Event) string {
@@ -190,6 +219,8 @@ func describeSignal(e obs.Event) string {
 		return fmt.Sprintf("%s %s", e.Kind, e.Name)
 	case obs.EvAnomaly:
 		return fmt.Sprintf("%s %s on %s", e.Kind, e.Name, e.Fn)
+	case obs.EvRollback:
+		return fmt.Sprintf("%s %s@call%d gen%d", e.Kind, e.Name, e.Arg0, e.Ret)
 	default:
 		return e.Kind.String()
 	}
@@ -368,6 +399,7 @@ type IncidentSnapshot struct {
 	RootCause        string   `json:"root_cause"`
 	RootCallOrdinal  uint64   `json:"root_call_ordinal"`
 	DetectionLatency uint64   `json:"detection_latency_cycles"`
+	RecoveryLatency  uint64   `json:"recovery_latency_cycles"`
 	Timeline         []string `json:"timeline"`
 	Bundle           *Bundle  `json:"bundle,omitempty"`
 }
@@ -400,6 +432,9 @@ func (e *Engine) Snapshot() EngineSnapshot {
 		if lat, ok := in.DetectionLatency(); ok {
 			is.DetectionLatency = uint64(lat)
 		}
+		if lat, ok := in.RecoveryLatency(); ok {
+			is.RecoveryLatency = uint64(lat)
+		}
 		for _, ev := range in.Events {
 			is.Timeline = append(is.Timeline, describeSignal(ev))
 		}
@@ -423,10 +458,15 @@ func (e *Engine) PublishTo(m *obs.Metrics) {
 	}
 	incs := e.Incidents()
 	bySev := [4]int{}
+	recovered := 0
 	for i := range incs {
 		bySev[incs[i].Severity]++
+		if _, ok := incs[i].RecoveryLatency(); ok {
+			recovered++
+		}
 	}
 	m.SetGauge("incidents.total", float64(len(incs)))
+	m.SetGauge("incidents.recovered", float64(recovered))
 	for sev := SevInfo; sev <= SevCritical; sev++ {
 		m.SetGauge("incidents.severity{level="+sev.String()+"}", float64(bySev[sev]))
 	}

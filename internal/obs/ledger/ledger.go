@@ -66,6 +66,12 @@ const (
 	// PhaseLibc is the underlying libc dispatch itself (leader executes,
 	// or either variant for local calls).
 	PhaseLibc
+	// PhaseSnapshot is one copy-on-write variant checkpoint captured at a
+	// quiescent rendezvous (PolicyRollback survivability).
+	PhaseSnapshot
+	// PhaseRestore is one rollback recovery: checkpoint restore plus the
+	// redo-log replay of the post-snapshot libc tail.
+	PhaseRestore
 
 	// NumPhases sizes per-phase arrays.
 	NumPhases
@@ -74,6 +80,7 @@ const (
 var phaseNames = [NumPhases]string{
 	"trampoline", "marshal", "rendezvous", "enqueue", "wait",
 	"compare", "emulate", "drain", "barrier", "libc",
+	"snapshot", "restore",
 }
 
 // String names the phase.

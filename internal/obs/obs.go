@@ -107,6 +107,21 @@ const (
 	// through the WAL like any other kind, so the offline incident
 	// rebuild sees exactly the detections the live correlator saw.
 	EvAnomaly
+	// EvSnapshot is one copy-on-write variant checkpoint captured at a
+	// quiescent rendezvous: Name is the protected function, Arg0 the
+	// libc-call ordinal the checkpoint anchors to, Arg1 the resident page
+	// count at capture, Ret the checkpoint generation.
+	EvSnapshot
+	// EvRollback is one PolicyRollback recovery: Name is the protected
+	// function, Arg0 the root-cause libc-call ordinal (the first divergence
+	// of the rolled-back region), Arg1 the recovery latency in cycles
+	// (restore plus redo replay), Ret the restored checkpoint generation.
+	EvRollback
+	// EvRegionAbort is one mid-flight region unwind: the monitor aborted a
+	// compromised region (dead follower under PolicyRollback) back to its
+	// Invoke boundary instead of letting it run to completion. Name is the
+	// protected function.
+	EvRegionAbort
 )
 
 // String names the event kind.
@@ -156,6 +171,12 @@ func (k EventKind) String() string {
 		return "request-end"
 	case EvAnomaly:
 		return "anomaly"
+	case EvSnapshot:
+		return "snapshot"
+	case EvRollback:
+		return "rollback"
+	case EvRegionAbort:
+		return "region-abort"
 	default:
 		return "unknown"
 	}

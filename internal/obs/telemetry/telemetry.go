@@ -31,6 +31,10 @@ type Health struct {
 	FollowerLive func() bool
 	// Lockstep returns the configured lockstep mode and lag window.
 	Lockstep func() (mode string, lagWindow int)
+	// Rollback reports the survivable-MVX state: checkpoints captured,
+	// rollback recoveries performed, and whether the rollback budget
+	// escalated to kill-both.
+	Rollback func() (snapshots, rollbacks int, escalated bool)
 }
 
 // FoldedSource provides folded-stack profile text for /profile
@@ -190,6 +194,9 @@ type healthState struct {
 	Concurrency     int64    `json:"concurrency"`
 	UptimeCycles    uint64   `json:"uptime_cycles"`
 	IncidentsActive int      `json:"incidents_active"`
+	Snapshots       int      `json:"snapshots_captured"`
+	Rollbacks       int      `json:"rollbacks"`
+	RollbackEscal   bool     `json:"rollback_escalated"`
 	WatchdogTripped bool     `json:"watchdog_tripped"`
 	WatchdogReasons []string `json:"watchdog_reasons,omitempty"`
 }
@@ -208,6 +215,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	if h.Lockstep != nil {
 		st.LockstepMode, st.LagWindow = h.Lockstep()
+	}
+	if h.Rollback != nil {
+		st.Snapshots, st.Rollbacks, st.RollbackEscal = h.Rollback()
 	}
 	st.PipelineDepth, _ = s.rec.Metrics().Gauge(obs.MetricPipelineDepth)
 	st.Alarms = s.rec.AlarmCount()

@@ -1,0 +1,105 @@
+package machine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestCallGuardedRecoversAbortAndRestoresState: an AbortRegion raised deep
+// inside a guarded call must unwind to the CallGuarded boundary, restore the
+// thread's frame state, and leave the thread fully usable for further calls.
+func TestCallGuardedRecoversAbortAndRestoresState(t *testing.T) {
+	r := newRig(t)
+	r.prog.MustDefine("helper", func(tt *Thread, args []uint64) uint64 {
+		tt.AbortRegion("vuln", "monitor ordered a mid-flight unwind")
+		return 1 // unreachable
+	})
+	reachedTail := false
+	r.prog.MustDefine("vuln", func(tt *Thread, args []uint64) uint64 {
+		tt.Call("helper")
+		reachedTail = true // must never run: the abort skips the region tail
+		return 99
+	})
+	r.prog.MustDefine("parent", func(tt *Thread, args []uint64) uint64 {
+		return args[0] * 2
+	})
+	th, err := r.m.NewThread("main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := th.Run(func(tt *Thread) {
+		ret, abort := tt.CallGuarded("vuln", 7)
+		if abort == nil {
+			t.Fatal("CallGuarded swallowed the abort")
+		}
+		if abort.Region != "vuln" || !strings.Contains(abort.Reason, "mid-flight") {
+			t.Errorf("abort = %+v", abort)
+		}
+		if ret != 0 {
+			t.Errorf("aborted call returned %d, want zero value", ret)
+		}
+		// The unwound thread is intact: a plain call still executes with
+		// correct argument passing and a balanced stack.
+		if got := tt.Call("parent", 21); got != 42 {
+			t.Errorf("post-abort call = %d, want 42", got)
+		}
+	})
+	if runErr != nil {
+		t.Fatalf("Run: %v", runErr)
+	}
+	if reachedTail {
+		t.Error("aborted region executed code past the abort point")
+	}
+}
+
+// TestAbortEscapingUnguardedCallStopsThread: without a guarded frame the
+// abort is not recoverable — Run must surface it as the thread error rather
+// than panicking the test process.
+func TestAbortEscapingUnguardedCallStopsThread(t *testing.T) {
+	r := newRig(t)
+	r.prog.MustDefine("vuln", func(tt *Thread, args []uint64) uint64 {
+		tt.AbortRegion("vuln", "no guard below")
+		return 0
+	})
+	th, err := r.m.NewThread("main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := th.Run(func(tt *Thread) { tt.Call("vuln") })
+	var ra *RegionAbort
+	if !errors.As(runErr, &ra) {
+		t.Fatalf("Run err = %v, want *RegionAbort", runErr)
+	}
+	if ra.Region != "vuln" {
+		t.Errorf("Region = %q", ra.Region)
+	}
+}
+
+// TestCallGuardedPassesThroughCrashes: CallGuarded must only intercept
+// RegionAbort — a genuine machine crash keeps its normal fatal path.
+func TestCallGuardedPassesThroughCrashes(t *testing.T) {
+	r := newRig(t)
+	r.prog.MustDefine("vuln", func(tt *Thread, args []uint64) uint64 {
+		tt.Load64(0xdead_0000_0000) // unmapped
+		return 0
+	})
+	th, err := r.m.NewThread("main", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runErr := th.Run(func(tt *Thread) {
+		ret, abort := tt.CallGuarded("vuln")
+		_ = ret
+		if abort != nil {
+			t.Error("crash was misclassified as a region abort")
+		}
+	})
+	if runErr == nil {
+		t.Fatal("crash must still kill the thread through a guarded frame")
+	}
+	var ra *RegionAbort
+	if errors.As(runErr, &ra) {
+		t.Fatalf("crash surfaced as RegionAbort: %v", runErr)
+	}
+}

@@ -1,5 +1,16 @@
 package machine
 
+import "errors"
+
+// ErrRegionRolledBack reports from End/Invoke that the protected region's
+// divergence was contained by undoing the region: the variants were merged
+// back to the entry checkpoint, so none of the region's work happened.
+// It is advice, not failure — the thread is healthy and the next region
+// may be entered immediately — but a caller holding external state tied to
+// the region (an accepted connection, a half-served request) must discard
+// it, because the in-memory work it reflects no longer exists.
+var ErrRegionRolledBack = errors.New("mvx: protected region rolled back to its entry checkpoint")
+
 // MVX is the hook surface applications use to mark protected regions — the
 // mvx_init()/mvx_start()/mvx_end() API of Listing 1 in the paper.
 // Applications call the hooks unconditionally; under vanilla execution the
@@ -15,6 +26,12 @@ type MVX interface {
 	// End leaves the protected region (mvx_end): it waits for the
 	// follower, merges execution, and reports divergence.
 	End(t *Thread) error
+	// Invoke runs fn as one protected region end-to-end — mvx_start, the
+	// guarded call, mvx_end — arming the region for a mid-flight monitor
+	// abort (CallGuarded). A survivable policy can unwind a compromised
+	// region back to this boundary instead of letting it run to
+	// completion; under vanilla execution it is a plain call.
+	Invoke(t *Thread, fn string, args ...uint64) (uint64, error)
 }
 
 // NoMVX is the vanilla-execution implementation: every hook is a no-op.
@@ -30,3 +47,8 @@ func (NoMVX) Start(*Thread, string, ...uint64) error { return nil }
 
 // End implements MVX.
 func (NoMVX) End(*Thread) error { return nil }
+
+// Invoke implements MVX as an unprotected call.
+func (NoMVX) Invoke(t *Thread, fn string, args ...uint64) (uint64, error) {
+	return t.Call(fn, args...), nil
+}

@@ -299,11 +299,64 @@ func (t *Thread) fault(err error) {
 	panic(&Crash{Thread: t.name, IP: t.ip, Err: err})
 }
 
+// RegionAbort is a monitor-initiated unwind of one protected region: the
+// MVX layer decided the region must not run to completion (for example a
+// hijacked leader under a rollback policy) and transfers control back to
+// the mvx_start call site — the simulated equivalent of the monitor
+// longjmp-ing out of the trampoline into the region prologue.
+type RegionAbort struct {
+	// Region is the protected function being unwound.
+	Region string
+	// Reason says why the monitor pulled the plug.
+	Reason string
+}
+
+func (r *RegionAbort) Error() string {
+	return fmt.Sprintf("machine: region %s aborted: %s", r.Region, r.Reason)
+}
+
+// AbortRegion unwinds the calling thread's current protected region. It
+// never returns; the unwind is caught by the nearest CallGuarded frame, or
+// converted into a thread error at Run if the region was not guarded.
+func (t *Thread) AbortRegion(region, reason string) {
+	panic(&RegionAbort{Region: region, Reason: reason})
+}
+
+// CallGuarded is Call with a region-abort recovery point: if the callee —
+// or an MVX monitor interposing its libc calls — raises a RegionAbort, the
+// thread's frame bookkeeping is restored to the call site and the abort is
+// returned, instead of the unwind killing the whole thread. Simulated
+// hardware crashes (*Crash) still propagate: only the monitor's deliberate
+// region unwind is survivable.
+func (t *Thread) CallGuarded(name string, args ...uint64) (ret uint64, abort *RegionAbort) {
+	ip, fn, sp, depth, nfn := t.ip, t.fn, t.sp, t.depth, len(t.fnStack)
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		ra, ok := r.(*RegionAbort)
+		if !ok {
+			panic(r)
+		}
+		t.ip, t.fn, t.sp, t.depth = ip, fn, sp, depth
+		t.fnStack = t.fnStack[:nfn]
+		abort = ra
+	}()
+	return t.Call(name, args...), nil
+}
+
 // Run executes fn, converting a simulated crash into an error. It is the
 // only place the internal unwinding panic is recovered.
 func (t *Thread) Run(fn func(t *Thread)) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
+			if ra, ok := r.(*RegionAbort); ok {
+				// A region abort escaped every guard: surface it as the
+				// thread's exit error rather than a harness panic.
+				err = ra
+				return
+			}
 			crash, ok := r.(*Crash)
 			if !ok {
 				panic(r) // real bug, not a simulated fault

@@ -175,6 +175,11 @@ type AddressSpace struct {
 	costs   clock.CostTable
 
 	taintEnabled bool
+
+	// snap is the active copy-on-write snapshot (nil when none); snapGen
+	// numbers captures. See snapshot.go.
+	snap    *Snapshot
+	snapGen uint64
 }
 
 // SetWallCounter attaches a second counter that models elapsed (wall-clock)
@@ -261,6 +266,11 @@ func (as *AddressSpace) Unmap(base Addr) error {
 	for i, r := range as.regions {
 		if r.Base == base {
 			for p := r.Base; p < r.End(); p += PageSize {
+				if pg := as.pages[p]; pg != nil {
+					// Unmapping destroys page contents; preserve pre-images
+					// so a checkpoint restore can resurrect the region.
+					as.cowSaveLocked(p, pg, true)
+				}
 				delete(as.pages, p)
 			}
 			as.regions = append(as.regions[:i], as.regions[i+1:]...)
@@ -440,12 +450,28 @@ func (as *AddressSpace) write(a Addr, buf []byte, pkru *mpk.PKRU, wall bool) err
 		return err
 	}
 	as.charge(as.costs.MemAccess*clock.Cycles(1+len(buf)/64), wall)
+	// The whole store runs under the write lock so a concurrent Snapshot
+	// sits entirely before or entirely after it — a checkpoint can never
+	// observe a torn multi-page write — and so the copy-on-write barrier
+	// preserves each page's pre-image atomically with its mutation.
+	as.mu.Lock()
+	defer as.mu.Unlock()
 	for off := 0; off < len(buf); {
-		pg, _, err := as.pageFor(a + Addr(off))
-		if err != nil {
-			return err
+		addr := a + Addr(off)
+		base := addr.PageBase()
+		pg := as.pages[base]
+		if pg == nil {
+			if as.regionAtLocked(addr) == nil {
+				return &FaultError{Kind: FaultUnmapped, Addr: addr, Access: mpk.Write}
+			}
+			pg = &page{}
+			if as.taintEnabled {
+				pg.taint = make([]byte, PageSize)
+			}
+			as.pages[base] = pg
 		}
-		po := int((a + Addr(off)) & (PageSize - 1))
+		as.cowSaveLocked(base, pg, wall)
+		po := int(addr & (PageSize - 1))
 		n := copy(pg.data[po:], buf[off:])
 		off += n
 	}

@@ -107,6 +107,7 @@ func (as *AddressSpace) RefreshClone(srcBase Addr, delta int64) error {
 			return err
 		}
 		as.mu.Lock()
+		as.cowSaveLocked((dstBase + off).PageBase(), npg, true)
 		npg.data = pg.data
 		if pg.taint != nil {
 			npg.taint = append([]byte(nil), pg.taint...)
@@ -153,6 +154,7 @@ func (as *AddressSpace) CloneRegionShifted(srcBase Addr, delta int64, newName st
 			return nil, err
 		}
 		as.mu.Lock()
+		as.cowSaveLocked((newBase + off).PageBase(), npg, true)
 		npg.data = pg.data
 		if pg.taint != nil {
 			npg.taint = append([]byte(nil), pg.taint...)

@@ -28,6 +28,7 @@ func (as *AddressSpace) SetTaint(a Addr, n int, t Taint) error {
 			return err
 		}
 		as.mu.Lock()
+		as.cowSaveLocked((a + Addr(off)).PageBase(), pg, true)
 		if pg.taint == nil {
 			pg.taint = make([]byte, PageSize)
 		}

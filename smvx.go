@@ -156,6 +156,7 @@ const (
 	PolicyKillBoth        = core.PolicyKillBoth
 	PolicyLeaderContinue  = core.PolicyLeaderContinue
 	PolicyRestartFollower = core.PolicyRestartFollower
+	PolicyRollback        = core.PolicyRollback
 )
 
 // Lockstep modes, re-exported.
@@ -163,6 +164,11 @@ const (
 	LockstepStrict    = core.LockstepStrict
 	LockstepPipelined = core.LockstepPipelined
 )
+
+// ErrRegionRolledBack is the advisory sentinel End/Invoke return when a
+// diverged region was contained by undoing it — check with errors.Is and
+// discard any external state the region was serving.
+var ErrRegionRolledBack = machine.ErrRegionRolledBack
 
 // Sync classes, re-exported.
 const (
@@ -177,6 +183,8 @@ const (
 	DefaultRestartBackoff     = core.DefaultRestartBackoff
 	DefaultRendezvousDeadline = core.DefaultRendezvousDeadline
 	DefaultLagWindow          = core.DefaultLagWindow
+	DefaultSnapshotInterval   = core.DefaultSnapshotInterval
+	DefaultRollbackBudget     = core.DefaultRollbackBudget
 )
 
 // Monitor option constructors, re-exported.
@@ -200,6 +208,12 @@ var (
 	WithRestartBudget = core.WithRestartBudget
 	// WithRestartBackoff delays the next restart after a detach.
 	WithRestartBackoff = core.WithRestartBackoff
+	// WithSnapshotInterval sets the virtual-cycle cadence between
+	// PolicyRollback checkpoints (0 keeps only each region's entry one).
+	WithSnapshotInterval = core.WithSnapshotInterval
+	// WithRollbackBudget bounds consecutive same-ordinal rollbacks before
+	// PolicyRollback escalates to kill-both.
+	WithRollbackBudget = core.WithRollbackBudget
 	// WithRendezvousDeadline arms the rendezvous watchdog (0 disables).
 	WithRendezvousDeadline = core.WithRendezvousDeadline
 	// WithLockstepMode selects strict or pipelined lockstep.
@@ -232,7 +246,8 @@ func NewIncidentEngine(window Cycles) *IncidentEngine { return incident.New(wind
 
 // Parsers for the flag spellings of the enumerated options, re-exported.
 var (
-	// ParsePolicy parses "kill-both", "leader-continue", "restart-follower".
+	// ParsePolicy parses "kill-both", "leader-continue",
+	// "restart-follower", or "rollback".
 	ParsePolicy = core.ParsePolicy
 	// ParseLockstepMode parses "strict" or "pipelined".
 	ParseLockstepMode = core.ParseLockstepMode
