@@ -37,7 +37,7 @@ func main() {
 
 func run() error {
 	var (
-		which     = flag.String("run", "all", "artifact: all | table1 | table2 | fig6 | fig7 | fig8 | fig9 | cpu | mem | cve | chaos | pipeline | ledger | fleet | incidents | survival")
+		which     = flag.String("run", "all", "artifact: all | table1 | table2 | fig6 | fig7 | fig8 | fig9 | cpu | mem | cve | chaos | pipeline | ledger | fleet | incidents | survival | nvariant")
 		requests  = flag.Int("requests", 40, "server workload size")
 		target    = flag.Uint64("nbench-cycles", 1_500_000, "nbench per-kernel cycle target")
 		fleetC    = flag.String("fleet-c", "1,64", "fleet sweep concurrency levels, comma-separated")
@@ -228,9 +228,18 @@ func run() error {
 		fmt.Println(res)
 		res.RecordMetrics(bench)
 	}
+	if want("nvariant") {
+		ran = true
+		res, err := experiments.NVariant(cfg.EffectiveChaosSeed())
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+		res.RecordMetrics(bench)
+	}
 	if !ran {
 		return fmt.Errorf("unknown artifact %q; want one of %s", *which,
-			strings.Join([]string{"all", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "cpu", "mem", "cve", "chaos", "pipeline", "ledger", "fleet", "incidents", "survival"}, " "))
+			strings.Join([]string{"all", "table1", "table2", "fig6", "fig7", "fig8", "fig9", "cpu", "mem", "cve", "chaos", "pipeline", "ledger", "fleet", "incidents", "survival", "nvariant"}, " "))
 	}
 	if cfg.Metrics {
 		fmt.Println(bench.TableText())

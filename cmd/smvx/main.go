@@ -20,7 +20,6 @@ import (
 	"smvx/internal/apps/lighttpd"
 	"smvx/internal/apps/nbench"
 	"smvx/internal/apps/nginx"
-	"smvx/internal/boot"
 	"smvx/internal/cli"
 	"smvx/internal/core"
 	"smvx/internal/experiments"
@@ -101,15 +100,13 @@ func run() error {
 }
 
 func runNbench(name string, iters int, mode string, seed int64, rt *cli.Runtime) error {
-	env, err := boot.NewEnv(kernel.New(clock.DefaultCosts(), seed), nbench.Program(), rt.BootOptions(seed)...)
+	env, mon, err := rt.Boot(kernel.New(clock.DefaultCosts(), seed), nbench.Program(), seed, mode == "smvx")
 	if err != nil {
 		return err
 	}
 	nbench.SetupFS(env)
-	var mon *core.Monitor
 	var mvx machine.MVX
-	if mode == "smvx" {
-		mon = rt.NewMonitor(env, seed)
+	if mon != nil {
 		mvx = mon
 	}
 	cycles, err := nbench.RunOne(env, mvx, name, iters)
@@ -136,14 +133,13 @@ func runNginx(mode, protect string, requests int, version string, seed int64, rt
 		cfg.Track = &apputil.RequestTracker{App: "nginx", Rec: rt.Recorder, Fleet: rt.Fleet}
 	}
 	srv := nginx.NewServer(cfg)
-	env, err := boot.NewEnv(k, srv.Program(), rt.BootOptions(seed)...)
+	env, mon, err := rt.Boot(k, srv.Program(), seed, mode == "smvx")
 	if err != nil {
 		return err
 	}
 	k.FS().WriteFile("/var/www/index.html", experiments.Page4K)
 	client := k.NewProcess(clock.NewCounter())
 
-	var mon *core.Monitor
 	var rem *remon.Runner
 	done := make(chan error, 1)
 	switch mode {
@@ -154,7 +150,6 @@ func runNginx(mode, protect string, requests int, version string, seed int64, rt
 		}
 		go func() { done <- srv.Run(th) }()
 	case "smvx":
-		mon = rt.NewMonitor(env, seed)
 		srv.SetMVX(mon)
 		th, err := env.MainThread()
 		if err != nil {
@@ -201,19 +196,17 @@ func runLighttpd(mode, protect string, requests int, seed int64, rt *cli.Runtime
 		cfg.Track = &apputil.RequestTracker{App: "lighttpd", Rec: rt.Recorder, Fleet: rt.Fleet}
 	}
 	srv := lighttpd.NewServer(cfg)
-	env, err := boot.NewEnv(k, srv.Program(), rt.BootOptions(seed)...)
+	env, mon, err := rt.Boot(k, srv.Program(), seed, mode == "smvx")
 	if err != nil {
 		return err
 	}
 	k.FS().WriteFile("/srv/www/index.html", experiments.Page4K)
 	client := k.NewProcess(clock.NewCounter())
 
-	var mon *core.Monitor
 	done := make(chan error, 1)
 	switch mode {
 	case "vanilla":
 	case "smvx":
-		mon = rt.NewMonitor(env, seed)
 		srv.SetMVX(mon)
 	case "remon":
 		rem := remon.New(env.Machine, env.LibC)

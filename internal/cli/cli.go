@@ -25,6 +25,8 @@ import (
 	"smvx/internal/obs/telemetry"
 	"smvx/internal/perfprof"
 	"smvx/internal/sim/clock"
+	"smvx/internal/sim/kernel"
+	"smvx/internal/sim/machine"
 )
 
 // Config is the parsed shared flag surface. Zero value + Register +
@@ -46,6 +48,7 @@ type Config struct {
 	ChaosSeed          int64
 	Lockstep           string
 	LagWindow          int
+	Variants           int
 	Ledger             bool
 	RequestP99         uint64
 	Anomaly            bool
@@ -78,10 +81,11 @@ func (c *Config) Register(fs *flag.FlagSet) {
 	fs.Uint64Var(&c.SnapshotInterval, "snapshot-interval", uint64(core.DefaultSnapshotInterval), "virtual-cycle cadence between rollback checkpoints (with -policy rollback; 0 keeps only each region's entry checkpoint)")
 	fs.IntVar(&c.RollbackBudget, "rollback-budget", core.DefaultRollbackBudget, "consecutive same-ordinal rollbacks before the rollback policy escalates to kill-both")
 	fs.Uint64Var(&c.RendezvousDeadline, "rendezvous-deadline", uint64(core.DefaultRendezvousDeadline), "virtual-cycle rendezvous deadline (0 disables the watchdog)")
-	fs.StringVar(&c.Chaos, "chaos", "", "inject follower faults: comma-separated kind[@call][:bit][:repeat-every:N] (follower-crash, arg-flip, ipc-truncate, stall, emu-corrupt)")
+	fs.StringVar(&c.Chaos, "chaos", "", "inject follower faults: comma-separated kind[@call][:bit][:variant:K][:repeat-every:N] (follower-crash, arg-flip, ipc-truncate, stall, emu-corrupt)")
 	fs.Int64Var(&c.ChaosSeed, "chaos-seed", 0, "seed deriving @call-less chaos ordinals (default: -seed)")
 	fs.StringVar(&c.Lockstep, "lockstep", "strict", "lockstep mode: strict | pipelined")
 	fs.IntVar(&c.LagWindow, "lag-window", core.DefaultLagWindow, "pipelined lockstep run-ahead window, in libc calls")
+	fs.IntVar(&c.Variants, "variants", core.DefaultVariants, "variant-set size: the leader plus N-1 diversified followers, majority-voted at each rendezvous (2 = the paper's pair)")
 	fs.BoolVar(&c.Ledger, "ledger", false, "account every protected-region libc call phase-by-phase in the rendezvous cost ledger (served at /ledger, printed with -metrics)")
 	fs.Uint64Var(&c.RequestP99, "request-p99", 0, "SLO watchdog: degrade /healthz when the served-request p99 exceeds this many virtual cycles (0 disables)")
 	fs.BoolVar(&c.Anomaly, "anomaly", false, "run streaming anomaly detectors (EWMA z-score, rate-of-change, static threshold) over the recorder's metric series")
@@ -129,7 +133,14 @@ func (c *Config) Resolve(labels map[string]string) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
+	if c.Variants == 0 {
+		c.Variants = core.DefaultVariants
+	}
+	if c.Variants < 2 || c.Variants > core.MaxVariants {
+		return nil, fmt.Errorf("-variants %d out of range (want 2..%d)", c.Variants, core.MaxVariants)
+	}
 	rt.monOpts = []core.Option{
+		core.WithVariants(c.Variants),
 		core.WithPolicy(pol),
 		core.WithRestartBudget(c.RestartBudget),
 		core.WithSnapshotInterval(clock.Cycles(c.SnapshotInterval)),
@@ -174,6 +185,7 @@ func (c *Config) Resolve(labels map[string]string) (*Runtime, error) {
 		wl["lockstep"] = mode.String()
 		wl["policy"] = pol.String()
 		wl["lag-window"] = fmt.Sprintf("%d", c.LagWindow)
+		wl["variants"] = fmt.Sprintf("%d", c.Variants)
 		if pol == core.PolicyRollback {
 			// Stamp the survivable-MVX knobs so an offline rebuild of a
 			// rollback run is labeled like the live one.
@@ -254,6 +266,23 @@ func (rt *Runtime) BootOptions(seed int64) []boot.Option {
 // callers that build monitors themselves (the experiments drivers).
 func (rt *Runtime) MonitorOptions() []core.Option {
 	return append([]core.Option{}, rt.monOpts...)
+}
+
+// Boot is the single boot path of the smvx binaries: it builds the
+// simulated process wired to the observability plane and, when withMVX is
+// set, the monitor carrying every resolved run option — variant count,
+// policy, lockstep mode, chaos plan — so no binary can re-derive that
+// wiring by hand and drift on a flag the others learned.
+func (rt *Runtime) Boot(k *kernel.Kernel, prog *machine.Program, seed int64, withMVX bool) (*boot.Env, *core.Monitor, error) {
+	env, err := boot.NewEnv(k, prog, rt.BootOptions(seed)...)
+	if err != nil {
+		return nil, nil, err
+	}
+	var mon *core.Monitor
+	if withMVX {
+		mon = rt.NewMonitor(env, seed)
+	}
+	return env, mon, nil
 }
 
 // NewMonitor builds a monitor with the resolved options, installs the

@@ -51,8 +51,8 @@ func TestRegisterParsesSharedSurface(t *testing.T) {
 	if rt.Chaos == nil {
 		t.Error("chaos plan not built")
 	}
-	if n := len(rt.MonitorOptions()); n != 7 {
-		t.Errorf("monitor options = %d, want 7 (policy, restart budget, snapshot interval, rollback budget, deadline, mode, lag)", n)
+	if n := len(rt.MonitorOptions()); n != 8 {
+		t.Errorf("monitor options = %d, want 8 (variants, policy, restart budget, snapshot interval, rollback budget, deadline, mode, lag)", n)
 	}
 }
 

@@ -23,7 +23,7 @@ const (
 	modeDetach
 )
 
-// callRecord is the follower's half of one lockstep rendezvous, sent to the
+// callRecord is a follower's half of one lockstep rendezvous, sent to the
 // leader over the (simulated shared-memory) IPC channel. wire is the
 // varint-framed encoding of (name, args) — what actually crosses the ring;
 // the leader decodes it rather than trusting the in-memory fields. thread
@@ -38,7 +38,7 @@ type callRecord struct {
 	resp   chan callResult
 	// lag is how many cycles the follower charged since its previous
 	// rendezvous — its own work getting here. Unlike a shared-counter
-	// elapsed-time measurement it does not depend on how the two variants'
+	// elapsed-time measurement it does not depend on how the variants'
 	// goroutines interleave, so the deadline verdict is deterministic.
 	lag clock.Cycles
 }
@@ -51,39 +51,89 @@ type callResult struct {
 	errno kernel.Errno
 }
 
-// session is one active protected region: the leader/follower lockstep
-// state. Channels model the shared-memory IPC ring with its mutexes and
-// condition variables (Section 3.2).
+// followerSlot is one follower variant's seat in the variant set: its
+// address-space window (delta), thread identity, IPC lanes (the strict
+// rendezvous channel and the pipelined run-ahead ring with its own drain
+// cursor), and per-slot lifecycle state (death, policy detach).
+type followerSlot struct {
+	id    int   // 1-based slot index; window sits at id*Delta
+	delta int64 // this slot's address-window shift
+
+	tid    int
+	thread *kernel.Thread
+
+	req  chan *callRecord   // strict-mode rendezvous lane
+	ring chan *leaderRecord // pipelined run-ahead lane
+
+	// drained counts records this slot has verified; fCycles is the slot
+	// thread's cycle total at its previous rendezvous. Both are touched
+	// only by the slot's own goroutine (or by the leader while the slot is
+	// parked on a rendezvous reply).
+	drained uint64
+	fCycles clock.Cycles
+
+	deadOnce sync.Once
+	dead     chan struct{}
+	err      error
+
+	detachOnce sync.Once
+	detachCh   chan struct{}
+}
+
+// markDead records the slot's termination (normal or crash) and wakes the
+// leader if it is blocked on a rendezvous with this slot.
+func (sl *followerSlot) markDead(err error) {
+	sl.deadOnce.Do(func() {
+		sl.err = err
+		close(sl.dead)
+	})
+}
+
+// detached reports whether the policy severed this slot from lockstep.
+func (sl *followerSlot) detached() bool {
+	select {
+	case <-sl.detachCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// drainPending clears any rendezvous slot the follower published before
+// the detach, replying with the detach verdict so it never blocks on resp.
+func (sl *followerSlot) drainPending() {
+	for {
+		select {
+		case rec := <-sl.req:
+			rec.resp <- callResult{mode: modeDetach}
+		default:
+			return
+		}
+	}
+}
+
+// session is one active protected region: the leader plus the variant
+// set's follower slots in lockstep. Channels model the shared-memory IPC
+// ring with its mutexes and condition variables (Section 3.2).
 type session struct {
 	mon   *Monitor
 	fn    string
-	delta int64
+	delta int64 // base window shift; slot k sits at k*delta
 
-	leaderTID   int
-	followerTID int
+	leaderTID int
+	slots     []*followerSlot
 
-	req        chan *callRecord
 	leaderDone chan struct{}
-	thread     *kernel.Thread
 
-	// Pipelined lockstep state (see pipeline.go): ring is the bounded
-	// run-ahead queue of leader call records; drained counts records the
-	// follower has verified (follower goroutine only).
+	// Pipelined lockstep state (see pipeline.go): each slot's ring is the
+	// bounded run-ahead queue of leader call records; the lag window is
+	// bounded by the slowest slot's cursor (a full ring blocks the leader).
 	pipelined bool
-	ring      chan *leaderRecord
-	drained   uint64
 
-	deadOnce     sync.Once
-	followerDead chan struct{}
-	followerErr  error
-
-	// Containment state (see policy.go): detachCh is closed when the
-	// policy severs the follower; timedOut is closed when a rendezvous
-	// deadline blows; watchStop ends the watchdog goroutine at region
-	// exit. waitingSince is the leader's current rendezvous wait start
-	// (cycles+1; 0 = not waiting), polled by the watchdog.
-	detachOnce   sync.Once
-	detachCh     chan struct{}
+	// Containment state (see policy.go): timedOut is closed when a
+	// rendezvous deadline blows; watchStop ends the watchdog goroutine at
+	// region exit. waitingSince is the leader's current rendezvous wait
+	// start (cycles+1; 0 = not waiting), polled by the watchdog.
 	timeoutOnce  sync.Once
 	timedOut     chan struct{}
 	watchOnce    sync.Once
@@ -91,7 +141,7 @@ type session struct {
 	waitingSince atomic.Int64
 
 	leaderOnly bool // degraded session that never had a follower
-	restarted  bool // session whose follower is a policy re-clone
+	restarted  bool // session whose followers are a policy re-clone
 	abortable  bool // region entered via Invoke: a guarded frame can catch a mid-flight abort
 
 	// Rollback state (PolicyRollback; see snapshot.go): snapped marks that
@@ -100,10 +150,6 @@ type session struct {
 	// alarm, stored as ordinal+1 so zero means "no alarm yet".
 	snapped       bool
 	rollbackCause atomic.Uint64
-
-	// fCycles is the follower thread's cycle total at its previous
-	// rendezvous; only the follower goroutine touches it (lag bookkeeping).
-	fCycles clock.Cycles
 
 	calls         atomic.Uint64
 	emulatedBytes atomic.Uint64
@@ -115,30 +161,90 @@ type session struct {
 }
 
 func newSession(mon *Monitor, fn string, delta int64, leaderTID int) *session {
-	return &session{
-		mon:          mon,
-		fn:           fn,
-		delta:        delta,
-		leaderTID:    leaderTID,
-		req:          make(chan *callRecord),
-		leaderDone:   make(chan struct{}),
-		followerDead: make(chan struct{}),
-		detachCh:     make(chan struct{}),
-		timedOut:     make(chan struct{}),
-		watchStop:    make(chan struct{}),
-		pipelined:    mon.opts.Lockstep == LockstepPipelined,
-		ring:         make(chan *leaderRecord, mon.opts.LagWindow),
-		lr:           mon.led.Region(fn),
+	s := &session{
+		mon:        mon,
+		fn:         fn,
+		delta:      delta,
+		leaderTID:  leaderTID,
+		leaderDone: make(chan struct{}),
+		timedOut:   make(chan struct{}),
+		watchStop:  make(chan struct{}),
+		pipelined:  mon.opts.Lockstep == LockstepPipelined,
+		lr:         mon.led.Region(fn),
 	}
+	n := mon.numFollowers()
+	s.slots = make([]*followerSlot, n)
+	for i := 0; i < n; i++ {
+		s.slots[i] = &followerSlot{
+			id:       i + 1,
+			delta:    delta * int64(i+1),
+			req:      make(chan *callRecord),
+			ring:     make(chan *leaderRecord, mon.opts.LagWindow),
+			dead:     make(chan struct{}),
+			detachCh: make(chan struct{}),
+		}
+	}
+	return s
 }
 
-// markDead records the follower's termination (normal or crash) and wakes
-// the leader if it is blocked on a rendezvous.
-func (s *session) markDead(err error) {
-	s.deadOnce.Do(func() {
-		s.followerErr = err
-		close(s.followerDead)
-	})
+// attached returns the slots the policy has not severed, in slot order.
+func (s *session) attached() []*followerSlot {
+	out := make([]*followerSlot, 0, len(s.slots))
+	for _, sl := range s.slots {
+		if !sl.detached() {
+			out = append(out, sl)
+		}
+	}
+	return out
+}
+
+// allDetached reports whether every slot has been severed.
+func (s *session) allDetached() bool {
+	for _, sl := range s.slots {
+		if !sl.detached() {
+			return false
+		}
+	}
+	return true
+}
+
+// allSlotsDead reports whether every slot's thread has terminated.
+func (s *session) allSlotsDead() bool {
+	for _, sl := range s.slots {
+		select {
+		case <-sl.dead:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// liveAttached counts slots that are neither detached nor dead.
+func (s *session) liveAttached() int {
+	n := 0
+	for _, sl := range s.slots {
+		if sl.detached() {
+			continue
+		}
+		select {
+		case <-sl.dead:
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// slotByTID maps a thread ID to its follower slot (nil for the leader or
+// unrelated threads). The slot count is tiny; a linear scan beats a map.
+func (s *session) slotByTID(tid int) *followerSlot {
+	for _, sl := range s.slots {
+		if sl.tid == tid && tid != 0 {
+			return sl
+		}
+	}
+	return nil
 }
 
 // abortFollower replies abort to a pending follower call.
@@ -146,36 +252,13 @@ func abortFollower(rec *callRecord) {
 	rec.resp <- callResult{mode: modeAbort}
 }
 
-// detached reports whether the policy severed the follower from lockstep.
-func (s *session) detached() bool {
-	select {
-	case <-s.detachCh:
-		return true
-	default:
-		return false
-	}
-}
-
-// drainPending clears any rendezvous slot the follower published before the
-// detach, replying with the detach verdict so it never blocks on resp.
-func (s *session) drainPending() {
-	for {
-		select {
-		case rec := <-s.req:
-			rec.resp <- callResult{mode: modeDetach}
-		default:
-			return
-		}
-	}
-}
-
 // rejectFollower answers a diverging rendezvous per the policy: kill-both
 // aborts the follower with ErrDivergence (the paper's behaviour),
 // containment detaches it. Detach bookkeeping runs before the reply so the
 // backoff timestamp is read while the follower is still parked on resp.
-func (s *session) rejectFollower(rec *callRecord, cause string) {
+func (s *session) rejectFollower(sl *followerSlot, rec *callRecord, cause string) {
 	if s.mon.contain() {
-		s.mon.detachFollower(s, cause)
+		s.mon.detachFollower(s, sl, cause)
 		rec.resp <- callResult{mode: modeDetach}
 		return
 	}
@@ -218,9 +301,10 @@ func (s *session) watch(deadline clock.Cycles) {
 		select {
 		case <-s.watchStop:
 			return
-		case <-s.followerDead:
-			return
 		case <-ticker.C:
+		}
+		if s.allSlotsDead() {
+			return
 		}
 		w := s.waitingSince.Load()
 		now := s.mon.m.Counter().Cycles()
@@ -247,21 +331,34 @@ func (s *session) watch(deadline clock.Cycles) {
 }
 
 // leaderCall runs the leader's side of one lockstep libc call: wait for the
-// follower to arrive at its own call, compare, execute (leader-only for
-// kernel-facing calls), emulate results to the follower, and reply.
+// attached followers to arrive at their own calls, compare (pairwise with a
+// single follower, by majority vote with more), execute (leader-only for
+// kernel-facing calls), emulate results to the followers, and reply.
 // Pipelined sessions branch into the run-ahead engine (pipeline.go).
 func (s *session) leaderCall(t *machine.Thread, name string, args []uint64) uint64 {
 	if s.pipelined {
 		return s.leaderCallPipelined(t, name, args)
 	}
 	idx := s.calls.Add(1)
-	if s.detached() {
+	att := s.attached()
+	switch len(att) {
+	case 0:
 		// Degraded single-variant mode after a policy detach: no
 		// rendezvous to charge or wait for. Under rollback the detach means
-		// the follower faulted — unwind instead of running un-replicated.
+		// a follower faulted — unwind instead of running un-replicated.
 		s.maybeAbortRegion(t, name, idx)
 		return s.mon.lib.Call(t, name, args)
+	case 1:
+		return s.leaderCallPair(t, name, args, att[0], idx)
+	default:
+		return s.leaderCallVote(t, name, args, att, idx)
 	}
+}
+
+// leaderCallPair is the paper's two-party rendezvous against the one
+// remaining attached slot — the exact pairwise discipline the pair-shaped
+// monitor ran, byte for byte at Variants=2.
+func (s *session) leaderCallPair(t *machine.Thread, name string, args []uint64, sl *followerSlot, idx uint64) uint64 {
 	s.mon.m.ChargeThread(t, s.mon.m.Costs().LockstepRendezvous)
 	obsRec := s.mon.rec
 	waitStart := s.mon.m.Counter().Cycles()
@@ -273,7 +370,7 @@ func (s *session) leaderCall(t *machine.Thread, name string, args []uint64) uint
 
 	s.waitingSince.Store(int64(waitStart) + 1)
 	select {
-	case rec := <-s.req:
+	case rec := <-sl.req:
 		s.waitingSince.Store(0)
 		now := s.mon.m.Counter().Cycles()
 		t.AddWaitCycles(now - waitStart)
@@ -304,14 +401,14 @@ func (s *session) leaderCall(t *machine.Thread, name string, args []uint64) uint
 			if rec.lag > d {
 				late = rec.lag
 			}
-			ret := s.leaderTimedOut(t, name, args, rec, idx, late)
+			ret := s.leaderTimedOut(t, name, args, sl, rec, idx, late)
 			span.End(ret)
 			return ret
 		}
-		ret := s.leaderPaired(t, name, args, rec, idx)
+		ret := s.leaderPaired(t, name, args, sl, rec, idx)
 		span.End(ret)
 		return ret
-	case <-s.followerDead:
+	case <-sl.dead:
 		s.waitingSince.Store(0)
 		// The follower died mid-region (e.g. faulted on a gadget
 		// address). The alarm is raised by the variant waiter; under
@@ -325,18 +422,290 @@ func (s *session) leaderCall(t *machine.Thread, name string, args []uint64) uint
 		return ret
 	case <-s.timedOut:
 		s.waitingSince.Store(0)
-		ret := s.leaderTimedOut(t, name, args, nil, idx, 0)
+		ret := s.leaderTimedOut(t, name, args, sl, nil, idx, 0)
 		span.End(ret)
 		return ret
 	}
 }
 
-// leaderTimedOut handles a blown rendezvous deadline: raise
-// AlarmRendezvousTimeout, sever the follower per the policy, and let the
-// leader continue un-replicated. rec is non-nil when the follower did
-// arrive, too late — elapsed is the measured wait in that case; nil means
-// the watchdog tripped while the follower was still missing.
-func (s *session) leaderTimedOut(t *machine.Thread, name string, args []uint64, rec *callRecord, idx uint64, elapsed clock.Cycles) uint64 {
+// slotArrival pairs a follower slot with the call record it published at a
+// multi-party rendezvous.
+type slotArrival struct {
+	slot *followerSlot
+	rec  *callRecord
+}
+
+// leaderCallVote runs an N-way strict rendezvous: collect every attached
+// slot's record (granting the pipeline grace window to stragglers once the
+// session deadline blows), then resolve by majority vote.
+func (s *session) leaderCallVote(t *machine.Thread, name string, args []uint64, att []*followerSlot, idx uint64) uint64 {
+	costs := s.mon.m.Costs()
+	s.mon.m.ChargeThread(t, costs.LockstepRendezvous*clock.Cycles(len(att)))
+	obsRec := s.mon.rec
+	waitStart := s.mon.m.Counter().Cycles()
+	var span obs.RendezvousSpan
+	if obsRec != nil {
+		span = obsRec.BeginRendezvousSpan(obs.VariantLeader, t.TID(), name,
+			uint64(libc.CategoryOf(name)))
+	}
+	s.waitingSince.Store(int64(waitStart) + 1)
+	arrivals := s.collectArrivals(t, att, name, idx)
+	s.waitingSince.Store(0)
+	now := s.mon.m.Counter().Cycles()
+	t.AddWaitCycles(now - waitStart)
+	if obsRec != nil {
+		obsRec.Metrics().Observe("lockstep.wait.cycles", uint64(now-waitStart))
+		obsRec.Metrics().Observe(obs.MetricRendezvousLeaderCycles,
+			uint64(costs.LockstepRendezvous*clock.Cycles(len(att))+(now-waitStart)))
+		obsRec.ObserveSeries(obs.SeriesRendezvous,
+			uint64(costs.LockstepRendezvous*clock.Cycles(len(att))+(now-waitStart)))
+	}
+	if lr := s.lr; lr != nil {
+		cls := ledger.ClassOf(name)
+		lr.Add(ledger.PhaseRendezvous, obs.VariantLeader, cls,
+			costs.LockstepRendezvous*clock.Cycles(len(att)), ledger.Mark{}, 0)
+		lr.Add(ledger.PhaseWait, obs.VariantLeader, cls,
+			now-waitStart, ledger.Mark{}, 0)
+	}
+	// Deadline verdicts per arrival: a slot that arrived but stalled past
+	// the deadline is severed exactly as the pairwise path would sever it.
+	if d := s.mon.opts.RendezvousDeadline; d > 0 {
+		kept := arrivals[:0]
+		for _, a := range arrivals {
+			if a.rec.lag > d {
+				s.mon.raiseAlarm(Alarm{
+					Reason: AlarmRendezvousTimeout, CallIndex: idx, Function: s.fn,
+					LeaderCall: name, FollowerCall: a.rec.name, Variant: VariantID(a.slot.id),
+					Detail: fmt.Sprintf("variant %d arrived %d cycles into a %d-cycle rendezvous deadline",
+						a.slot.id, a.rec.lag, d),
+				}, s.rendezvousSnapshots(t, a.rec)...)
+				s.diverged.Store(true)
+				s.mon.rec.Metrics().Inc("rendezvous.timeout")
+				s.rejectFollower(a.slot, a.rec, "rendezvous-timeout")
+				continue
+			}
+			kept = append(kept, a)
+		}
+		arrivals = kept
+	}
+	ret := s.voteResolve(t, name, args, arrivals, idx)
+	span.End(ret)
+	return ret
+}
+
+// collectArrivals waits for each attached slot's rendezvous record in slot
+// order. Once the session deadline trips, each remaining slot is granted
+// the pipeline grace window; a slot that still has not arrived is declared
+// wedged and severed with a timeout alarm.
+func (s *session) collectArrivals(t *machine.Thread, att []*followerSlot, name string, idx uint64) []slotArrival {
+	arrivals := make([]slotArrival, 0, len(att))
+	graced := false
+	for _, sl := range att {
+		var rec *callRecord
+		if !graced {
+			select {
+			case rec = <-sl.req:
+			case <-sl.dead:
+			case <-s.timedOut:
+				graced = true
+			}
+		}
+		if rec == nil && graced {
+			select {
+			case rec = <-sl.req:
+			case <-sl.dead:
+			case <-time.After(pipelineGrace):
+				s.mon.raiseAlarm(Alarm{
+					Reason: AlarmRendezvousTimeout, CallIndex: idx, Function: s.fn,
+					LeaderCall: name, Variant: VariantID(sl.id),
+					Detail: fmt.Sprintf("variant %d missed the %d-cycle rendezvous deadline",
+						sl.id, s.mon.opts.RendezvousDeadline),
+				})
+				s.diverged.Store(true)
+				s.mon.rec.Metrics().Inc("rendezvous.timeout")
+				s.mon.detachFollower(s, sl, "rendezvous-timeout")
+			}
+		}
+		if rec == nil {
+			select {
+			case <-sl.dead:
+				// The slot died instead of arriving; its variant waiter
+				// raises the follower-fault alarm.
+				s.diverged.Store(true)
+			default:
+			}
+			continue
+		}
+		arrivals = append(arrivals, slotArrival{slot: sl, rec: rec})
+	}
+	return arrivals
+}
+
+// voteResolve finishes a multi-party rendezvous after collection: decode
+// each record, vote, quarantine the minority, and emulate results to the
+// majority. Shared by the strict N-way rendezvous and the pipelined
+// barrier.
+func (s *session) voteResolve(t *machine.Thread, name string, args []uint64, arrivals []slotArrival, idx uint64) uint64 {
+	if s.mon.snapshotDue(s) && len(arrivals) > 0 {
+		recs := make([]*callRecord, 0, len(arrivals))
+		for _, a := range arrivals {
+			recs = append(recs, a.rec)
+		}
+		s.mon.captureCheckpoint(s, t, recs, name, idx)
+	}
+	// Decode every record; one that does not frame is a divergence in its
+	// own right (that slot's monitor half wrote garbage) and its ballot is
+	// invalid.
+	type decoded struct {
+		slotArrival
+		fname string
+		fargs []uint64
+	}
+	valid := make([]decoded, 0, len(arrivals))
+	cmpMark := s.lr.Mark()
+	var wireBytes uint64
+	for _, a := range arrivals {
+		fname, fargs, derr := decodeCallRecord(a.rec.wire)
+		wireBytes += uint64(len(a.rec.wire))
+		if derr != nil {
+			s.mon.raiseAlarm(Alarm{
+				Reason: AlarmCallMismatch, CallIndex: idx, Function: s.fn,
+				LeaderCall: name, Variant: VariantID(a.slot.id),
+				Detail: fmt.Sprintf("corrupt IPC call record: %v", derr),
+			}, s.rendezvousSnapshots(t, a.rec)...)
+			s.diverged.Store(true)
+			s.rejectFollower(a.slot, a.rec, "ipc-corruption")
+			continue
+		}
+		valid = append(valid, decoded{slotArrival: a, fname: fname, fargs: fargs})
+	}
+	switch len(valid) {
+	case 0:
+		s.maybeAbortRegion(t, name, idx)
+		return s.mon.lib.Call(t, name, args)
+	case 1:
+		// One survivor: the pairwise compare and its legacy alarms apply.
+		return s.leaderPaired(t, name, args, valid[0].slot, valid[0].rec, idx)
+	}
+
+	// The vote. Ballot 0 is the leader; ballot k maps to valid[k-1].
+	ballots := make([]Ballot, 1, len(valid)+1)
+	ballots[0] = Ballot{Variant: 0, Name: name, Args: args, Valid: true}
+	for _, v := range valid {
+		ballots = append(ballots, Ballot{
+			Variant: VariantID(v.slot.id), Name: v.fname, Args: v.fargs, Valid: true,
+		})
+	}
+	res := Vote(ballots)
+	obsRec := s.mon.rec
+	if lr := s.lr; lr != nil {
+		lr.Add(ledger.PhaseCompare, obs.VariantLeader, ledger.ClassOf(name),
+			0, cmpMark, wireBytes)
+	}
+
+	leaderWon := res.Winner == 0
+	if !leaderWon {
+		// The followers outvoted the leader. The leader is the only variant
+		// wired to the kernel, so it still executes — but the whole set is
+		// suspect: the alarm names variant 0 and every follower is rejected
+		// per the policy (kill-both aborts them, containment detaches).
+		maj := ballots[res.Winner]
+		s.mon.raiseAlarm(Alarm{
+			Reason: AlarmOutvoted, CallIndex: idx, Function: s.fn,
+			LeaderCall: name, FollowerCall: maj.Name, Variant: 0,
+			Detail: fmt.Sprintf("leader outvoted %d-to-1 at %s: majority called %s",
+				res.Majority, name, maj.Name),
+		})
+		s.diverged.Store(true)
+		if obsRec != nil {
+			obsRec.Metrics().Inc("vote.leader_outvoted")
+		}
+		for _, v := range valid {
+			s.rejectFollower(v.slot, v.rec, "outvoted")
+		}
+		s.maybeAbortRegion(t, name, idx)
+		return s.mon.lib.Call(t, name, args)
+	}
+
+	// Leader in the majority: quarantine each minority follower, then run
+	// the call once and emulate results to the winners.
+	winners := make([]decoded, 0, len(valid))
+	losers := make(map[int]bool, len(res.Losers))
+	for _, li := range res.Losers {
+		losers[li] = true
+	}
+	for bi, v := range valid {
+		if losers[bi+1] {
+			s.mon.raiseAlarm(Alarm{
+				Reason: AlarmOutvoted, CallIndex: idx, Function: s.fn,
+				LeaderCall: name, FollowerCall: v.fname, Variant: VariantID(v.slot.id),
+				Detail: fmt.Sprintf("variant %d outvoted %d-to-1 at call %s: it called %s",
+					v.slot.id, res.Majority, name, v.fname),
+			}, s.rendezvousSnapshots(t, v.rec)...)
+			s.diverged.Store(true)
+			if obsRec != nil {
+				obsRec.Metrics().Inc("vote.follower_outvoted")
+			}
+			s.rejectFollower(v.slot, v.rec, "outvoted")
+			continue
+		}
+		winners = append(winners, v)
+	}
+
+	cat := libc.CategoryOf(name)
+	if obsRec != nil {
+		obsRec.Record(obs.EvLockstep, obs.VariantLeader, t.TID(), name, uint64(cat), idx, 0)
+		obsRec.Metrics().Inc("lockstep.category." + cat.Slug())
+	}
+	switch cat {
+	case libc.CatLocal:
+		// User-space call: each variant executes in its own space.
+		ret := s.mon.lib.Call(t, name, args)
+		for _, w := range winners {
+			w.rec.resp <- callResult{mode: modeLocal}
+		}
+		return ret
+	default:
+		// Leader-only execution; each winning follower receives return
+		// value, errno, and output buffers over its own IPC lane.
+		ret := s.mon.lib.Call(t, name, args)
+		errno := t.Errno()
+		var esp obs.EmulationSpan
+		if obsRec != nil {
+			esp = obsRec.BeginEmulationSpan(obs.VariantLeader, t.TID(), name, uint64(cat))
+		}
+		emuMark := s.lr.Mark()
+		total := 0
+		for _, w := range winners {
+			copied, efault := s.emulate(name, args, w.fargs, ret, idx, w.slot.delta)
+			total += copied
+			s.emulatedBytes.Add(uint64(copied))
+			if efault && s.mon.contain() {
+				s.mon.detachFollower(s, w.slot, "emulation-fault")
+				w.rec.resp <- callResult{mode: modeDetach}
+				continue
+			}
+			w.rec.resp <- callResult{mode: modeEmulated, ret: ret, errno: errno}
+		}
+		esp.End(uint64(total))
+		if lr := s.lr; lr != nil {
+			lr.Add(ledger.PhaseEmulate, obs.VariantLeader, ledger.ClassOf(name),
+				s.mon.m.Costs().LockstepCopyPerByte*cyclesOf(total), emuMark, uint64(total))
+		}
+		if obsRec != nil {
+			obsRec.Record(obs.EvEmulated, obs.VariantLeader, t.TID(), name, uint64(total), 0, ret)
+			obsRec.Metrics().Add("lockstep.emulated.bytes", uint64(total))
+		}
+		return ret
+	}
+}
+
+// leaderTimedOut handles a blown rendezvous deadline against one slot:
+// raise AlarmRendezvousTimeout, sever that slot per the policy, and let
+// the leader continue. rec is non-nil when the follower did arrive, too
+// late — elapsed is the measured wait in that case; nil means the watchdog
+// tripped while the follower was still missing.
+func (s *session) leaderTimedOut(t *machine.Thread, name string, args []uint64, sl *followerSlot, rec *callRecord, idx uint64, elapsed clock.Cycles) uint64 {
 	deadline := s.mon.opts.RendezvousDeadline
 	detail := fmt.Sprintf("follower missed the %d-cycle rendezvous deadline", deadline)
 	fcall := ""
@@ -351,19 +720,21 @@ func (s *session) leaderTimedOut(t *machine.Thread, name string, args []uint64, 
 	s.mon.raiseAlarm(Alarm{
 		Reason: AlarmRendezvousTimeout, CallIndex: idx, Function: s.fn,
 		LeaderCall: name, FollowerCall: fcall, Detail: detail,
+		Variant: VariantID(sl.id),
 	}, snaps...)
 	s.diverged.Store(true)
 	s.mon.rec.Metrics().Inc("rendezvous.timeout")
 	if rec != nil {
-		s.rejectFollower(rec, "rendezvous-timeout")
+		s.rejectFollower(sl, rec, "rendezvous-timeout")
 	} else {
-		s.mon.detachFollower(s, "rendezvous-timeout")
+		s.mon.detachFollower(s, sl, "rendezvous-timeout")
 	}
 	return s.mon.lib.Call(t, name, args)
 }
 
-// leaderPaired handles a rendezvous where both variants arrived.
-func (s *session) leaderPaired(t *machine.Thread, name string, args []uint64, rec *callRecord, idx uint64) uint64 {
+// leaderPaired handles a rendezvous where the leader and one follower slot
+// arrived — the paper's pairwise compare.
+func (s *session) leaderPaired(t *machine.Thread, name string, args []uint64, sl *followerSlot, rec *callRecord, idx uint64) uint64 {
 	obsRec := s.mon.rec
 	if s.mon.snapshotDue(s) {
 		// A quiescent anchor point: both variants are parked at the same
@@ -372,7 +743,7 @@ func (s *session) leaderPaired(t *machine.Thread, name string, args []uint64, re
 		// before this call's divergence checks — a rendezvous that fails
 		// them below was still quiescent when captured, and the budget
 		// catches a checkpoint that keeps absorbing the same divergence.
-		s.mon.captureCheckpoint(s, t, rec, name, idx)
+		s.mon.captureCheckpoint(s, t, []*callRecord{rec}, name, idx)
 	}
 	cmpMark := s.lr.Mark()
 	// Lockstep check 0: the IPC record itself must decode. A record that
@@ -382,33 +753,33 @@ func (s *session) leaderPaired(t *machine.Thread, name string, args []uint64, re
 	if derr != nil {
 		s.mon.raiseAlarm(Alarm{
 			Reason: AlarmCallMismatch, CallIndex: idx, Function: s.fn,
-			LeaderCall: name,
-			Detail:     fmt.Sprintf("corrupt IPC call record: %v", derr),
+			LeaderCall: name, Variant: VariantID(sl.id),
+			Detail: fmt.Sprintf("corrupt IPC call record: %v", derr),
 		}, s.rendezvousSnapshots(t, rec)...)
 		s.diverged.Store(true)
-		s.rejectFollower(rec, "ipc-corruption")
+		s.rejectFollower(sl, rec, "ipc-corruption")
 		return s.mon.lib.Call(t, name, args)
 	}
 	// Lockstep check 1: same libc function name (Section 3.3).
 	if fname != name {
 		s.mon.raiseAlarm(Alarm{
 			Reason: AlarmCallMismatch, CallIndex: idx, Function: s.fn,
-			LeaderCall: name, FollowerCall: fname,
+			LeaderCall: name, FollowerCall: fname, Variant: VariantID(sl.id),
 			Detail: fmt.Sprintf("leader called %s, follower called %s", name, fname),
 		}, s.rendezvousSnapshots(t, rec)...)
 		s.diverged.Store(true)
-		s.rejectFollower(rec, "call-mismatch")
+		s.rejectFollower(sl, rec, "call-mismatch")
 		return s.mon.lib.Call(t, name, args)
 	}
 	// Lockstep check 2: same non-pointer argument values.
 	if bad, li, fi := scalarMismatch(name, args, fargs); bad {
 		s.mon.raiseAlarm(Alarm{
 			Reason: AlarmArgMismatch, CallIndex: idx, Function: s.fn,
-			LeaderCall: name, FollowerCall: fname,
+			LeaderCall: name, FollowerCall: fname, Variant: VariantID(sl.id),
 			Detail: fmt.Sprintf("%s arg mismatch: leader %#x vs follower %#x", name, li, fi),
 		}, s.rendezvousSnapshots(t, rec)...)
 		s.diverged.Store(true)
-		s.rejectFollower(rec, "arg-mismatch")
+		s.rejectFollower(sl, rec, "arg-mismatch")
 		return s.mon.lib.Call(t, name, args)
 	}
 
@@ -440,7 +811,7 @@ func (s *session) leaderPaired(t *machine.Thread, name string, args []uint64, re
 			esp = obsRec.BeginEmulationSpan(obs.VariantLeader, t.TID(), name, uint64(cat))
 		}
 		emuMark := s.lr.Mark()
-		copied, efault := s.emulate(name, args, fargs, ret, idx)
+		copied, efault := s.emulate(name, args, fargs, ret, idx, sl.delta)
 		esp.End(uint64(copied))
 		if lr := s.lr; lr != nil {
 			lr.Add(ledger.PhaseEmulate, obs.VariantLeader, ledger.ClassOf(name),
@@ -453,7 +824,7 @@ func (s *session) leaderPaired(t *machine.Thread, name string, args []uint64, re
 		}
 		if efault && s.mon.contain() {
 			// The follower's result buffer is gone; it cannot keep up.
-			s.mon.detachFollower(s, "emulation-fault")
+			s.mon.detachFollower(s, sl, "emulation-fault")
 			rec.resp <- callResult{mode: modeDetach}
 			return ret
 		}
@@ -477,27 +848,28 @@ func (s *session) rendezvousSnapshots(leader *machine.Thread, rec *callRecord) [
 	return snaps
 }
 
-// followerCall runs the follower's side: publish the call, wait for the
-// leader's verdict. Pipelined sessions drain the rendezvous ring instead
-// (pipeline.go).
-func (s *session) followerCall(t *machine.Thread, name string, args []uint64) uint64 {
+// followerCall runs one follower slot's side: publish the call on the
+// slot's lane, wait for the leader's verdict. Pipelined sessions drain the
+// slot's rendezvous ring instead (pipeline.go).
+func (s *session) followerCall(t *machine.Thread, sl *followerSlot, name string, args []uint64) uint64 {
 	if s.pipelined {
-		return s.followerCallPipelined(t, name, args)
+		return s.followerCallPipelined(t, sl, name, args)
 	}
+	fv := obs.FollowerVariant(sl.id)
 	cyc := t.UserCycles()
 	mshMark := s.lr.Mark()
 	rec := &callRecord{
 		name: name, args: args, wire: encodeCallRecord(name, args),
 		thread: t, resp: make(chan callResult, 1),
-		lag: cyc - s.fCycles,
+		lag: cyc - sl.fCycles,
 	}
-	s.fCycles = cyc
+	sl.fCycles = cyc
 	lr := s.lr
 	var cls ledger.Class
 	var fwaitStart clock.Cycles
 	if lr != nil {
 		cls = ledger.ClassOf(name)
-		lr.Add(ledger.PhaseMarshal, obs.VariantFollower, cls, 0, mshMark, uint64(len(rec.wire)))
+		lr.Add(ledger.PhaseMarshal, fv, cls, 0, mshMark, uint64(len(rec.wire)))
 		fwaitStart = s.mon.m.Counter().Cycles()
 	}
 	obsRec := s.mon.rec
@@ -513,10 +885,10 @@ func (s *session) followerCall(t *machine.Thread, name string, args []uint64) ui
 		}
 	}
 	select {
-	case s.req <- rec:
+	case sl.req <- rec:
 		res := <-rec.resp
 		if lr != nil {
-			lr.Add(ledger.PhaseWait, obs.VariantFollower, cls,
+			lr.Add(ledger.PhaseWait, fv, cls,
 				s.mon.m.Counter().Cycles()-fwaitStart, ledger.Mark{}, 0)
 		}
 		switch res.mode {
@@ -528,8 +900,8 @@ func (s *session) followerCall(t *machine.Thread, name string, args []uint64) ui
 			// pair here: enter back-dated to the rendezvous arrival, exit
 			// when the emulated result lands.
 			if obsRec != nil {
-				obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, obs.VariantFollower, t.TID(), name, a0, a1, 0)
-				obsRec.RecordIn(t.Fn(), obs.EvLibcExit, obs.VariantFollower, t.TID(), name, 0, 0, res.ret)
+				obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, fv, t.TID(), name, a0, a1, 0)
+				obsRec.RecordIn(t.Fn(), obs.EvLibcExit, fv, t.TID(), name, 0, 0, res.ret)
 			}
 			t.SetErrno(res.errno)
 			return res.ret
@@ -537,19 +909,19 @@ func (s *session) followerCall(t *machine.Thread, name string, args []uint64) ui
 			// The policy severed this follower; wind it down without a
 			// fresh divergence panic.
 			if obsRec != nil {
-				obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, obs.VariantFollower, t.TID(), name, a0, a1, 0)
+				obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, fv, t.TID(), name, a0, a1, 0)
 			}
 			panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDetached})
 		default:
 			if obsRec != nil {
-				obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, obs.VariantFollower, t.TID(), name, a0, a1, 0)
+				obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, fv, t.TID(), name, a0, a1, 0)
 			}
 			panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDivergence})
 		}
-	case <-s.detachCh:
+	case <-sl.detachCh:
 		panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDetached})
 	case <-s.leaderDone:
-		if s.detached() {
+		if sl.detached() {
 			panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDetached})
 		}
 		// The leader already left the region: the follower is executing
@@ -561,21 +933,22 @@ func (s *session) followerCall(t *machine.Thread, name string, args []uint64) ui
 		}
 		s.mon.raiseAlarm(Alarm{
 			Reason: AlarmSequenceLength, CallIndex: s.calls.Load(), Function: s.fn,
-			FollowerCall: name,
-			Detail:       fmt.Sprintf("follower issued %s after leader finished the region", name),
+			FollowerCall: name, Variant: VariantID(sl.id),
+			Detail: fmt.Sprintf("follower issued %s after leader finished the region", name),
 		}, snaps...)
 		s.diverged.Store(true)
 		panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDivergence})
 	}
 }
 
-// emulate copies the leader's output buffers into the follower's
+// emulate copies the leader's output buffers into one follower's
 // corresponding buffers, translating embedded pointers for the special
 // category, and returns bytes copied plus whether a follower destination
-// buffer was unwritable (AlarmEmulationFault raised). Copies run with
-// monitor privileges (raw address-space access — the monitor's PKRU has
-// every key enabled).
-func (s *session) emulate(name string, leaderArgs, followerArgs []uint64, ret uint64, idx uint64) (int, bool) {
+// buffer was unwritable (AlarmEmulationFault raised). delta is the target
+// slot's window shift — pointer rebasing lands in that slot's window.
+// Copies run with monitor privileges (raw address-space access — the
+// monitor's PKRU has every key enabled).
+func (s *session) emulate(name string, leaderArgs, followerArgs []uint64, ret uint64, idx uint64, delta int64) (int, bool) {
 	as := s.mon.m.AddressSpace()
 	costs := s.mon.m.Costs()
 	faulted := false
@@ -605,7 +978,7 @@ func (s *session) emulate(name string, leaderArgs, followerArgs []uint64, ret ui
 			// divergence the stale data would cause later.
 			s.mon.raiseAlarm(Alarm{
 				Reason: AlarmEmulationFault, CallIndex: idx, Function: s.fn,
-				LeaderCall: name,
+				LeaderCall: name, Variant: VariantID(int(delta / s.delta)),
 				Detail: fmt.Sprintf("emulation copy of %d bytes into follower buffer %#x failed: %v",
 					n, dst, err),
 			})
@@ -663,7 +1036,7 @@ func (s *session) emulate(name string, leaderArgs, followerArgs []uint64, ret ui
 			}
 			data := fromLE(entry[8:])
 			if s.inLeaderSpace(mem.Addr(data)) {
-				data = uint64(int64(data) + s.delta)
+				data = uint64(int64(data) + delta)
 				toLE(entry[8:], data)
 			}
 			if err := as.WriteAt(dst+mem.Addr(i*16), entry[:]); err != nil {

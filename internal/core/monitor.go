@@ -62,10 +62,24 @@ var (
 	ErrRendezvousTimeout = errors.New("smvx: rendezvous deadline exceeded")
 )
 
-// FollowerDelta is the default shift between the leader's and the
+// FollowerDelta is the default shift between the leader's and the first
 // follower's address windows — large enough that no leader region can
-// collide with its clone.
+// collide with its clone. Follower slot k sits at k*FollowerDelta.
 const FollowerDelta int64 = 0x2000_0000_0000
+
+// VariantID is the dense per-variant index (0 = leader, k = follower slot
+// k), shared with the observability plane.
+type VariantID = obs.VariantID
+
+// Variant-set sizing.
+const (
+	// DefaultVariants is the total variant count (leader included) when no
+	// WithVariants option is given — the paper's leader/follower pair.
+	DefaultVariants = 2
+	// MaxVariants bounds the variant set: the leader plus obs.MaxFollowers
+	// follower slots (the MPK key space caps the follower windows).
+	MaxVariants = 1 + obs.MaxFollowers
+)
 
 // followerStackPages is the follower variant's stack size.
 const followerStackPages = 16
@@ -99,6 +113,11 @@ const (
 	// otherwise unwritable — a corrupt follower buffer, previously folded
 	// into generic divergence.
 	AlarmEmulationFault
+	// AlarmOutvoted: at an N-variant rendezvous the named variant's ballot
+	// disagreed with the majority. The Variant field names the loser; a
+	// losing leader (variant 0) means the majority of followers agreed
+	// with each other against the leader's call.
+	AlarmOutvoted
 )
 
 // String names the alarm reason.
@@ -116,6 +135,8 @@ func (r AlarmReason) String() string {
 		return "rendezvous deadline exceeded"
 	case AlarmEmulationFault:
 		return "follower emulation-buffer fault"
+	case AlarmOutvoted:
+		return "variant outvoted"
 	default:
 		return "unknown"
 	}
@@ -138,6 +159,10 @@ type Alarm struct {
 	LeaderCall, FollowerCall string
 	// Detail is a human-readable description.
 	Detail string
+	// Variant is the dense index of the variant the alarm is about: 0 for
+	// the leader, k for the k-th follower slot. Pair-era alarms always
+	// name follower slot 1.
+	Variant VariantID
 	// Handled reports whether a containment policy (leader-continue or
 	// restart-follower) absorbed the divergence: the leader kept running
 	// single-variant instead of the paper's kill-both response. Unhandled
@@ -194,8 +219,14 @@ type RegionReport struct {
 
 // Options configures the monitor.
 type Options struct {
-	// Delta is the follower window shift (default FollowerDelta).
+	// Delta is the follower window shift (default FollowerDelta); follower
+	// slot k is shifted by k*Delta.
 	Delta int64
+	// Variants is the total variant count, leader included (default
+	// DefaultVariants; clamped to [2, MaxVariants]). N-1 follower slots
+	// are cloned at each region entry and every rendezvous becomes a
+	// majority vote once more than one follower is attached.
+	Variants int
 	// Seed drives trampoline address randomization.
 	Seed int64
 	// ScanHints, when non-nil, narrows the .data/.bss pointer scan to the
@@ -264,6 +295,12 @@ type Option func(*Options)
 
 // WithDelta overrides the follower window shift.
 func WithDelta(d int64) Option { return func(o *Options) { o.Delta = d } }
+
+// WithVariants sets the total variant count, leader included (clamped to
+// [2, MaxVariants]). At the default of 2 the monitor behaves exactly as
+// the paper's leader/follower pair; above 2 divergence becomes a majority
+// vote across the variant set.
+func WithVariants(n int) Option { return func(o *Options) { o.Variants = n } }
 
 // WithSeed sets the randomization seed.
 func WithSeed(s int64) Option { return func(o *Options) { o.Seed = s } }
@@ -353,9 +390,9 @@ type Monitor struct {
 
 	profile *image.Profile
 
-	pkeyMonitor  mpk.Key
-	pkeyLeader   mpk.Key
-	pkeyFollower mpk.Key
+	pkeyMonitor   mpk.Key
+	pkeyLeader    mpk.Key
+	pkeyFollowers []mpk.Key // one key per follower slot, in slot order
 
 	trampolineBase mem.Addr
 	monDataBase    mem.Addr
@@ -376,9 +413,12 @@ type Monitor struct {
 	variantReady   bool              // clones exist and can be refreshed
 	reports        []RegionReport
 
-	// Fault-containment state (see policy.go).
+	// Fault-containment state (see policy.go). slotDown marks follower
+	// slots detached by the policy; degraded means every slot is down and
+	// regions run leader-only.
 	quarantined   map[int]bool // detached follower TIDs barred from the trampoline
-	degraded      bool         // a follower was detached; regions run leader-only
+	slotDown      []bool       // per-slot detach flags, persistent across regions
+	degraded      bool         // all follower slots down; regions run leader-only
 	restartsUsed  int
 	nextRestartAt clock.Cycles // earliest virtual time a restart may happen
 
@@ -426,6 +466,12 @@ func New(m *machine.Machine, lib *libc.LibC, opts ...Option) *Monitor {
 	if o.RollbackBudget < 0 {
 		o.RollbackBudget = 0
 	}
+	if o.Variants < DefaultVariants {
+		o.Variants = DefaultVariants
+	}
+	if o.Variants > MaxVariants {
+		o.Variants = MaxVariants
+	}
 	mo := &Monitor{
 		m:           m,
 		img:         m.Program().Image(),
@@ -438,12 +484,13 @@ func New(m *machine.Machine, lib *libc.LibC, opts ...Option) *Monitor {
 		quarantined: make(map[int]bool),
 		redo:        NewRedoLog(),
 	}
+	mo.slotDown = make([]bool, mo.numFollowers())
 	if mo.led != nil {
 		// Charge the libc dispatch itself to the ledger's libc phase. The
 		// hook loads the active region lock-free; outside a region it is
 		// nil and Add is a no-op.
 		lib.SetLedgerHook(func(t *machine.Thread, name string, d clock.Cycles) {
-			mo.curRegion.Load().Add(ledger.PhaseLibc, variantOf(t),
+			mo.curRegion.Load().Add(ledger.PhaseLibc, mo.variantOfThread(t),
 				ledger.ClassOf(name), d, ledger.Mark{}, 0)
 		})
 	}
@@ -455,6 +502,12 @@ func New(m *machine.Machine, lib *libc.LibC, opts ...Option) *Monitor {
 func (mo *Monitor) LockstepConfig() (mode string, lagWindow int) {
 	return mo.opts.Lockstep.String(), mo.opts.LagWindow
 }
+
+// numFollowers is the configured follower-slot count (Variants - 1).
+func (mo *Monitor) numFollowers() int { return mo.opts.Variants - 1 }
+
+// Variants reports the configured total variant count, leader included.
+func (mo *Monitor) Variants() int { return mo.opts.Variants }
 
 // Setup is the setup_mvx() constructor: it loads the profile file, maps and
 // protects the monitor's regions, and patches the PLT. It must run before
@@ -479,15 +532,23 @@ func (mo *Monitor) Setup() error {
 	}
 	mo.profile = prof
 
-	// Allocate protection keys: one hides the monitor, two separate the
-	// variants' data views.
+	// Allocate protection keys: one hides the monitor, one per variant to
+	// separate the data views (leader plus one key per follower slot).
 	alloc := mpk.NewAllocator()
-	for _, dst := range []*mpk.Key{&mo.pkeyMonitor, &mo.pkeyLeader, &mo.pkeyFollower} {
+	for _, dst := range []*mpk.Key{&mo.pkeyMonitor, &mo.pkeyLeader} {
 		k, err := alloc.Alloc()
 		if err != nil {
 			return fmt.Errorf("smvx: pkey_alloc: %w", err)
 		}
 		*dst = k
+	}
+	mo.pkeyFollowers = make([]mpk.Key, mo.numFollowers())
+	for i := range mo.pkeyFollowers {
+		k, err := alloc.Alloc()
+		if err != nil {
+			return fmt.Errorf("smvx: pkey_alloc: %w", err)
+		}
+		mo.pkeyFollowers[i] = k
 	}
 
 	// Map the trampoline at a randomized address (code location
@@ -552,13 +613,23 @@ func (mo *Monitor) Init(t *machine.Thread) error {
 }
 
 // appPKRU computes the PKRU application code runs under: monitor key
-// disabled, plus the other variant's key disabled once variants exist.
+// disabled, plus every other variant's key disabled once variants exist.
 func (mo *Monitor) appPKRU(t *machine.Thread) mpk.PKRU {
 	p := mpk.AllowAll.WithAccessDisabled(mo.pkeyMonitor, true)
 	if t.Bias() == 0 {
-		return p.WithAccessDisabled(mo.pkeyFollower, true)
+		for _, k := range mo.pkeyFollowers {
+			p = p.WithAccessDisabled(k, true)
+		}
+		return p
 	}
-	return p.WithAccessDisabled(mo.pkeyLeader, true)
+	slot := int(t.Bias() / mo.opts.Delta)
+	p = p.WithAccessDisabled(mo.pkeyLeader, true)
+	for i, k := range mo.pkeyFollowers {
+		if i != slot-1 {
+			p = p.WithAccessDisabled(k, true)
+		}
+	}
+	return p
 }
 
 // monPKRU is the PKRU inside the trampoline/monitor: everything enabled.
@@ -580,8 +651,9 @@ func (mo *Monitor) Phase() string {
 	}
 }
 
-// FollowerLive reports whether a follower variant is currently running —
-// a region is active and the follower thread has not terminated.
+// FollowerLive reports whether any follower variant is currently running —
+// a region is active and at least one attached follower thread has not
+// terminated.
 func (mo *Monitor) FollowerLive() bool {
 	mo.mu.Lock()
 	s := mo.session
@@ -589,12 +661,17 @@ func (mo *Monitor) FollowerLive() bool {
 	if s == nil {
 		return false
 	}
-	select {
-	case <-s.followerDead:
-		return false
-	default:
-		return true
+	for _, slot := range s.slots {
+		if slot.detached() {
+			continue
+		}
+		select {
+		case <-slot.dead:
+		default:
+			return true
+		}
 	}
+	return false
 }
 
 // Alarms returns the divergences detected so far.
@@ -710,10 +787,11 @@ func (mo *Monitor) snapshot(role string, t *machine.Thread) obs.ThreadSnapshot {
 	}
 }
 
-// variantOf labels a thread by its address-window bias.
-func variantOf(t *machine.Thread) obs.Variant {
-	if t.Bias() != 0 {
-		return obs.VariantFollower
+// variantOfThread labels a thread by its address-window bias: slot k's
+// window sits at k*Delta.
+func (mo *Monitor) variantOfThread(t *machine.Thread) obs.Variant {
+	if b := t.Bias(); b != 0 {
+		return obs.FollowerVariant(int(b / mo.opts.Delta))
 	}
 	return obs.VariantLeader
 }

@@ -605,6 +605,7 @@ func TestAlarmReasonStrings(t *testing.T) {
 		AlarmSequenceLength:    "libc call count mismatch",
 		AlarmRendezvousTimeout: "rendezvous deadline exceeded",
 		AlarmEmulationFault:    "follower emulation-buffer fault",
+		AlarmOutvoted:          "variant outvoted",
 	}
 	seen := map[string]bool{}
 	for r, s := range want {

@@ -3,19 +3,19 @@ package core
 // Pipelined lockstep: the bounded run-ahead rendezvous ring.
 //
 // Strict lockstep (lockstep.go) stops the leader at every libc call until
-// the follower arrives — rendezvous RTT dominates protected-region
+// the followers arrive — rendezvous RTT dominates protected-region
 // overhead. In pipelined mode the roles invert: the leader executes its
 // call, publishes a framed record (the canonical-varint IPC codec plus a
-// result snapshot) on a bounded ring, and keeps running up to LagWindow
-// unverified calls ahead; the follower drains the ring asynchronously and
-// performs the exact same decode-before-compare divergence checks at
-// drain time, attributing any alarm to the ordinal the leader stamped on
-// the record. The three emulation categories become sync classes
-// (libc.SyncClassOf): results-emulation calls pipeline freely, local
-// calls pipeline with no result payload, and state-changing or
-// externally-visible calls are hard barriers — the leader drains the ring
-// and completes a full strict rendezvous (leaderPaired) before the call's
-// effects leave the process.
+// result snapshot) on each follower slot's bounded ring, and keeps running
+// up to LagWindow unverified calls ahead; every follower drains its own
+// ring asynchronously and performs the exact same decode-before-compare
+// divergence checks at drain time, attributing any alarm to the ordinal
+// the leader stamped on the record. The three emulation categories become
+// sync classes (libc.SyncClassOf): results-emulation calls pipeline
+// freely, local calls pipeline with no result payload, and state-changing
+// or externally-visible calls are hard barriers — the leader drains every
+// ring and completes a full rendezvous (pairwise with one live slot, by
+// majority vote with more) before the call's effects leave the process.
 
 import (
 	"fmt"
@@ -34,10 +34,10 @@ type LockstepMode int
 
 const (
 	// LockstepStrict is the paper's stop-and-wait lockstep: the leader
-	// blocks at every libc call until the follower catches up.
+	// blocks at every libc call until the followers catch up.
 	LockstepStrict LockstepMode = iota
 	// LockstepPipelined decouples the variants over the bounded
-	// rendezvous ring with drain-time verification and category-aware
+	// rendezvous rings with drain-time verification and category-aware
 	// sync barriers.
 	LockstepPipelined
 )
@@ -72,21 +72,21 @@ func ParseLockstepMode(s string) (LockstepMode, error) {
 const DefaultLagWindow = 16
 
 // pipelineGrace is the real-time window the leader grants a tripped
-// watchdog before concluding the follower is wedged off-CPU: a stalled
+// watchdog before concluding a follower is wedged off-CPU: a stalled
 // but still-charging follower detects its own blown deadline at drain
 // time (with the precise originating ordinal) well inside this window,
 // so only a follower that charges nothing at all reaches the leader-side
 // timeout path.
 const pipelineGrace = 200 * time.Millisecond
 
-// leaderRecord is one entry on the pipelined rendezvous ring: the
+// leaderRecord is one entry on a pipelined rendezvous ring: the
 // leader's half of a libc call, published ahead of verification. wire is
 // the canonical-varint call record (name + args); result — present for
 // pipelined-class calls — frames the return value, errno, and output
 // buffer snapshots captured at call time. The follower decodes both
 // rather than trusting in-process fields. Barrier records carry a reply
 // channel instead: the follower hands its own callRecord back and the
-// pair completes a full strict rendezvous.
+// set completes a full rendezvous.
 type leaderRecord struct {
 	idx     uint64 // 1-based libc-call ordinal, stamped by the leader
 	name    string
@@ -116,33 +116,53 @@ const (
 )
 
 // leaderCallPipelined runs the leader's side of one pipelined libc call:
-// classify, execute, publish on the ring (blocking only when the lag
-// window is exhausted), and barrier where the effects become externally
-// visible.
+// classify, execute, publish on every live slot's ring (blocking only when
+// a lag window is exhausted), and barrier where the effects become
+// externally visible.
 func (s *session) leaderCallPipelined(t *machine.Thread, name string, args []uint64) uint64 {
 	idx := s.calls.Add(1)
-	if s.detached() {
+	att := s.attached()
+	if len(att) == 0 {
 		// Degraded single-variant mode after a policy detach. Under
-		// rollback the detach means the follower was severed mid-region —
+		// rollback the detach means a follower was severed mid-region —
 		// unwind instead of running un-replicated.
 		s.maybeAbortRegion(t, name, idx)
 		return s.mon.lib.Call(t, name, args)
 	}
-	select {
-	case <-s.followerDead:
-		// The follower died mid-region; the variant waiter raises the
-		// alarm. Under rollback the region is unwound here (the leader's
+	live := att[:0:0]
+	anyDead := false
+	for _, sl := range att {
+		select {
+		case <-sl.dead:
+			anyDead = true
+		default:
+			live = append(live, sl)
+		}
+	}
+	if anyDead {
+		// A follower died mid-region; the variant waiter raises the alarm.
+		s.diverged.Store(true)
+	}
+	if len(live) == 0 {
+		// Under rollback the region is unwound here (the leader's
 		// remaining control flow is suspect); otherwise the leader
 		// continues un-replicated (as in strict mode).
-		s.diverged.Store(true)
 		s.maybeAbortRegion(t, name, idx)
 		return s.mon.lib.Call(t, name, args)
-	default:
 	}
 	if libc.SyncClassOf(name) == libc.SyncBarrier {
-		return s.leaderBarrier(t, name, args, idx)
+		return s.leaderBarrier(t, name, args, idx, live)
 	}
+	if len(live) == 1 {
+		return s.leaderPipelinedOne(t, name, args, idx, live[0])
+	}
+	return s.leaderPipelinedMany(t, name, args, idx, live)
+}
 
+// leaderPipelinedOne publishes one non-barrier call to the single live
+// slot — the pair-shaped run-ahead discipline, byte for byte at
+// Variants=2.
+func (s *session) leaderPipelinedOne(t *machine.Thread, name string, args []uint64, idx uint64, sl *followerSlot) uint64 {
 	costs := s.mon.m.Costs()
 	s.mon.m.ChargeThread(t, costs.LockstepEnqueue)
 	// Execute before publishing: the record carries the concrete result
@@ -161,7 +181,7 @@ func (s *session) leaderCallPipelined(t *machine.Thread, name string, args []uin
 	if libc.SyncClassOf(name) == libc.SyncLocal {
 		rec.local = true
 	} else {
-		rec.result = encodeResultRecord(ret, errno, s.captureOutputs(name, args, ret))
+		rec.result = encodeResultRecord(ret, errno, s.captureOutputs(name, args, ret, sl.delta))
 	}
 	lr := s.lr
 	var cls ledger.Class
@@ -171,12 +191,12 @@ func (s *session) leaderCallPipelined(t *machine.Thread, name string, args []uin
 			uint64(len(rec.wire)+len(rec.result)))
 	}
 	enqStart := s.mon.m.Counter().Cycles()
-	switch s.appendRecord(t, rec) {
+	switch s.appendRecord(t, sl, rec) {
 	case appendDead:
 		s.diverged.Store(true)
 		s.maybeAbortRegion(t, name, idx)
 	case appendTimedOut:
-		s.enqueueTimedOut(t, name, idx)
+		s.enqueueTimedOut(t, sl, name, idx)
 	case appendDetached:
 		// The follower severed itself at drain time; bookkeeping and the
 		// alarm already happened on its goroutine. Rollback unwinds here.
@@ -187,10 +207,10 @@ func (s *session) leaderCallPipelined(t *machine.Thread, name string, args []uin
 			m := obsRec.Metrics()
 			m.Observe(obs.MetricRendezvousLeaderCycles,
 				uint64(costs.LockstepEnqueue+(now-enqStart)))
-			m.SetGauge(obs.MetricPipelineDepth, float64(len(s.ring)))
+			m.SetGauge(obs.MetricPipelineDepth, float64(len(sl.ring)))
 			obsRec.ObserveSeries(obs.SeriesRendezvous,
 				uint64(costs.LockstepEnqueue+(now-enqStart)))
-			obsRec.ObserveSeries(obs.SeriesPipelineDepth, uint64(len(s.ring)))
+			obsRec.ObserveSeries(obs.SeriesPipelineDepth, uint64(len(sl.ring)))
 		}
 		if lr != nil {
 			// Enqueue+wait sum to the rendezvous.leader.cycles observation
@@ -204,20 +224,91 @@ func (s *session) leaderCallPipelined(t *machine.Thread, name string, args []uin
 	return ret
 }
 
-// appendRecord publishes one record on the ring, blocking when the lag
-// window is exhausted — the bounded run-ahead backpressure. The wait is
-// parked under waitingSince like a strict rendezvous so the watchdog can
-// see it.
-func (s *session) appendRecord(t *machine.Thread, rec *leaderRecord) appendVerdict {
+// leaderPipelinedMany publishes one non-barrier call to every live slot's
+// ring. The call executes once; each slot receives its own record with
+// output snapshots rebased into that slot's window.
+func (s *session) leaderPipelinedMany(t *machine.Thread, name string, args []uint64, idx uint64, live []*followerSlot) uint64 {
+	costs := s.mon.m.Costs()
+	s.mon.m.ChargeThread(t, costs.LockstepEnqueue*clock.Cycles(len(live)))
+	ret := s.mon.lib.Call(t, name, args)
+	errno := t.Errno()
+	lr := s.lr
+	var cls ledger.Class
+	if lr != nil {
+		cls = ledger.ClassOf(name)
+	}
+	mshMark := s.lr.Mark()
+	wire := encodeCallRecord(name, args)
+	local := libc.SyncClassOf(name) == libc.SyncLocal
+	enqStart := s.mon.m.Counter().Cycles()
+	anyOK := false
+	maxDepth := 0
+	for i, sl := range live {
+		if i > 0 {
+			mshMark = s.lr.Mark()
+		}
+		rec := &leaderRecord{idx: idx, name: name, wire: wire, cat: libc.CategoryOf(name)}
+		if local {
+			rec.local = true
+		} else {
+			rec.result = encodeResultRecord(ret, errno, s.captureOutputs(name, args, ret, sl.delta))
+		}
+		if lr != nil {
+			lr.Add(ledger.PhaseMarshal, obs.VariantLeader, cls, 0, mshMark,
+				uint64(len(rec.wire)+len(rec.result)))
+		}
+		switch s.appendRecord(t, sl, rec) {
+		case appendDead:
+			s.diverged.Store(true)
+		case appendTimedOut:
+			s.enqueueTimedOut(t, sl, name, idx)
+		case appendDetached:
+			// Drain-time bookkeeping already happened on the slot's
+			// goroutine.
+		case appendOK:
+			anyOK = true
+			if d := len(sl.ring); d > maxDepth {
+				maxDepth = d
+			}
+		}
+	}
+	if !anyOK {
+		s.maybeAbortRegion(t, name, idx)
+		return ret
+	}
+	now := s.mon.m.Counter().Cycles()
+	if obsRec := s.mon.rec; obsRec != nil {
+		m := obsRec.Metrics()
+		m.Observe(obs.MetricRendezvousLeaderCycles,
+			uint64(costs.LockstepEnqueue*clock.Cycles(len(live))+(now-enqStart)))
+		m.SetGauge(obs.MetricPipelineDepth, float64(maxDepth))
+		obsRec.ObserveSeries(obs.SeriesRendezvous,
+			uint64(costs.LockstepEnqueue*clock.Cycles(len(live))+(now-enqStart)))
+		obsRec.ObserveSeries(obs.SeriesPipelineDepth, uint64(maxDepth))
+	}
+	if lr != nil {
+		lr.Add(ledger.PhaseEnqueue, obs.VariantLeader, cls,
+			costs.LockstepEnqueue*clock.Cycles(len(live)), ledger.Mark{}, 0)
+		lr.Add(ledger.PhaseWait, obs.VariantLeader, cls,
+			now-enqStart, ledger.Mark{}, 0)
+	}
+	return ret
+}
+
+// appendRecord publishes one record on a slot's ring, blocking when its
+// lag window is exhausted — the bounded run-ahead backpressure. The wait
+// is parked under waitingSince like a strict rendezvous so the watchdog
+// can see it.
+func (s *session) appendRecord(t *machine.Thread, sl *followerSlot, rec *leaderRecord) appendVerdict {
 	select {
-	case <-s.followerDead:
+	case <-sl.dead:
 		return appendDead
-	case <-s.detachCh:
+	case <-sl.detachCh:
 		return appendDetached
 	default:
 	}
 	select {
-	case s.ring <- rec:
+	case sl.ring <- rec:
 		return appendOK
 	default:
 	}
@@ -233,21 +324,21 @@ func (s *session) appendRecord(t *machine.Thread, rec *leaderRecord) appendVerdi
 		return appendOK
 	}
 	select {
-	case s.ring <- rec:
+	case sl.ring <- rec:
 		return unblocked()
-	case <-s.followerDead:
+	case <-sl.dead:
 		return appendDead
-	case <-s.detachCh:
+	case <-sl.detachCh:
 		return appendDetached
 	case <-s.timedOut:
 		// Grace: a stalled-but-charging follower raises its own timeout
 		// (or frees a slot) within this window; see pipelineGrace.
 		select {
-		case s.ring <- rec:
+		case sl.ring <- rec:
 			return unblocked()
-		case <-s.followerDead:
+		case <-sl.dead:
 			return appendDead
-		case <-s.detachCh:
+		case <-sl.detachCh:
 			return appendDetached
 		case <-time.After(pipelineGrace):
 			return appendTimedOut
@@ -259,7 +350,7 @@ func (s *session) appendRecord(t *machine.Thread, rec *leaderRecord) appendVerdi
 // a full ring: the call itself already executed, so — unlike
 // leaderTimedOut — there is nothing to re-run, only the alarm and the
 // policy detach.
-func (s *session) enqueueTimedOut(t *machine.Thread, name string, idx uint64) {
+func (s *session) enqueueTimedOut(t *machine.Thread, sl *followerSlot, name string, idx uint64) {
 	deadline := s.mon.opts.RendezvousDeadline
 	var snaps []obs.ThreadSnapshot
 	if s.mon.rec != nil {
@@ -267,21 +358,30 @@ func (s *session) enqueueTimedOut(t *machine.Thread, name string, idx uint64) {
 	}
 	s.mon.raiseAlarm(Alarm{
 		Reason: AlarmRendezvousTimeout, CallIndex: idx, Function: s.fn,
-		LeaderCall: name,
+		LeaderCall: name, Variant: VariantID(sl.id),
 		Detail: fmt.Sprintf("follower stopped draining the rendezvous ring inside the %d-cycle deadline",
 			deadline),
 	}, snaps...)
 	s.diverged.Store(true)
 	s.mon.rec.Metrics().Inc("rendezvous.timeout")
-	s.mon.detachFollower(s, "rendezvous-timeout")
+	s.mon.detachFollower(s, sl, "rendezvous-timeout")
 }
 
-// leaderBarrier completes a hard sync point: publish the barrier record,
-// wait for the follower to drain everything before it and hand back its
-// own callRecord, then run the full strict rendezvous (leaderPaired) —
-// compare, execute, emulate — before the call's effects become
-// externally visible.
-func (s *session) leaderBarrier(t *machine.Thread, name string, args []uint64, idx uint64) uint64 {
+// leaderBarrier completes a hard sync point: publish the barrier record to
+// every live ring, wait for each follower to drain everything before it
+// and hand back its own callRecord, then run the full rendezvous —
+// compare (pairwise or by vote), execute, emulate — before the call's
+// effects become externally visible.
+func (s *session) leaderBarrier(t *machine.Thread, name string, args []uint64, idx uint64, live []*followerSlot) uint64 {
+	if len(live) == 1 {
+		return s.leaderBarrierOne(t, name, args, idx, live[0])
+	}
+	return s.leaderBarrierMany(t, name, args, idx, live)
+}
+
+// leaderBarrierOne is the pair-shaped barrier against the single live
+// slot, byte for byte at Variants=2.
+func (s *session) leaderBarrierOne(t *machine.Thread, name string, args []uint64, idx uint64, sl *followerSlot) uint64 {
 	costs := s.mon.m.Costs()
 	s.mon.m.ChargeThread(t, costs.LockstepRendezvous)
 	obsRec := s.mon.rec
@@ -302,7 +402,7 @@ func (s *session) leaderBarrier(t *machine.Thread, name string, args []uint64, i
 			0, mshMark, uint64(len(rec.wire)))
 	}
 	waitStart := s.mon.m.Counter().Cycles()
-	switch s.appendRecord(t, rec) {
+	switch s.appendRecord(t, sl, rec) {
 	case appendDead:
 		s.diverged.Store(true)
 		s.maybeAbortRegion(t, name, idx)
@@ -315,7 +415,7 @@ func (s *session) leaderBarrier(t *machine.Thread, name string, args []uint64, i
 		span.End(ret)
 		return ret
 	case appendTimedOut:
-		ret := s.leaderTimedOut(t, name, args, nil, idx, 0)
+		ret := s.leaderTimedOut(t, name, args, sl, nil, idx, 0)
 		span.End(ret)
 		return ret
 	}
@@ -348,9 +448,9 @@ func (s *session) leaderBarrier(t *machine.Thread, name string, args []uint64, i
 			if frec.lag > d {
 				late = frec.lag
 			}
-			return s.leaderTimedOut(t, name, args, frec, idx, late)
+			return s.leaderTimedOut(t, name, args, sl, frec, idx, late)
 		}
-		return s.leaderPaired(t, name, args, frec, idx)
+		return s.leaderPaired(t, name, args, sl, frec, idx)
 	}
 
 	s.waitingSince.Store(int64(waitStart) + 1)
@@ -360,13 +460,13 @@ func (s *session) leaderBarrier(t *machine.Thread, name string, args []uint64, i
 		ret := paired(frec)
 		span.End(ret)
 		return ret
-	case <-s.followerDead:
+	case <-sl.dead:
 		s.diverged.Store(true)
 		s.maybeAbortRegion(t, name, idx)
 		ret := s.mon.lib.Call(t, name, args)
 		span.End(ret)
 		return ret
-	case <-s.detachCh:
+	case <-sl.detachCh:
 		s.maybeAbortRegion(t, name, idx)
 		ret := s.mon.lib.Call(t, name, args)
 		span.End(ret)
@@ -379,56 +479,176 @@ func (s *session) leaderBarrier(t *machine.Thread, name string, args []uint64, i
 			ret := paired(frec)
 			span.End(ret)
 			return ret
-		case <-s.followerDead:
+		case <-sl.dead:
 			s.diverged.Store(true)
 			s.maybeAbortRegion(t, name, idx)
 			ret := s.mon.lib.Call(t, name, args)
 			span.End(ret)
 			return ret
-		case <-s.detachCh:
+		case <-sl.detachCh:
 			s.maybeAbortRegion(t, name, idx)
 			ret := s.mon.lib.Call(t, name, args)
 			span.End(ret)
 			return ret
 		case <-time.After(pipelineGrace):
-			ret := s.leaderTimedOut(t, name, args, nil, idx, 0)
+			ret := s.leaderTimedOut(t, name, args, sl, nil, idx, 0)
 			span.End(ret)
 			return ret
 		}
 	}
 }
 
-// followerCallPipelined runs the follower's side: drain the next leader
-// record from the ring and verify it — the strict rendezvous's
-// decode-before-compare checks, moved to drain time and attributed to the
-// ordinal the leader stamped on the record.
-func (s *session) followerCallPipelined(t *machine.Thread, name string, args []uint64) uint64 {
+// leaderBarrierMany publishes the barrier record to every live slot's
+// ring, collects each slot's callRecord, and resolves by majority vote.
+func (s *session) leaderBarrierMany(t *machine.Thread, name string, args []uint64, idx uint64, live []*followerSlot) uint64 {
+	costs := s.mon.m.Costs()
+	s.mon.m.ChargeThread(t, costs.LockstepRendezvous*clock.Cycles(len(live)))
+	obsRec := s.mon.rec
+	var span obs.RendezvousSpan
+	if obsRec != nil {
+		obsRec.Metrics().Inc(obs.MetricLockstepBarrier)
+		span = obsRec.BeginRendezvousSpan(obs.VariantLeader, t.TID(), name,
+			uint64(libc.CategoryOf(name)))
+	}
+	waitStart := s.mon.m.Counter().Cycles()
+	type published struct {
+		sl  *followerSlot
+		rec *leaderRecord
+	}
+	pubs := make([]published, 0, len(live))
+	for _, sl := range live {
+		mshMark := s.lr.Mark()
+		rec := &leaderRecord{
+			idx: idx, name: name, wire: encodeCallRecord(name, args),
+			cat: libc.CategoryOf(name), barrier: true,
+			reply: make(chan *callRecord, 1),
+		}
+		if lr := s.lr; lr != nil {
+			lr.Add(ledger.PhaseMarshal, obs.VariantLeader, ledger.ClassOf(name),
+				0, mshMark, uint64(len(rec.wire)))
+		}
+		switch s.appendRecord(t, sl, rec) {
+		case appendDead:
+			s.diverged.Store(true)
+		case appendDetached:
+		case appendTimedOut:
+			s.enqueueTimedOut(t, sl, name, idx)
+		case appendOK:
+			pubs = append(pubs, published{sl: sl, rec: rec})
+		}
+	}
+
+	s.waitingSince.Store(int64(waitStart) + 1)
+	arrivals := make([]slotArrival, 0, len(pubs))
+	graced := false
+	for _, p := range pubs {
+		var frec *callRecord
+		if !graced {
+			select {
+			case frec = <-p.rec.reply:
+			case <-p.sl.dead:
+				s.diverged.Store(true)
+			case <-p.sl.detachCh:
+			case <-s.timedOut:
+				graced = true
+			}
+		}
+		if frec == nil && graced {
+			select {
+			case frec = <-p.rec.reply:
+			case <-p.sl.dead:
+				s.diverged.Store(true)
+			case <-p.sl.detachCh:
+			case <-time.After(pipelineGrace):
+				s.mon.raiseAlarm(Alarm{
+					Reason: AlarmRendezvousTimeout, CallIndex: idx, Function: s.fn,
+					LeaderCall: name, Variant: VariantID(p.sl.id),
+					Detail: fmt.Sprintf("variant %d missed the %d-cycle rendezvous deadline at a barrier",
+						p.sl.id, s.mon.opts.RendezvousDeadline),
+				})
+				s.diverged.Store(true)
+				s.mon.rec.Metrics().Inc("rendezvous.timeout")
+				s.mon.detachFollower(s, p.sl, "rendezvous-timeout")
+			}
+		}
+		if frec != nil {
+			arrivals = append(arrivals, slotArrival{slot: p.sl, rec: frec})
+		}
+	}
+	s.waitingSince.Store(0)
+	now := s.mon.m.Counter().Cycles()
+	t.AddWaitCycles(now - waitStart)
+	if obsRec != nil {
+		obsRec.Metrics().Observe("lockstep.wait.cycles", uint64(now-waitStart))
+		obsRec.Metrics().Observe(obs.MetricRendezvousLeaderCycles,
+			uint64(costs.LockstepRendezvous*clock.Cycles(len(live))+(now-waitStart)))
+		obsRec.ObserveSeries(obs.SeriesRendezvous,
+			uint64(costs.LockstepRendezvous*clock.Cycles(len(live))+(now-waitStart)))
+	}
+	if lr := s.lr; lr != nil {
+		cls := ledger.ClassOf(name)
+		lr.Add(ledger.PhaseBarrier, obs.VariantLeader, cls,
+			costs.LockstepRendezvous*clock.Cycles(len(live)), ledger.Mark{}, 0)
+		lr.Add(ledger.PhaseWait, obs.VariantLeader, cls,
+			now-waitStart, ledger.Mark{}, 0)
+	}
+	// Deadline verdicts per arrival, as in the strict N-way rendezvous.
+	if d := s.mon.opts.RendezvousDeadline; d > 0 {
+		kept := arrivals[:0]
+		for _, a := range arrivals {
+			if a.rec.lag > d {
+				s.mon.raiseAlarm(Alarm{
+					Reason: AlarmRendezvousTimeout, CallIndex: idx, Function: s.fn,
+					LeaderCall: name, FollowerCall: a.rec.name, Variant: VariantID(a.slot.id),
+					Detail: fmt.Sprintf("variant %d arrived %d cycles into a %d-cycle rendezvous deadline",
+						a.slot.id, a.rec.lag, d),
+				}, s.rendezvousSnapshots(t, a.rec)...)
+				s.diverged.Store(true)
+				s.mon.rec.Metrics().Inc("rendezvous.timeout")
+				s.rejectFollower(a.slot, a.rec, "rendezvous-timeout")
+				continue
+			}
+			kept = append(kept, a)
+		}
+		arrivals = kept
+	}
+	ret := s.voteResolve(t, name, args, arrivals, idx)
+	span.End(ret)
+	return ret
+}
+
+// followerCallPipelined runs one follower slot's side: drain the next
+// leader record from the slot's ring and verify it — the strict
+// rendezvous's decode-before-compare checks, moved to drain time and
+// attributed to the ordinal the leader stamped on the record.
+func (s *session) followerCallPipelined(t *machine.Thread, sl *followerSlot, name string, args []uint64) uint64 {
+	fv := obs.FollowerVariant(sl.id)
 	costs := s.mon.m.Costs()
 	s.mon.m.ChargeThread(t, costs.LockstepEnqueue)
 	cyc := t.UserCycles()
-	lag := cyc - s.fCycles
-	s.fCycles = cyc
+	lag := cyc - sl.fCycles
+	sl.fCycles = cyc
 	// The deterministic deadline verdict lives on the follower in
 	// pipelined mode: at every drain it knows its own lag and the exact
 	// ordinal of the call that stalled, where the leader — running ahead
 	// — could only attribute a timeout to whatever barrier it is parked
 	// on.
 	if d := s.mon.opts.RendezvousDeadline; d > 0 && lag > d {
-		s.followerTimedOut(t, name, s.drained+1, lag) // never returns
+		s.followerTimedOut(t, sl, name, sl.drained+1, lag) // never returns
 	}
 	lr := s.lr
 	var cls ledger.Class
 	var dqStart clock.Cycles
 	if lr != nil {
 		cls = ledger.ClassOf(name)
-		lr.Add(ledger.PhaseDrain, obs.VariantFollower, cls,
+		lr.Add(ledger.PhaseDrain, fv, cls,
 			costs.LockstepEnqueue, ledger.Mark{}, 0)
 		dqStart = s.mon.m.Counter().Cycles()
 	}
-	rec := s.dequeueRecord(t, name) // panics on detach / sequence overrun
-	s.drained++
+	rec := s.dequeueRecord(t, sl, name) // panics on detach / sequence overrun
+	sl.drained++
 	if lr != nil {
-		lr.Add(ledger.PhaseWait, obs.VariantFollower, cls,
+		lr.Add(ledger.PhaseWait, fv, cls,
 			s.mon.m.Counter().Cycles()-dqStart, ledger.Mark{}, 0)
 	}
 
@@ -446,7 +666,7 @@ func (s *session) followerCallPipelined(t *machine.Thread, name string, args []u
 	}
 	var dspan obs.DrainSpan
 	if obsRec != nil {
-		dspan = obsRec.BeginDrainSpan(obs.VariantFollower, t.TID(), name, uint64(rec.cat))
+		dspan = obsRec.BeginDrainSpan(fv, t.TID(), name, uint64(rec.cat))
 	}
 
 	// Drain-time divergence checks: decode what crossed the ring, then
@@ -454,21 +674,21 @@ func (s *session) followerCallPipelined(t *machine.Thread, name string, args []u
 	cmpMark := s.lr.Mark()
 	lname, largs, derr := decodeCallRecord(rec.wire)
 	if derr != nil {
-		s.drainDiverged(t, Alarm{
+		s.drainDiverged(t, sl, Alarm{
 			Reason: AlarmCallMismatch, CallIndex: rec.idx, Function: s.fn,
 			FollowerCall: name,
 			Detail:       fmt.Sprintf("corrupt IPC call record: %v", derr),
 		}, "ipc-corruption")
 	}
 	if lname != name {
-		s.drainDiverged(t, Alarm{
+		s.drainDiverged(t, sl, Alarm{
 			Reason: AlarmCallMismatch, CallIndex: rec.idx, Function: s.fn,
 			LeaderCall: lname, FollowerCall: name,
 			Detail: fmt.Sprintf("leader called %s, follower called %s", lname, name),
 		}, "call-mismatch")
 	}
 	if bad, li, fi := scalarMismatch(name, largs, args); bad {
-		s.drainDiverged(t, Alarm{
+		s.drainDiverged(t, sl, Alarm{
 			Reason: AlarmArgMismatch, CallIndex: rec.idx, Function: s.fn,
 			LeaderCall: lname, FollowerCall: name,
 			Detail: fmt.Sprintf("%s arg mismatch: leader %#x vs follower %#x", name, li, fi),
@@ -476,19 +696,19 @@ func (s *session) followerCallPipelined(t *machine.Thread, name string, args []u
 	}
 
 	if obsRec != nil {
-		obsRec.Record(obs.EvLockstep, obs.VariantFollower, t.TID(), name, uint64(rec.cat), rec.idx, 0)
+		obsRec.Record(obs.EvLockstep, fv, t.TID(), name, uint64(rec.cat), rec.idx, 0)
 		m := obsRec.Metrics()
 		m.Inc("lockstep.category." + rec.cat.Slug())
 		m.Observe(obs.MetricRendezvousLag, s.calls.Load()-rec.idx)
 		obsRec.ObserveSeries(obs.SeriesLag, s.calls.Load()-rec.idx)
 	}
 	if lr != nil {
-		lr.Add(ledger.PhaseCompare, obs.VariantFollower, cls,
+		lr.Add(ledger.PhaseCompare, fv, cls,
 			0, cmpMark, uint64(len(rec.wire)))
 	}
 
 	if rec.barrier {
-		ret := s.followerBarrier(t, name, args, rec, lag, arriveTS, a0, a1)
+		ret := s.followerBarrier(t, sl, name, args, rec, lag, arriveTS, a0, a1)
 		dspan.End(ret)
 		return ret
 	}
@@ -504,28 +724,28 @@ func (s *session) followerCallPipelined(t *machine.Thread, name string, args []u
 	emuMark := s.lr.Mark()
 	ret, errno, bufs, rerr := decodeResultRecord(rec.result)
 	if rerr != nil {
-		s.drainDiverged(t, Alarm{
+		s.drainDiverged(t, sl, Alarm{
 			Reason: AlarmCallMismatch, CallIndex: rec.idx, Function: s.fn,
 			LeaderCall: lname, FollowerCall: name,
 			Detail: fmt.Sprintf("corrupt IPC result record: %v", rerr),
 		}, "ipc-corruption")
 	}
-	copied, faulted := s.applyResult(t, name, rec.idx, largs, args, bufs)
+	copied, faulted := s.applyResult(t, sl, name, rec.idx, largs, args, bufs)
 	if lr != nil {
-		lr.Add(ledger.PhaseEmulate, obs.VariantFollower, cls,
+		lr.Add(ledger.PhaseEmulate, fv, cls,
 			costs.LockstepCopyPerByte*cyclesOf(copied), emuMark, uint64(copied))
 	}
 	s.emulatedBytes.Add(uint64(copied))
 	if obsRec != nil {
-		obsRec.Record(obs.EvEmulated, obs.VariantFollower, t.TID(), name, uint64(copied), 0, ret)
+		obsRec.Record(obs.EvEmulated, fv, t.TID(), name, uint64(copied), 0, ret)
 		obsRec.Metrics().Add("lockstep.emulated.bytes", uint64(copied))
-		obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, obs.VariantFollower, t.TID(), name, a0, a1, 0)
-		obsRec.RecordIn(t.Fn(), obs.EvLibcExit, obs.VariantFollower, t.TID(), name, 0, 0, ret)
+		obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, fv, t.TID(), name, a0, a1, 0)
+		obsRec.RecordIn(t.Fn(), obs.EvLibcExit, fv, t.TID(), name, 0, 0, ret)
 	}
 	if faulted && s.mon.contain() {
 		// The follower's result buffer is gone; it cannot keep up.
 		dspan.End(ret)
-		s.mon.detachFollower(s, "emulation-fault")
+		s.mon.detachFollower(s, sl, "emulation-fault")
 		panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDetached})
 	}
 	t.SetErrno(errno)
@@ -533,29 +753,29 @@ func (s *session) followerCallPipelined(t *machine.Thread, name string, args []u
 	return ret
 }
 
-// dequeueRecord takes the next leader record off the ring, blocking until
-// the leader publishes one. The ring is checked before (and after) the
-// leaderDone signal: all appends happen-before leaderDone closes, and
+// dequeueRecord takes the next leader record off the slot's ring, blocking
+// until the leader publishes one. The ring is checked before (and after)
+// the leaderDone signal: all appends happen-before leaderDone closes, and
 // select picks ready cases at random, so a tail record must not be
 // mistaken for a sequence overrun.
-func (s *session) dequeueRecord(t *machine.Thread, name string) *leaderRecord {
+func (s *session) dequeueRecord(t *machine.Thread, sl *followerSlot, name string) *leaderRecord {
 	select {
-	case rec := <-s.ring:
+	case rec := <-sl.ring:
 		return rec
 	default:
 	}
 	select {
-	case rec := <-s.ring:
+	case rec := <-sl.ring:
 		return rec
-	case <-s.detachCh:
+	case <-sl.detachCh:
 		panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDetached})
 	case <-s.leaderDone:
 		select {
-		case rec := <-s.ring:
+		case rec := <-sl.ring:
 			return rec
 		default:
 		}
-		if s.detached() {
+		if sl.detached() {
 			panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDetached})
 		}
 		// The leader already left the region: the follower is executing
@@ -566,8 +786,8 @@ func (s *session) dequeueRecord(t *machine.Thread, name string) *leaderRecord {
 		}
 		s.mon.raiseAlarm(Alarm{
 			Reason: AlarmSequenceLength, CallIndex: s.calls.Load(), Function: s.fn,
-			FollowerCall: name,
-			Detail:       fmt.Sprintf("follower issued %s after leader finished the region", name),
+			FollowerCall: name, Variant: VariantID(sl.id),
+			Detail: fmt.Sprintf("follower issued %s after leader finished the region", name),
 		}, snaps...)
 		s.diverged.Store(true)
 		panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDivergence})
@@ -575,10 +795,11 @@ func (s *session) dequeueRecord(t *machine.Thread, name string) *leaderRecord {
 }
 
 // followerBarrier hands the follower's own callRecord back through the
-// barrier record's reply channel and completes a strict rendezvous:
+// barrier record's reply channel and completes a full rendezvous:
 // everything before this call has drained, so the leader's verdict
 // arrives exactly as in strict lockstep.
-func (s *session) followerBarrier(t *machine.Thread, name string, args []uint64, rec *leaderRecord, lag clock.Cycles, arriveTS clock.Cycles, a0, a1 uint64) uint64 {
+func (s *session) followerBarrier(t *machine.Thread, sl *followerSlot, name string, args []uint64, rec *leaderRecord, lag clock.Cycles, arriveTS clock.Cycles, a0, a1 uint64) uint64 {
+	fv := obs.FollowerVariant(sl.id)
 	mshMark := s.lr.Mark()
 	frec := &callRecord{
 		name: name, args: args, wire: encodeCallRecord(name, args),
@@ -590,7 +811,7 @@ func (s *session) followerBarrier(t *machine.Thread, name string, args []uint64,
 	var fwaitStart clock.Cycles
 	if lr != nil {
 		cls = ledger.ClassOf(name)
-		lr.Add(ledger.PhaseMarshal, obs.VariantFollower, cls, 0, mshMark, uint64(len(frec.wire)))
+		lr.Add(ledger.PhaseMarshal, fv, cls, 0, mshMark, uint64(len(frec.wire)))
 		fwaitStart = s.mon.m.Counter().Cycles()
 	}
 	rec.reply <- frec // cap 1: never blocks
@@ -598,7 +819,7 @@ func (s *session) followerBarrier(t *machine.Thread, name string, args []uint64,
 	var res callResult
 	select {
 	case res = <-frec.resp:
-	case <-s.detachCh:
+	case <-sl.detachCh:
 		// A buffered verdict beats the detach signal (select picks ready
 		// cases at random; the reply may already be in flight).
 		select {
@@ -608,7 +829,7 @@ func (s *session) followerBarrier(t *machine.Thread, name string, args []uint64,
 		}
 	}
 	if lr != nil {
-		lr.Add(ledger.PhaseWait, obs.VariantFollower, cls,
+		lr.Add(ledger.PhaseWait, fv, cls,
 			s.mon.m.Counter().Cycles()-fwaitStart, ledger.Mark{}, 0)
 	}
 	switch res.mode {
@@ -616,42 +837,53 @@ func (s *session) followerBarrier(t *machine.Thread, name string, args []uint64,
 		return s.mon.lib.Call(t, name, args)
 	case modeEmulated:
 		if obsRec != nil {
-			obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, obs.VariantFollower, t.TID(), name, a0, a1, 0)
-			obsRec.RecordIn(t.Fn(), obs.EvLibcExit, obs.VariantFollower, t.TID(), name, 0, 0, res.ret)
+			obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, fv, t.TID(), name, a0, a1, 0)
+			obsRec.RecordIn(t.Fn(), obs.EvLibcExit, fv, t.TID(), name, 0, 0, res.ret)
 		}
 		t.SetErrno(res.errno)
 		return res.ret
 	case modeDetach:
 		if obsRec != nil {
-			obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, obs.VariantFollower, t.TID(), name, a0, a1, 0)
+			obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, fv, t.TID(), name, a0, a1, 0)
 		}
 		panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDetached})
 	default:
 		if obsRec != nil {
-			obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, obs.VariantFollower, t.TID(), name, a0, a1, 0)
+			obsRec.RecordInAt(arriveTS, t.Fn(), obs.EvLibcEnter, fv, t.TID(), name, a0, a1, 0)
 		}
 		panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDivergence})
 	}
 }
 
-// drainDiverged raises a drain-time divergence alarm from the follower's
-// goroutine and severs the session per the policy. Only the follower's
-// own thread may be snapshotted here — the leader is running ahead
-// concurrently. Never returns.
-func (s *session) drainDiverged(t *machine.Thread, a Alarm, cause string) {
+// drainDiverged raises a drain-time divergence alarm from a follower
+// slot's goroutine and severs that slot per the policy. When other slots
+// remain live, the slot disagreeing with the leader's record is implicitly
+// outvoted (the leader plus the agreeing slots form the majority), so the
+// alarm is re-marked AlarmOutvoted. Only the follower's own thread may be
+// snapshotted here — the leader is running ahead concurrently. Never
+// returns.
+func (s *session) drainDiverged(t *machine.Thread, sl *followerSlot, a Alarm, cause string) {
+	a.Variant = VariantID(sl.id)
+	if s.liveAttached() > 1 {
+		a.Reason = AlarmOutvoted
+	}
 	var snaps []obs.ThreadSnapshot
 	if s.mon.rec != nil {
 		snaps = []obs.ThreadSnapshot{s.mon.snapshot("follower", t)}
 	}
 	s.mon.raiseAlarm(a, snaps...)
 	s.diverged.Store(true)
-	s.mon.severFromFollower(s, t, cause)
+	if a.Reason == AlarmOutvoted {
+		if obsRec := s.mon.rec; obsRec != nil {
+			obsRec.Metrics().Inc("vote.follower_outvoted")
+		}
+	}
+	s.mon.severFromFollower(s, sl, t, cause)
 }
 
 // followerTimedOut raises the drain-time deadline alarm with the stalled
-// call's own ordinal and severs the session per the policy. Never
-// returns.
-func (s *session) followerTimedOut(t *machine.Thread, name string, ordinal uint64, lag clock.Cycles) {
+// call's own ordinal and severs the slot per the policy. Never returns.
+func (s *session) followerTimedOut(t *machine.Thread, sl *followerSlot, name string, ordinal uint64, lag clock.Cycles) {
 	deadline := s.mon.opts.RendezvousDeadline
 	var snaps []obs.ThreadSnapshot
 	if s.mon.rec != nil {
@@ -659,22 +891,23 @@ func (s *session) followerTimedOut(t *machine.Thread, name string, ordinal uint6
 	}
 	s.mon.raiseAlarm(Alarm{
 		Reason: AlarmRendezvousTimeout, CallIndex: ordinal, Function: s.fn,
-		FollowerCall: name,
+		FollowerCall: name, Variant: VariantID(sl.id),
 		Detail: fmt.Sprintf("follower stalled %d cycles against a %d-cycle rendezvous deadline",
 			lag, deadline),
 	}, snaps...)
 	s.diverged.Store(true)
 	s.mon.rec.Metrics().Inc("rendezvous.timeout")
-	s.mon.severFromFollower(s, t, "rendezvous-timeout")
+	s.mon.severFromFollower(s, sl, t, "rendezvous-timeout")
 }
 
 // captureOutputs snapshots the buffers the leader's call wrote through
 // its pointer arguments — the per-call rules of emulate (lockstep.go),
 // applied at call time so the record is immune to the leader overwriting
-// the buffer while it runs ahead. epoll_data entries that point into the
-// leader's space are rebased into the follower's window here, while the
-// leader's heap watermark still reflects the moment of the call.
-func (s *session) captureOutputs(name string, args []uint64, ret uint64) []emuBuf {
+// the buffer while it runs ahead. delta is the target slot's window
+// shift: epoll_data entries that point into the leader's space are
+// rebased into that slot's window here, while the leader's heap
+// watermark still reflects the moment of the call.
+func (s *session) captureOutputs(name string, args []uint64, ret uint64, delta int64) []emuBuf {
 	as := s.mon.m.AddressSpace()
 	grab := func(argIdx, n int) []emuBuf {
 		if n <= 0 {
@@ -719,7 +952,7 @@ func (s *session) captureOutputs(name string, args []uint64, ret uint64) []emuBu
 			}
 			d := fromLE(entry[8:])
 			if s.inLeaderSpace(mem.Addr(d)) {
-				toLE(entry[8:], uint64(int64(d)+s.delta))
+				toLE(entry[8:], uint64(int64(d)+delta))
 			}
 			data = append(data, entry[:]...)
 		}
@@ -736,7 +969,7 @@ func (s *session) captureOutputs(name string, args []uint64, ret uint64) []emuBu
 // emulate. The per-byte copy cost is charged to the follower thread —
 // off the leader's critical path, unlike strict mode where the copy
 // happens inside the rendezvous.
-func (s *session) applyResult(t *machine.Thread, name string, idx uint64, largs, fargs []uint64, bufs []emuBuf) (int, bool) {
+func (s *session) applyResult(t *machine.Thread, sl *followerSlot, name string, idx uint64, largs, fargs []uint64, bufs []emuBuf) (int, bool) {
 	as := s.mon.m.AddressSpace()
 	costs := s.mon.m.Costs()
 	copied := 0
@@ -750,7 +983,7 @@ func (s *session) applyResult(t *machine.Thread, name string, idx uint64, largs,
 		if err := as.WriteAt(dst, b.data); err != nil {
 			s.mon.raiseAlarm(Alarm{
 				Reason: AlarmEmulationFault, CallIndex: idx, Function: s.fn,
-				LeaderCall: name,
+				LeaderCall: name, Variant: VariantID(sl.id),
 				Detail: fmt.Sprintf("emulation copy of %d bytes into follower buffer %#x failed: %v",
 					len(b.data), dst, err),
 			})

@@ -30,7 +30,7 @@ const (
 	// subject to a bounded restart budget and a virtual-cycle backoff;
 	// once the budget is spent it degrades to leader-continue.
 	PolicyRestartFollower
-	// PolicyRollback survives a divergence by rewinding: both variants'
+	// PolicyRollback survives a divergence by rewinding: the variants'
 	// memory is restored to the last copy-on-write checkpoint (captured at
 	// a quiescent rendezvous every SnapshotInterval virtual cycles), the
 	// post-snapshot libc tail is replayed from the redo log through the
@@ -40,6 +40,13 @@ const (
 	// progress) exhaust RollbackBudget and escalate to kill-both.
 	PolicyRollback
 )
+
+// PolicyRestartVariant is the variant-set name for PolicyRestartFollower:
+// with more than one follower slot the policy restarts whichever variant
+// was quarantined, not "the" follower. The old name remains the canonical
+// spelling (String still prints "restart-follower"); this alias exists so
+// new code can use variant-set vocabulary.
+const PolicyRestartVariant DivergencePolicy = PolicyRestartFollower
 
 // String names the policy (the same spelling ParsePolicy accepts).
 func (p DivergencePolicy) String() string {
@@ -64,7 +71,7 @@ func ParsePolicy(s string) (DivergencePolicy, error) {
 		return PolicyKillBoth, nil
 	case "leader-continue":
 		return PolicyLeaderContinue, nil
-	case "restart-follower":
+	case "restart-follower", "restart-variant":
 		return PolicyRestartFollower, nil
 	case "rollback":
 		return PolicyRollback, nil
@@ -134,54 +141,60 @@ func (mo *Monitor) UnhandledAlarmCount() int {
 	return n
 }
 
-// severFromFollower ends the follower's participation after it detected a
-// divergence (or a blown deadline) at drain time, on its own goroutine:
-// containment policies detach and wind the thread down with ErrDetached
-// (no secondary alarm), while kill-both panics with ErrDivergence so the
-// variant waiter raises the paper's follower-fault alarm — the same
-// split the strict rendezvous reaches through rejectFollower. Never
-// returns.
-func (mo *Monitor) severFromFollower(s *session, t *machine.Thread, cause string) {
+// severFromFollower ends one follower slot's participation after it
+// detected a divergence (or a blown deadline) at drain time, on its own
+// goroutine: containment policies detach and wind the thread down with
+// ErrDetached (no secondary alarm), while kill-both panics with
+// ErrDivergence so the variant waiter raises the paper's follower-fault
+// alarm — the same split the strict rendezvous reaches through
+// rejectFollower. Never returns.
+func (mo *Monitor) severFromFollower(s *session, sl *followerSlot, t *machine.Thread, cause string) {
 	if mo.contain() {
-		mo.detachFollower(s, cause)
+		mo.detachFollower(s, sl, cause)
 		panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDetached})
 	}
 	panic(&machine.Crash{Thread: t.Name(), IP: t.IP(), Err: ErrDivergence})
 }
 
-// detachFollower severs a session's follower from lockstep, exactly once:
-// the detach channel is closed (waking a follower blocked mid-rendezvous),
-// the follower TID is quarantined so any later trampoline entry faults with
-// ErrDetached instead of reaching the kernel unreplicated, and pending
-// rendezvous slots are drained with a detach verdict. Under a containment
-// policy it additionally flags the monitor degraded, arms the restart
-// backoff, and surfaces the transition to the flight recorder. cause is a
-// short slug for the EvFollowerDetached event.
-func (mo *Monitor) detachFollower(s *session, cause string) {
-	s.detachOnce.Do(func() {
+// detachFollower severs one follower slot from lockstep, exactly once per
+// slot: the slot's detach channel is closed (waking a follower blocked
+// mid-rendezvous), its TID is quarantined so any later trampoline entry
+// faults with ErrDetached instead of reaching the kernel unreplicated, and
+// pending rendezvous slots are drained with a detach verdict. Under a
+// containment policy it additionally marks the slot down (the monitor is
+// degraded only when every slot is down), arms the restart backoff, and
+// surfaces the transition to the flight recorder. cause is a short slug
+// for the EvFollowerDetached event.
+func (mo *Monitor) detachFollower(s *session, sl *followerSlot, cause string) {
+	sl.detachOnce.Do(func() {
 		// Bookkeeping happens before the channel close so that a follower
 		// woken by it observes the quarantine entry.
 		mo.mu.Lock()
-		if s.followerTID != 0 {
-			mo.quarantined[s.followerTID] = true
+		if sl.tid != 0 {
+			mo.quarantined[sl.tid] = true
 		}
-		wasDegraded := mo.degraded
+		wasDown := mo.slotDown[sl.id-1]
 		if mo.contain() {
 			if mo.opts.Policy == PolicyRollback {
 				// Rollback recovers at region exit and the next region
-				// re-arms full lockstep with a fresh clone unconditionally:
+				// re-arms full lockstep with fresh clones unconditionally:
 				// the monitor never enters the degraded single-variant mode,
 				// so no backoff is armed either.
 			} else {
-				mo.degraded = true
+				mo.slotDown[sl.id-1] = true
+				allDown := true
+				for _, d := range mo.slotDown {
+					allDown = allDown && d
+				}
+				mo.degraded = allDown
 				mo.nextRestartAt = mo.m.Counter().Cycles() + mo.opts.RestartBackoff
 			}
 		}
 		mo.mu.Unlock()
-		close(s.detachCh)
-		s.drainPending()
-		if mo.contain() && !wasDegraded {
-			mo.rec.Record(obs.EvFollowerDetached, obs.VariantFollower, s.followerTID,
+		close(sl.detachCh)
+		sl.drainPending()
+		if mo.contain() && !wasDown {
+			mo.rec.Record(obs.EvFollowerDetached, obs.FollowerVariant(sl.id), sl.tid,
 				cause, s.calls.Load(), 0, 0)
 			mo.rec.Metrics().Inc("policy.follower_detached")
 		}

@@ -55,7 +55,10 @@ type VariantSnapshot struct {
 	Mem *mem.Snapshot
 	// Leader and Follower are the variants' architectural thread states
 	// (registers, stack top, call stack) at the capture rendezvous.
+	// Follower is the first follower slot's state, kept for pair-era
+	// consumers; Followers holds every parked follower in slot order.
 	Leader, Follower obs.ThreadSnapshot
+	Followers        []obs.ThreadSnapshot
 	// RingDepth and Drained are the pipeline ring cursors at capture:
 	// records in flight on the rendezvous ring (always 0 — captures anchor
 	// to quiescent points) and records the follower had verified.
@@ -137,14 +140,21 @@ func (mo *Monitor) snapshotDue(s *session) bool {
 	return iv > 0 && mo.m.Counter().Cycles()-mo.lastSnapAt >= iv
 }
 
-// captureCheckpoint snapshots the variant pair at a quiescent rendezvous.
-// Called from leaderPaired with the follower parked on the rendezvous
-// reply (strict) or the barrier reply (pipelined — the ring is drained),
-// so both thread states and the shared address space are race-free. The
-// redo log restarts here: the checkpoint owns the tail.
-func (mo *Monitor) captureCheckpoint(s *session, leader *machine.Thread, rec *callRecord, name string, idx uint64) {
+// captureCheckpoint snapshots the variant set at a quiescent rendezvous.
+// Called from the rendezvous paths with every arrived follower parked on
+// its rendezvous reply (strict) or barrier reply (pipelined — the rings
+// are drained), so the thread states and the shared address space are
+// race-free. recs holds the parked followers' call records in slot order.
+// The redo log restarts here: the checkpoint owns the tail.
+func (mo *Monitor) captureCheckpoint(s *session, leader *machine.Thread, recs []*callRecord, name string, idx uint64) {
 	start := mo.m.Counter().Cycles()
 	ms := mo.m.AddressSpace().Snapshot()
+	ringDepth := 0
+	var drained uint64
+	if len(s.slots) > 0 {
+		ringDepth = len(s.slots[0].ring)
+		drained = s.slots[0].drained
+	}
 	ck := &VariantSnapshot{
 		Gen:           ms.Generation(),
 		TS:            start,
@@ -152,12 +162,19 @@ func (mo *Monitor) captureCheckpoint(s *session, leader *machine.Thread, rec *ca
 		Fn:            s.fn,
 		Mem:           ms,
 		Leader:        mo.snapshot("leader", leader),
-		RingDepth:     len(s.ring),
-		Drained:       s.drained,
+		RingDepth:     ringDepth,
+		Drained:       drained,
 		EmulatedBytes: s.emulatedBytes.Load(),
 	}
-	if rec != nil && rec.thread != nil {
-		ck.Follower = mo.snapshot("follower", rec.thread)
+	for _, rec := range recs {
+		if rec == nil || rec.thread == nil {
+			continue
+		}
+		fs := mo.snapshot("follower", rec.thread)
+		if len(ck.Followers) == 0 {
+			ck.Follower = fs
+		}
+		ck.Followers = append(ck.Followers, fs)
 	}
 	mo.redo.Reset()
 	mo.mu.Lock()

@@ -38,7 +38,7 @@ func (mo *Monitor) Intercept(t *machine.Thread, slot int, name string, args []ui
 	rec := mo.rec
 	v := obs.VariantLeader
 	if rec != nil {
-		v = variantOf(t)
+		v = mo.variantOfThread(t)
 	}
 
 	// DEACTIVATE_MPK_PROT(): open the monitor's pages for this thread.
@@ -88,15 +88,14 @@ func (mo *Monitor) Intercept(t *machine.Thread, slot int, name string, args []ui
 		// Outside any protected region: plain interception, direct libc.
 		return mo.lib.Call(t, name, args)
 	}
-	switch t.TID() {
-	case s.leaderTID:
+	if t.TID() == s.leaderTID {
 		s.ledgerTrampoline(obs.VariantLeader, name, costs, pivoted)
 		return s.leaderCall(t, name, args)
-	case s.followerTID:
-		s.ledgerTrampoline(obs.VariantFollower, name, costs, pivoted)
-		return s.followerCall(t, name, args)
-	default:
-		// Unrelated thread (e.g. another worker): passthrough.
-		return mo.lib.Call(t, name, args)
 	}
+	if sl := s.slotByTID(t.TID()); sl != nil {
+		s.ledgerTrampoline(obs.FollowerVariant(sl.id), name, costs, pivoted)
+		return s.followerCall(t, sl, name, args)
+	}
+	// Unrelated thread (e.g. another worker): passthrough.
+	return mo.lib.Call(t, name, args)
 }

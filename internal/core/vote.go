@@ -1,0 +1,102 @@
+package core
+
+// Majority voting over the variant set.
+//
+// With a single follower a rendezvous is a pairwise compare: any
+// disagreement is a divergence and the paper's kill-both verdict applies to
+// the pair. With N-1 followers the same disagreement carries more
+// information — a single corrupted variant is outvoted by the agreeing
+// majority, which keeps serving while only the minority is quarantined
+// through the existing detach/restart/rollback policies. The vote uses the
+// exact equivalence the pairwise compare uses: same libc call name and no
+// scalar-argument mismatch under scalarArgMask (pointer arguments
+// legitimately differ between the variants' address windows).
+
+// Ballot is one variant's half of an N-way rendezvous: the libc call it
+// arrived with. Ballot 0 is always the leader. Invalid ballots (a record
+// that failed to decode) never join an agreement class and are always
+// among the losers.
+type Ballot struct {
+	// Variant is the dense variant index casting this ballot.
+	Variant VariantID
+	// Name is the libc call the variant issued.
+	Name string
+	// Args are the call's raw argument values.
+	Args []uint64
+	// Valid marks a ballot that decoded correctly and may join a class.
+	Valid bool
+}
+
+// VoteResult is the outcome of one majority vote.
+type VoteResult struct {
+	// Winner is the lowest ballot index inside the winning agreement class.
+	Winner int
+	// Losers are the ballot indices outside the winning class (including
+	// invalid ballots), in ascending order.
+	Losers []int
+	// Majority is the winning class's size.
+	Majority int
+}
+
+// ballotsAgree is the vote's equivalence relation — the pairwise
+// rendezvous checks, applied symmetrically.
+func ballotsAgree(a, b Ballot) bool {
+	if a.Name != b.Name {
+		return false
+	}
+	bad, _, _ := scalarMismatch(a.Name, a.Args, b.Args)
+	return !bad
+}
+
+// Vote partitions the ballots into agreement classes (greedily, in ballot
+// order, comparing against each class's first member) and elects the
+// largest class; ties break toward the class containing the lowest ballot
+// index, so a split vote never outvotes the leader.
+func Vote(ballots []Ballot) VoteResult {
+	classes := [][]int{} // each class holds ascending ballot indices
+	for i, b := range ballots {
+		if !b.Valid {
+			continue
+		}
+		placed := false
+		for ci, cls := range classes {
+			if ballotsAgree(ballots[cls[0]], b) {
+				classes[ci] = append(cls, i)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			classes = append(classes, []int{i})
+		}
+	}
+	// Largest class wins; classes were formed in ballot order, so the first
+	// maximal class is the one containing the lowest index.
+	best := -1
+	for ci, cls := range classes {
+		if best < 0 || len(cls) > len(classes[best]) {
+			best = ci
+		}
+	}
+	res := VoteResult{Winner: -1}
+	if best < 0 {
+		// No valid ballots at all: everyone loses.
+		for i := range ballots {
+			res.Losers = append(res.Losers, i)
+		}
+		return res
+	}
+	win := classes[best]
+	res.Winner = win[0]
+	res.Majority = len(win)
+	inWin := make(map[int]bool, len(win))
+	for _, i := range win {
+		inWin[i] = true
+	}
+	for i := range ballots {
+		if !inWin[i] {
+			res.Losers = append(res.Losers, i)
+		}
+	}
+	return res
+}

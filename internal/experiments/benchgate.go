@@ -91,6 +91,14 @@ func DefaultGateRules() []GateRule {
 		{Name: "survival-snapshots", Contains: "survival.", Suffix: ".snapshots", Tolerance: 0, Slack: 2},
 		{Name: "survival-redo", Contains: "survival.", Suffix: ".redo_bytes", Tolerance: 0.5, Slack: 64},
 		{Name: "survival-exact", Contains: "survival.", Tolerance: 0},
+		// N-variant matrix: detection, survival, and outvote counts are
+		// deterministic votes over deterministic records, so they gate
+		// exactly. The clean-run cycle cost falls through to the standard
+		// cycle band below; the derived overhead percentage is bounded by
+		// its gated inputs and stays ungated.
+		{Name: "nvariant-overhead", Contains: "nvariant.", Suffix: ".overhead_pct", Skip: true},
+		{Name: "nvariant-cycles", Contains: "nvariant.", Suffix: ".cycles", Tolerance: 0.15, Slack: 1000},
+		{Name: "nvariant-exact", Contains: "nvariant.", Tolerance: 0},
 		// Structural counts are deterministic — any drift is a real change
 		// in how many times a phase runs.
 		{Name: "phase-count", Contains: ".phase.", Suffix: ".count", Tolerance: 0},

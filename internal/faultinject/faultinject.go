@@ -101,6 +101,11 @@ type Fault struct {
 	// call from Call onward (calls Call, Call+Every, Call+2*Every, ...) —
 	// a continuous attack instead of a single shot.
 	Every uint64
+	// Variant selects which follower slot the fault targets (1-based; 0
+	// normalizes to 1, the first follower — the only slot that exists in
+	// the pair configuration). Call ordinals are counted per variant, so
+	// "arg-flip@4:variant:2" fires at the second follower's fourth call.
+	Variant int
 }
 
 // Plan is an installed set of faults. Install it once per machine; the
@@ -111,16 +116,24 @@ type Plan struct {
 	faults []Fault
 	rec    *obs.Recorder
 
-	calls atomic.Uint64
-	fired []atomic.Bool
+	calls  atomic.Uint64
+	vcalls [core.MaxVariants]atomic.Uint64
+	fired  []atomic.Bool
 }
 
-// New builds a plan from explicit faults.
+// New builds a plan from explicit faults. A fault's zero Variant is
+// normalized to 1 (the first follower slot).
 func New(seed int64, faults ...Fault) *Plan {
+	fs := append([]Fault(nil), faults...)
+	for i := range fs {
+		if fs[i].Variant == 0 {
+			fs[i].Variant = 1
+		}
+	}
 	return &Plan{
 		seed:   seed,
-		faults: append([]Fault(nil), faults...),
-		fired:  make([]atomic.Bool, len(faults)),
+		faults: fs,
+		fired:  make([]atomic.Bool, len(fs)),
 	}
 }
 
@@ -128,12 +141,18 @@ func New(seed int64, faults ...Fault) *Plan {
 // repeating one.
 const repeatEveryMod = ":repeat-every:"
 
+// variantMod is the spec suffix that aims a fault at a specific follower
+// slot of an N-variant set.
+const variantMod = ":variant:"
+
 // Parse builds a plan from a -chaos spec: comma-separated
-// "kind[@call][:bit][:repeat-every:N]" entries, e.g.
-// "follower-crash@12,arg-flip@7:3,stall@5" or the continuous
-// "arg-flip@4:repeat-every:6". An entry without @call gets a seed-derived
-// ordinal in [1,8], which is what makes a bare "follower-crash" spec
-// deterministic per seed.
+// "kind[@call][:bit][:variant:K][:repeat-every:N]" entries, e.g.
+// "follower-crash@12,arg-flip@7:3,stall@5", the continuous
+// "arg-flip@4:repeat-every:6", or the slot-addressed
+// "arg-flip@4:variant:2" (call ordinals count per variant; without the
+// modifier the first follower is targeted). An entry without @call gets a
+// seed-derived ordinal in [1,8], which is what makes a bare
+// "follower-crash" spec deterministic per seed.
 func Parse(spec string, seed int64) (*Plan, error) {
 	rng := rand.New(rand.NewSource(seed))
 	var faults []Fault
@@ -150,6 +169,14 @@ func Parse(spec string, seed int64) (*Plan, error) {
 				return nil, fmt.Errorf("faultinject: bad repeat-every period in %q", entry)
 			}
 			f.Every = every
+			body = body[:i]
+		}
+		if i := strings.Index(body, variantMod); i >= 0 {
+			k, err := strconv.ParseUint(body[i+len(variantMod):], 10, 8)
+			if err != nil || k == 0 || k >= core.MaxVariants {
+				return nil, fmt.Errorf("faultinject: bad variant slot in %q (want 1..%d)", entry, core.MaxVariants-1)
+			}
+			f.Variant = int(k)
 			body = body[:i]
 		}
 		if i := strings.IndexByte(body, ':'); i >= 0 {
@@ -211,14 +238,21 @@ func (p *Plan) Install(m *machine.Machine, rec *obs.Recorder) {
 }
 
 // hook runs on every PLT libc call of every thread; only follower-biased
-// threads are counted and faulted.
+// threads are counted and faulted. The thread's address-window bias
+// identifies its slot (slot k runs at k*FollowerDelta), so per-variant
+// ordinals stay stable however the scheduler interleaves followers.
 func (p *Plan) hook(t *machine.Thread, name string, args []uint64) []uint64 {
 	if t.Bias() == 0 {
 		return args
 	}
-	n := p.calls.Add(1)
+	k := slotForBias(t.Bias())
+	p.calls.Add(1)
+	n := p.vcalls[k].Add(1)
 	for i := range p.faults {
 		f := p.faults[i]
+		if f.Variant != k {
+			continue
+		}
 		if !p.triggers(f, n, name) {
 			continue
 		}
@@ -235,6 +269,17 @@ func (p *Plan) hook(t *machine.Thread, name string, args []uint64) []uint64 {
 		args = p.apply(t, f, n, name, args)
 	}
 	return args
+}
+
+// slotForBias maps a follower thread's address-window bias to its 1-based
+// slot number (slot k runs at k*FollowerDelta). Out-of-range biases fold
+// to slot 1 so a custom-delta monitor still gets pair-era behavior.
+func slotForBias(bias int64) int {
+	k := int(bias / core.FollowerDelta)
+	if k < 1 || k >= core.MaxVariants {
+		return 1
+	}
+	return k
 }
 
 // triggers decides whether fault f fires at follower call n to name.
@@ -254,7 +299,7 @@ func (p *Plan) triggers(f Fault, n uint64, name string) bool {
 
 // record surfaces the firing to the flight recorder and metrics.
 func (p *Plan) record(t *machine.Thread, f Fault, n uint64, name string) {
-	p.rec.Record(obs.EvFaultInjected, obs.VariantFollower, t.TID(),
+	p.rec.Record(obs.EvFaultInjected, obs.FollowerVariant(f.Variant), t.TID(),
 		f.Kind.String()+":"+name, n, uint64(f.Bit), 0)
 	p.rec.Metrics().Inc("faultinject.fired")
 	p.rec.Metrics().Inc("faultinject." + obs.SanitizeName(f.Kind.String()))

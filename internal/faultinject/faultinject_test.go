@@ -24,9 +24,9 @@ func TestParseSpec(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []Fault{
-		{Kind: FollowerCrash, Call: 12},
-		{Kind: ArgFlip, Call: 7, Bit: 3},
-		{Kind: FollowerStall, Call: 5},
+		{Kind: FollowerCrash, Call: 12, Variant: 1},
+		{Kind: ArgFlip, Call: 7, Bit: 3, Variant: 1},
+		{Kind: FollowerStall, Call: 5, Variant: 1},
 	}
 	got := p.Faults()
 	if len(got) != len(want) {
@@ -45,8 +45,8 @@ func TestParseRepeatEvery(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := []Fault{
-		{Kind: ArgFlip, Call: 7, Bit: 3, Every: 6},
-		{Kind: FollowerCrash, Call: 4, Every: 9},
+		{Kind: ArgFlip, Call: 7, Bit: 3, Every: 6, Variant: 1},
+		{Kind: FollowerCrash, Call: 4, Every: 9, Variant: 1},
 	}
 	got := p.Faults()
 	if len(got) != len(want) {
@@ -90,6 +90,9 @@ func TestParseErrors(t *testing.T) {
 		{"arg-flip@3:boom", "bad bit"},
 		{"arg-flip@3:repeat-every:0", "bad repeat-every period"},
 		{"arg-flip@3:repeat-every:x", "bad repeat-every period"},
+		{"arg-flip@3:variant:0", "bad variant slot"},
+		{"arg-flip@3:variant:9", "bad variant slot"},
+		{"arg-flip@3:variant:x", "bad variant slot"},
 	}
 	for _, c := range cases {
 		if _, err := Parse(c.spec, 1); err == nil || !strings.Contains(err.Error(), c.wantSub) {
@@ -101,6 +104,61 @@ func TestParseErrors(t *testing.T) {
 	for name := range kindNames {
 		if !strings.Contains(err.Error(), name) {
 			t.Errorf("unknown-fault error %q missing %q", err, name)
+		}
+	}
+}
+
+func TestParseVariantSelector(t *testing.T) {
+	p, err := Parse("arg-flip@4:variant:2,follower-crash@2:variant:3,stall@5", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Kind: ArgFlip, Call: 4, Variant: 2},
+		{Kind: FollowerCrash, Call: 2, Variant: 3},
+		{Kind: FollowerStall, Call: 5, Variant: 1},
+	}
+	got := p.Faults()
+	if len(got) != len(want) {
+		t.Fatalf("faults = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("fault %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// The selector composes with bit and repeat-every modifiers.
+	p, err = Parse("arg-flip@7:3:variant:2:repeat-every:6", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := p.Faults()[0]; f != (Fault{Kind: ArgFlip, Call: 7, Bit: 3, Every: 6, Variant: 2}) {
+		t.Errorf("composed spec parsed to %+v", f)
+	}
+}
+
+func TestNewNormalizesVariant(t *testing.T) {
+	p := New(1, Fault{Kind: ArgFlip, Call: 3}, Fault{Kind: ArgFlip, Call: 3, Variant: 2})
+	if got := p.Faults(); got[0].Variant != 1 || got[1].Variant != 2 {
+		t.Errorf("variants = %d, %d; want 1, 2", got[0].Variant, got[1].Variant)
+	}
+}
+
+func TestSlotForBias(t *testing.T) {
+	cases := []struct {
+		bias int64
+		want int
+	}{
+		{core.FollowerDelta, 1},
+		{2 * core.FollowerDelta, 2},
+		{8 * core.FollowerDelta, 8},
+		{9 * core.FollowerDelta, 1}, // past MaxVariants: fold to slot 1
+		{core.FollowerDelta / 2, 1}, // custom-delta monitor: pair-era slot
+		{-core.FollowerDelta, 1},    // nonsense bias: never index negative
+	}
+	for _, c := range cases {
+		if got := slotForBias(c.bias); got != c.want {
+			t.Errorf("slotForBias(%#x) = %d, want %d", c.bias, got, c.want)
 		}
 	}
 }

@@ -185,13 +185,17 @@ type cell struct {
 	bytes  atomic.Uint64
 }
 
+// NumVariantSlots sizes the per-variant cell axis: the leader plus every
+// follower slot a variant set can hold.
+const NumVariantSlots = 1 + obs.MaxFollowers
+
 // Region is one protected function's ledger. The monitor holds one per
 // session; instrumentation sites hold the pointer and call Add with no
 // map lookups on the hot path. A nil Region is the disabled state.
 type Region struct {
 	led   *Ledger
 	name  string
-	cells [NumPhases][NumClasses][2]cell // variant: 0 leader, 1 follower
+	cells [NumPhases][NumClasses][NumVariantSlots]cell // indexed by VariantID
 }
 
 // Ledger aggregates Regions and carries the run configuration the
@@ -300,10 +304,7 @@ func (rg *Region) Add(p Phase, v obs.Variant, c Class, cycles clock.Cycles, m Ma
 			allocs = cur - m.v
 		}
 	}
-	vi := 0
-	if v == obs.VariantFollower {
-		vi = 1
-	}
+	vi := int(v.ID())
 	cl := &rg.cells[p][c][vi]
 	cl.count.Add(1)
 	cl.cycles.Add(uint64(cycles))
@@ -327,10 +328,7 @@ func (rg *Region) AddRaw(p Phase, v obs.Variant, c Class, count, cycles, allocs,
 	if c >= NumClasses {
 		c = ClassUnknown
 	}
-	vi := 0
-	if v == obs.VariantFollower {
-		vi = 1
-	}
+	vi := int(v.ID())
 	cl := &rg.cells[p][c][vi]
 	cl.count.Add(count)
 	cl.cycles.Add(cycles)
@@ -338,7 +336,12 @@ func (rg *Region) AddRaw(p Phase, v obs.Variant, c Class, count, cycles, allocs,
 	cl.bytes.Add(bytes)
 }
 
-var variantNames = [2]string{"leader", "follower"}
+var variantNames = func() (out [NumVariantSlots]string) {
+	for vi := range out {
+		out[vi] = obs.VariantID(vi).Variant().String()
+	}
+	return
+}()
 
 // Cell is one non-zero (phase, class, variant) bucket in a snapshot.
 type Cell struct {
@@ -383,7 +386,7 @@ func (l *Ledger) Snapshot() Snapshot {
 		rs := RegionSnapshot{Region: rg.name}
 		for p := Phase(0); p < NumPhases; p++ {
 			for c := Class(0); c < NumClasses; c++ {
-				for vi := 0; vi < 2; vi++ {
+				for vi := 0; vi < NumVariantSlots; vi++ {
 					cl := &rg.cells[p][c][vi]
 					count := cl.count.Load()
 					cyc := cl.cycles.Load()
@@ -449,7 +452,7 @@ func (l *Ledger) Totals() (calls, cycles, allocs uint64) {
 	for _, rg := range regions {
 		for p := Phase(0); p < NumPhases; p++ {
 			for c := Class(0); c < NumClasses; c++ {
-				for vi := 0; vi < 2; vi++ {
+				for vi := 0; vi < NumVariantSlots; vi++ {
 					cl := &rg.cells[p][c][vi]
 					cycles += cl.cycles.Load()
 					allocs += cl.allocs.Load()

@@ -182,29 +182,84 @@ func (k EventKind) String() string {
 	}
 }
 
-// Variant attributes an event to one side of the MVX pair.
+// Variant attributes an event to one member of the MVX variant set.
 type Variant uint8
 
-// Variant values.
+// Variant values. The first three byte values are frozen (they appear in
+// serialized WAL records from pair-era runs); follower slots beyond the
+// first extend the space past VariantNone.
 const (
 	// VariantLeader is the leader (or any ordinary, bias-0 thread).
 	VariantLeader Variant = iota
-	// VariantFollower is the cloned, shifted follower.
+	// VariantFollower is the first cloned, shifted follower.
 	VariantFollower
 	// VariantNone marks events with no variant affinity (kernel, monitor
 	// bookkeeping).
 	VariantNone
 )
 
+// MaxFollowers bounds the follower-slot count of a variant set. It is
+// limited by the MPK key space: 16 keys minus the reserved key 0, the
+// monitor key, and the leader key leaves headroom for 8 follower windows.
+const MaxFollowers = 8
+
+// numVariantSlots is the width of per-variant sequence state: leader,
+// first follower, none, then followers 2..MaxFollowers.
+const numVariantSlots = 2 + MaxFollowers
+
+// FollowerVariant returns the Variant tag for the k-th follower slot
+// (1-based). Slot 1 is the pair-era VariantFollower; later slots use the
+// extended byte values after VariantNone.
+func FollowerVariant(k int) Variant {
+	if k <= 1 {
+		return VariantFollower
+	}
+	return Variant(1 + k)
+}
+
 // String names the variant.
 func (v Variant) String() string {
-	switch v {
-	case VariantLeader:
+	switch {
+	case v == VariantLeader:
 		return "leader"
-	case VariantFollower:
+	case v == VariantFollower:
 		return "follower"
+	case v > VariantNone && v < Variant(numVariantSlots):
+		return "follower" + string(rune('0'+int(v)-1))
 	default:
 		return "-"
+	}
+}
+
+// VariantID is a dense per-variant index: 0 is the leader, k >= 1 is the
+// k-th follower slot. Unlike Variant (whose byte values are frozen for WAL
+// compatibility and leave a hole at VariantNone), VariantID is contiguous
+// and suitable as an array/ledger key or alarm field.
+type VariantID uint8
+
+// ID converts an event-level Variant tag to its dense variant index.
+// VariantNone maps to 0 (monitor bookkeeping is charged to the leader
+// bucket, matching the pair-era ledger).
+func (v Variant) ID() VariantID {
+	switch {
+	case v == VariantFollower:
+		return 1
+	case v > VariantNone && v < Variant(numVariantSlots):
+		return VariantID(v - 1)
+	default:
+		return 0
+	}
+}
+
+// Variant converts a dense variant index back to its event-level tag.
+func (id VariantID) Variant() Variant {
+	switch {
+	case id == 0:
+		return VariantLeader
+	case id == 1:
+		return VariantFollower
+	default:
+		return Variant(id + 1)
 	}
 }
 
@@ -340,7 +395,7 @@ type Sink interface {
 type Recorder struct {
 	mu      sync.Mutex
 	ring    *ring
-	vseq    [3]uint64
+	vseq    [numVariantSlots]uint64
 	clk     atomic.Pointer[clock.Counter]
 	window  int
 	metrics *Metrics
@@ -515,7 +570,7 @@ func (r *Recorder) RecordInAt(ts clock.Cycles, fn string, kind EventKind, v Vari
 }
 
 func (r *Recorder) recordAt(ts clock.Cycles, kind EventKind, v Variant, tid int, fn, name string, a0, a1, ret uint64) {
-	if v > VariantNone {
+	if v >= Variant(numVariantSlots) {
 		v = VariantNone
 	}
 	r.mu.Lock()

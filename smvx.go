@@ -99,6 +99,10 @@ type (
 	// SyncClass is a libc call's rendezvous discipline under pipelined
 	// lockstep (local, pipelined, or hard barrier).
 	SyncClass = libc.SyncClass
+	// VariantID numbers the members of a variant set: 0 is the leader,
+	// 1..N-1 the follower slots. Alarm.Variant and the ledger's
+	// per-variant axis carry it.
+	VariantID = core.VariantID
 
 	// Recorder is the flight-recorder observability plane.
 	Recorder = obs.Recorder
@@ -149,6 +153,9 @@ const (
 	AlarmSequenceLength    = core.AlarmSequenceLength
 	AlarmRendezvousTimeout = core.AlarmRendezvousTimeout
 	AlarmEmulationFault    = core.AlarmEmulationFault
+	// AlarmOutvoted marks a variant whose call record lost the majority
+	// vote at an N-variant rendezvous (Alarm.Variant names the loser).
+	AlarmOutvoted = core.AlarmOutvoted
 )
 
 // Divergence policies, re-exported.
@@ -157,6 +164,10 @@ const (
 	PolicyLeaderContinue  = core.PolicyLeaderContinue
 	PolicyRestartFollower = core.PolicyRestartFollower
 	PolicyRollback        = core.PolicyRollback
+	// PolicyRestartVariant is the variant-set spelling of
+	// PolicyRestartFollower: the quarantined variant, whichever slot it
+	// holds, is re-cloned at the next protected-region entry.
+	PolicyRestartVariant = core.PolicyRestartVariant
 )
 
 // Lockstep modes, re-exported.
@@ -179,6 +190,12 @@ const (
 
 // Containment and pipelining defaults, re-exported.
 const (
+	// DefaultVariants is the variant-set size when -variants is not
+	// given: the paper's leader/follower pair.
+	DefaultVariants = core.DefaultVariants
+	// MaxVariants bounds the variant set (the leader plus the ledger's
+	// follower-slot capacity).
+	MaxVariants               = core.MaxVariants
 	DefaultRestartBudget      = core.DefaultRestartBudget
 	DefaultRestartBackoff     = core.DefaultRestartBackoff
 	DefaultRendezvousDeadline = core.DefaultRendezvousDeadline
@@ -222,6 +239,10 @@ var (
 	WithLagWindow = core.WithLagWindow
 	// WithLedger attaches a rendezvous cost ledger to the monitor.
 	WithLedger = core.WithLedger
+	// WithVariants sets the variant-set size: the leader plus N-1
+	// diversified followers, majority-voted at each rendezvous (2
+	// reproduces the paper's pair byte for byte).
+	WithVariants = core.WithVariants
 )
 
 // NewLedger creates an enabled, empty rendezvous cost ledger.
